@@ -1,0 +1,283 @@
+// Benchmarks regenerating every table and figure of the PIC paper's
+// evaluation. Each benchmark runs the corresponding experiment from
+// internal/bench and reports the headline quantities (speedups,
+// iteration counts, traffic) as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. EXPERIMENTS.md records the
+// paper-versus-measured comparison for each.
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func BenchmarkFig2KMeansRuntimeAndTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup, "speedup")
+		b.ReportMetric(float64(r.ICTrafficBytes)/float64(r.PICTraffic), "traffic-reduction")
+		b.ReportMetric(float64(r.ICIterations), "ic-iters")
+		b.ReportMetric(float64(r.TopOffIters), "topoff-iters")
+	}
+}
+
+func BenchmarkFig9SmallClusterSpeedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Rows[0].Speedup, "kmeans-speedup")
+		b.ReportMetric(fig.Rows[1].Speedup, "pagerank-speedup")
+		b.ReportMetric(fig.Rows[2].Speedup, "linsolve-speedup")
+	}
+}
+
+func BenchmarkFig10MediumClusterSpeedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Rows[0].Speedup, "kmeans-speedup")
+		b.ReportMetric(fig.Rows[1].Speedup, "neuralnet-speedup")
+		b.ReportMetric(fig.Rows[2].Speedup, "smoothing-speedup")
+	}
+}
+
+func BenchmarkFig11StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Points {
+			b.ReportMetric(p.Speedup, "speedup-"+itoa(p.Nodes)+"n")
+		}
+	}
+}
+
+func BenchmarkFig12aNeuralNetErrorVsTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig12a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		icFinal, _ := r.FinalValues()
+		icT, picT := r.TimeToReach(icFinal)
+		if picT >= 0 && icT > 0 {
+			b.ReportMetric(float64(icT)/float64(picT), "time-to-quality-ratio")
+		}
+		b.ReportMetric(icFinal, "ic-final-error")
+	}
+}
+
+func BenchmarkFig12bKMeansErrorVsTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig12b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Displacement at the end of each curve: both must be tiny
+		// (converged); PIC's curve must end earlier.
+		icEnd := r.IC.Points[len(r.IC.Points)-1].Time
+		picEnd := r.PIC.Points[len(r.PIC.Points)-1].Time
+		b.ReportMetric(float64(icEnd)/float64(picEnd), "convergence-time-ratio")
+	}
+}
+
+func BenchmarkFig12cLinSolveErrorVsTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig12c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		icFinal, _ := r.FinalValues()
+		icT, picT := r.TimeToReach(icFinal * 1.01)
+		if picT >= 0 && icT > 0 {
+			b.ReportMetric(float64(icT)/float64(picT), "time-to-quality-ratio")
+		}
+	}
+}
+
+func BenchmarkTable1KMeansIterations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Rows[len(r.Rows)-1]
+		b.ReportMetric(float64(last.ICIterations), "ic-iters-largest")
+		b.ReportMetric(float64(last.BEIterations), "be-iters-largest")
+		if locals := last.MaxLocalIters; len(locals) > 1 {
+			b.ReportMetric(float64(locals[0]), "first-be-locals")
+			b.ReportMetric(float64(locals[1]), "second-be-locals")
+		}
+	}
+}
+
+func BenchmarkTable2KMeansTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.TotalICIntermediate)/float64(r.PICIntermediate), "intermediate-reduction")
+		b.ReportMetric(float64(r.TotalICModelUpdates)/float64(r.PICModelUpdates), "modelupdate-reduction")
+	}
+}
+
+func BenchmarkTable3JagotaIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, row := range r.Rows {
+			b.ReportMetric(row.DiffPercent, "jagota-diff-pct-ds"+itoa(j+1))
+		}
+	}
+}
+
+func BenchmarkAblationPartitionCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationPartitionCount()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.Speedup, "speedup-p"+itoa(row.Partitions))
+		}
+	}
+}
+
+func BenchmarkAblationGraphCoupling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationGraphCoupling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+		b.ReportMetric(first.Speedup, "speedup-lowest-coupling")
+		b.ReportMetric(last.Speedup, "speedup-highest-coupling")
+	}
+}
+
+func BenchmarkAblationLocalComputeFactor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationLocalFactor()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.Speedup, "speedup-f"+fmtFactor(row.Factor))
+		}
+	}
+}
+
+func BenchmarkAblationDegeneratePIC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationDegenerate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MaxCentroidDelta, "centroid-delta-vs-ic")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func fmtFactor(f float64) string {
+	switch {
+	case f >= 0.99:
+		return "1"
+	case f >= 0.3:
+		return "1-3"
+	case f >= 0.13:
+		return "1-7"
+	default:
+		return "1-15"
+	}
+}
+
+func BenchmarkAblationPartitioner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationPartitioner()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.Speedup, "speedup-"+row.Strategy)
+		}
+	}
+}
+
+func BenchmarkAblationNetworkModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationNetworkModel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].Speedup, "speedup-bottleneck")
+		b.ReportMetric(r.Rows[1].Speedup, "speedup-maxmin")
+	}
+}
+
+func BenchmarkAblationAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationAsync()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			// Metric units must not contain whitespace.
+			unit := strings.ReplaceAll(row.Mode, " ", "-")
+			unit = strings.ReplaceAll(unit, "+", "and")
+			b.ReportMetric(row.Speedup, unit)
+		}
+	}
+}
+
+func BenchmarkAblationSeeding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationSeeding()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(float64(row.ICIterations), "ic-iters-"+row.Seeding)
+		}
+	}
+}
+
+func BenchmarkAblationConvergenceRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationConvergenceRate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.BERate, "be-rate-p"+itoa(row.Partitions))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command picbench regenerates the tables and figures of the PIC paper's
+// evaluation. Run with no arguments for everything, or name experiments:
+//
+//	picbench fig2 fig9 fig10 fig11 fig12a fig12b fig12c \
+//	         table1 table2 table3 \
+//	         abl-parts abl-coupling abl-localfactor abl-degenerate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+type renderer interface{ Render() string }
+
+type experiment struct {
+	name string
+	run  func() (renderer, error)
+}
+
+func wrap[T renderer](fn func() (T, error)) func() (renderer, error) {
+	return func() (renderer, error) { return fn() }
+}
+
+var experiments = []experiment{
+	{"fig2", wrap(bench.Fig2)},
+	{"fig9", wrap(bench.Fig9)},
+	{"fig10", wrap(bench.Fig10)},
+	{"fig11", wrap(bench.Fig11)},
+	{"fig12a", wrap(bench.Fig12a)},
+	{"fig12b", wrap(bench.Fig12b)},
+	{"fig12c", wrap(bench.Fig12c)},
+	{"table1", wrap(bench.Table1)},
+	{"table2", wrap(bench.Table2)},
+	{"table3", wrap(bench.Table3)},
+	{"abl-parts", wrap(bench.AblationPartitionCount)},
+	{"abl-coupling", wrap(bench.AblationGraphCoupling)},
+	{"abl-partitioner", wrap(bench.AblationPartitioner)},
+	{"abl-localfactor", wrap(bench.AblationLocalFactor)},
+	{"abl-network", wrap(bench.AblationNetworkModel)},
+	{"abl-async", wrap(bench.AblationAsync)},
+	{"abl-seeding", wrap(bench.AblationSeeding)},
+	{"abl-rate", wrap(bench.AblationConvergenceRate)},
+	{"abl-degenerate", wrap(bench.AblationDegenerate)},
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of rendered tables")
+	scaleArg := flag.Float64("scale", 1.0, "dataset-size multiplier in (0,1] for quick smoke runs")
+	flag.Parse()
+	if *scaleArg != 1.0 {
+		bench.SetScale(*scaleArg)
+		fmt.Fprintf(os.Stderr, "note: running at scale %.2f — numbers will not match EXPERIMENTS.md\n", *scaleArg)
+	}
+	selected := map[string]bool{}
+	for _, arg := range flag.Args() {
+		selected[arg] = true
+	}
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
+	for name := range selected {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\navailable:", name)
+			for _, e := range experiments {
+				fmt.Fprintf(os.Stderr, " %s", e.name)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		start := time.Now()
+		result, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			failed = true
+			continue
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{"experiment": e.name, "result": result}); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: encode: %v\n", e.name, err)
+				failed = true
+			}
+			continue
+		}
+		fmt.Println(result.Render())
+		fmt.Printf("[%s completed in %.1fs wall time]\n\n", e.name, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

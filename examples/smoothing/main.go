@@ -1,0 +1,60 @@
+// Image-smoothing example: denoise a synthetic image with the iterative
+// stencil smoother under PIC band partitioning, and verify the result
+// against the sequential fixed point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/apps/smoothing"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/simcluster"
+)
+
+func main() {
+	const (
+		width, height = 256, 256
+		bands         = 16
+	)
+
+	img := data.NoisyImage(8, width, height, 15)
+	app := smoothing.New(width, height, 2.0, 0.05)
+	app.BEThreshold = 0.2
+
+	rt := core.NewRuntime(simcluster.New(simcluster.Medium()), dfs.DefaultConfig())
+	in := mapred.NewInput(smoothing.Records(img), rt.Cluster(), rt.Cluster().MapSlots())
+
+	res, err := core.RunPIC(rt, app, in, smoothing.InitialModel(img), core.PICOptions{
+		Partitions: bands,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	got := smoothing.ImageOf(res.Model, width, height)
+	want := smoothing.Reference(img, 2.0, 1e-6, 20_000)
+
+	var worst, noiseBefore, noiseAfter float64
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if d := math.Abs(got.Rows[y][x] - want.Rows[y][x]); d > worst {
+				worst = d
+			}
+			if x+1 < width {
+				noiseBefore += math.Abs(img.Rows[y][x+1] - img.Rows[y][x])
+				noiseAfter += math.Abs(got.Rows[y][x+1] - got.Rows[y][x])
+			}
+		}
+	}
+
+	fmt.Printf("smoothed %dx%d image in %d best-effort + %d top-off iterations (%.1f simulated s)\n",
+		width, height, res.BEIterations, res.TopOffIterations, float64(res.Duration))
+	fmt.Printf("total variation: %.0f before, %.0f after (%.1fx smoother)\n",
+		noiseBefore, noiseAfter, noiseBefore/noiseAfter)
+	fmt.Printf("max deviation from sequential fixed point: %.4f intensity levels\n", worst)
+}

@@ -1,0 +1,373 @@
+// Package kmeans implements the paper's first case study (§IV-A):
+// K-means clustering as a conventional iterative-convergence MapReduce
+// application (Figure 1(b)) and its PIC extension (Figure 6).
+//
+// The map computation associates each point with its closest centroid;
+// a combiner pre-aggregates partial sums; the reduce computation
+// re-computes centroid positions. Convergence holds when no centroid
+// moved by more than a threshold. Under PIC, the input points are
+// partitioned randomly, the model (all K centroids) is replicated into
+// every sub-problem, and partial models are merged by averaging
+// corresponding centroids — exactly the paper's choices.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/writable"
+)
+
+// App is the K-means application. It implements core.App and
+// core.PICApp.
+type App struct {
+	// K is the number of clusters.
+	K int
+	// Threshold is the convergence bound on centroid displacement.
+	Threshold float64
+	// BEThreshold is the best-effort convergence bound. The paper's
+	// API allows "a much looser criterion to quickly terminate the
+	// best-effort phase" (§III-B); it defaults to Threshold.
+	BEThreshold float64
+}
+
+// New returns a K-means application.
+func New(k int, threshold float64) *App {
+	if k <= 0 || threshold <= 0 {
+		panic(fmt.Sprintf("kmeans: bad parameters k=%d threshold=%g", k, threshold))
+	}
+	return &App{K: k, Threshold: threshold, BEThreshold: threshold}
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return "kmeans" }
+
+// CentroidKey returns the model key of centroid j.
+func CentroidKey(j int) string { return fmt.Sprintf("c%05d", j) }
+
+// Records converts points into input records.
+func Records(points []linalg.Vector) []mapred.Record {
+	recs := make([]mapred.Record, len(points))
+	for i, p := range points {
+		recs[i] = mapred.Record{Key: fmt.Sprintf("p%d", i), Value: writable.Vector(p)}
+	}
+	return recs
+}
+
+// InitialModel builds a starting model from the first K points — since
+// generators emit points in randomized order, this is the paper's
+// "arbitrary initial model (often chosen randomly)", reproducibly.
+func InitialModel(points []linalg.Vector, k int) *model.Model {
+	if len(points) < k {
+		panic(fmt.Sprintf("kmeans: %d points for k=%d", len(points), k))
+	}
+	m := model.New()
+	for j := 0; j < k; j++ {
+		m.Set(CentroidKey(j), writable.Vector(points[j]).Clone())
+	}
+	return m
+}
+
+// Centroids extracts the centroid vectors from a model in key order.
+func Centroids(m *model.Model) []linalg.Vector {
+	var out []linalg.Vector
+	m.Range(func(_ string, v writable.Writable) bool {
+		if vec, ok := v.(writable.Vector); ok {
+			out = append(out, linalg.Vector(vec))
+		}
+		return true
+	})
+	return out
+}
+
+// centroidSet is a flat view of a model's centroids, extracted once per
+// iteration so the per-point nearest-centroid search does not touch the
+// model's sorted-key machinery.
+type centroidSet struct {
+	keys []string
+	mus  []writable.Vector
+}
+
+func centroidsOf(m *model.Model) *centroidSet {
+	cs := &centroidSet{}
+	m.Range(func(key string, v writable.Writable) bool {
+		if mu, ok := v.(writable.Vector); ok {
+			cs.keys = append(cs.keys, key)
+			cs.mus = append(cs.mus, mu)
+		}
+		return true
+	})
+	return cs
+}
+
+// nearestKey returns the model key of the centroid closest to p.
+func (cs *centroidSet) nearestKey(p writable.Vector) string {
+	best := ""
+	bestDist := math.Inf(1)
+	for c, mu := range cs.mus {
+		var d float64
+		for i := range mu {
+			diff := p[i] - mu[i]
+			d += diff * diff
+		}
+		if d < bestDist {
+			best, bestDist = cs.keys[c], d
+		}
+	}
+	return best
+}
+
+// sumReducer aggregates (point..., count) accumulators component-wise;
+// it serves as both combiner and the first half of the reduce step.
+type sumReducer struct{}
+
+func (sumReducer) Reduce(key string, values []writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+	acc := values[0].(writable.Vector).Clone()
+	for _, v := range values[1:] {
+		vec := v.(writable.Vector)
+		if len(vec) != len(acc) {
+			return fmt.Errorf("kmeans: accumulator length mismatch at %q", key)
+		}
+		for i := range acc {
+			acc[i] += vec[i]
+		}
+	}
+	emit.Emit(key, acc)
+	return nil
+}
+
+// centroidReducer finishes the reduction: it sums accumulators and emits
+// the new centroid (sum / count).
+type centroidReducer struct{}
+
+func (centroidReducer) Reduce(key string, values []writable.Writable, m *model.Model, emit mapred.Emitter) error {
+	var agg sumCollector
+	if err := (sumReducer{}).Reduce(key, values, m, &agg); err != nil {
+		return err
+	}
+	acc := agg.acc
+	n := acc[len(acc)-1]
+	if n == 0 {
+		return fmt.Errorf("kmeans: zero count for centroid %q", key)
+	}
+	centroid := make(writable.Vector, len(acc)-1)
+	for i := range centroid {
+		centroid[i] = acc[i] / n
+	}
+	emit.Emit(key, centroid)
+	return nil
+}
+
+type sumCollector struct{ acc writable.Vector }
+
+func (c *sumCollector) Emit(_ string, v writable.Writable) { c.acc = v.(writable.Vector) }
+
+// Iteration implements core.App: one MapReduce job assigning points to
+// centroids and recomputing them.
+func (a *App) Iteration(rt *core.Runtime, in *mapred.Input, m *model.Model) (*model.Model, error) {
+	cs := centroidsOf(m)
+	job := &mapred.Job{
+		Name: "kmeans-iter",
+		Mapper: mapred.MapperFunc(func(_ string, v writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+			p := v.(writable.Vector)
+			key := cs.nearestKey(p)
+			if key == "" {
+				return fmt.Errorf("kmeans: model has no centroids")
+			}
+			emit.Emit(key, append(p.Clone(), 1))
+			return nil
+		}),
+		Combiner: sumReducer{},
+		Reducer:  centroidReducer{},
+	}
+	out, err := rt.RunJob(job, in, m)
+	if err != nil {
+		return nil, err
+	}
+	// Assemble the next model; centroids that attracted no points keep
+	// their previous position.
+	next := m.Clone()
+	for _, rec := range out.Records {
+		next.Set(rec.Key, rec.Value)
+	}
+	return next, nil
+}
+
+// Converged implements core.App: every centroid moved less than the
+// threshold.
+func (a *App) Converged(prev, next *model.Model) bool {
+	return model.MaxVectorDelta(prev, next) < a.Threshold
+}
+
+// BEConverged implements core.BEConvergedApp with the (possibly looser)
+// best-effort bound. Successive merged models of randomly partitioned
+// K-means differ by per-partition sampling noise, so a bound a few times
+// the final threshold terminates the best-effort phase once merging has
+// stopped making systematic progress.
+func (a *App) BEConverged(prev, next *model.Model) bool {
+	return model.MaxVectorDelta(prev, next) < a.BEThreshold
+}
+
+// Partition implements core.PICApp: deal the points into p random
+// sub-problems, each starting from a copy of the full model (Figure 6).
+func (a *App) Partition(in *mapred.Input, m *model.Model, p int) ([]core.SubProblem, error) {
+	groups := core.DealRecords(in.Records(), p)
+	models := core.CopyModels(m, p)
+	subs := make([]core.SubProblem, p)
+	for i := range subs {
+		subs[i] = core.SubProblem{Records: groups[i], Model: models[i]}
+	}
+	return subs, nil
+}
+
+// Merge implements core.PICApp: average corresponding centroids from
+// every partition (Figure 6 — "identifies corresponding centroid values
+// from each partition and averages them").
+func (a *App) Merge(parts []*model.Model, _ *model.Model) (*model.Model, error) {
+	return core.AverageModels(parts)
+}
+
+// SequentialReference runs plain in-process Lloyd iteration from the
+// given starting centroids until the displacement threshold (or the
+// iteration cap) — the "final solution produced by a sequential
+// implementation" the paper measures distance against in §VI-A.
+func SequentialReference(points []linalg.Vector, initial []linalg.Vector, threshold float64, maxIters int) []linalg.Vector {
+	centroids := make([]linalg.Vector, len(initial))
+	for i, c := range initial {
+		centroids[i] = c.Clone()
+	}
+	dims := len(points[0])
+	for it := 0; it < maxIters; it++ {
+		sums := make([]linalg.Vector, len(centroids))
+		counts := make([]int, len(centroids))
+		for i := range sums {
+			sums[i] = make(linalg.Vector, dims)
+		}
+		for _, p := range points {
+			best, bestDist := 0, math.Inf(1)
+			for c, mu := range centroids {
+				var d float64
+				for i := range mu {
+					diff := p[i] - mu[i]
+					d += diff * diff
+				}
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			for i := range p {
+				sums[best][i] += p[i]
+			}
+			counts[best]++
+		}
+		var worst float64
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			var d2 float64
+			for i := range centroids[c] {
+				next := sums[c][i] / float64(counts[c])
+				diff := next - centroids[c][i]
+				d2 += diff * diff
+				centroids[c][i] = next
+			}
+			if d2 > worst {
+				worst = d2
+			}
+		}
+		if math.Sqrt(worst) < threshold {
+			break
+		}
+	}
+	return centroids
+}
+
+// MergeKey implements core.KeyMerger: corresponding centroids from every
+// partition are averaged, so the merge can run as a distributed
+// MapReduce job (§III-C).
+func (a *App) MergeKey(key string, values []writable.Writable) (writable.Writable, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("kmeans: no values for %q", key)
+	}
+	acc := values[0].(writable.Vector).Clone()
+	for _, v := range values[1:] {
+		vec, ok := v.(writable.Vector)
+		if !ok || len(vec) != len(acc) {
+			return nil, fmt.Errorf("kmeans: incompatible centroids at %q", key)
+		}
+		for i := range acc {
+			acc[i] += vec[i]
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(len(values))
+	}
+	return acc, nil
+}
+
+// InitialModelPlusPlus builds a starting model with the k-means++
+// seeding strategy (deterministic in the seed): the first centroid is a
+// uniformly random point and each subsequent centroid is drawn with
+// probability proportional to its squared distance from the nearest
+// chosen centroid. Better seeds shorten both the conventional run and
+// PIC's first batch of local iterations.
+func InitialModelPlusPlus(points []linalg.Vector, k int, seed int64) *model.Model {
+	if len(points) < k {
+		panic(fmt.Sprintf("kmeans: %d points for k=%d", len(points), k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	chosen := make([]linalg.Vector, 0, k)
+	chosen = append(chosen, points[rng.Intn(len(points))])
+	dist2 := make([]float64, len(points))
+	for i := range dist2 {
+		dist2[i] = sqDist(points[i], chosen[0])
+	}
+	for len(chosen) < k {
+		var total float64
+		for _, d := range dist2 {
+			total += d
+		}
+		var next linalg.Vector
+		if total == 0 {
+			// All remaining points coincide with chosen centroids.
+			next = points[rng.Intn(len(points))]
+		} else {
+			r := rng.Float64() * total
+			idx := len(points) - 1
+			for i, d := range dist2 {
+				if r < d {
+					idx = i
+					break
+				}
+				r -= d
+			}
+			next = points[idx]
+		}
+		chosen = append(chosen, next)
+		for i := range dist2 {
+			if d := sqDist(points[i], next); d < dist2[i] {
+				dist2[i] = d
+			}
+		}
+	}
+	m := model.New()
+	for j, c := range chosen {
+		m.Set(CentroidKey(j), writable.Vector(c).Clone())
+	}
+	return m
+}
+
+func sqDist(a, b linalg.Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

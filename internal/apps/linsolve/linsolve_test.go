@@ -1,0 +1,288 @@
+package linsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dfs"
+	"repro/internal/linalg"
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/writable"
+)
+
+func testRuntime() *core.Runtime {
+	cluster := simcluster.New(simcluster.Config{
+		Nodes:              6,
+		RackSize:           6,
+		MapSlotsPerNode:    4,
+		ReduceSlotsPerNode: 4,
+		ComputeRate:        1e8,
+		NodeBandwidth:      125e6,
+		RackBandwidth:      750e6,
+		CoreBandwidth:      750e6,
+	})
+	return core.NewRuntime(cluster, dfs.Config{Replication: 3, BlockSize: 64 << 20})
+}
+
+func testSystem(n int) *App {
+	sys := data.WeaklyDominantSystem(11, n, 1.6)
+	return New(sys.A, sys.B, 1e-9)
+}
+
+func appInput(rt *core.Runtime, app *App) *mapred.Input {
+	return mapred.NewInput(app.Records(), rt.Cluster(), rt.Cluster().MapSlots())
+}
+
+func TestNewValidation(t *testing.T) {
+	a := linalg.NewMatrix(2, 2)
+	for i, fn := range []func(){
+		func() { New(a, linalg.Vector{1}, 1e-6) },
+		func() { New(a, linalg.Vector{1, 2}, 0) },
+		func() { New(linalg.NewMatrix(2, 3), linalg.Vector{1, 2}, 1e-6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestJacobiConvergesToGolden(t *testing.T) {
+	app := testSystem(60)
+	rt := testRuntime()
+	res, err := core.RunIC(rt, app, appInput(rt, app), InitialModel(60), &core.ICOptions{MaxIterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("Jacobi did not converge")
+	}
+	golden, err := app.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Solution(res.Model, 60)
+	if e := x.Sub(golden).NormInf(); e > 1e-6 {
+		t.Fatalf("solution error %v", e)
+	}
+}
+
+func TestIterationIsExactJacobiSweep(t *testing.T) {
+	app := testSystem(10)
+	rt := testRuntime()
+	m0 := InitialModel(10)
+	m1, err := app.Iteration(rt, appInput(rt, app), m0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From x=0, one Jacobi sweep gives x_i = b_i / a_ii.
+	for i := 0; i < 10; i++ {
+		want := app.b[i] / app.a.At(i, i)
+		got, _ := m1.Float(VarKey(i))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("x[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestZeroDiagonalRejected(t *testing.T) {
+	a := linalg.NewMatrix(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	app := New(a, linalg.Vector{1, 1}, 1e-6)
+	rt := testRuntime()
+	if _, err := app.Iteration(rt, appInput(rt, app), InitialModel(2)); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+}
+
+func TestPartitionBlocksAreDisjointAndComplete(t *testing.T) {
+	app := testSystem(50)
+	rt := testRuntime()
+	subs, err := app.Partition(appInput(rt, app), InitialModel(50), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 4 {
+		t.Fatalf("got %d sub-problems", len(subs))
+	}
+	seen := map[string]bool{}
+	rows := 0
+	for _, sub := range subs {
+		rows += len(sub.Records)
+		for _, k := range sub.Model.Keys() {
+			if seen[k] {
+				t.Fatalf("variable %s in two blocks", k)
+			}
+			seen[k] = true
+		}
+	}
+	if rows != 50 || len(seen) != 50 {
+		t.Fatalf("blocks cover %d rows, %d variables", rows, len(seen))
+	}
+}
+
+func TestPartitionFoldsExternalIntoRHS(t *testing.T) {
+	// 2x2 system partitioned into two 1x1 blocks with x = (3, 5):
+	// block 0's rhs must become b_0 - a_01*x_1.
+	a := linalg.NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 5)
+	app := New(a, linalg.Vector{10, 20}, 1e-9)
+	m := InitialModel(2)
+	m.Set(VarKey(0), wfloat(3))
+	m.Set(VarKey(1), wfloat(5))
+	rt := testRuntime()
+	subs, err := app.Partition(appInput(rt, app), m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := subs[0].Records[0].Value.(vec)
+	if v0[1] != 10-1*5 {
+		t.Fatalf("block 0 rhs = %v, want 5", v0[1])
+	}
+	v1 := subs[1].Records[0].Value.(vec)
+	if v1[1] != 20-2*3 {
+		t.Fatalf("block 1 rhs = %v, want 14", v1[1])
+	}
+}
+
+func TestTooManyPartitionsRejected(t *testing.T) {
+	app := testSystem(4)
+	rt := testRuntime()
+	if _, err := app.Partition(appInput(rt, app), InitialModel(4), 10); err == nil {
+		t.Fatal("p > n accepted")
+	}
+}
+
+func TestPICConvergesToGolden(t *testing.T) {
+	// Block Jacobi on a weakly dominant system must reach the same
+	// unique solution as plain Jacobi — the Figure 12(c) scenario.
+	app := testSystem(80)
+	rt := testRuntime()
+	pic, err := core.RunPIC(rt, app, appInput(rt, app), InitialModel(80), core.PICOptions{
+		Partitions:      6,
+		MaxBEIterations: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pic.TopOffConverged {
+		t.Fatal("top-off did not converge")
+	}
+	golden, err := app.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Solution(pic.Model, 80)
+	if e := x.Sub(golden).NormInf(); e > 1e-6 {
+		t.Fatalf("PIC solution error %v", e)
+	}
+}
+
+func TestPICBestEffortAlreadyClose(t *testing.T) {
+	// §VI-B: for nearly uncoupled systems the best-effort phase alone
+	// converges near the solution.
+	app := testSystem(80)
+	rt := testRuntime()
+	pic, err := core.RunPIC(rt, app, appInput(rt, app), InitialModel(80), core.PICOptions{
+		Partitions:      6,
+		MaxBEIterations: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := app.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := Solution(pic.BestEffortModel, 80)
+	full := golden.NormInf()
+	if e := be.Sub(golden).NormInf(); e > 0.05*full {
+		t.Fatalf("best-effort error %v vs solution magnitude %v", e, full)
+	}
+	if pic.TopOffIterations > 20 {
+		t.Fatalf("top-off needed %d iterations — best-effort model poor", pic.TopOffIterations)
+	}
+}
+
+func TestSolutionHelper(t *testing.T) {
+	m := InitialModel(3)
+	m.Set(VarKey(1), wfloat(7))
+	x := Solution(m, 3)
+	if x[0] != 0 || x[1] != 7 || x[2] != 0 {
+		t.Fatalf("Solution = %v", x)
+	}
+}
+
+// Test shorthands.
+type vec = writable.Vector
+
+func wfloat(f float64) writable.Float64 { return writable.Float64(f) }
+
+// Property: the Jacobi sweep (through the full MapReduce path) is an
+// affine map: S(λx + (1−λ)y) = λS(x) + (1−λ)S(y).
+func TestQuickJacobiSweepIsAffine(t *testing.T) {
+	f := func(seed int64) bool {
+		sys := data.DiffusionSystem(seed, 8, 1.5)
+		app := New(sys.A, sys.B, 1e-9)
+		rt := testRuntime()
+		in := appInput(rt, app)
+
+		mk := func(vals []float64) *model.Model {
+			m := InitialModel(8)
+			for i, v := range vals {
+				m.Set(VarKey(i), wfloat(v))
+			}
+			return m
+		}
+		rng := newRand(seed)
+		x := make([]float64, 8)
+		y := make([]float64, 8)
+		mix := make([]float64, 8)
+		lambda := rng.Float64()
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+			y[i] = rng.NormFloat64() * 5
+			mix[i] = lambda*x[i] + (1-lambda)*y[i]
+		}
+		sx, err := app.Iteration(rt, in, mk(x))
+		if err != nil {
+			return false
+		}
+		sy, err := app.Iteration(rt, in, mk(y))
+		if err != nil {
+			return false
+		}
+		smix, err := app.Iteration(rt, in, mk(mix))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 8; i++ {
+			a, _ := sx.Float(VarKey(i))
+			b, _ := sy.Float(VarKey(i))
+			c, _ := smix.Float(VarKey(i))
+			if math.Abs(c-(lambda*a+(1-lambda)*b)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,291 @@
+// Package neuralnet implements the paper's neural-network-training case
+// study: a single-hidden-layer perceptron trained with full-batch
+// back-propagation on OCR vectors (§V-B used ~210,000 optical character
+// recognition training vectors).
+//
+// Each iteration is one gradient-descent epoch as a MapReduce job: the
+// map computation back-propagates one training sample and emits its
+// weight gradients; a combiner sums gradients per split; the reduce
+// computation produces the batch gradient, which the model update
+// applies with the learning rate. Under PIC, the training data is dealt
+// into random partitions, each sub-problem trains a copy of the network
+// to local convergence, and the merge averages the partial weight
+// vectors — the paper's model-replication strategy (and what is now
+// called federated averaging).
+package neuralnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/writable"
+)
+
+// Keys of the two weight blocks in the model.
+const (
+	W1Key = "w1" // hidden layer: Hidden × (In+1), bias last
+	W2Key = "w2" // output layer: Out × (Hidden+1), bias last
+)
+
+// App is the neural-network trainer. It implements core.App and
+// core.PICApp.
+type App struct {
+	// In, Hidden, Out are the layer widths.
+	In, Hidden, Out int
+	// LearningRate scales the batch gradient step.
+	LearningRate float64
+	// Tolerance is the convergence bound on weight displacement per
+	// epoch.
+	Tolerance float64
+}
+
+// New returns a trainer for an In→Hidden→Out sigmoid network.
+func New(in, hidden, out int, learningRate, tolerance float64) *App {
+	if in <= 0 || hidden <= 0 || out <= 0 {
+		panic(fmt.Sprintf("neuralnet: bad architecture %d-%d-%d", in, hidden, out))
+	}
+	if learningRate <= 0 || tolerance <= 0 {
+		panic("neuralnet: learning rate and tolerance must be positive")
+	}
+	return &App{In: in, Hidden: hidden, Out: out, LearningRate: learningRate, Tolerance: tolerance}
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return "neuralnet" }
+
+// InitialModel builds small random starting weights, deterministic in
+// the seed.
+func (a *App) InitialModel(seed int64) *model.Model {
+	rng := rand.New(rand.NewSource(seed))
+	w1 := make(writable.Vector, a.Hidden*(a.In+1))
+	for i := range w1 {
+		w1[i] = (rng.Float64() - 0.5)
+	}
+	w2 := make(writable.Vector, a.Out*(a.Hidden+1))
+	for i := range w2 {
+		w2[i] = (rng.Float64() - 0.5)
+	}
+	m := model.New()
+	m.Set(W1Key, w1)
+	m.Set(W2Key, w2)
+	return m
+}
+
+// Records converts labeled vectors into training records: component 0
+// is the label, the rest the input.
+func Records(vectors []linalg.Vector, labels []int) []mapred.Record {
+	if len(vectors) != len(labels) {
+		panic(fmt.Sprintf("neuralnet: %d vectors, %d labels", len(vectors), len(labels)))
+	}
+	recs := make([]mapred.Record, len(vectors))
+	for i, v := range vectors {
+		val := make(writable.Vector, 1+len(v))
+		val[0] = float64(labels[i])
+		copy(val[1:], v)
+		recs[i] = mapred.Record{Key: fmt.Sprintf("t%06d", i), Value: val}
+	}
+	return recs
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// forward computes the hidden and output activations.
+func (a *App) forward(w1, w2 writable.Vector, x []float64) (hidden, out []float64) {
+	hidden = make([]float64, a.Hidden)
+	for j := 0; j < a.Hidden; j++ {
+		row := w1[j*(a.In+1) : (j+1)*(a.In+1)]
+		s := row[a.In] // bias
+		for i := 0; i < a.In; i++ {
+			s += row[i] * x[i]
+		}
+		hidden[j] = sigmoid(s)
+	}
+	out = make([]float64, a.Out)
+	for k := 0; k < a.Out; k++ {
+		row := w2[k*(a.Hidden+1) : (k+1)*(a.Hidden+1)]
+		s := row[a.Hidden] // bias
+		for j := 0; j < a.Hidden; j++ {
+			s += row[j] * hidden[j]
+		}
+		out[k] = sigmoid(s)
+	}
+	return hidden, out
+}
+
+// gradients back-propagates one sample, returning the squared-error
+// gradients of both weight blocks.
+func (a *App) gradients(w1, w2 writable.Vector, x []float64, label int) (g1, g2 writable.Vector) {
+	hidden, out := a.forward(w1, w2, x)
+	deltaOut := make([]float64, a.Out)
+	for k := range deltaOut {
+		target := 0.0
+		if k == label {
+			target = 1.0
+		}
+		deltaOut[k] = (out[k] - target) * out[k] * (1 - out[k])
+	}
+	deltaHidden := make([]float64, a.Hidden)
+	for j := range deltaHidden {
+		var s float64
+		for k := 0; k < a.Out; k++ {
+			s += deltaOut[k] * w2[k*(a.Hidden+1)+j]
+		}
+		deltaHidden[j] = s * hidden[j] * (1 - hidden[j])
+	}
+	g2 = make(writable.Vector, len(w2))
+	for k := 0; k < a.Out; k++ {
+		base := k * (a.Hidden + 1)
+		for j := 0; j < a.Hidden; j++ {
+			g2[base+j] = deltaOut[k] * hidden[j]
+		}
+		g2[base+a.Hidden] = deltaOut[k]
+	}
+	g1 = make(writable.Vector, len(w1))
+	for j := 0; j < a.Hidden; j++ {
+		base := j * (a.In + 1)
+		for i := 0; i < a.In; i++ {
+			g1[base+i] = deltaHidden[j] * x[i]
+		}
+		g1[base+a.In] = deltaHidden[j]
+	}
+	return g1, g2
+}
+
+// vectorSum sums same-length vectors, used as combiner and reducer.
+type vectorSum struct{}
+
+func (vectorSum) Reduce(key string, values []writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+	acc := values[0].(writable.Vector).Clone()
+	for _, v := range values[1:] {
+		vec := v.(writable.Vector)
+		if len(vec) != len(acc) {
+			return fmt.Errorf("neuralnet: gradient length mismatch at %q", key)
+		}
+		for i := range acc {
+			acc[i] += vec[i]
+		}
+	}
+	emit.Emit(key, acc)
+	return nil
+}
+
+// Iteration implements core.App: one full-batch gradient-descent epoch.
+func (a *App) Iteration(rt *core.Runtime, in *mapred.Input, m *model.Model) (*model.Model, error) {
+	arch := *a
+	job := &mapred.Job{
+		Name: "backprop-epoch",
+		Mapper: mapred.MapperFunc(func(_ string, v writable.Writable, m *model.Model, emit mapred.Emitter) error {
+			val := v.(writable.Vector)
+			label := int(val[0])
+			x := val[1:]
+			w1, ok1 := m.Vector(W1Key)
+			w2, ok2 := m.Vector(W2Key)
+			if !ok1 || !ok2 {
+				return fmt.Errorf("neuralnet: model missing weight blocks")
+			}
+			g1, g2 := arch.gradients(w1, w2, x, label)
+			emit.Emit(W1Key, g1)
+			emit.Emit(W2Key, g2)
+			return nil
+		}),
+		Combiner:    vectorSum{},
+		Reducer:     vectorSum{},
+		NumReducers: 2,
+	}
+	out, err := rt.RunJob(job, in, m)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(in.NumRecords())
+	next := m.Clone()
+	for _, rec := range out.Records {
+		w, ok := next.Vector(rec.Key)
+		if !ok {
+			return nil, fmt.Errorf("neuralnet: gradient for unknown block %q", rec.Key)
+		}
+		g := rec.Value.(writable.Vector)
+		for i := range w {
+			w[i] -= a.LearningRate * g[i] / n
+		}
+	}
+	return next, nil
+}
+
+// Converged implements core.App: the largest weight-block displacement
+// fell below the tolerance.
+func (a *App) Converged(prev, next *model.Model) bool {
+	return model.MaxVectorDelta(prev, next) < a.Tolerance
+}
+
+// Partition implements core.PICApp: deal the training data randomly and
+// replicate the model into every sub-problem.
+func (a *App) Partition(in *mapred.Input, m *model.Model, p int) ([]core.SubProblem, error) {
+	groups := core.DealRecords(in.Records(), p)
+	models := core.CopyModels(m, p)
+	subs := make([]core.SubProblem, p)
+	for i := range subs {
+		subs[i] = core.SubProblem{Records: groups[i], Model: models[i]}
+	}
+	return subs, nil
+}
+
+// Merge implements core.PICApp: average the partial weight vectors.
+func (a *App) Merge(parts []*model.Model, _ *model.Model) (*model.Model, error) {
+	return core.AverageModels(parts)
+}
+
+// Predict returns the class with the highest output activation.
+func (a *App) Predict(m *model.Model, x linalg.Vector) int {
+	w1, _ := m.Vector(W1Key)
+	w2, _ := m.Vector(W2Key)
+	_, out := a.forward(w1, w2, x)
+	best, bestV := 0, out[0]
+	for k, v := range out[1:] {
+		if v > bestV {
+			best, bestV = k+1, v
+		}
+	}
+	return best
+}
+
+// ModelError evaluates the misclassification rate of m on a validation
+// set — the paper's Figure 12(a) metric.
+func (a *App) ModelError(m *model.Model, vectors []linalg.Vector, labels []int) float64 {
+	if len(vectors) == 0 || len(vectors) != len(labels) {
+		panic("neuralnet: bad validation set")
+	}
+	wrong := 0
+	for i, v := range vectors {
+		if a.Predict(m, v) != labels[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(vectors))
+}
+
+// MergeKey implements core.KeyMerger: partial weight blocks are averaged
+// per key, so the merge can run as a distributed MapReduce job.
+func (a *App) MergeKey(key string, values []writable.Writable) (writable.Writable, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("neuralnet: no values for %q", key)
+	}
+	acc := values[0].(writable.Vector).Clone()
+	for _, v := range values[1:] {
+		vec, ok := v.(writable.Vector)
+		if !ok || len(vec) != len(acc) {
+			return nil, fmt.Errorf("neuralnet: incompatible weight blocks at %q", key)
+		}
+		for i := range acc {
+			acc[i] += vec[i]
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(len(values))
+	}
+	return acc, nil
+}

@@ -1,0 +1,421 @@
+// Package pagerank implements the paper's second case study (§IV-B):
+// the Nutch-style PageRank computation, whose model is both the vertex
+// ranks and the per-edge scores — the "large model" case where model
+// update traffic dominates conventional MapReduce execution.
+//
+// Each iteration has two phases (the paper's Figure 7): aggregation
+// (a vertex's rank is recomputed from its incoming edge scores:
+// PR_i = (1-c) + c·Σ_j edge_ji) and propagation (every edge's score
+// becomes the source rank divided by the source out-degree).
+//
+// Under PIC (Figure 8), the vertex set is split into disjoint groups;
+// vertices plus fully-internal edges form the sub-graphs, and the
+// cross-partition edges are grouped into p² sets. Local iterations
+// update only intra-partition state; the merge step computes the scores
+// of cross edges from the partial models and folds them into the
+// destination vertices' ranks — "the only mechanism used to factor in
+// the dependencies between the sub-problems".
+package pagerank
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/webgraph"
+	"repro/internal/writable"
+)
+
+// App is the PageRank application. It implements core.App, core.PICApp
+// and core.BEConvergedApp.
+type App struct {
+	// Damping is the paper's constant c (typically 0.85).
+	Damping float64
+	// Tolerance is the rank-delta convergence bound; Nutch instead
+	// stops on a fixed iteration cap, which experiments impose through
+	// the driver options.
+	Tolerance float64
+	// BETolerance is the best-effort convergence bound. It defaults to
+	// Tolerance (the paper's default — the same criterion): each
+	// best-effort iteration is one outer block-Jacobi step that feeds
+	// cross-partition rank flow through the merge, so stopping early
+	// leaves inter-partition influence unpropagated.
+	BETolerance float64
+
+	// Strategy selects how the vertex set is split for the best-effort
+	// phase. The paper's default is random (§IV-B); it also suggests
+	// min-cut partitioning "for example using the METIS package"
+	// (§VI-B), which PartitionMultilevel provides.
+	Strategy PartitionStrategy
+
+	graph  *webgraph.Graph
+	assign []int // vertex -> partition (fixed per app, like the paper's static partitioning)
+	parts  int
+	seed   int64
+}
+
+// PartitionStrategy selects the graph partitioner for the best-effort
+// phase.
+type PartitionStrategy int
+
+// The available partitioning strategies.
+const (
+	// PartitionRandom splits vertices uniformly at random — the
+	// paper's default.
+	PartitionRandom PartitionStrategy = iota
+	// PartitionLocality splits vertices into contiguous ranges, which
+	// aligns with communities when vertex ids do.
+	PartitionLocality
+	// PartitionMultilevel runs the METIS-style multilevel min-cut
+	// partitioner.
+	PartitionMultilevel
+)
+
+// New returns a PageRank application over g. partitionSeed fixes the
+// random vertex partitioning used by the PIC best-effort phase.
+func New(g *webgraph.Graph, damping, tolerance float64, partitionSeed int64) *App {
+	if damping <= 0 || damping >= 1 {
+		panic(fmt.Sprintf("pagerank: damping = %g out of (0,1)", damping))
+	}
+	if tolerance <= 0 {
+		panic("pagerank: tolerance must be positive")
+	}
+	return &App{
+		Damping:     damping,
+		Tolerance:   tolerance,
+		BETolerance: tolerance,
+		graph:       g,
+		seed:        partitionSeed,
+	}
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return "pagerank" }
+
+// RankKey returns the model key of vertex v's PageRank.
+func RankKey(v int) string { return fmt.Sprintf("r%08d", v) }
+
+// EdgeKey returns the model key of edge (src,dst)'s score.
+func EdgeKey(src, dst int) string { return fmt.Sprintf("e%08d:%08d", src, dst) }
+
+// inflowKey returns the sub-model key of vertex v's frozen
+// cross-partition in-flow: the summed scores of its incoming cross
+// edges, fixed at their merged values for the duration of one
+// best-effort iteration. This is the block-Jacobi treatment of the
+// inter-partition dependencies (§VI-B's additive-Schwarz analogy): the
+// paper's merge step is "the only mechanism used to factor in the
+// dependencies", and freezing the inflow is the natural way to carry
+// that merged information through the local iterations.
+func inflowKey(v int) string { return fmt.Sprintf("f%08d", v) }
+
+// vertexValue encodes a vertex for the input records: component 0 is
+// the vertex id, the rest are out-neighbor ids.
+func vertexValue(v int, out []int32) writable.Vector {
+	val := make(writable.Vector, 1+len(out))
+	val[0] = float64(v)
+	for i, w := range out {
+		val[i+1] = float64(w)
+	}
+	return val
+}
+
+// Records converts the graph's adjacency into input records, one per
+// vertex.
+func Records(g *webgraph.Graph) []mapred.Record {
+	recs := make([]mapred.Record, g.N)
+	for v := 0; v < g.N; v++ {
+		recs[v] = mapred.Record{Key: fmt.Sprintf("v%08d", v), Value: vertexValue(v, g.Out[v])}
+	}
+	return recs
+}
+
+// InitialModel builds the Nutch starting state: every rank 1.0 and every
+// edge score rank/outdegree.
+func InitialModel(g *webgraph.Graph) *model.Model {
+	m := model.New()
+	for v := 0; v < g.N; v++ {
+		m.Set(RankKey(v), writable.Float64(1))
+		score := 1.0 / float64(len(g.Out[v]))
+		for _, w := range g.Out[v] {
+			m.Set(EdgeKey(v, int(w)), writable.Float64(score))
+		}
+	}
+	return m
+}
+
+// Ranks extracts the vertex ranks from a model.
+func Ranks(m *model.Model, n int) []float64 {
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if r, ok := m.Float(RankKey(v)); ok {
+			out[v] = r
+		}
+	}
+	return out
+}
+
+// Iteration implements core.App: the aggregation job followed by the
+// propagation job.
+func (a *App) Iteration(rt *core.Runtime, in *mapred.Input, m *model.Model) (*model.Model, error) {
+	damping := a.Damping
+
+	// Aggregation: every vertex emits, for each outgoing edge, the
+	// edge's current score keyed by the destination vertex; the
+	// reducer sums and applies PR = (1-c) + c·Σ.
+	aggregate := &mapred.Job{
+		Name:             "pagerank-aggregate",
+		PartitionedModel: true, // tasks read the state of their own vertices
+		Mapper: mapred.MapperFunc(func(_ string, v writable.Writable, m *model.Model, emit mapred.Emitter) error {
+			val := v.(writable.Vector)
+			src := int(val[0])
+			// During local iterations, the vertex's frozen
+			// cross-partition in-flow contributes as a constant.
+			if inflow, ok := m.Float(inflowKey(src)); ok && inflow != 0 {
+				emit.Emit(RankKey(src), writable.Float64(inflow))
+			}
+			for _, wf := range val[1:] {
+				dst := int(wf)
+				score, ok := m.Float(EdgeKey(src, dst))
+				if !ok {
+					// Edge not in this (sub-)model: a cross edge
+					// during local iterations. Its effect enters
+					// through the frozen in-flow and the merge.
+					continue
+				}
+				emit.Emit(RankKey(dst), writable.Float64(score))
+			}
+			return nil
+		}),
+		Combiner: floatSum{},
+		Reducer: mapred.ReducerFunc(func(key string, values []writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+			var sum float64
+			for _, v := range values {
+				sum += float64(v.(writable.Float64))
+			}
+			emit.Emit(key, writable.Float64((1-damping)+damping*sum))
+			return nil
+		}),
+	}
+	aggOut, err := rt.RunJob(aggregate, in, m)
+	if err != nil {
+		return nil, err
+	}
+	// New ranks: vertices with no in-edges in (this partition of) the
+	// graph fall back to 1-c.
+	next := model.New()
+	m.Range(func(key string, v writable.Writable) bool {
+		if key[0] == 'r' {
+			next.Set(key, writable.Float64(1-damping))
+		}
+		return true
+	})
+	for _, rec := range aggOut.Records {
+		if _, tracked := m.Get(rec.Key); tracked {
+			next.Set(rec.Key, rec.Value)
+		}
+	}
+
+	// Propagation: every edge's score becomes new-rank/outdegree.
+	propagate := &mapred.Job{
+		Name:             "pagerank-propagate",
+		PartitionedModel: true,
+		Mapper: mapred.MapperFunc(func(_ string, v writable.Writable, nm *model.Model, emit mapred.Emitter) error {
+			val := v.(writable.Vector)
+			src := int(val[0])
+			rank, ok := nm.Float(RankKey(src))
+			if !ok {
+				return nil // vertex outside this partition's model
+			}
+			outdeg := float64(len(val) - 1)
+			for _, wf := range val[1:] {
+				dst := int(wf)
+				if _, tracked := m.Get(EdgeKey(src, dst)); !tracked {
+					continue // cross edge, not part of this sub-model
+				}
+				emit.Emit(EdgeKey(src, dst), writable.Float64(rank/outdeg))
+			}
+			return nil
+		}),
+	}
+	propOut, err := rt.RunJob(propagate, in, next)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range propOut.Records {
+		next.Set(rec.Key, rec.Value)
+	}
+	// Frozen cross-partition in-flows persist across local iterations.
+	m.Range(func(key string, v writable.Writable) bool {
+		if key[0] == 'f' {
+			next.Set(key, v)
+		}
+		return true
+	})
+	return next, nil
+}
+
+type floatSum struct{}
+
+func (floatSum) Reduce(key string, values []writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+	var sum float64
+	for _, v := range values {
+		sum += float64(v.(writable.Float64))
+	}
+	emit.Emit(key, writable.Float64(sum))
+	return nil
+}
+
+// Converged implements core.App: the largest rank change is below
+// Tolerance. (Nutch also simply caps iterations; experiments do that via
+// driver options.)
+func (a *App) Converged(prev, next *model.Model) bool {
+	return model.MaxFloatDelta(prev, next) < a.Tolerance
+}
+
+// BEConverged implements core.BEConvergedApp with the looser
+// best-effort bound.
+func (a *App) BEConverged(prev, next *model.Model) bool {
+	return model.MaxFloatDelta(prev, next) < a.BETolerance
+}
+
+// Partition implements core.PICApp: random disjoint vertex groups; each
+// sub-problem holds its vertices' adjacency records, their ranks and
+// the scores of fully-internal edges.
+func (a *App) Partition(in *mapred.Input, m *model.Model, p int) ([]core.SubProblem, error) {
+	if a.assign == nil || a.parts != p {
+		switch a.Strategy {
+		case PartitionLocality:
+			a.assign = webgraph.LocalityPartition(a.graph.N, p)
+		case PartitionMultilevel:
+			a.assign = webgraph.MultilevelPartition(a.graph, p)
+		default:
+			a.assign = webgraph.RandomPartition(a.seed, a.graph.N, p)
+		}
+		a.parts = p
+	}
+	assign := a.assign
+
+	records, err := core.PartitionRecordsBy(in.Records(), p, func(r mapred.Record) int {
+		val := r.Value.(writable.Vector)
+		return assign[int(val[0])]
+	})
+	if err != nil {
+		return nil, err
+	}
+	models := make([]*model.Model, p)
+	for i := range models {
+		models[i] = model.New()
+	}
+	inflow := make([]float64, a.graph.N)
+	for v := 0; v < a.graph.N; v++ {
+		pv := assign[v]
+		if rank, ok := m.Float(RankKey(v)); ok {
+			models[pv].Set(RankKey(v), writable.Float64(rank))
+		}
+		for _, w := range a.graph.Out[v] {
+			if assign[int(w)] != pv {
+				// Cross edge: excluded from the sub-graph; its
+				// current score is frozen into the destination's
+				// in-flow constant.
+				if score, ok := m.Float(EdgeKey(v, int(w))); ok {
+					inflow[int(w)] += score
+				}
+				continue
+			}
+			if score, ok := m.Float(EdgeKey(v, int(w))); ok {
+				models[pv].Set(EdgeKey(v, int(w)), writable.Float64(score))
+			}
+		}
+	}
+	for v, f := range inflow {
+		if f != 0 {
+			models[assign[v]].Set(inflowKey(v), writable.Float64(f))
+		}
+	}
+	subs := make([]core.SubProblem, p)
+	for i := range subs {
+		subs[i] = core.SubProblem{Records: records[i], Model: models[i]}
+	}
+	return subs, nil
+}
+
+// Merge implements core.PICApp (Figure 8): concatenate the partial
+// models (ranks and internal edge scores; the frozen in-flow constants
+// are dropped) and recompute the scores of all cross edges from the
+// newly merged source ranks. The refreshed cross scores carry
+// inter-partition influence into the next best-effort iteration through
+// the in-flow constants — "the only mechanism used to factor in the
+// dependencies between the sub-problems".
+func (a *App) Merge(parts []*model.Model, prev *model.Model) (*model.Model, error) {
+	if a.assign == nil {
+		return nil, fmt.Errorf("pagerank: Merge before Partition")
+	}
+	merged := model.New()
+	for _, part := range parts {
+		var err error
+		part.Range(func(key string, v writable.Writable) bool {
+			if key[0] == 'f' {
+				return true
+			}
+			if _, dup := merged.Get(key); dup {
+				err = fmt.Errorf("pagerank: duplicate key %q across partitions", key)
+				return false
+			}
+			merged.Set(key, writable.Clone(v))
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	groups := webgraph.CrossEdgeGroups(a.graph, a.assign, a.parts)
+	for _, row := range groups {
+		for _, edges := range row {
+			for _, e := range edges {
+				srcRank, ok := merged.Float(RankKey(int(e.Src)))
+				if !ok {
+					return nil, fmt.Errorf("pagerank: merged model missing rank of %d", e.Src)
+				}
+				score := srcRank / float64(a.graph.OutDegree(int(e.Src)))
+				merged.Set(EdgeKey(int(e.Src), int(e.Dst)), writable.Float64(score))
+			}
+		}
+	}
+	return merged, nil
+}
+
+// Reference computes PageRank sequentially with the same two-phase
+// update for the given number of iterations — the golden comparison for
+// tests and quality metrics.
+func Reference(g *webgraph.Graph, damping float64, iterations int) []float64 {
+	ranks := make([]float64, g.N)
+	scores := make(map[int64]float64, g.NumEdges())
+	key := func(src, dst int) int64 { return int64(src)<<32 | int64(dst) }
+	for v := 0; v < g.N; v++ {
+		ranks[v] = 1
+		s := 1.0 / float64(len(g.Out[v]))
+		for _, w := range g.Out[v] {
+			scores[key(v, int(w))] = s
+		}
+	}
+	for it := 0; it < iterations; it++ {
+		next := make([]float64, g.N)
+		for v := range next {
+			next[v] = 1 - damping
+		}
+		for v := 0; v < g.N; v++ {
+			for _, w := range g.Out[v] {
+				next[int(w)] += damping * scores[key(v, int(w))]
+			}
+		}
+		ranks = next
+		for v := 0; v < g.N; v++ {
+			s := ranks[v] / float64(len(g.Out[v]))
+			for _, w := range g.Out[v] {
+				scores[key(v, int(w))] = s
+			}
+		}
+	}
+	return ranks
+}

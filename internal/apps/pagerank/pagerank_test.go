@@ -1,0 +1,269 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/webgraph"
+	"repro/internal/writable"
+)
+
+func testRuntime() *core.Runtime {
+	cluster := simcluster.New(simcluster.Config{
+		Nodes:              6,
+		RackSize:           6,
+		MapSlotsPerNode:    4,
+		ReduceSlotsPerNode: 4,
+		ComputeRate:        1e8,
+		NodeBandwidth:      125e6,
+		RackBandwidth:      750e6,
+		CoreBandwidth:      750e6,
+	})
+	return core.NewRuntime(cluster, dfs.Config{Replication: 3, BlockSize: 64 << 20})
+}
+
+func smallGraph() *webgraph.Graph {
+	// 0 -> 1,2 ; 1 -> 2 ; 2 -> 0 ; 3 -> 2 (3 has no in-edges)
+	return &webgraph.Graph{N: 4, Out: [][]int32{{1, 2}, {2}, {0}, {2}}}
+}
+
+func graphInput(rt *core.Runtime, g *webgraph.Graph) *mapred.Input {
+	return mapred.NewInput(Records(g), rt.Cluster(), rt.Cluster().MapSlots())
+}
+
+func TestNewValidation(t *testing.T) {
+	g := smallGraph()
+	for i, fn := range []func(){
+		func() { New(g, 0, 1e-6, 1) },
+		func() { New(g, 1, 1e-6, 1) },
+		func() { New(g, 0.85, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestInitialModel(t *testing.T) {
+	g := smallGraph()
+	m := InitialModel(g)
+	// 4 ranks + 5 edge scores.
+	if m.Len() != 9 {
+		t.Fatalf("model has %d entries, want 9", m.Len())
+	}
+	r, _ := m.Float(RankKey(0))
+	if r != 1 {
+		t.Fatalf("initial rank = %v", r)
+	}
+	s, _ := m.Float(EdgeKey(0, 1))
+	if s != 0.5 {
+		t.Fatalf("initial edge score = %v, want 1/outdeg = 0.5", s)
+	}
+}
+
+func TestOneIterationMatchesFormula(t *testing.T) {
+	g := smallGraph()
+	rt := testRuntime()
+	app := New(g, 0.85, 1e-12, 1)
+	m1, err := app.Iteration(rt, graphInput(rt, g), InitialModel(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By hand with all initial scores 1/outdeg:
+	// in(0) = {2}: PR0 = 0.15 + 0.85·(1/1) = 1.0
+	// in(1) = {0}: PR1 = 0.15 + 0.85·(1/2) = 0.575
+	// in(2) = {0,1,3}: PR2 = 0.15 + 0.85·(1/2 + 1 + 1) = 2.275
+	// in(3) = {}: PR3 = 0.15
+	want := map[int]float64{0: 1.0, 1: 0.575, 2: 2.275, 3: 0.15}
+	for v, w := range want {
+		got, _ := m1.Float(RankKey(v))
+		if math.Abs(got-w) > 1e-12 {
+			t.Errorf("PR%d = %v, want %v", v, got, w)
+		}
+	}
+	// Propagation: score(0->1) = PR0/2 = 0.5.
+	s, _ := m1.Float(EdgeKey(0, 1))
+	if math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("score(0->1) = %v, want 0.5", s)
+	}
+}
+
+func TestICMatchesSequentialReference(t *testing.T) {
+	g := webgraph.NearlyUncoupled(1, 200, 4, 0.1, 3)
+	rt := testRuntime()
+	app := New(g, 0.85, 1e-12, 1)
+	res, err := core.RunIC(rt, app, graphInput(rt, g), InitialModel(g), &core.ICOptions{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Ranks(res.Model, g.N)
+	want := Reference(g, 0.85, 10)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("rank %d = %v, reference %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestRanksAreBounded(t *testing.T) {
+	g := webgraph.NearlyUncoupled(2, 300, 6, 0.1, 4)
+	rt := testRuntime()
+	app := New(g, 0.85, 1e-12, 1)
+	res, err := core.RunIC(rt, app, graphInput(rt, g), InitialModel(g), &core.ICOptions{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range Ranks(res.Model, g.N) {
+		if r < 0.15-1e-12 {
+			t.Fatalf("rank %d = %v below 1-c", v, r)
+		}
+		if r > float64(g.N) {
+			t.Fatalf("rank %d = %v absurdly large", v, r)
+		}
+	}
+}
+
+func TestPartitionDisjointAndComplete(t *testing.T) {
+	g := webgraph.NearlyUncoupled(3, 400, 4, 0.1, 3)
+	rt := testRuntime()
+	app := New(g, 0.85, 1e-9, 7)
+	m := InitialModel(g)
+	subs, err := app.Partition(graphInput(rt, g), m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalRecords, totalRanks, totalEdges, totalInflows := 0, 0, 0, 0
+	for _, sub := range subs {
+		totalRecords += len(sub.Records)
+		for _, k := range sub.Model.Keys() {
+			switch k[0] {
+			case 'r':
+				totalRanks++
+			case 'e':
+				totalEdges++
+			case 'f':
+				totalInflows++
+			default:
+				t.Fatalf("unexpected sub-model key %q", k)
+			}
+		}
+	}
+	if totalInflows == 0 {
+		t.Fatal("no frozen cross in-flows recorded")
+	}
+	if totalRecords != g.N {
+		t.Fatalf("sub-problems hold %d records, want %d", totalRecords, g.N)
+	}
+	if totalRanks != g.N {
+		t.Fatalf("sub-models hold %d ranks, want %d", totalRanks, g.N)
+	}
+	cut := webgraph.CutEdges(g, webgraph.RandomPartition(7, g.N, 4))
+	if totalEdges != g.NumEdges()-cut {
+		t.Fatalf("sub-models hold %d edges, want %d internal", totalEdges, g.NumEdges()-cut)
+	}
+}
+
+func TestMergeRestoresAllEdges(t *testing.T) {
+	g := webgraph.NearlyUncoupled(4, 200, 4, 0.2, 3)
+	rt := testRuntime()
+	app := New(g, 0.85, 1e-9, 7)
+	m := InitialModel(g)
+	subs, err := app.Partition(graphInput(rt, g), m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge the unmodified sub-models: every rank and every edge score
+	// (internal from the parts, cross recomputed by Merge) must be back.
+	parts := make([]*model.Model, len(subs))
+	for i := range subs {
+		parts[i] = subs[i].Model
+	}
+	merged, err := app.Merge(parts, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != m.Len() {
+		t.Fatalf("merged model has %d entries, original %d", merged.Len(), m.Len())
+	}
+}
+
+func TestPICRanksCloseToIC(t *testing.T) {
+	// Run both schemes to actual convergence (rather than Nutch's
+	// 10-iteration cap) so they approximate the same fixed point.
+	g := webgraph.NearlyUncoupled(5, 500, 5, 0.05, 3)
+	appIC := New(g, 0.85, 1e-7, 7)
+	rtIC := testRuntime()
+	ic, err := core.RunIC(rtIC, appIC, graphInput(rtIC, g), InitialModel(g), &core.ICOptions{MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ic.Converged {
+		t.Fatal("IC did not converge")
+	}
+	appPIC := New(g, 0.85, 1e-7, 7)
+	rtPIC := testRuntime()
+	pic, err := core.RunPIC(rtPIC, appPIC, graphInput(rtPIC, g), InitialModel(g), core.PICOptions{
+		Partitions:          5,
+		MaxBEIterations:     10,
+		MaxLocalIterations:  50,
+		MaxTopOffIterations: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pic.TopOffConverged {
+		t.Fatal("PIC top-off did not converge")
+	}
+	icRanks := Ranks(ic.Model, g.N)
+	picRanks := Ranks(pic.Model, g.N)
+	var l1, norm float64
+	for v := range icRanks {
+		l1 += math.Abs(icRanks[v] - picRanks[v])
+		norm += icRanks[v]
+	}
+	if rel := l1 / norm; rel > 0.05 {
+		t.Fatalf("PIC ranks deviate %.2f%% from IC in L1", rel*100)
+	}
+}
+
+func TestBEConvergedDefaultsToConverged(t *testing.T) {
+	g := smallGraph()
+	app := New(g, 0.85, 1e-3, 1)
+	a := InitialModel(g)
+	b := a.Clone()
+	b.Set(RankKey(0), writable.Float64(1.005))
+	// By default the best-effort criterion is the ordinary one (the
+	// paper's default).
+	if app.Converged(a, b) != app.BEConverged(a, b) {
+		t.Fatal("default BEConverged differs from Converged")
+	}
+	// A looser bound can be configured explicitly.
+	app.BETolerance = 1e-2
+	if app.Converged(a, b) {
+		t.Fatal("Converged too loose")
+	}
+	if !app.BEConverged(a, b) {
+		t.Fatal("explicit loose BEConverged too strict")
+	}
+}
+
+func TestReferenceDeterministic(t *testing.T) {
+	g := webgraph.NearlyUncoupled(6, 100, 2, 0.1, 3)
+	a := Reference(g, 0.85, 5)
+	b := Reference(g, 0.85, 5)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("Reference not deterministic")
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§V and §VI): the runtime/traffic breakdown of Figure 2,
+// the cluster speedups of Figures 9–11, the error-vs-time trajectories
+// of Figure 12, and Tables I–III, plus ablations over the design knobs
+// DESIGN.md calls out. Each experiment returns a structured result and
+// renders the same rows/series the paper reports.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// HadoopCost returns the cost model calibrated to the Hadoop-0.20-era
+// behaviour the paper measures:
+//
+//   - ≈400 µs of framework-plus-user cost per map record (record
+//     reader, object churn, context.write, and the per-record math of
+//     the case studies on 2008-era Xeons);
+//   - per-byte costs for the serialize/sort/spill handling of
+//     intermediate data;
+//   - a small per-job overhead — the paper subtracts repeated job
+//     initialization from its baseline (§V-A), so only a residual
+//     start/finish cost remains, paid equally by both schemes;
+//   - local (in-memory) iterations at 1/7 of framework cost. The
+//     paper's own measurements imply this ratio: its best-effort phase
+//     runs ≈42 local iterations in one fifth of the time the baseline
+//     spends on 31 framework iterations (§II, Table I), giving
+//     31/(5·42) ≈ 1/7. The ablation bench sweeps this knob.
+func HadoopCost() mapred.CostModel {
+	return mapred.CostModel{
+		MapCostPerRecord:   400e3,
+		MapCostPerByte:     10,
+		EmitCostPerByte:    30,
+		ReduceCostPerValue: 100e3,
+		ShuffleOverlap:     0.5,
+		JobOverhead:        0.05,
+		LocalComputeFactor: 1.0 / 7.0,
+	}
+}
+
+// Workload bundles everything needed to run one application under both
+// schemes on fresh, identical runtimes.
+type Workload struct {
+	// Name labels the workload in rendered tables.
+	Name string
+	// Cluster is the testbed configuration.
+	Cluster simcluster.Config
+	// Cost is the cost model (defaults to HadoopCost).
+	Cost mapred.CostModel
+	// MakeApp builds a fresh application instance (apps may carry
+	// partitioning state, so each run gets its own).
+	MakeApp func() core.PICApp
+	// MakeInput builds the input dataset on the given cluster view.
+	MakeInput func(c *simcluster.Cluster) *mapred.Input
+	// MakeModel builds the initial model.
+	MakeModel func() *model.Model
+	// ICOpts and PICOpts configure the two drivers.
+	ICOpts  core.ICOptions
+	PICOpts core.PICOptions
+	// Tracer, when set, is attached to every runtime the workload
+	// creates, collecting the execution timeline.
+	Tracer *trace.Tracer
+}
+
+// NewRuntime builds a fresh runtime for the workload's cluster.
+func (w *Workload) NewRuntime() *core.Runtime {
+	cluster := simcluster.New(w.Cluster)
+	rt := core.NewRuntime(cluster, dfs.DefaultConfig())
+	cost := w.Cost
+	if cost == (mapred.CostModel{}) {
+		cost = HadoopCost()
+	}
+	rt.Engine().SetCostModel(cost)
+	rt.SetTracer(w.Tracer)
+	return rt
+}
+
+// Comparison holds one IC-versus-PIC run of a workload.
+type Comparison struct {
+	Workload *Workload
+	IC       *core.ICResult
+	PIC      *core.PICResult
+}
+
+// Speedup is the headline metric: conventional time over PIC time.
+func (c *Comparison) Speedup() float64 {
+	return float64(c.IC.Duration) / float64(c.PIC.Duration)
+}
+
+// RunIC executes only the conventional scheme (with an optional
+// observer for trajectory experiments).
+func (w *Workload) RunIC(obs core.Observer) (*core.ICResult, error) {
+	rt := w.NewRuntime()
+	opts := w.ICOpts
+	opts.Observer = obs
+	return core.RunIC(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), w.MakeModel(), &opts)
+}
+
+// RunPIC executes only the PIC scheme.
+func (w *Workload) RunPIC(obs core.Observer) (*core.PICResult, error) {
+	rt := w.NewRuntime()
+	opts := w.PICOpts
+	opts.Observer = obs
+	return core.RunPIC(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), w.MakeModel(), opts)
+}
+
+// RunComparison executes the workload under both schemes.
+func RunComparison(w *Workload) (*Comparison, error) {
+	ic, err := w.RunIC(nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s baseline: %w", w.Name, err)
+	}
+	pic, err := w.RunPIC(nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s PIC: %w", w.Name, err)
+	}
+	return &Comparison{Workload: w, IC: ic, PIC: pic}, nil
+}
+
+// ICNetworkBytes sums the baseline's interconnect traffic: shuffle that
+// crossed nodes, model distribution, and model updates.
+func (c *Comparison) ICNetworkBytes() int64 {
+	return c.IC.Metrics.ShuffleNetworkBytes + c.IC.Metrics.ModelBytes + c.IC.ModelUpdateBytes
+}
+
+// PICNetworkBytes sums PIC's interconnect traffic, including the
+// best-effort phase's repartition and merge flows.
+func (c *Comparison) PICNetworkBytes() int64 {
+	return c.PIC.Metrics.ShuffleNetworkBytes + c.PIC.Metrics.ModelBytes + c.PIC.ModelUpdateBytes +
+		c.PIC.RepartitionBytes + c.PIC.MergeTrafficBytes
+}
+
+// FormatBytes renders a byte count the way the paper's Table II does.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// FormatDuration renders simulated seconds.
+func FormatDuration(d simtime.Duration) string {
+	return fmt.Sprintf("%.1f s", float64(d))
+}
+
+// table renders fixed-width rows.
+type table struct {
+	sb strings.Builder
+}
+
+func (t *table) title(s string) { fmt.Fprintf(&t.sb, "%s\n%s\n", s, strings.Repeat("-", len(s))) }
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		if i == 0 {
+			fmt.Fprintf(&t.sb, "%-36s", c)
+		} else {
+			fmt.Fprintf(&t.sb, "  %16s", c)
+		}
+	}
+	t.sb.WriteByte('\n')
+}
+
+func (t *table) String() string { return t.sb.String() }
+
+// scale shrinks experiment dataset sizes for smoke runs (picbench
+// -scale). The default of 1 reproduces the paper-shaped configurations;
+// smaller values trade fidelity for speed.
+var scale = 1.0
+
+// SetScale adjusts the dataset-size multiplier applied by the
+// experiment functions (clamped to (0, 1]). Intended for quick CI runs;
+// EXPERIMENTS.md numbers use the default scale of 1.
+func SetScale(s float64) {
+	if s <= 0 || s > 1 {
+		panic("bench: scale must be in (0, 1]")
+	}
+	scale = s
+}
+
+// scaled applies the current scale to a dataset size, keeping at least
+// floor records.
+func scaled(n, floor int) int {
+	out := int(float64(n) * scale)
+	if out < floor {
+		out = floor
+	}
+	return out
+}

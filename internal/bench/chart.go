@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the two trajectories of a Figure 12 panel as an ASCII
+// scatter plot (log-scaled error axis when the values span decades),
+// the closest a terminal gets to the paper's figures.
+func (r *Fig12Result) Chart(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	all := append(append([]TrajectoryPoint{}, r.IC.Points...), r.PIC.Points...)
+	if len(all) == 0 {
+		return "(no samples)\n"
+	}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, p := range all {
+		t, v := float64(p.Time), p.Value
+		minT, maxT = math.Min(minT, t), math.Max(maxT, t)
+		if v > 0 {
+			minV, maxV = math.Min(minV, v), math.Max(maxV, v)
+		}
+	}
+	if maxT <= minT {
+		maxT = minT + 1
+	}
+	logScale := minV > 0 && maxV/minV > 50
+	yOf := func(v float64) float64 {
+		if logScale {
+			return math.Log10(v)
+		}
+		return v
+	}
+	loY, hiY := yOf(minV), yOf(maxV)
+	if hiY <= loY {
+		hiY = loY + 1
+	}
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(points []TrajectoryPoint, mark byte) {
+		for _, p := range points {
+			if p.Value <= 0 && logScale {
+				continue
+			}
+			x := int(float64(width-1) * (float64(p.Time) - minT) / (maxT - minT))
+			yFrac := (yOf(p.Value) - loY) / (hiY - loY)
+			y := height - 1 - int(float64(height-1)*yFrac)
+			if x >= 0 && x < width && y >= 0 && y < height {
+				if grid[y][x] == ' ' || grid[y][x] == mark {
+					grid[y][x] = mark
+				} else {
+					grid[y][x] = '#' // overlap
+				}
+			}
+		}
+	}
+	plot(r.IC.Points, 'i')
+	plot(r.PIC.Points, 'p')
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", r.Title)
+	axis := r.Metric
+	if logScale {
+		axis += " (log scale)"
+	}
+	fmt.Fprintf(&sb, "%s — i: IC, p: PIC, #: both\n", axis)
+	for y, row := range grid {
+		label := "          "
+		switch y {
+		case 0:
+			label = trimLabel(maxV)
+		case height - 1:
+			label = trimLabel(minV)
+		}
+		fmt.Fprintf(&sb, "%10s |%s\n", label, row)
+	}
+	fmt.Fprintf(&sb, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%10s  %-*s%s\n", "", width-8, trimLabel(minT)+" s", trimLabel(maxT)+" s")
+	return sb.String()
+}
+
+func trimLabel(v float64) string {
+	s := fmt.Sprintf("%.3g", v)
+	if len(s) > 10 {
+		s = s[:10]
+	}
+	return s
+}
+
+// Bars renders the speedup figure as a horizontal ASCII bar chart — the
+// shape of the paper's Figures 9 and 10.
+func (f *SpeedupFigure) Bars(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	var maxSpeedup float64
+	for _, r := range f.Rows {
+		if r.Speedup > maxSpeedup {
+			maxSpeedup = r.Speedup
+		}
+	}
+	if maxSpeedup <= 0 {
+		maxSpeedup = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", f.Title)
+	for _, r := range f.Rows {
+		n := int(float64(width) * r.Speedup / maxSpeedup)
+		if n < 1 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-36s |%s %.2fx\n", r.App, strings.Repeat("#", n), r.Speedup)
+	}
+	// Reference line at 1x (the baseline).
+	one := int(float64(width) / maxSpeedup)
+	if one >= 1 {
+		fmt.Fprintf(&sb, "%-36s |%s 1.00x (IC baseline)\n", "", strings.Repeat("-", one))
+	}
+	return sb.String()
+}

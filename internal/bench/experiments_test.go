@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentsSmoke runs every paper experiment at 5% scale: each
+// must complete, produce well-formed results, and render. The
+// full-scale numbers live in EXPERIMENTS.md; this guards the harness
+// itself.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests skipped in -short mode")
+	}
+	SetScale(0.05)
+	defer SetScale(1.0)
+
+	t.Run("fig2", func(t *testing.T) {
+		r, err := Fig2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Speedup <= 0 || r.ICIterations == 0 {
+			t.Fatalf("malformed result: %+v", r)
+		}
+		if !strings.Contains(r.Render(), "Speedup") {
+			t.Fatal("render missing speedup")
+		}
+	})
+	t.Run("fig9", func(t *testing.T) {
+		fig, err := Fig9()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Rows) != 3 {
+			t.Fatalf("got %d rows", len(fig.Rows))
+		}
+		for _, row := range fig.Rows {
+			if row.Speedup <= 0 {
+				t.Fatalf("row %q speedup %v", row.App, row.Speedup)
+			}
+		}
+	})
+	t.Run("fig11", func(t *testing.T) {
+		r, err := Fig11()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Points) != 4 {
+			t.Fatalf("got %d points", len(r.Points))
+		}
+	})
+	t.Run("fig12c", func(t *testing.T) {
+		r, err := Fig12c()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.IC.Points) == 0 || len(r.PIC.Points) == 0 {
+			t.Fatal("empty trajectories")
+		}
+		icFinal, picFinal := r.FinalValues()
+		if icFinal <= 0 || picFinal <= 0 {
+			t.Fatalf("non-positive final errors: %v, %v", icFinal, picFinal)
+		}
+		if !strings.Contains(r.Render(), "log scale") {
+			t.Fatal("solver trajectory not log-scaled")
+		}
+	})
+	t.Run("table1", func(t *testing.T) {
+		r, err := Table1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 4 {
+			t.Fatalf("got %d rows", len(r.Rows))
+		}
+		for _, row := range r.Rows {
+			if row.ICIterations == 0 || row.BEIterations == 0 {
+				t.Fatalf("malformed row: %+v", row)
+			}
+		}
+	})
+	t.Run("table2", func(t *testing.T) {
+		r, err := Table2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TotalICIntermediate <= r.OneIterIntermediate {
+			t.Fatalf("totals inconsistent: %+v", r)
+		}
+		if r.PICIntermediate >= r.TotalICIntermediate {
+			t.Fatal("PIC intermediate not below baseline")
+		}
+	})
+	t.Run("table3", func(t *testing.T) {
+		r, err := Table3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.DiffPercent > 10 {
+				t.Fatalf("best-effort quality gap %.1f%%", row.DiffPercent)
+			}
+		}
+	})
+	t.Run("abl-degenerate", func(t *testing.T) {
+		r, err := AblationDegenerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MaxCentroidDelta >= r.ConvergenceThreshold {
+			t.Fatalf("degenerate delta %.3g above threshold %.3g",
+				r.MaxCentroidDelta, r.ConvergenceThreshold)
+		}
+	})
+}
+
+func TestSetScaleValidation(t *testing.T) {
+	for _, s := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scale %v accepted", s)
+				}
+			}()
+			SetScale(s)
+		}()
+	}
+	SetScale(0.5)
+	if scaled(100, 1) != 50 {
+		t.Fatalf("scaled(100) = %d at scale 0.5", scaled(100, 1))
+	}
+	if scaled(100, 80) != 80 {
+		t.Fatal("floor not applied")
+	}
+	SetScale(1.0)
+	if scaled(100, 1) != 100 {
+		t.Fatal("scale not restored")
+	}
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/kmeans"
+	"repro/internal/quality"
+	"repro/internal/simcluster"
+)
+
+// Table1Row is one dataset size of Table I.
+type Table1Row struct {
+	Size          int
+	ICIterations  int
+	BEIterations  int
+	MaxLocalIters []int
+}
+
+// Table1Result reproduces Table I: iterations required by the
+// conventional scheme versus the best-effort phase of PIC for K-means
+// across dataset sizes (paper: 0.5M–500M points; scaled to 2k–200k).
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 runs the iteration-count experiment on the small cluster.
+func Table1() (*Table1Result, error) {
+	res := &Table1Result{}
+	for i, size := range []int{scaled(60_000, 10_000), scaled(150_000, 20_000), scaled(300_000, 40_000), scaled(600_000, 80_000)} {
+		w, _ := KMeansWorkload(fmt.Sprintf("kmeans-tab1-%d", size),
+			simcluster.Small(), size, 25, 3, 6, int64(10+i))
+		c, err := RunComparison(w)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Size:          size,
+			ICIterations:  c.IC.Iterations,
+			BEIterations:  c.PIC.BEIterations,
+			MaxLocalIters: c.PIC.MaxLocalIterationsPerBE(),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the table with the paper's three rows.
+func (r *Table1Result) Render() string {
+	var t table
+	t.title("Table I — iterations for IC and the best-effort phase of PIC (K-means)")
+	cells := []string{"DataSet Size"}
+	for _, row := range r.Rows {
+		cells = append(cells, fmt.Sprintf("%dk", row.Size/1000))
+	}
+	t.row(cells...)
+	cells = []string{"Number of IC Iterations"}
+	for _, row := range r.Rows {
+		cells = append(cells, fmt.Sprint(row.ICIterations))
+	}
+	t.row(cells...)
+	cells = []string{"Number of Best-effort Iterations"}
+	for _, row := range r.Rows {
+		cells = append(cells, fmt.Sprint(row.BEIterations))
+	}
+	t.row(cells...)
+	cells = []string{"(Max) Local Iterations per BE iter"}
+	for _, row := range r.Rows {
+		parts := make([]string, len(row.MaxLocalIters))
+		for i, n := range row.MaxLocalIters {
+			parts[i] = fmt.Sprint(n)
+		}
+		cells = append(cells, strings.Join(parts, " "))
+	}
+	t.row(cells...)
+	return t.String()
+}
+
+// Table2Result reproduces Table II: the volume of intermediate data and
+// model updates for K-means under both schemes (paper: 500M points on
+// the small cluster; scaled to 200k).
+//
+// Counter correspondence: the IC columns report Hadoop's "map output
+// bytes" counter (intermediate data is materialized before the combiner
+// runs); the PIC column reports the bytes that actually crossed node
+// boundaries during the best-effort phase — local iterations keep
+// intermediate pairs in memory, so, exactly as in the paper, only the
+// partial-model movement of the merge step is visible. TopOff columns
+// are reported separately for transparency.
+type Table2Result struct {
+	OneIterIntermediate int64
+	TotalICIntermediate int64
+	PICIntermediate     int64 // best-effort phase network bytes + merge traffic
+	TopOffIntermediate  int64 // map output of the top-off iterations
+
+	OneIterModelUpdates int64
+	TotalICModelUpdates int64
+	PICModelUpdates     int64
+
+	ICIterations int
+	TopOffIters  int
+}
+
+// Table2 runs the traffic-volume experiment on the small cluster.
+func Table2() (*Table2Result, error) {
+	w, _ := KMeansWorkload("kmeans-tab2", simcluster.Small(), scaled(600_000, 30_000), 25, 3, 6, 2)
+
+	// One baseline iteration.
+	one := *w
+	one.ICOpts.MaxIterations = 1
+	oneRun, err := one.RunIC(nil)
+	if err != nil {
+		return nil, err
+	}
+	// Full baseline.
+	c, err := RunComparison(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{
+		OneIterIntermediate: oneRun.Metrics.MapOutputBytes,
+		TotalICIntermediate: c.IC.Metrics.MapOutputBytes,
+		PICIntermediate: c.PIC.BEMetrics.ShuffleNetworkBytes + c.PIC.MergeTrafficBytes +
+			c.PIC.RepartitionBytes,
+		TopOffIntermediate:  c.PIC.TopOffMetrics.MapOutputBytes,
+		OneIterModelUpdates: oneRun.ModelUpdateBytes,
+		TotalICModelUpdates: c.IC.ModelUpdateBytes,
+		PICModelUpdates:     c.PIC.ModelUpdateBytes,
+		ICIterations:        c.IC.Iterations,
+		TopOffIters:         c.PIC.TopOffIterations,
+	}, nil
+}
+
+// Render formats the table like the paper's Table II.
+func (r *Table2Result) Render() string {
+	var t table
+	t.title("Table II — data read or generated, K-means clustering (scaled: 600k points)")
+	t.row("", "1 Baseline It.", "Total Baseline", "Total PIC (BE)", "PIC top-off")
+	t.row("Intermediate data",
+		FormatBytes(r.OneIterIntermediate), FormatBytes(r.TotalICIntermediate),
+		FormatBytes(r.PICIntermediate), FormatBytes(r.TopOffIntermediate))
+	t.row("Model updates",
+		FormatBytes(r.OneIterModelUpdates), FormatBytes(r.TotalICModelUpdates),
+		FormatBytes(r.PICModelUpdates), "-")
+	t.row("Iterations", "1", fmt.Sprint(r.ICIterations), "-", fmt.Sprint(r.TopOffIters))
+	return t.String()
+}
+
+// Table3Row is one dataset of Table III.
+type Table3Row struct {
+	Dataset     string
+	ICJagota    float64
+	PICBEJagota float64
+	DiffPercent float64
+}
+
+// Table3Result reproduces Table III: the quality of the best-effort
+// phase's model, measured by the Jagota index against the full IC
+// solution (the paper reports differences of 0.14% and 2.75%).
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs the clustering-quality experiment on two datasets.
+func Table3() (*Table3Result, error) {
+	res := &Table3Result{}
+	for i, seed := range []int64{21, 22} {
+		w, ps := KMeansWorkload(fmt.Sprintf("kmeans-tab3-%d", i+1),
+			simcluster.Small(), scaled(150_000, 20_000), 25, 3, 6, seed)
+		c, err := RunComparison(w)
+		if err != nil {
+			return nil, err
+		}
+		icQ := quality.JagotaIndex(ps.Points, kmeans.Centroids(c.IC.Model))
+		beQ := quality.JagotaIndex(ps.Points, kmeans.Centroids(c.PIC.BestEffortModel))
+		res.Rows = append(res.Rows, Table3Row{
+			Dataset:     fmt.Sprintf("Dataset %d", i+1),
+			ICJagota:    icQ,
+			PICBEJagota: beQ,
+			DiffPercent: quality.PercentDifference(beQ, icQ),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the table like the paper's Table III.
+func (r *Table3Result) Render() string {
+	var t table
+	t.title("Table III — quality of PIC's best-effort phase, Jagota index (K-means)")
+	cells := []string{""}
+	for _, row := range r.Rows {
+		cells = append(cells, row.Dataset)
+	}
+	t.row(cells...)
+	cells = []string{"IC K-means"}
+	for _, row := range r.Rows {
+		cells = append(cells, fmt.Sprintf("%.4f", row.ICJagota))
+	}
+	t.row(cells...)
+	cells = []string{"PIC BE Phase K-means"}
+	for _, row := range r.Rows {
+		cells = append(cells, fmt.Sprintf("%.4f", row.PICBEJagota))
+	}
+	t.row(cells...)
+	cells = []string{"Difference (%)"}
+	for _, row := range r.Rows {
+		cells = append(cells, fmt.Sprintf("%.2f%%", row.DiffPercent))
+	}
+	t.row(cells...)
+	return t.String()
+}

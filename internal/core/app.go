@@ -1,0 +1,109 @@
+// Package core implements Partitioned Iterative Convergence (PIC), the
+// contribution of the paper: a two-phase driver for iterative-convergence
+// algorithms layered on top of the MapReduce runtime.
+//
+// A conventional iterative-convergence application (the paper's Figure
+// 1(a) template) implements App: one Iteration over the data and model,
+// plus a convergence criterion. Such an application runs unchanged under
+// RunIC — the baseline — and under the top-off phase of RunPIC.
+//
+// To opt into PIC (the paper's Figure 3 template), the application
+// additionally implements the three best-effort-phase functions of the
+// Figure 4 API: Partition and Merge on PICApp, and optionally
+// BEConverged via the BEConvergedApp interface (defaulting to the
+// ordinary convergence criterion, as the paper allows). Everything else
+// an application needs — map, reduce, model handling — is the standard
+// MapReduce surface, which is the paper's point: migrating a
+// conventional implementation to PIC is a small effort.
+package core
+
+import (
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/writable"
+)
+
+// App is a conventional iterative-convergence application.
+type App interface {
+	// Name labels the application in metrics, file names and errors.
+	Name() string
+	// Iteration executes one iteration of the computation: one or more
+	// MapReduce jobs over the input data and current model (run
+	// through rt), returning the refined model. It must not mutate m.
+	Iteration(rt *Runtime, in *mapred.Input, m *model.Model) (*model.Model, error)
+	// Converged reports whether the model has stopped changing
+	// meaningfully between successive iterations.
+	Converged(prev, next *model.Model) bool
+}
+
+// SubProblem is one partition of the problem: a slice of the input data
+// together with the model the partition starts from (a disjoint piece of
+// the full model, or a copy of it, depending on the application's
+// partitioning strategy — §III-B of the paper).
+type SubProblem struct {
+	Records []mapred.Record
+	Model   *model.Model
+}
+
+// PICApp extends App with the best-effort-phase API of the paper's
+// Figure 4.
+type PICApp interface {
+	App
+	// Partition splits the input data and model into p sub-problems.
+	// It may partition the model into disjoint parts (PageRank) or
+	// replicate it (K-means). It must not mutate m.
+	Partition(in *mapred.Input, m *model.Model, p int) ([]SubProblem, error)
+	// Merge combines the partial models computed by the sub-problems
+	// into a single model. prev is the model the best-effort iteration
+	// started from, for merge strategies that need it. It must not
+	// mutate parts or prev.
+	Merge(parts []*model.Model, prev *model.Model) (*model.Model, error)
+}
+
+// KeyMerger is optionally implemented by a PICApp whose merge combines
+// partial models key by key (averaging centroids, summing gradients).
+// With PICOptions.DistributedMerge, the driver then executes the merge
+// as a real MapReduce job — §III-C: "representing the model as key/value
+// pairs also allows the merge function itself to execute in a
+// distributed fashion as a MapReduce job" — instead of gathering the
+// partial models to one node.
+type KeyMerger interface {
+	// MergeKey combines all partial-model values recorded under one
+	// key into the merged value.
+	MergeKey(key string, values []writable.Writable) (writable.Writable, error)
+}
+
+// BEConvergedApp is optionally implemented by a PICApp to terminate the
+// best-effort phase with a looser criterion than Converged. When absent,
+// the paper's default applies: the ordinary convergence criterion is
+// used for best-effort convergence too.
+type BEConvergedApp interface {
+	BEConverged(prev, next *model.Model) bool
+}
+
+// Phase identifies which part of an execution produced a sample.
+type Phase string
+
+// The three execution phases.
+const (
+	PhaseIC         Phase = "ic"
+	PhaseBestEffort Phase = "best-effort"
+	PhaseTopOff     Phase = "top-off"
+)
+
+// Sample is one point on an execution's model-quality trajectory: the
+// model as it stood when the phase's iteration completed, with the
+// simulated time on the runtime's clock. Observers receive the live
+// model and must not mutate it.
+type Sample struct {
+	Phase     Phase
+	Iteration int
+	Time      simtime.Time
+	Model     *model.Model
+}
+
+// Observer receives a Sample at the end of every iteration (IC), every
+// best-effort iteration, and every top-off iteration. The error-vs-time
+// plots of the paper's Figure 12 are drawn from these samples.
+type Observer func(Sample)

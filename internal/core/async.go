@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+// AsyncOptions configure RunPICAsync.
+type AsyncOptions struct {
+	// Partitions is the number of sub-problems; the asynchronous
+	// driver requires one node group per sub-problem (P ≤ nodes).
+	Partitions int
+	// MaxRoundsPerGroup bounds each group's asynchronous best-effort
+	// rounds (default 50).
+	MaxRoundsPerGroup int
+	// MaxLocalIterations bounds each round's local convergence loop
+	// (default 200).
+	MaxLocalIterations int
+	// MaxTopOffIterations bounds the top-off phase (default 1000).
+	MaxTopOffIterations int
+}
+
+func (o AsyncOptions) withDefaults() AsyncOptions {
+	if o.MaxRoundsPerGroup <= 0 {
+		o.MaxRoundsPerGroup = 50
+	}
+	if o.MaxLocalIterations <= 0 {
+		o.MaxLocalIterations = 200
+	}
+	if o.MaxTopOffIterations <= 0 {
+		o.MaxTopOffIterations = 1000
+	}
+	return o
+}
+
+// AsyncResult reports an asynchronous PIC run.
+type AsyncResult struct {
+	Model           *model.Model
+	BestEffortModel *model.Model
+
+	// RoundsPerGroup[g] is how many asynchronous rounds group g ran.
+	RoundsPerGroup []int
+	// BEDuration is when the last group went quiet; Duration adds the
+	// top-off phase.
+	BEDuration     simtime.Duration
+	TopOffDuration simtime.Duration
+	Duration       simtime.Duration
+
+	TopOffIterations int
+	TopOffConverged  bool
+}
+
+// RunPICAsync executes the best-effort phase asynchronously: groups
+// never barrier at a cluster-wide merge. Each group repeatedly (a) takes
+// a snapshot merge of the *latest published* partial models — however
+// stale the other groups' entries are — (b) re-partitions against that
+// snapshot, (c) locally solves its own sub-problem, and (d) publishes
+// its new partial model, all on its own clock. The paper positions PIC
+// as "fully synchronous and deterministic" against asynchronous
+// MapReduce [15] and chaotic relaxation [22]; this driver is that
+// alternative, made deterministic by executing group events on the
+// discrete-event engine in timestamp order.
+//
+// A group goes quiet once its consecutive snapshots satisfy the
+// best-effort criterion (or its round cap); when all groups are quiet,
+// the final snapshot feeds the ordinary top-off phase.
+func RunPICAsync(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts AsyncOptions) (*AsyncResult, error) {
+	opt := opts.withDefaults()
+	cluster := rt.Cluster()
+	if opt.Partitions < 1 || opt.Partitions > cluster.Size() {
+		return nil, fmt.Errorf("core: RunPICAsync(%s): Partitions = %d, need 1..%d",
+			app.Name(), opt.Partitions, cluster.Size())
+	}
+	p := opt.Partitions
+	groups := cluster.Groups(p)
+
+	beConverged := app.Converged
+	if bc, ok := app.(BEConvergedApp); ok {
+		beConverged = bc.BEConverged
+	}
+
+	// Initial partition seeds the published partials.
+	subs, err := app.Partition(in, m0, p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s partition: %w", app.Name(), err)
+	}
+	if len(subs) != p {
+		return nil, fmt.Errorf("core: %s partition returned %d sub-problems, want %d",
+			app.Name(), len(subs), p)
+	}
+	res := &AsyncResult{RoundsPerGroup: make([]int, p)}
+	partials := make([]*model.Model, p)
+	for i := range partials {
+		partials[i] = subs[i].Model
+	}
+	lastSnapshot := make([]*model.Model, p) // per group, snapshot of its previous round
+	quiet := make([]bool, p)
+	clocks := make([]simtime.Time, p)
+	mergeOverhead := rt.Engine().CostModelValue().JobOverhead
+
+	startElapsed := rt.Elapsed()
+
+	eng := simtime.NewEngine()
+	var runErr error
+	var round func(g int)
+	round = func(g int) {
+		if runErr != nil || quiet[g] {
+			return
+		}
+		// Snapshot merge of the latest published partials (stale reads
+		// of other groups' models — the asynchronous step).
+		snapshot, err := app.Merge(partials, m0)
+		if err != nil {
+			runErr = fmt.Errorf("core: %s async merge: %w", app.Name(), err)
+			return
+		}
+		if lastSnapshot[g] != nil && beConverged(lastSnapshot[g], snapshot) {
+			quiet[g] = true
+			return
+		}
+		lastSnapshot[g] = snapshot
+		if res.RoundsPerGroup[g] >= opt.MaxRoundsPerGroup {
+			quiet[g] = true
+			return
+		}
+
+		subs, err := app.Partition(in, snapshot, p)
+		if err != nil {
+			runErr = fmt.Errorf("core: %s async partition: %w", app.Name(), err)
+			return
+		}
+		subRT := rt.Fork(groups[g], true)
+		subRT.SetLane(g + 1)
+		subIn := mapred.NewInput(subs[g].Records, groups[g], groups[g].MapSlots())
+		local, err := RunIC(subRT, app, subIn, subs[g].Model, &ICOptions{
+			MaxIterations:      opt.MaxLocalIterations,
+			DisableModelWrites: true,
+		})
+		if err != nil {
+			runErr = fmt.Errorf("core: %s async group %d: %w", app.Name(), g, err)
+			return
+		}
+		rt.AddMetrics(subRT.Metrics())
+		// Publishing the partial and fetching the next snapshot moves
+		// the group's model to and from the merge home.
+		leader := groups[g].Nodes()[0]
+		home := rt.Engine().ModelHome
+		flows := []simnet.Flow{
+			{Src: leader, Dst: home, Bytes: local.Model.Size()},
+			{Src: home, Dst: leader, Bytes: subs[g].Model.Size()},
+		}
+		fabric := cluster.Fabric()
+		fabric.Record(flows)
+		partials[g] = local.Model
+		res.RoundsPerGroup[g]++
+		clocks[g] += subRT.Elapsed() + mergeOverhead + fabric.TransferTime(flows)
+		eng.At(clocks[g], func() { round(g) })
+	}
+	for g := 0; g < p; g++ {
+		g := g
+		eng.At(0, func() { round(g) })
+	}
+	eng.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	var beEnd simtime.Duration
+	for _, c := range clocks {
+		if simtime.Duration(c) > beEnd {
+			beEnd = simtime.Duration(c)
+		}
+	}
+	rt.AdvanceTime(beEnd)
+
+	merged, err := app.Merge(partials, m0)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s final merge: %w", app.Name(), err)
+	}
+	rt.WriteModel(app.Name()+"-async", merged)
+	res.BestEffortModel = merged
+	res.BEDuration = rt.Elapsed() - startElapsed
+
+	topOff, err := RunIC(rt, app, in, merged, &ICOptions{
+		MaxIterations: opt.MaxTopOffIterations,
+		Phase:         PhaseTopOff,
+		TimeOffset:    simtime.Time(res.BEDuration),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Model = topOff.Model
+	res.TopOffIterations = topOff.Iterations
+	res.TopOffConverged = topOff.Converged
+	res.TopOffDuration = topOff.Duration
+	res.Duration = rt.Elapsed() - startElapsed
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAsyncConvergesToSameSolution(t *testing.T) {
+	rtSync := testRuntime()
+	in, mean := pointsInput(rtSync, 24)
+	sync, err := RunPIC(rtSync, &meanSeeker{eps: 1e-9}, in, startModel(), PICOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rtAsync := testRuntime()
+	inAsync, _ := pointsInput(rtAsync, 24)
+	async, err := RunPICAsync(rtAsync, &meanSeeker{eps: 1e-9}, inAsync, startModel(), AsyncOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	syncMean, _ := sync.Model.Vector("mean")
+	asyncMean, _ := async.Model.Vector("mean")
+	for i := range mean {
+		if math.Abs(syncMean[i]-asyncMean[i]) > 1e-6 {
+			t.Fatalf("async mean %v differs from sync %v", asyncMean, syncMean)
+		}
+	}
+	if !async.TopOffConverged {
+		t.Fatal("async top-off did not converge")
+	}
+	for g, r := range async.RoundsPerGroup {
+		if r == 0 {
+			t.Fatalf("group %d ran no rounds", g)
+		}
+	}
+	if async.Duration != async.BEDuration+async.TopOffDuration {
+		t.Fatalf("durations inconsistent: %v != %v + %v",
+			async.Duration, async.BEDuration, async.TopOffDuration)
+	}
+}
+
+func TestAsyncIsDeterministic(t *testing.T) {
+	run := func() *AsyncResult {
+		rt := testRuntime()
+		in, _ := pointsInput(rt, 20)
+		res, err := RunPICAsync(rt, &meanSeeker{eps: 1e-9}, in, startModel(), AsyncOptions{Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Model.Equal(b.Model) {
+		t.Fatal("async runs produced different models")
+	}
+	if a.Duration != b.Duration {
+		t.Fatalf("async runs produced different durations: %v vs %v", a.Duration, b.Duration)
+	}
+	for g := range a.RoundsPerGroup {
+		if a.RoundsPerGroup[g] != b.RoundsPerGroup[g] {
+			t.Fatalf("round counts differ: %v vs %v", a.RoundsPerGroup, b.RoundsPerGroup)
+		}
+	}
+}
+
+func TestAsyncRoundCap(t *testing.T) {
+	rt := testRuntime()
+	in, _ := pointsInput(rt, 20)
+	app := &meanSeeker{eps: 0} // snapshots never converge
+	res, err := RunPICAsync(rt, app, in, startModel(), AsyncOptions{
+		Partitions:          2,
+		MaxRoundsPerGroup:   3,
+		MaxLocalIterations:  3,
+		MaxTopOffIterations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, r := range res.RoundsPerGroup {
+		if r > 3 {
+			t.Fatalf("group %d ran %d rounds past the cap", g, r)
+		}
+	}
+	if res.TopOffIterations != 2 {
+		t.Fatalf("top-off cap not honored: %d", res.TopOffIterations)
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	rt := testRuntime() // 4 nodes
+	in, _ := pointsInput(rt, 10)
+	app := &meanSeeker{eps: 1e-6}
+	if _, err := RunPICAsync(rt, app, in, startModel(), AsyncOptions{Partitions: 0}); err == nil {
+		t.Fatal("P=0 accepted")
+	}
+	if _, err := RunPICAsync(rt, app, in, startModel(), AsyncOptions{Partitions: 9}); err == nil {
+		t.Fatal("P > nodes accepted")
+	}
+}
+
+func TestAsyncErrorsPropagate(t *testing.T) {
+	rt := testRuntime()
+	in, _ := pointsInput(rt, 10)
+	if _, err := RunPICAsync(rt, &badPartitioner{meanSeeker{eps: 1e-6}}, in, startModel(), AsyncOptions{Partitions: 2}); err == nil {
+		t.Fatal("partition error swallowed")
+	}
+	if _, err := RunPICAsync(rt, &badMerger{meanSeeker{eps: 1e-6}}, in, startModel(), AsyncOptions{Partitions: 2}); err == nil {
+		t.Fatal("merge error swallowed")
+	}
+}
+
+func TestAsyncDoesNotBarrierOnStragglers(t *testing.T) {
+	// With one group straggling, the synchronous driver pays the slow
+	// group's time every best-effort iteration (barrier); the
+	// asynchronous driver lets fast groups go quiet on their own clocks.
+	mkRT := func() *Runtime {
+		rt := testRuntime()
+		rt.Engine().StraggleEveryNthMapTask = 3
+		rt.Engine().StragglerSlowdown = 10
+		return rt
+	}
+	rtSync := mkRT()
+	in, _ := pointsInput(rtSync, 24)
+	sync, err := RunPIC(rtSync, &meanSeeker{eps: 1e-9}, in, startModel(), PICOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtAsync := mkRT()
+	inAsync, _ := pointsInput(rtAsync, 24)
+	async, err := RunPICAsync(rtAsync, &meanSeeker{eps: 1e-9}, inAsync, startModel(), AsyncOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must converge to the same place; async must not be slower in
+	// its best-effort phase than sync is (it has no barriers to wait at).
+	syncMean, _ := sync.Model.Vector("mean")
+	asyncMean, _ := async.Model.Vector("mean")
+	for i := range syncMean {
+		if math.Abs(syncMean[i]-asyncMean[i]) > 1e-6 {
+			t.Fatalf("async mean %v differs from sync %v under stragglers", asyncMean, syncMean)
+		}
+	}
+	if async.BEDuration > sync.BEDuration*2 {
+		t.Fatalf("async best-effort (%v) wildly slower than sync (%v)",
+			async.BEDuration, sync.BEDuration)
+	}
+}

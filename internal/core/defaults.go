@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/writable"
+)
+
+// Default partition and merge building blocks (the paper's Figure 4
+// notes that PIC ships default partitioner classes and default mergers —
+// vector concatenation, sum and average — that applications can use
+// instead of writing their own).
+
+// DealRecords deals records into p near-equal groups round-robin —
+// PIC's "simple random partition" default, made deterministic. Input
+// generators in this repository already emit records in randomized
+// order, so dealing is an unbiased random partition with reproducible
+// results.
+func DealRecords(records []mapred.Record, p int) [][]mapred.Record {
+	if p <= 0 {
+		panic("core: DealRecords needs p ≥ 1")
+	}
+	out := make([][]mapred.Record, p)
+	for i, r := range records {
+		out[i%p] = append(out[i%p], r)
+	}
+	return out
+}
+
+// PartitionRecordsBy groups records by an application-supplied
+// assignment (e.g. a graph partitioner's vertex→partition map). assign
+// must return a value in [0,p).
+func PartitionRecordsBy(records []mapred.Record, p int, assign func(mapred.Record) int) ([][]mapred.Record, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("core: PartitionRecordsBy needs p ≥ 1")
+	}
+	out := make([][]mapred.Record, p)
+	for _, r := range records {
+		g := assign(r)
+		if g < 0 || g >= p {
+			return nil, fmt.Errorf("core: record %q assigned to partition %d of %d", r.Key, g, p)
+		}
+		out[g] = append(out[g], r)
+	}
+	return out, nil
+}
+
+// CopyModels returns p deep copies of m — the partitioning strategy for
+// applications like K-means where every sub-problem refines the whole
+// model (§III-B).
+func CopyModels(m *model.Model, p int) []*model.Model {
+	out := make([]*model.Model, p)
+	for i := range out {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// AverageModels is the default "average corresponding entries" merger:
+// for every key, Vector values are averaged component-wise and Float64
+// values are averaged, over the partial models containing the key.
+// Non-numeric values are taken from the first partial model holding the
+// key. It returns an error on vector length disagreements.
+func AverageModels(parts []*model.Model) (*model.Model, error) {
+	return combineModels(parts, true)
+}
+
+// SumModels is the default "sum corresponding entries" merger, with the
+// same correspondence rules as AverageModels.
+func SumModels(parts []*model.Model) (*model.Model, error) {
+	return combineModels(parts, false)
+}
+
+func combineModels(parts []*model.Model, average bool) (*model.Model, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: merge of zero partial models")
+	}
+	out := model.New()
+	counts := map[string]int{}
+	for _, part := range parts {
+		var err error
+		part.Range(func(key string, v writable.Writable) bool {
+			prev, seen := out.Get(key)
+			if !seen {
+				out.Set(key, writable.Clone(v))
+				counts[key] = 1
+				return true
+			}
+			switch pv := prev.(type) {
+			case writable.Vector:
+				nv, ok := v.(writable.Vector)
+				if !ok || len(nv) != len(pv) {
+					err = fmt.Errorf("core: merge key %q: incompatible vectors", key)
+					return false
+				}
+				for i := range pv {
+					pv[i] += nv[i]
+				}
+				counts[key]++
+			case writable.Float64:
+				nv, ok := v.(writable.Float64)
+				if !ok {
+					err = fmt.Errorf("core: merge key %q: incompatible kinds", key)
+					return false
+				}
+				out.Set(key, pv+nv)
+				counts[key]++
+			default:
+				// Non-numeric: first writer wins.
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !average {
+		return out, nil
+	}
+	for key, n := range counts {
+		if n <= 1 {
+			continue
+		}
+		v, _ := out.Get(key)
+		switch pv := v.(type) {
+		case writable.Vector:
+			for i := range pv {
+				pv[i] /= float64(n)
+			}
+		case writable.Float64:
+			out.Set(key, pv/writable.Float64(n))
+		}
+	}
+	return out, nil
+}
+
+// ConcatModels is the default merger for disjointly partitioned models
+// (§III-B: "piece them back together"): the union of the partial
+// models' entries. Duplicate keys are an error — disjoint partitioning
+// must produce disjoint models.
+func ConcatModels(parts []*model.Model) (*model.Model, error) {
+	out := model.New()
+	for _, part := range parts {
+		var err error
+		part.Range(func(key string, v writable.Writable) bool {
+			if _, dup := out.Get(key); dup {
+				err = fmt.Errorf("core: concat merge: duplicate key %q", key)
+				return false
+			}
+			out.Set(key, writable.Clone(v))
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/writable"
+)
+
+func someRecords(n int) []mapred.Record {
+	recs := make([]mapred.Record, n)
+	for i := range recs {
+		recs[i] = mapred.Record{Key: fmt.Sprintf("k%d", i), Value: writable.Int64(i)}
+	}
+	return recs
+}
+
+func TestDealRecordsBalanced(t *testing.T) {
+	groups := DealRecords(someRecords(10), 3)
+	sizes := []int{len(groups[0]), len(groups[1]), len(groups[2])}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	seen := map[string]bool{}
+	for _, g := range groups {
+		for _, r := range g {
+			if seen[r.Key] {
+				t.Fatalf("record %q dealt twice", r.Key)
+			}
+			seen[r.Key] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d records", len(seen))
+	}
+}
+
+func TestDealRecordsPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=0 did not panic")
+		}
+	}()
+	DealRecords(someRecords(3), 0)
+}
+
+func TestPartitionRecordsBy(t *testing.T) {
+	recs := someRecords(6)
+	groups, err := PartitionRecordsBy(recs, 2, func(r mapred.Record) int {
+		return int(r.Value.(writable.Int64)) % 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range groups[0] {
+		if int(r.Value.(writable.Int64))%2 != 0 {
+			t.Fatalf("wrong partition for %v", r)
+		}
+	}
+	if len(groups[0])+len(groups[1]) != 6 {
+		t.Fatal("records lost")
+	}
+}
+
+func TestPartitionRecordsByOutOfRange(t *testing.T) {
+	if _, err := PartitionRecordsBy(someRecords(2), 2, func(mapred.Record) int { return 5 }); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+	if _, err := PartitionRecordsBy(someRecords(2), 0, nil); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestCopyModelsDeep(t *testing.T) {
+	m := model.New()
+	m.Set("v", writable.Vector{1, 2})
+	copies := CopyModels(m, 3)
+	if len(copies) != 3 {
+		t.Fatalf("got %d copies", len(copies))
+	}
+	v, _ := copies[0].Vector("v")
+	v[0] = 99
+	orig, _ := m.Vector("v")
+	other, _ := copies[1].Vector("v")
+	if orig[0] != 1 || other[0] != 1 {
+		t.Fatal("copies share storage")
+	}
+}
+
+func TestAverageModels(t *testing.T) {
+	a := model.New()
+	a.Set("c", writable.Vector{1, 3})
+	a.Set("f", writable.Float64(2))
+	b := model.New()
+	b.Set("c", writable.Vector{3, 5})
+	b.Set("f", writable.Float64(4))
+	out, err := AverageModels([]*model.Model{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := out.Vector("c")
+	if v[0] != 2 || v[1] != 4 {
+		t.Fatalf("averaged vector = %v", v)
+	}
+	f, _ := out.Float("f")
+	if f != 3 {
+		t.Fatalf("averaged float = %v", f)
+	}
+}
+
+func TestAverageModelsKeyInOnePartition(t *testing.T) {
+	a := model.New()
+	a.Set("only-a", writable.Vector{4})
+	b := model.New()
+	out, err := AverageModels([]*model.Model{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := out.Vector("only-a")
+	if !ok || v[0] != 4 {
+		t.Fatalf("singleton key averaged wrongly: %v", v)
+	}
+}
+
+func TestSumModels(t *testing.T) {
+	a := model.New()
+	a.Set("v", writable.Vector{1, 1})
+	b := model.New()
+	b.Set("v", writable.Vector{2, 3})
+	out, err := SumModels([]*model.Model{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := out.Vector("v")
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatalf("summed vector = %v", v)
+	}
+}
+
+func TestCombineModelErrors(t *testing.T) {
+	a := model.New()
+	a.Set("v", writable.Vector{1})
+	b := model.New()
+	b.Set("v", writable.Vector{1, 2})
+	if _, err := AverageModels([]*model.Model{a, b}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	c := model.New()
+	c.Set("v", writable.Float64(1))
+	if _, err := SumModels([]*model.Model{a, c}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if _, err := AverageModels(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+}
+
+func TestCombineDoesNotMutateParts(t *testing.T) {
+	a := model.New()
+	a.Set("v", writable.Vector{1, 1})
+	b := model.New()
+	b.Set("v", writable.Vector{3, 3})
+	if _, err := AverageModels([]*model.Model{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	av, _ := a.Vector("v")
+	bv, _ := b.Vector("v")
+	if av[0] != 1 || bv[0] != 3 {
+		t.Fatalf("merge mutated inputs: a=%v b=%v", av, bv)
+	}
+}
+
+func TestConcatModels(t *testing.T) {
+	a := model.New()
+	a.Set("x0", writable.Float64(1))
+	b := model.New()
+	b.Set("x1", writable.Float64(2))
+	out, err := ConcatModels([]*model.Model{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("Len = %d", out.Len())
+	}
+}
+
+func TestConcatModelsDuplicateKey(t *testing.T) {
+	a := model.New()
+	a.Set("x", writable.Float64(1))
+	b := model.New()
+	b.Set("x", writable.Float64(2))
+	if _, err := ConcatModels([]*model.Model{a, b}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+}
+
+// Property: averaging p copies of a model returns the model.
+func TestQuickAverageOfCopiesIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := model.New()
+		for i := 0; i < rng.Intn(5)+1; i++ {
+			v := make(writable.Vector, rng.Intn(4)+1)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			m.Set(fmt.Sprintf("k%d", i), v)
+		}
+		p := rng.Intn(5) + 1
+		out, err := AverageModels(CopyModels(m, p))
+		if err != nil {
+			return false
+		}
+		ok := true
+		out.Range(func(key string, v writable.Writable) bool {
+			want, _ := m.Vector(key)
+			got := v.(writable.Vector)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok && out.Len() == m.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DealRecords covers every record exactly once for any p.
+func TestQuickDealCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		p := rng.Intn(8) + 1
+		groups := DealRecords(someRecords(n), p)
+		if len(groups) != p {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, g := range groups {
+			for _, r := range g {
+				if seen[r.Key] {
+					return false
+				}
+				seen[r.Key] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

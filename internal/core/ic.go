@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// ICOptions configure a conventional iterative-convergence run — the
+// paper's Figure 1(a) template and the baseline of every experiment.
+type ICOptions struct {
+	// MaxIterations is a safety bound (default 1000). Reaching it
+	// without convergence is not an error: some algorithms (PageRank
+	// in Nutch) terminate on an iteration cap by design.
+	MaxIterations int
+	// DisableModelWrites skips persisting each iteration's model to
+	// the DFS. Conventional Hadoop implementations must write the
+	// model every iteration (with replication) for fault tolerance, so
+	// writes are on by default; the PIC driver disables them for
+	// best-effort local iterations, whose models live in group memory.
+	DisableModelWrites bool
+	// Observer, when set, receives a Sample after every iteration.
+	Observer Observer
+	// Phase labels emitted samples (default PhaseIC; the PIC driver
+	// sets PhaseTopOff).
+	Phase Phase
+	// TimeOffset shifts sample timestamps, so a top-off phase's
+	// trajectory continues from the end of the best-effort phase.
+	TimeOffset simtime.Time
+}
+
+func (o *ICOptions) withDefaults() ICOptions {
+	out := ICOptions{MaxIterations: 1000, Phase: PhaseIC}
+	if o == nil {
+		return out
+	}
+	out.Observer = o.Observer
+	out.TimeOffset = o.TimeOffset
+	if o.MaxIterations > 0 {
+		out.MaxIterations = o.MaxIterations
+	}
+	out.DisableModelWrites = o.DisableModelWrites
+	if o.Phase != "" {
+		out.Phase = o.Phase
+	}
+	return out
+}
+
+// ICResult reports a conventional run.
+type ICResult struct {
+	// Model is the converged (or iteration-capped) final model.
+	Model *model.Model
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Converged reports whether the convergence criterion was met
+	// (false when MaxIterations stopped the run).
+	Converged bool
+	// Duration is the simulated time of the run.
+	Duration simtime.Duration
+	// Metrics aggregates the run's job metrics.
+	Metrics mapred.Metrics
+	// ModelUpdateBytes is replication traffic from persisting models.
+	ModelUpdateBytes int64
+}
+
+// RunIC executes app's iterative-convergence computation on rt from the
+// initial model m0 until Converged or the iteration cap. It is both the
+// experimental baseline and the building block PIC reuses for local
+// iterations and the top-off phase.
+func RunIC(rt *Runtime, app App, in *mapred.Input, m0 *model.Model, opts *ICOptions) (*ICResult, error) {
+	opt := opts.withDefaults()
+	startElapsed := rt.Elapsed()
+	startMetrics := rt.Metrics()
+	startModelBytes := rt.ModelUpdateBytes()
+
+	m := m0
+	res := &ICResult{}
+	for res.Iterations < opt.MaxIterations {
+		next, err := app.Iteration(rt, in, m)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s iteration %d: %w", app.Name(), res.Iterations, err)
+		}
+		if next == nil {
+			return nil, fmt.Errorf("core: %s iteration %d returned a nil model", app.Name(), res.Iterations)
+		}
+		res.Iterations++
+		if !opt.DisableModelWrites {
+			rt.WriteModel(app.Name(), next)
+		}
+		if opt.Observer != nil {
+			opt.Observer(Sample{
+				Phase:     opt.Phase,
+				Iteration: res.Iterations,
+				Time:      opt.TimeOffset + simtime.Time(rt.Elapsed()-startElapsed),
+				Model:     next,
+			})
+		}
+		converged := app.Converged(m, next)
+		m = next
+		if converged {
+			res.Converged = true
+			break
+		}
+	}
+	res.Model = m
+	res.Duration = rt.Elapsed() - startElapsed
+	res.Metrics = rt.Metrics().Sub(startMetrics)
+	res.ModelUpdateBytes = rt.ModelUpdateBytes() - startModelBytes
+	rt.tracer.Record(trace.Event{
+		Kind:  trace.KindPhase,
+		Name:  app.Name() + "/" + string(opt.Phase),
+		Start: rt.now() - simtime.Time(res.Duration),
+		End:   rt.now(),
+		Lane:  rt.lane,
+	})
+	return res, nil
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/writable"
+)
+
+// PICOptions configure a partitioned-iterative-convergence run (the
+// paper's Figure 3 template).
+type PICOptions struct {
+	// Partitions is the number of sub-problems P (required, ≥ 1). When
+	// P exceeds the cluster size, several sub-problems share a node
+	// group and run back to back, as the paper's §III-B allows ("we
+	// can create more sub-problems than the number of nodes").
+	Partitions int
+	// MaxBEIterations bounds the best-effort phase (default 50).
+	MaxBEIterations int
+	// MaxLocalIterations bounds each sub-problem's local convergence
+	// loop within one best-effort iteration (default 200).
+	MaxLocalIterations int
+	// MaxTopOffIterations bounds the top-off phase (default 1000).
+	MaxTopOffIterations int
+	// Observer receives a Sample per best-effort iteration (with the
+	// merged model) and per top-off iteration.
+	Observer Observer
+	// DistributedMerge executes each best-effort merge as a MapReduce
+	// job over the partial models (§III-C) instead of gathering them
+	// to the driver. Requires the application to implement KeyMerger.
+	DistributedMerge bool
+}
+
+func (o PICOptions) withDefaults() PICOptions {
+	if o.MaxBEIterations <= 0 {
+		o.MaxBEIterations = 50
+	}
+	if o.MaxLocalIterations <= 0 {
+		o.MaxLocalIterations = 200
+	}
+	if o.MaxTopOffIterations <= 0 {
+		o.MaxTopOffIterations = 1000
+	}
+	return o
+}
+
+// PICResult reports a PIC run with the per-phase breakdown the paper's
+// evaluation tables and figures are built from.
+type PICResult struct {
+	// Model is the final model after the top-off phase.
+	Model *model.Model
+	// BestEffortModel is the model at the end of the best-effort
+	// phase, before top-off — compared against the IC solution in the
+	// paper's §VI quality evaluation.
+	BestEffortModel *model.Model
+
+	// BEIterations is the number of best-effort iterations executed.
+	BEIterations int
+	// LocalIterations[b][i] is the local iteration count of
+	// sub-problem i in best-effort iteration b (the paper's Table I).
+	LocalIterations [][]int
+	// TopOffIterations and TopOffConverged report the top-off phase.
+	TopOffIterations int
+	TopOffConverged  bool
+
+	// Duration = BEDuration + TopOffDuration, in simulated seconds.
+	Duration       simtime.Duration
+	BEDuration     simtime.Duration
+	TopOffDuration simtime.Duration
+
+	// Metrics aggregate the whole run; BEMetrics and TopOffMetrics
+	// split it by phase.
+	Metrics       mapred.Metrics
+	BEMetrics     mapred.Metrics
+	TopOffMetrics mapred.Metrics
+
+	// ModelUpdateBytes is replication traffic from persisting merged
+	// and top-off models.
+	ModelUpdateBytes int64
+	// RepartitionBytes is the one-time traffic of distributing the
+	// partitioned input data onto the node groups.
+	RepartitionBytes int64
+	// MergeTrafficBytes is the per-best-effort-iteration traffic of
+	// scattering sub-problem models to groups and gathering partial
+	// models back for the merge. Under DistributedMerge the gather
+	// happens as the merge job's shuffle, so these bytes then also
+	// appear in Metrics.ShuffleNetworkBytes — sum the two only for
+	// centralized merges.
+	MergeTrafficBytes int64
+}
+
+// MaxLocalIterationsPerBE returns, for each best-effort iteration, the
+// maximum local iteration count across sub-problems — the "(Max) number
+// of Local Iterations" row of the paper's Table I.
+func (r *PICResult) MaxLocalIterationsPerBE() []int {
+	out := make([]int, len(r.LocalIterations))
+	for b, iters := range r.LocalIterations {
+		for _, n := range iters {
+			if n > out[b] {
+				out[b] = n
+			}
+		}
+	}
+	return out
+}
+
+// RunPIC executes app under partitioned iterative convergence on rt from
+// the initial model m0: the best-effort phase (partition, solve
+// sub-problems with in-memory local iterations on disjoint node groups,
+// merge, repeat until best-effort convergence) followed by the top-off
+// phase (the unmodified IC computation until true convergence).
+func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PICOptions) (*PICResult, error) {
+	opt := opts.withDefaults()
+	if opt.Partitions < 1 {
+		return nil, fmt.Errorf("core: RunPIC(%s): Partitions = %d, need ≥ 1", app.Name(), opt.Partitions)
+	}
+	cluster := rt.Cluster()
+	nGroups := min(opt.Partitions, cluster.Size())
+	groups := cluster.Groups(nGroups)
+
+	beConverged := app.Converged
+	if bc, ok := app.(BEConvergedApp); ok {
+		beConverged = bc.BEConverged
+	}
+
+	startElapsed := rt.Elapsed()
+	startMetrics := rt.Metrics()
+	startModelBytes := rt.ModelUpdateBytes()
+	res := &PICResult{}
+
+	m := m0
+	redistributed := false
+	for res.BEIterations < opt.MaxBEIterations {
+		subs, err := app.Partition(in, m, opt.Partitions)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s partition: %w", app.Name(), err)
+		}
+		if len(subs) != opt.Partitions {
+			return nil, fmt.Errorf("core: %s partition returned %d sub-problems, want %d",
+				app.Name(), len(subs), opt.Partitions)
+		}
+
+		// One-time charge: deal the partitioned data onto the groups.
+		// Later best-effort iterations reuse the partition layout, so
+		// the data is already resident (§III-B: the partition function
+		// is fixed; only models move between iterations).
+		if !redistributed {
+			res.RepartitionBytes += rt.ChargeFlows(repartitionFlows(cluster.Nodes(), groups, subs))
+			redistributed = true
+		}
+
+		// Scatter each sub-problem's starting model to its group.
+		var scatter []simnet.Flow
+		for i, sub := range subs {
+			leader := groups[i%nGroups].Nodes()[0]
+			scatter = append(scatter, simnet.Flow{Src: rt.Engine().ModelHome, Dst: leader, Bytes: sub.Model.Size()})
+		}
+		res.MergeTrafficBytes += rt.ChargeFlows(scatter)
+
+		// Solve the sub-problems independently — no synchronization or
+		// communication between them. Groups run in parallel in
+		// simulated time; sub-problems sharing a group run back to
+		// back, so the phase takes the busiest group's total.
+		parts := make([]*model.Model, opt.Partitions)
+		localIters := make([]int, opt.Partitions)
+		groupBusy := make([]simtime.Duration, nGroups)
+		for i, sub := range subs {
+			g := i % nGroups
+			subRT := rt.Fork(groups[g], true)
+			subRT.SetLane(g + 1)
+			subIn := mapred.NewInput(sub.Records, groups[g], groups[g].MapSlots())
+			local, err := RunIC(subRT, app, subIn, sub.Model, &ICOptions{
+				MaxIterations:      opt.MaxLocalIterations,
+				DisableModelWrites: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: %s sub-problem %d: %w", app.Name(), i, err)
+			}
+			parts[i] = local.Model
+			localIters[i] = local.Iterations
+			groupBusy[g] += subRT.Elapsed()
+			rt.AddMetrics(subRT.Metrics())
+		}
+		var busiest simtime.Duration
+		for _, b := range groupBusy {
+			if b > busiest {
+				busiest = b
+			}
+		}
+		rt.AdvanceTime(busiest)
+		res.LocalIterations = append(res.LocalIterations, localIters)
+
+		// Merge the partial models: either as a real MapReduce job over
+		// their key/value entries (§III-C), or by gathering them to the
+		// driver and applying the application's merge function.
+		var merged *model.Model
+		if opt.DistributedMerge {
+			km, ok := app.(KeyMerger)
+			if !ok {
+				return nil, fmt.Errorf("core: %s: DistributedMerge requires KeyMerger", app.Name())
+			}
+			var mergeMetrics mapred.Metrics
+			merged, mergeMetrics, err = distributedMerge(rt, app.Name(), km, parts, groups, nGroups)
+			if err != nil {
+				return nil, err
+			}
+			res.MergeTrafficBytes += mergeMetrics.ShuffleNetworkBytes + mergeMetrics.NonLocalInputBytes
+		} else {
+			var gather []simnet.Flow
+			for i, part := range parts {
+				leader := groups[i%nGroups].Nodes()[0]
+				gather = append(gather, simnet.Flow{Src: leader, Dst: rt.Engine().ModelHome, Bytes: part.Size()})
+			}
+			res.MergeTrafficBytes += rt.ChargeFlows(gather)
+			merged, err = app.Merge(parts, m)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s merge: %w", app.Name(), err)
+			}
+			if merged == nil {
+				return nil, fmt.Errorf("core: %s merge returned a nil model", app.Name())
+			}
+			// The centralized merge still runs under the framework, so
+			// each best-effort iteration pays one job overhead on top
+			// of the gather/scatter flows charged above.
+			rt.AdvanceTime(rt.Engine().CostModelValue().JobOverhead)
+		}
+		rt.WriteModel(app.Name()+"-be", merged)
+		res.BEIterations++
+		if opt.Observer != nil {
+			opt.Observer(Sample{
+				Phase:     PhaseBestEffort,
+				Iteration: res.BEIterations,
+				Time:      simtime.Time(rt.Elapsed() - startElapsed),
+				Model:     merged,
+			})
+		}
+		done := beConverged(m, merged)
+		m = merged
+		if done {
+			break
+		}
+	}
+
+	res.BestEffortModel = m
+	res.BEDuration = rt.Elapsed() - startElapsed
+	res.BEMetrics = rt.Metrics().Sub(startMetrics)
+	rt.tracer.Record(trace.Event{
+		Kind:  trace.KindPhase,
+		Name:  app.Name() + "/best-effort",
+		Start: rt.now() - simtime.Time(res.BEDuration),
+		End:   rt.now(),
+		Lane:  rt.lane,
+	})
+
+	// Top-off: the unmodified IC computation from the best-effort model.
+	topOff, err := RunIC(rt, app, in, m, &ICOptions{
+		MaxIterations: opt.MaxTopOffIterations,
+		Observer:      opt.Observer,
+		Phase:         PhaseTopOff,
+		TimeOffset:    simtime.Time(res.BEDuration),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Model = topOff.Model
+	res.TopOffIterations = topOff.Iterations
+	res.TopOffConverged = topOff.Converged
+	res.TopOffDuration = topOff.Duration
+	res.TopOffMetrics = topOff.Metrics
+	res.Duration = rt.Elapsed() - startElapsed
+	res.Metrics = rt.Metrics().Sub(startMetrics)
+	res.ModelUpdateBytes = rt.ModelUpdateBytes() - startModelBytes
+	return res, nil
+}
+
+// repartitionFlows approximates the one-time movement of sub-problem
+// data from its original homes (spread across the whole cluster) onto
+// the node groups: each sub-problem's bytes flow from every cluster node
+// in equal shares to the group nodes, round-robin.
+func repartitionFlows(allNodes []int, groups []*simcluster.Cluster, subs []SubProblem) []simnet.Flow {
+	var flows []simnet.Flow
+	for i, sub := range subs {
+		g := groups[i%len(groups)]
+		dsts := g.Nodes()
+		bytes := mapred.RecordsSize(sub.Records)
+		share := bytes / int64(len(allNodes))
+		for si, src := range allNodes {
+			dst := dsts[si%len(dsts)]
+			if src == dst || share == 0 {
+				continue
+			}
+			flows = append(flows, simnet.Flow{Src: src, Dst: dst, Bytes: share})
+		}
+	}
+	return flows
+}
+
+// distributedMerge runs the merge as a MapReduce job: each partition's
+// partial model becomes one input split homed on its group leader, the
+// identity mapper forwards every entry, and the reducer applies the
+// application's per-key merge. The shuffle of partial-model entries is
+// the merge traffic.
+func distributedMerge(rt *Runtime, appName string, km KeyMerger, parts []*model.Model,
+	groups []*simcluster.Cluster, nGroups int) (*model.Model, mapred.Metrics, error) {
+	splits := make([]mapred.Split, len(parts))
+	for i, part := range parts {
+		var recs []mapred.Record
+		part.Range(func(key string, v writable.Writable) bool {
+			recs = append(recs, mapred.Record{Key: key, Value: v})
+			return true
+		})
+		splits[i] = mapred.Split{Records: recs, Home: groups[i%nGroups].Nodes()[0]}
+	}
+	job := &mapred.Job{
+		Name: appName + "-merge",
+		Mapper: mapred.MapperFunc(func(key string, v writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+			emit.Emit(key, v)
+			return nil
+		}),
+		Reducer: mapred.ReducerFunc(func(key string, values []writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+			out, err := km.MergeKey(key, values)
+			if err != nil {
+				return err
+			}
+			emit.Emit(key, out)
+			return nil
+		}),
+	}
+	startMetrics := rt.Metrics()
+	out, err := rt.RunJob(job, mapred.InputFromSplits(splits), nil)
+	if err != nil {
+		return nil, mapred.Metrics{}, fmt.Errorf("core: %s distributed merge: %w", appName, err)
+	}
+	merged := model.New()
+	for _, rec := range out.Records {
+		merged.Set(rec.Key, rec.Value)
+	}
+	return merged, rt.Metrics().Sub(startMetrics), nil
+}

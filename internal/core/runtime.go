@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Runtime binds a MapReduce engine, a cluster view and the distributed
+// file system, and accumulates the simulated clock and metrics of
+// everything executed through it. The IC and PIC drivers, and
+// application Iteration methods, run all their work through a Runtime.
+type Runtime struct {
+	engine *mapred.Engine
+	fs     *dfs.FS
+
+	// local selects in-memory execution (Engine.RunLocal) for jobs run
+	// through this runtime; the PIC driver sets it on the sub-runtimes
+	// that execute best-effort local iterations.
+	local bool
+
+	elapsed          simtime.Duration
+	metrics          mapred.Metrics
+	modelUpdateBytes int64
+	modelWrites      int64
+
+	// tracer, lane and base implement the optional execution timeline:
+	// forked runtimes inherit the tracer, carry their own lane, and
+	// stamp events relative to the parent clock at fork time.
+	tracer *trace.Tracer
+	lane   int
+	base   simtime.Time
+}
+
+// NewRuntime creates a runtime over a full cluster view with a fresh
+// DFS using the given configuration.
+func NewRuntime(cluster *simcluster.Cluster, fsCfg dfs.Config) *Runtime {
+	return &Runtime{
+		engine: mapred.NewEngine(cluster),
+		fs:     dfs.New(cluster, fsCfg),
+	}
+}
+
+// Engine exposes the underlying MapReduce engine (to set cost models or
+// failure injection).
+func (rt *Runtime) Engine() *mapred.Engine { return rt.engine }
+
+// SetTracer attaches an execution-timeline tracer. A nil tracer (the
+// default) records nothing.
+func (rt *Runtime) SetTracer(t *trace.Tracer) { rt.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
+
+// SetLane labels this runtime's timeline events (the PIC driver gives
+// each node group its own lane).
+func (rt *Runtime) SetLane(lane int) { rt.lane = lane }
+
+// now is the runtime's position on the global simulated clock.
+func (rt *Runtime) now() simtime.Time { return rt.base + simtime.Time(rt.elapsed) }
+
+// Cluster returns the runtime's cluster view.
+func (rt *Runtime) Cluster() *simcluster.Cluster { return rt.engine.Cluster() }
+
+// FS returns the shared distributed file system.
+func (rt *Runtime) FS() *dfs.FS { return rt.fs }
+
+// Elapsed reports the simulated time consumed through this runtime.
+func (rt *Runtime) Elapsed() simtime.Duration { return rt.elapsed }
+
+// Metrics returns the accumulated job metrics.
+func (rt *Runtime) Metrics() mapred.Metrics { return rt.metrics }
+
+// ModelUpdateBytes reports the network bytes spent persisting model
+// versions (the replication-pipeline traffic of WriteModel calls) — the
+// paper's "model updates" counter.
+func (rt *Runtime) ModelUpdateBytes() int64 { return rt.modelUpdateBytes }
+
+// AdvanceTime adds d to the runtime's clock, for costs computed outside
+// the engine (e.g. the parallel best-effort groups, whose wall time is
+// the maximum over groups).
+func (rt *Runtime) AdvanceTime(d simtime.Duration) {
+	if d < 0 {
+		panic("core: negative time advance")
+	}
+	rt.elapsed += d
+}
+
+// AddMetrics folds externally measured metrics (e.g. a sub-runtime's)
+// into this runtime's accumulator without advancing the clock.
+func (rt *Runtime) AddMetrics(m mapred.Metrics) { rt.metrics.Add(m) }
+
+// RunJob executes a job over in with model m, advancing the clock and
+// accumulating metrics. Applications call this from Iteration.
+func (rt *Runtime) RunJob(job *mapred.Job, in *mapred.Input, m *model.Model) (*mapred.Output, error) {
+	var (
+		out     *mapred.Output
+		metrics mapred.Metrics
+		err     error
+	)
+	start := rt.now()
+	kind := trace.KindJob
+	if rt.local {
+		kind = trace.KindLocalJob
+		out, metrics, err = rt.engine.RunLocal(job, in, m)
+	} else {
+		out, metrics, err = rt.engine.Run(job, in, m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rt.metrics.Add(metrics)
+	rt.elapsed += metrics.Duration
+	rt.tracer.Record(trace.Event{
+		Kind: kind, Name: job.Name, Start: start, End: rt.now(),
+		Bytes: metrics.ShuffleNetworkBytes + metrics.ModelBytes, Lane: rt.lane,
+	})
+	return out, nil
+}
+
+// WriteModel persists a model version (its real encoded bytes) to the
+// DFS with replication, charging the pipeline traffic and time — one
+// "model update" in the paper's terminology. The checkpoint can be
+// recovered with RestoreModel after a driver restart.
+func (rt *Runtime) WriteModel(name string, m *model.Model) {
+	start := rt.now()
+	before := rt.fs.Counters().WritePipeline
+	_, d := rt.fs.CreateWithData(checkpointName(name, rt.modelWrites), m.Encode(nil), rt.engine.ModelHome)
+	rt.fs.Delete(latestPointer(name))
+	rt.fs.CreateWithData(latestPointer(name), []byte(checkpointName(name, rt.modelWrites)), rt.engine.ModelHome)
+	rt.modelWrites++
+	rt.elapsed += d
+	delta := rt.fs.Counters().WritePipeline - before
+	rt.modelUpdateBytes += delta
+	rt.tracer.Record(trace.Event{
+		Kind: trace.KindModelWrite, Name: name, Start: start, End: rt.now(),
+		Bytes: delta, Lane: rt.lane,
+	})
+}
+
+// RestoreModel recovers the most recent checkpoint WriteModel stored
+// under name — the driver-restart half of the fault-tolerance story
+// (§VII): task failures are retried by the runtime, and a lost driver
+// resumes from the last persisted model.
+func (rt *Runtime) RestoreModel(name string) (*model.Model, error) {
+	ptr, ok := rt.fs.Open(latestPointer(name))
+	if !ok {
+		return nil, fmt.Errorf("core: no checkpoint for %q", name)
+	}
+	target, _ := rt.fs.ReadData(ptr, rt.engine.ModelHome)
+	f, ok := rt.fs.Open(string(target))
+	if !ok {
+		return nil, fmt.Errorf("core: dangling checkpoint pointer %q", target)
+	}
+	data, d := rt.fs.ReadData(f, rt.engine.ModelHome)
+	rt.elapsed += d
+	m, err := model.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint %q: %w", target, err)
+	}
+	return m, nil
+}
+
+func checkpointName(name string, seq int64) string {
+	return fmt.Sprintf("models/%s/%d", name, seq)
+}
+
+func latestPointer(name string) string {
+	return fmt.Sprintf("models/%s/latest", name)
+}
+
+// ChargeFlows records the given transfers on the cluster fabric and
+// advances the clock by their bottleneck transfer time, returning the
+// total bytes that crossed node boundaries. The PIC driver uses it for
+// partition-scatter and merge-gather traffic.
+func (rt *Runtime) ChargeFlows(flows []simnet.Flow) int64 {
+	start := rt.now()
+	fabric := rt.Cluster().Fabric()
+	before := fabric.Counters().Total
+	rt.elapsed += fabric.Transfer(flows)
+	moved := fabric.Counters().Total - before
+	if moved > 0 {
+		rt.tracer.Record(trace.Event{
+			Kind: trace.KindTransfer, Name: "flows", Start: start, End: rt.now(),
+			Bytes: moved, Lane: rt.lane,
+		})
+	}
+	return moved
+}
+
+// Fork creates a runtime over a sub-cluster view, sharing the file
+// system and fabric but with a fresh clock and metrics. When local is
+// true, jobs run through the fork execute in memory (best-effort local
+// iterations).
+func (rt *Runtime) Fork(view *simcluster.Cluster, local bool) *Runtime {
+	e := mapred.NewEngine(view)
+	e.SetCostModel(rt.engine.CostModelValue())
+	e.FailEveryNthMapTask = rt.engine.FailEveryNthMapTask
+	e.StraggleEveryNthMapTask = rt.engine.StraggleEveryNthMapTask
+	e.StragglerSlowdown = rt.engine.StragglerSlowdown
+	e.SpeculativeExecution = rt.engine.SpeculativeExecution
+	e.FairSharingNetwork = rt.engine.FairSharingNetwork
+	e.Workers = rt.engine.Workers
+	e.ModelSources = rt.engine.ModelSources
+	return &Runtime{engine: e, fs: rt.fs, local: local, tracer: rt.tracer, base: rt.now()}
+}

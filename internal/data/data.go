@@ -1,0 +1,250 @@
+// Package data generates the synthetic datasets that stand in for the
+// paper's inputs (§V-A): Gaussian-mixture point clouds for K-means,
+// OCR-style training vectors for neural-network training, smooth noisy
+// images for the smoother, and weakly diagonally dominant linear
+// systems for the equation solver. Every generator is fully determined
+// by its seed, so every experiment is reproducible.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// PointSet is a clustered point cloud with its generating centers.
+type PointSet struct {
+	// Points are the samples, in randomized order.
+	Points []linalg.Vector
+	// TrueCenters are the mixture component means the points were
+	// drawn from.
+	TrueCenters []linalg.Vector
+	// Labels[i] is the component Points[i] was drawn from.
+	Labels []int
+}
+
+// GaussianMixture draws n points from k spherical Gaussian components in
+// dims dimensions. Component means are placed uniformly in
+// [-spread, spread]^dims and each component has standard deviation
+// sigma. The returned order is shuffled, so dealing records round-robin
+// yields an unbiased random partition.
+func GaussianMixture(seed int64, n, k, dims int, spread, sigma float64) *PointSet {
+	if n <= 0 || k <= 0 || dims <= 0 {
+		panic(fmt.Sprintf("data: bad mixture shape n=%d k=%d dims=%d", n, k, dims))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]linalg.Vector, k)
+	for c := range centers {
+		centers[c] = make(linalg.Vector, dims)
+		for d := range centers[c] {
+			centers[c][d] = (rng.Float64()*2 - 1) * spread
+		}
+	}
+	ps := &PointSet{TrueCenters: centers, Points: make([]linalg.Vector, n), Labels: make([]int, n)}
+	for i := range ps.Points {
+		c := i % k // balanced components
+		p := make(linalg.Vector, dims)
+		for d := range p {
+			p[d] = centers[c][d] + rng.NormFloat64()*sigma
+		}
+		ps.Points[i] = p
+		ps.Labels[i] = c
+	}
+	rng.Shuffle(n, func(i, j int) {
+		ps.Points[i], ps.Points[j] = ps.Points[j], ps.Points[i]
+		ps.Labels[i], ps.Labels[j] = ps.Labels[j], ps.Labels[i]
+	})
+	return ps
+}
+
+// digitGlyphs are 7x5 bitmaps of the digits 0-9, the prototype patterns
+// behind the OCR training vectors (35 inputs, 10 classes).
+var digitGlyphs = [10][7]string{
+	{"01110", "10001", "10011", "10101", "11001", "10001", "01110"}, // 0
+	{"00100", "01100", "00100", "00100", "00100", "00100", "01110"}, // 1
+	{"01110", "10001", "00001", "00110", "01000", "10000", "11111"}, // 2
+	{"01110", "10001", "00001", "00110", "00001", "10001", "01110"}, // 3
+	{"00010", "00110", "01010", "10010", "11111", "00010", "00010"}, // 4
+	{"11111", "10000", "11110", "00001", "00001", "10001", "01110"}, // 5
+	{"01110", "10000", "10000", "11110", "10001", "10001", "01110"}, // 6
+	{"11111", "00001", "00010", "00100", "01000", "01000", "01000"}, // 7
+	{"01110", "10001", "10001", "01110", "10001", "10001", "01110"}, // 8
+	{"01110", "10001", "10001", "01111", "00001", "00001", "01110"}, // 9
+}
+
+// OCRDims is the input dimensionality of OCR vectors (7x5 bitmap).
+const OCRDims = 35
+
+// OCRClasses is the number of digit classes.
+const OCRClasses = 10
+
+// OCRSet is a labeled optical-character-recognition dataset.
+type OCRSet struct {
+	// Vectors are the 35-dimensional inputs, in randomized order.
+	Vectors []linalg.Vector
+	// Labels[i] in [0,10) is the digit of Vectors[i].
+	Labels []int
+}
+
+// OCRVectors generates n noisy digit images: each sample is a digit's
+// bitmap with every pixel independently flipped with probability
+// flipProb and Gaussian intensity noise of standard deviation
+// pixelNoise added.
+func OCRVectors(seed int64, n int, flipProb, pixelNoise float64) *OCRSet {
+	if n <= 0 {
+		panic("data: OCRVectors needs n ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	set := &OCRSet{Vectors: make([]linalg.Vector, n), Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		digit := i % OCRClasses
+		v := make(linalg.Vector, OCRDims)
+		for r := 0; r < 7; r++ {
+			for c := 0; c < 5; c++ {
+				bit := 0.0
+				if digitGlyphs[digit][r][c] == '1' {
+					bit = 1.0
+				}
+				if rng.Float64() < flipProb {
+					bit = 1 - bit
+				}
+				v[r*5+c] = bit + rng.NormFloat64()*pixelNoise
+			}
+		}
+		set.Vectors[i] = v
+		set.Labels[i] = digit
+	}
+	rng.Shuffle(n, func(i, j int) {
+		set.Vectors[i], set.Vectors[j] = set.Vectors[j], set.Vectors[i]
+		set.Labels[i], set.Labels[j] = set.Labels[j], set.Labels[i]
+	})
+	return set
+}
+
+// Image is a grayscale image stored as rows of float64 intensities.
+type Image struct {
+	Width, Height int
+	Rows          []linalg.Vector
+}
+
+// NewImage allocates a zero image.
+func NewImage(width, height int) *Image {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("data: bad image shape %dx%d", width, height))
+	}
+	img := &Image{Width: width, Height: height, Rows: make([]linalg.Vector, height)}
+	for y := range img.Rows {
+		img.Rows[y] = make(linalg.Vector, width)
+	}
+	return img
+}
+
+// NoisyImage generates a smooth two-dimensional intensity field (a sum
+// of gradients and a few blobs) corrupted with Gaussian noise of
+// standard deviation noise — the smoother's input.
+func NoisyImage(seed int64, width, height int, noise float64) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := NewImage(width, height)
+	type blob struct{ cx, cy, amp, radius float64 }
+	blobs := make([]blob, 4)
+	for i := range blobs {
+		blobs[i] = blob{
+			cx:     rng.Float64() * float64(width),
+			cy:     rng.Float64() * float64(height),
+			amp:    rng.Float64()*100 + 50,
+			radius: rng.Float64()*float64(width)/4 + float64(width)/8,
+		}
+	}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v := 40 + 80*float64(x)/float64(width) + 40*float64(y)/float64(height)
+			for _, b := range blobs {
+				dx, dy := float64(x)-b.cx, float64(y)-b.cy
+				v += b.amp / (1 + (dx*dx+dy*dy)/(b.radius*b.radius))
+			}
+			img.Rows[y][x] = v + rng.NormFloat64()*noise
+		}
+	}
+	return img
+}
+
+// LinearSystem is a dense system A·x = b with a known weak-diagonal-
+// dominance margin.
+type LinearSystem struct {
+	A *linalg.Matrix
+	B linalg.Vector
+}
+
+// WeaklyDominantSystem generates an n×n system whose off-diagonal
+// entries decay with distance from the diagonal (giving the "nearly
+// uncoupled" block structure of §VI-B) and whose diagonal exceeds each
+// row's off-diagonal sum by the factor dominance > 1.
+func WeaklyDominantSystem(seed int64, n int, dominance float64) *LinearSystem {
+	if n <= 0 || dominance <= 1 {
+		panic(fmt.Sprintf("data: bad system n=%d dominance=%g", n, dominance))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dist := i - j
+			if dist < 0 {
+				dist = -dist
+			}
+			v := rng.NormFloat64() / (1 + float64(dist)) // band-ish decay
+			a.Set(i, j, v)
+			if v < 0 {
+				off -= v
+			} else {
+				off += v
+			}
+		}
+		a.Set(i, i, off*dominance+1e-9)
+	}
+	b := make(linalg.Vector, n)
+	for i := range b {
+		b[i] = rng.NormFloat64() * 10
+	}
+	return &LinearSystem{A: a, B: b}
+}
+
+// DiffusionSystem generates an n×n weakly diagonally dominant system
+// with *positive* off-diagonal entries decaying away from the diagonal —
+// a discrete diffusion operator. Unlike the random-sign system, no sign
+// cancellation speeds Jacobi up, so the iteration converges at the rate
+// ≈1/dominance the dominance margin implies, giving realistically long
+// baseline runs (the paper's 100-variable system took the baseline about
+// an hour).
+func DiffusionSystem(seed int64, n int, dominance float64) *LinearSystem {
+	if n <= 0 || dominance <= 1 {
+		panic(fmt.Sprintf("data: bad system n=%d dominance=%g", n, dominance))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dist := i - j
+			if dist < 0 {
+				dist = -dist
+			}
+			v := (rng.Float64() + 0.2) / float64((1+dist)*(1+dist))
+			a.Set(i, j, v)
+			off += v
+		}
+		a.Set(i, i, off*dominance)
+	}
+	b := make(linalg.Vector, n)
+	for i := range b {
+		b[i] = rng.NormFloat64() * 10
+	}
+	return &LinearSystem{A: a, B: b}
+}

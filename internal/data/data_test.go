@@ -1,0 +1,229 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianMixtureShape(t *testing.T) {
+	ps := GaussianMixture(1, 100, 5, 3, 50, 1)
+	if len(ps.Points) != 100 || len(ps.Labels) != 100 || len(ps.TrueCenters) != 5 {
+		t.Fatalf("shape: %d points, %d labels, %d centers", len(ps.Points), len(ps.Labels), len(ps.TrueCenters))
+	}
+	for _, p := range ps.Points {
+		if len(p) != 3 {
+			t.Fatalf("point dims = %d", len(p))
+		}
+	}
+}
+
+func TestGaussianMixtureDeterministic(t *testing.T) {
+	a := GaussianMixture(7, 50, 3, 2, 10, 1)
+	b := GaussianMixture(7, 50, 3, 2, 10, 1)
+	for i := range a.Points {
+		for d := range a.Points[i] {
+			if a.Points[i][d] != b.Points[i][d] {
+				t.Fatal("same seed produced different points")
+			}
+		}
+	}
+	c := GaussianMixture(8, 50, 3, 2, 10, 1)
+	same := true
+	for i := range a.Points {
+		for d := range a.Points[i] {
+			if a.Points[i][d] != c.Points[i][d] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical points")
+	}
+}
+
+func TestGaussianMixturePointsNearTheirCenters(t *testing.T) {
+	ps := GaussianMixture(3, 200, 4, 3, 100, 0.5)
+	for i, p := range ps.Points {
+		c := ps.TrueCenters[ps.Labels[i]]
+		if p.Dist2(c) > 10 { // 0.5 sigma in 3 dims; 10 is ~13 sigma
+			t.Fatalf("point %d is %v away from its center", i, p.Dist2(c))
+		}
+	}
+}
+
+func TestGaussianMixtureBalancedLabels(t *testing.T) {
+	ps := GaussianMixture(5, 100, 4, 2, 10, 1)
+	counts := map[int]int{}
+	for _, l := range ps.Labels {
+		counts[l]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] != 25 {
+			t.Fatalf("label counts = %v", counts)
+		}
+	}
+}
+
+func TestOCRVectorsShape(t *testing.T) {
+	set := OCRVectors(1, 200, 0.02, 0.05)
+	if len(set.Vectors) != 200 || len(set.Labels) != 200 {
+		t.Fatal("wrong count")
+	}
+	for i, v := range set.Vectors {
+		if len(v) != OCRDims {
+			t.Fatalf("vector %d has %d dims", i, len(v))
+		}
+		if set.Labels[i] < 0 || set.Labels[i] >= OCRClasses {
+			t.Fatalf("label %d out of range", set.Labels[i])
+		}
+	}
+}
+
+func TestOCRCleanVectorsMatchGlyphs(t *testing.T) {
+	set := OCRVectors(1, 10, 0, 0) // no noise
+	for i, v := range set.Vectors {
+		d := set.Labels[i]
+		for r := 0; r < 7; r++ {
+			for c := 0; c < 5; c++ {
+				want := 0.0
+				if digitGlyphs[d][r][c] == '1' {
+					want = 1.0
+				}
+				if v[r*5+c] != want {
+					t.Fatalf("digit %d pixel (%d,%d) = %v, want %v", d, r, c, v[r*5+c], want)
+				}
+			}
+		}
+	}
+}
+
+func TestOCRDeterministic(t *testing.T) {
+	a := OCRVectors(9, 50, 0.05, 0.1)
+	b := OCRVectors(9, 50, 0.05, 0.1)
+	for i := range a.Vectors {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ across same-seed runs")
+		}
+		for j := range a.Vectors[i] {
+			if a.Vectors[i][j] != b.Vectors[i][j] {
+				t.Fatal("vectors differ across same-seed runs")
+			}
+		}
+	}
+}
+
+func TestGlyphsAreWellFormed(t *testing.T) {
+	for d, g := range digitGlyphs {
+		if len(g) != 7 {
+			t.Fatalf("digit %d has %d rows", d, len(g))
+		}
+		for r, row := range g {
+			if len(row) != 5 {
+				t.Fatalf("digit %d row %d has %d cols", d, r, len(row))
+			}
+			for _, ch := range row {
+				if ch != '0' && ch != '1' {
+					t.Fatalf("digit %d contains %q", d, ch)
+				}
+			}
+		}
+	}
+}
+
+func TestNoisyImageShape(t *testing.T) {
+	img := NoisyImage(1, 32, 16, 5)
+	if img.Width != 32 || img.Height != 16 || len(img.Rows) != 16 {
+		t.Fatal("wrong shape")
+	}
+	for _, row := range img.Rows {
+		if len(row) != 32 {
+			t.Fatal("wrong row width")
+		}
+	}
+}
+
+func TestNoisyImageHasStructureAndNoise(t *testing.T) {
+	img := NoisyImage(2, 64, 64, 3)
+	// Intensity should trend upward left to right (the gradient term).
+	var left, right float64
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 8; x++ {
+			left += img.Rows[y][x]
+			right += img.Rows[y][56+x]
+		}
+	}
+	if right <= left {
+		t.Fatalf("no left-to-right gradient: left=%v right=%v", left, right)
+	}
+	// Neighboring pixels should differ (noise present).
+	diff := 0.0
+	for x := 0; x < 63; x++ {
+		diff += math.Abs(img.Rows[0][x+1] - img.Rows[0][x])
+	}
+	if diff == 0 {
+		t.Fatal("image has no noise")
+	}
+}
+
+func TestWeaklyDominantSystem(t *testing.T) {
+	sys := WeaklyDominantSystem(1, 50, 1.5)
+	if !sys.A.IsWeaklyDiagonallyDominant() {
+		t.Fatal("generated system not weakly diagonally dominant")
+	}
+	if len(sys.B) != 50 {
+		t.Fatalf("b has %d entries", len(sys.B))
+	}
+	if _, err := sys.A.Solve(sys.B); err != nil {
+		t.Fatalf("generated system unsolvable: %v", err)
+	}
+}
+
+func TestWeaklyDominantSystemDeterministic(t *testing.T) {
+	a := WeaklyDominantSystem(3, 20, 2)
+	b := WeaklyDominantSystem(3, 20, 2)
+	for i := range a.A.Data {
+		if a.A.Data[i] != b.A.Data[i] {
+			t.Fatal("same seed produced different systems")
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { GaussianMixture(1, 0, 1, 1, 1, 1) },
+		func() { OCRVectors(1, 0, 0, 0) },
+		func() { NewImage(0, 5) },
+		func() { WeaklyDominantSystem(1, 10, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every generated system is weakly diagonally dominant and
+// solvable for any dominance > 1.
+func TestQuickSystemsAlwaysDominant(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%30) + 2
+		if n < 2 {
+			n = 2
+		}
+		sys := WeaklyDominantSystem(seed, n, 1.2)
+		if !sys.A.IsWeaklyDiagonallyDominant() {
+			return false
+		}
+		_, err := sys.A.Solve(sys.B)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package dfs models the cluster file system (HDFS in the paper): files
+// are sequences of blocks, each block is replicated on several nodes,
+// writes go through a replication pipeline, and reads prefer the closest
+// replica. The PIC paper's "model update" traffic is exactly the
+// replication-pipeline traffic this package charges when an iteration
+// stores a new model.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simcluster"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+// Config holds file-system parameters.
+type Config struct {
+	// Replication is the number of copies of each block (HDFS default
+	// 3; the paper stores the model "with replicas").
+	Replication int
+	// BlockSize is the maximum block size in bytes (HDFS default 64 MB
+	// in the Hadoop 0.20 era).
+	BlockSize int64
+}
+
+// DefaultConfig mirrors Hadoop 0.20 defaults.
+func DefaultConfig() Config {
+	return Config{Replication: 3, BlockSize: 64 << 20}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Replication <= 0 {
+		return fmt.Errorf("dfs: Replication = %d, must be positive", c.Replication)
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("dfs: BlockSize = %d, must be positive", c.BlockSize)
+	}
+	return nil
+}
+
+// Block is one replicated extent of a file.
+type Block struct {
+	// Size is the block length in bytes.
+	Size int64
+	// Replicas lists the nodes holding a copy; Replicas[0] is the
+	// primary (the writer's copy when the writer is a cluster node).
+	Replicas []int
+}
+
+// File is a named sequence of blocks.
+type File struct {
+	Name   string
+	Blocks []Block
+	// data holds the file contents when the file was written with
+	// CreateWithData; size-only files (traffic accounting without
+	// payload) leave it nil.
+	data []byte
+}
+
+// Data returns the stored contents, or nil for size-only files. The
+// caller must not mutate the result.
+func (f *File) Data() []byte { return f.data }
+
+// Size reports the file length in bytes.
+func (f *File) Size() int64 {
+	var n int64
+	for _, b := range f.Blocks {
+		n += b.Size
+	}
+	return n
+}
+
+// Counters accumulates file-system traffic, in bytes.
+type Counters struct {
+	// WritePipeline is replication traffic that crossed node
+	// boundaries during writes.
+	WritePipeline int64
+	// RemoteRead is read traffic served by a non-local replica.
+	RemoteRead int64
+	// LocalRead is read traffic served from a local replica (free).
+	LocalRead int64
+}
+
+// FS is a simulated distributed file system over one cluster fabric.
+type FS struct {
+	cfg      Config
+	cluster  *simcluster.Cluster
+	files    map[string]*File
+	counters Counters
+	place    int // round-robin cursor for primary placement
+}
+
+// New creates an empty file system on the given cluster view. The view
+// should normally be the full cluster. It panics on an invalid
+// configuration.
+func New(cluster *simcluster.Cluster, cfg Config) *FS {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &FS{cfg: cfg, cluster: cluster, files: make(map[string]*File)}
+}
+
+// Config returns the file-system configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Counters returns a snapshot of the traffic counters.
+func (fs *FS) Counters() Counters { return fs.counters }
+
+// ResetCounters zeroes the traffic counters.
+func (fs *FS) ResetCounters() { fs.counters = Counters{} }
+
+// Open returns the named file, or false if it does not exist.
+func (fs *FS) Open(name string) (*File, bool) {
+	f, ok := fs.files[name]
+	return f, ok
+}
+
+// Delete removes the named file. Deleting a missing file is a no-op.
+func (fs *FS) Delete(name string) { delete(fs.files, name) }
+
+// Create writes a new file of the given size, replacing any existing
+// file with the same name. writer is the node performing the write, or
+// -1 for an off-cluster client (primaries are then placed round-robin).
+// It returns the file and the simulated time the replication pipeline
+// took; the pipeline traffic is recorded on the cluster fabric and in
+// the FS counters.
+func (fs *FS) Create(name string, size int64, writer int) (*File, simtime.Duration) {
+	if size < 0 {
+		panic("dfs: negative file size")
+	}
+	f := &File{Name: name}
+	var flows []simnet.Flow
+	for remaining := size; ; {
+		bs := remaining
+		if bs > fs.cfg.BlockSize {
+			bs = fs.cfg.BlockSize
+		}
+		replicas := fs.placeReplicas(writer)
+		f.Blocks = append(f.Blocks, Block{Size: bs, Replicas: replicas})
+		// Replication pipeline: writer -> r0 -> r1 -> ... Each hop
+		// that crosses a node boundary is network traffic.
+		prev := writer
+		if prev < 0 {
+			prev = replicas[0]
+		}
+		for _, r := range replicas {
+			if r != prev {
+				flows = append(flows, simnet.Flow{Src: prev, Dst: r, Bytes: bs})
+				fs.counters.WritePipeline += bs
+			}
+			prev = r
+		}
+		remaining -= bs
+		if remaining <= 0 {
+			break
+		}
+	}
+	fs.files[name] = f
+	d := fs.cluster.Fabric().Transfer(flows)
+	return f, d
+}
+
+// placeReplicas chooses replica nodes for one block following the HDFS
+// policy: first replica on the writer (or round-robin for off-cluster
+// writers), second on a different rack when one exists, third on the
+// second replica's rack. Placement is deterministic.
+func (fs *FS) placeReplicas(writer int) []int {
+	nodes := fs.cluster.Nodes()
+	fabric := fs.cluster.Fabric()
+	n := len(nodes)
+	reps := min(fs.cfg.Replication, n)
+
+	first := writer
+	if first < 0 {
+		first = nodes[fs.place%n]
+		fs.place++
+	}
+	chosen := []int{first}
+	used := map[int]bool{first: true}
+	firstRack := fabric.Rack(first)
+
+	// Candidates in deterministic rotation order starting after first.
+	start := sort.SearchInts(nodes, first)
+	candidate := func(pred func(int) bool) (int, bool) {
+		for i := 1; i <= n; i++ {
+			c := nodes[(start+i)%n]
+			if !used[c] && pred(c) {
+				return c, true
+			}
+		}
+		return 0, false
+	}
+
+	if reps >= 2 {
+		// Prefer a different rack for the second replica.
+		c, ok := candidate(func(c int) bool { return fabric.Rack(c) != firstRack })
+		if !ok {
+			c, ok = candidate(func(int) bool { return true })
+		}
+		if ok {
+			chosen = append(chosen, c)
+			used[c] = true
+		}
+	}
+	for len(chosen) < reps {
+		// Third and later replicas prefer the second replica's rack.
+		rack := fabric.Rack(chosen[len(chosen)-1])
+		c, ok := candidate(func(c int) bool { return fabric.Rack(c) == rack })
+		if !ok {
+			c, ok = candidate(func(int) bool { return true })
+		}
+		if !ok {
+			break
+		}
+		chosen = append(chosen, c)
+		used[c] = true
+	}
+	return chosen
+}
+
+// CreateWithData writes a file with real contents: the same placement,
+// replication pipeline and traffic accounting as Create, plus the bytes
+// themselves, retrievable with Data or ReadData. This is how model
+// checkpoints are persisted.
+func (fs *FS) CreateWithData(name string, data []byte, writer int) (*File, simtime.Duration) {
+	f, d := fs.Create(name, int64(len(data)), writer)
+	f.data = append([]byte(nil), data...)
+	return f, d
+}
+
+// ReadData charges a full read of the file by node reader (see Read)
+// and returns its contents. It returns nil contents for size-only
+// files.
+func (fs *FS) ReadData(f *File, reader int) ([]byte, simtime.Duration) {
+	d := fs.Read(f, reader)
+	return f.data, d
+}
+
+// Read charges the traffic for node reader consuming the whole file,
+// block by block, from the closest replica (local beats intra-rack
+// beats cross-rack). It returns the transfer time; a fully local read
+// takes zero network time.
+func (fs *FS) Read(f *File, reader int) simtime.Duration {
+	fabric := fs.cluster.Fabric()
+	var flows []simnet.Flow
+	for _, b := range f.Blocks {
+		src := fs.closestReplica(b, reader)
+		if src == reader {
+			fs.counters.LocalRead += b.Size
+			continue
+		}
+		fs.counters.RemoteRead += b.Size
+		flows = append(flows, simnet.Flow{Src: src, Dst: reader, Bytes: b.Size})
+	}
+	return fabric.Transfer(flows)
+}
+
+// closestReplica picks the cheapest replica of b for the reader.
+func (fs *FS) closestReplica(b Block, reader int) int {
+	fabric := fs.cluster.Fabric()
+	best := b.Replicas[0]
+	bestCost := 2
+	for _, r := range b.Replicas {
+		cost := 2
+		switch {
+		case r == reader:
+			cost = 0
+		case fabric.Rack(r) == fabric.Rack(reader):
+			cost = 1
+		}
+		if cost < bestCost {
+			best, bestCost = r, cost
+		}
+	}
+	return best
+}
+
+// BlockHomes returns the primary replica node of each block, used by the
+// MapReduce runtime to derive split locality.
+func (f *File) BlockHomes() []int {
+	homes := make([]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		homes[i] = b.Replicas[0]
+	}
+	return homes
+}

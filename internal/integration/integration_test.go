@@ -1,0 +1,344 @@
+// Package integration exercises the full stack end to end: every case
+// study runs under both schemes on a simulated cluster, with the PIC
+// invariants the paper claims — speedup over the conventional baseline,
+// collapsed recurring network traffic, equivalent solution quality, and
+// resilience to task failures and stragglers.
+package integration
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps/kmeans"
+	"repro/internal/apps/linsolve"
+	"repro/internal/apps/pagerank"
+	"repro/internal/apps/smoothing"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/quality"
+	"repro/internal/simcluster"
+	"repro/internal/webgraph"
+)
+
+// comparisons runs a workload and applies the invariants every
+// application must satisfy.
+func checkComparison(t *testing.T, c *bench.Comparison) {
+	t.Helper()
+	if !c.PIC.TopOffConverged && c.IC.Converged {
+		t.Error("baseline converged but PIC top-off did not")
+	}
+	if c.Speedup() <= 1 {
+		t.Errorf("PIC slower than baseline: %.2fx", c.Speedup())
+	}
+	recurring := c.PICNetworkBytes() - c.PIC.RepartitionBytes
+	if recurring >= c.ICNetworkBytes() {
+		t.Errorf("PIC recurring traffic %d not below baseline %d", recurring, c.ICNetworkBytes())
+	}
+	if c.PIC.BEIterations == 0 {
+		t.Error("no best-effort iterations ran")
+	}
+}
+
+func TestKMeansEndToEnd(t *testing.T) {
+	w, ps := bench.KMeansWorkload("kmeans-e2e", simcluster.Small(), 60_000, 10, 3, 6, 1)
+	c, err := bench.RunComparison(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComparison(t, c)
+	icQ := quality.JagotaIndex(ps.Points, kmeans.Centroids(c.IC.Model))
+	picQ := quality.JagotaIndex(ps.Points, kmeans.Centroids(c.PIC.Model))
+	if diff := quality.PercentDifference(picQ, icQ); diff > 3 {
+		t.Errorf("PIC clustering quality %.2f%% from IC (paper: ≤2.75%%)", diff)
+	}
+}
+
+func TestPageRankEndToEnd(t *testing.T) {
+	w, g := bench.PageRankWorkload("pagerank-e2e", simcluster.Small(), 5_000, 5, 0.05, 1)
+	c, err := bench.RunComparison(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComparison(t, c)
+	icRanks := pagerank.Ranks(c.IC.Model, g.N)
+	picRanks := pagerank.Ranks(c.PIC.Model, g.N)
+	var l1, norm float64
+	for v := range icRanks {
+		l1 += math.Abs(icRanks[v] - picRanks[v])
+		norm += icRanks[v]
+	}
+	if rel := l1 / norm; rel > 0.02 {
+		t.Errorf("PIC ranks deviate %.2f%% from IC in L1", rel*100)
+	}
+}
+
+func TestLinSolveEndToEnd(t *testing.T) {
+	w, app := bench.LinSolveWorkload("linsolve-e2e", simcluster.Small(), 80, 6, 1)
+	c, err := bench.RunComparison(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComparison(t, c)
+	golden, err := app.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := linsolve.Solution(c.PIC.Model, 80)
+	if e := x.Sub(golden).NormInf(); e > 1e-3 {
+		t.Errorf("PIC solution error %v", e)
+	}
+}
+
+func TestNeuralNetEndToEnd(t *testing.T) {
+	w, app, _, valid := bench.NeuralNetWorkload("neuralnet-e2e", simcluster.Small(), 1_000, 6, 1)
+	ic, err := w.RunIC(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pic, err := w.RunPIC(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icErr := app.ModelError(ic.Model, valid.Vectors, valid.Labels)
+	picErr := app.ModelError(pic.Model, valid.Vectors, valid.Labels)
+	// PIC trains at least as far within the same epoch budgets.
+	if picErr > icErr+0.05 {
+		t.Errorf("PIC validation error %.3f much worse than IC %.3f", picErr, icErr)
+	}
+}
+
+func TestSmoothingEndToEnd(t *testing.T) {
+	w, img := bench.SmoothingWorkload("smoothing-e2e", simcluster.Small(), 128, 128, 6, 1)
+	c, err := bench.RunComparison(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComparison(t, c)
+	want := smoothing.Reference(img, 2.0, 1e-7, 50_000)
+	got := smoothing.ImageOf(c.PIC.Model, 128, 128)
+	var worst float64
+	for y := range want.Rows {
+		for x := range want.Rows[y] {
+			if d := math.Abs(got.Rows[y][x] - want.Rows[y][x]); d > worst {
+				worst = d
+			}
+		}
+	}
+	// Within the convergence tolerance of the sequential fixed point.
+	if worst > 0.2 {
+		t.Errorf("PIC image deviates %v from sequential fixed point", worst)
+	}
+}
+
+// TestFaultToleranceAcrossPIC mirrors the paper's §VII: task failures
+// are recovered by the runtime under both phases, changing time but not
+// results.
+func TestFaultToleranceAcrossPIC(t *testing.T) {
+	w, _ := bench.KMeansWorkload("kmeans-faults", simcluster.Small(), 30_000, 8, 3, 6, 1)
+
+	rtClean := w.NewRuntime()
+	clean, err := core.RunPIC(rtClean, w.MakeApp(), w.MakeInput(rtClean.Cluster()), w.MakeModel(), w.PICOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rtFaulty := w.NewRuntime()
+	rtFaulty.Engine().FailEveryNthMapTask = 5
+	faulty, err := core.RunPIC(rtFaulty, w.MakeApp(), w.MakeInput(rtFaulty.Cluster()), w.MakeModel(), w.PICOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if faulty.Metrics.TaskRetries == 0 {
+		t.Fatal("no retries recorded under failure injection")
+	}
+	if faulty.Duration <= clean.Duration {
+		t.Errorf("failures did not cost time: %v vs %v", faulty.Duration, clean.Duration)
+	}
+	if !faulty.Model.Equal(clean.Model) {
+		t.Error("failures changed the computed model")
+	}
+}
+
+// TestSpeculationAcrossPIC: stragglers hurt, speculation recovers, and
+// neither changes the result.
+func TestSpeculationAcrossPIC(t *testing.T) {
+	w, _ := bench.KMeansWorkload("kmeans-stragglers", simcluster.Small(), 30_000, 8, 3, 6, 1)
+
+	run := func(straggle, speculate bool) *core.PICResult {
+		rt := w.NewRuntime()
+		if straggle {
+			rt.Engine().StraggleEveryNthMapTask = 6
+			rt.Engine().StragglerSlowdown = 8
+			rt.Engine().SpeculativeExecution = speculate
+		}
+		res, err := core.RunPIC(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), w.MakeModel(), w.PICOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(false, false)
+	straggled := run(true, false)
+	rescued := run(true, true)
+
+	if straggled.Duration <= clean.Duration {
+		t.Errorf("stragglers did not cost time: %v vs %v", straggled.Duration, clean.Duration)
+	}
+	if rescued.Duration >= straggled.Duration {
+		t.Errorf("speculation did not help: %v vs %v", rescued.Duration, straggled.Duration)
+	}
+	if !rescued.Model.Equal(clean.Model) {
+		t.Error("speculation changed the computed model")
+	}
+}
+
+// TestDeterminismAcrossFullStack: two identical PIC runs are
+// byte-identical in model and metrics.
+func TestDeterminismAcrossFullStack(t *testing.T) {
+	run := func() *core.PICResult {
+		w, _ := bench.PageRankWorkload("pagerank-det", simcluster.Small(), 2_000, 4, 0.1, 3)
+		res, err := w.RunPIC(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Model.Equal(b.Model) {
+		t.Fatal("identical runs produced different models")
+	}
+	if a.Duration != b.Duration || a.Metrics != b.Metrics {
+		t.Fatal("identical runs produced different metrics")
+	}
+}
+
+// TestMultilevelPartitionInPIC drives the METIS-style partitioner
+// through a full PIC PageRank run.
+func TestMultilevelPartitionInPIC(t *testing.T) {
+	g := webgraph.NearlyUncoupled(3, 3_000, 6, 0.05, 4)
+	app := pagerank.New(g, 0.85, 0.01, 3)
+	app.Strategy = pagerank.PartitionMultilevel
+
+	w, _ := bench.PageRankWorkload("pagerank-ml", simcluster.Small(), 3_000, 6, 0.05, 3)
+	rt := w.NewRuntime()
+	in := w.MakeInput(rt.Cluster())
+	res, err := core.RunPIC(rt, app, in, pagerank.InitialModel(g), w.PICOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TopOffConverged {
+		t.Fatal("multilevel-partitioned PIC did not converge")
+	}
+	ranks := pagerank.Ranks(res.Model, g.N)
+	ref := pagerank.Reference(g, 0.85, 200)
+	var l1, norm float64
+	for v := range ref {
+		l1 += math.Abs(ranks[v] - ref[v])
+		norm += ref[v]
+	}
+	if rel := l1 / norm; rel > 0.02 {
+		t.Errorf("ranks deviate %.2f%% from reference", rel*100)
+	}
+}
+
+// TestOCRTrainingImprovesOnValidation closes the loop on the data
+// generators: a model trained under PIC beats chance on held-out data.
+func TestOCRTrainingImprovesOnValidation(t *testing.T) {
+	w, app, _, valid := bench.NeuralNetWorkload("neuralnet-val", simcluster.Small(), 1_000, 6, 2)
+	res, err := w.RunPIC(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRate := app.ModelError(res.Model, valid.Vectors, valid.Labels)
+	if errRate > 0.85 { // chance is 0.9 for 10 classes
+		t.Errorf("validation error %.3f no better than chance", errRate)
+	}
+}
+
+// TestAsyncLinSolve: asynchronous block Jacobi is chaotic relaxation
+// (Chazan–Miranker), which converges for weakly dominant systems — the
+// paper cites this literature in §VI-B/§VIII.
+func TestAsyncLinSolve(t *testing.T) {
+	w, app := bench.LinSolveWorkload("linsolve-async", simcluster.Small(), 80, 6, 1)
+	rt := w.NewRuntime()
+	res, err := core.RunPICAsync(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), w.MakeModel(),
+		core.AsyncOptions{Partitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TopOffConverged {
+		t.Fatal("asynchronous run did not converge")
+	}
+	golden, err := app.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := linsolve.Solution(res.Model, 80)
+	if e := x.Sub(golden).NormInf(); e > 1e-3 {
+		t.Errorf("async solution error %v", e)
+	}
+}
+
+// TestDistributedMergeKMeans drives §III-C's distributed merge through a
+// full K-means run: same solution, merge traffic accounted as shuffle.
+func TestDistributedMergeKMeans(t *testing.T) {
+	w, ps := bench.KMeansWorkload("kmeans-distmerge", simcluster.Small(), 60_000, 10, 3, 6, 1)
+
+	central, err := w.RunPIC(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := w.NewRuntime()
+	opts := w.PICOpts
+	opts.DistributedMerge = true
+	dist, err := core.RunPIC(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), w.MakeModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.MergeTrafficBytes == 0 {
+		t.Fatal("distributed merge charged no traffic")
+	}
+	qCentral := quality.JagotaIndex(ps.Points, kmeans.Centroids(central.Model))
+	qDist := quality.JagotaIndex(ps.Points, kmeans.Centroids(dist.Model))
+	if diff := quality.PercentDifference(qDist, qCentral); diff > 1 {
+		t.Errorf("distributed merge changed quality by %.2f%%", diff)
+	}
+}
+
+// TestCheckpointResumeMidRun: a driver restart resumes from the last
+// persisted model and finishes with the same solution a continuous run
+// reaches.
+func TestCheckpointResumeMidRun(t *testing.T) {
+	w, _ := bench.KMeansWorkload("kmeans-resume", simcluster.Small(), 30_000, 8, 3, 6, 1)
+
+	full, err := w.RunIC(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run half the iterations, "crash", restore, finish.
+	rt := w.NewRuntime()
+	app := w.MakeApp()
+	in := w.MakeInput(rt.Cluster())
+	half := w.ICOpts
+	half.MaxIterations = full.Iterations / 2
+	if _, err := core.RunIC(rt, app, in, w.MakeModel(), &half); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := rt.RestoreModel(app.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := w.NewRuntime() // the restarted driver
+	resumed, err := core.RunIC(rt2, w.MakeApp(), w.MakeInput(rt2.Cluster()), restored, &w.ICOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Converged {
+		t.Fatal("resumed run did not converge")
+	}
+	if resumed.Iterations >= full.Iterations {
+		t.Errorf("resume replayed all work: %d vs %d iterations", resumed.Iterations, full.Iterations)
+	}
+}

@@ -1,0 +1,197 @@
+// Package linalg provides the dense linear algebra the applications and
+// their golden references need: vectors, matrices, norms, and a direct
+// solver used to compute the unique exact solution the paper's Figure
+// 12(c) measures error against.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense vector of float64.
+type Vector []float64
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) Vector {
+	checkLen(len(v), len(w))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) Vector {
+	checkLen(len(v), len(w))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns a*v.
+func (v Vector) Scale(a float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = a * v[i]
+	}
+	return out
+}
+
+// Dot returns the inner product.
+func (v Vector) Dot(w Vector) float64 {
+	checkLen(len(v), len(w))
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormInf returns the maximum absolute component.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dist2 returns the Euclidean distance between v and w.
+func (v Vector) Dist2(w Vector) float64 { return v.Sub(w).Norm2() }
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns an independent copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m·v.
+func (m *Matrix) MulVec(v Vector) Vector {
+	checkLen(m.Cols, len(v))
+	out := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Row(i).Dot(v)
+	}
+	return out
+}
+
+// IsWeaklyDiagonallyDominant reports whether |a_ii| ≥ Σ_{j≠i} |a_ij| for
+// every row, with strict inequality in at least one row — the property
+// the paper's linear-equation case study requires for the "nearly
+// uncoupled" analysis (§VI-B) and for Jacobi convergence.
+func (m *Matrix) IsWeaklyDiagonallyDominant() bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	strict := false
+	for i := 0; i < m.Rows; i++ {
+		var off float64
+		for j := 0; j < m.Cols; j++ {
+			if j != i {
+				off += math.Abs(m.At(i, j))
+			}
+		}
+		d := math.Abs(m.At(i, i))
+		if d < off {
+			return false
+		}
+		if d > off {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Solve returns x with m·x = b by Gaussian elimination with partial
+// pivoting. It is the golden reference for the iterative solvers. An
+// error is returned for singular (or numerically singular) systems.
+func (m *Matrix) Solve(b Vector) (Vector, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Solve on %dx%d matrix", m.Rows, m.Cols)
+	}
+	checkLen(m.Rows, len(b))
+	n := m.Rows
+	a := m.Clone()
+	x := b.Clone()
+	for col := 0; col < n; col++ {
+		// Partial pivoting.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular matrix (column %d)", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				a.Data[col*n+j], a.Data[pivot*n+j] = a.Data[pivot*n+j], a.Data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		d := a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) / d
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("linalg: dimension mismatch %d vs %d", a, b))
+	}
+}

@@ -1,0 +1,218 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Add(w); got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := w.Sub(v); got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got[1] != 4 {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := (Vector{3, 4}).Norm2(); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	if got := (Vector{-7, 2}).NormInf(); got != 7 {
+		t.Fatalf("NormInf = %v", got)
+	}
+	if got := (Vector{0, 0}).Dist2(Vector{3, 4}); got != 5 {
+		t.Fatalf("Dist2 = %v", got)
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Dot did not panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At broken")
+	}
+	if r := m.Row(1); r[2] != 7 {
+		t.Fatalf("Row = %v", r)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	got := m.MulVec(Vector{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestWeakDiagonalDominance(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 2) // equal, not strict
+	if !m.IsWeaklyDiagonallyDominant() {
+		t.Fatal("weakly dominant matrix rejected")
+	}
+	m.Set(0, 0, 0.5)
+	if m.IsWeaklyDiagonallyDominant() {
+		t.Fatal("non-dominant matrix accepted")
+	}
+	// All-equal rows (no strict row) are not weakly dominant.
+	eq := NewMatrix(2, 2)
+	eq.Set(0, 0, 1)
+	eq.Set(0, 1, 1)
+	eq.Set(1, 0, 1)
+	eq.Set(1, 1, 1)
+	if eq.IsWeaklyDiagonallyDominant() {
+		t.Fatal("matrix with no strictly dominant row accepted")
+	}
+	rect := NewMatrix(2, 3)
+	if rect.IsWeaklyDiagonallyDominant() {
+		t.Fatal("rectangular matrix accepted")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 3)
+	x, err := m.Solve(Vector{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the initial pivot position.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	x, err := m.Solve(Vector{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := m.Solve(Vector{1, 2}); err == nil {
+		t.Fatal("singular system solved")
+	}
+}
+
+func TestSolveRejectsRectangular(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, err := m.Solve(Vector{1, 2}); err == nil {
+		t.Fatal("rectangular solve accepted")
+	}
+}
+
+// Property: for random diagonally dominant systems, Solve returns x with
+// small residual ||Ax - b||.
+func TestQuickSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			var off float64
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := rng.NormFloat64()
+					m.Set(i, j, v)
+					off += math.Abs(v)
+				}
+			}
+			m.Set(i, i, off+1+rng.Float64())
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := m.Solve(b)
+		if err != nil {
+			return false
+		}
+		return m.MulVec(x).Sub(b).NormInf() < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Solve recovers a planted solution.
+func TestQuickSolveRecoversPlanted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 2
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+			m.Set(i, i, m.At(i, i)+float64(n)) // make it comfortably nonsingular
+		}
+		want := make(Vector, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		x, err := m.Solve(m.MulVec(want))
+		if err != nil {
+			return false
+		}
+		return x.Sub(want).NormInf() < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,602 @@
+package mapred
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/writable"
+)
+
+// Engine executes MapReduce jobs on a cluster view. The same engine type
+// serves the full cluster (conventional IC execution and PIC's top-off
+// phase) and the node-group sub-clusters of PIC's best-effort phase.
+type Engine struct {
+	cluster *simcluster.Cluster
+	cost    CostModel
+
+	// ModelHome is the node models are distributed from at job start
+	// (the node holding the primary replica of the model file).
+	// Defaults to the first node of the view.
+	ModelHome int
+
+	// ModelSources is the number of replica nodes that can serve model
+	// reads (HDFS replication: default 3). Distribution flows fan out
+	// round-robin across the sources, as Hadoop's distributed cache
+	// fetches do.
+	ModelSources int
+
+	// FailEveryNthMapTask injects a failure into every Nth map task,
+	// which the engine recovers from by re-executing the task, as
+	// Hadoop's fault tolerance does (§VII of the paper). Zero disables
+	// injection.
+	FailEveryNthMapTask int
+
+	// StraggleEveryNthMapTask makes every Nth map task a straggler
+	// running StragglerSlowdown times longer (a slow disk, a busy
+	// node). Zero disables injection.
+	StraggleEveryNthMapTask int
+	// StragglerSlowdown is the straggler's cost multiplier (default 4
+	// when stragglers are enabled).
+	StragglerSlowdown float64
+	// SpeculativeExecution launches Hadoop-style backup tasks for
+	// stragglers: the job finishes when the first copy does, so a
+	// straggler costs only the speculative-launch lag (30% over the
+	// normal duration) instead of the full slowdown.
+	SpeculativeExecution bool
+
+	// FairSharingNetwork charges transfers under progressive max-min
+	// fair sharing (simnet.MaxMinTransferTime) instead of the
+	// optimally-scheduled bottleneck bound — the skeptical network
+	// model for robustness checks.
+	FairSharingNetwork bool
+
+	// Workers bounds real (not simulated) execution parallelism of
+	// user code. Zero means GOMAXPROCS.
+	Workers int
+}
+
+// NewEngine returns an engine for the given cluster view with the
+// default cost model.
+func NewEngine(c *simcluster.Cluster) *Engine {
+	return &Engine{cluster: c, cost: DefaultCostModel(), ModelHome: c.Nodes()[0], ModelSources: 3}
+}
+
+// SetCostModel replaces the engine's default cost model. It panics on an
+// invalid model.
+func (e *Engine) SetCostModel(cost CostModel) {
+	if err := cost.Validate(); err != nil {
+		panic(err)
+	}
+	e.cost = cost
+}
+
+// CostModelValue returns the engine's default cost model.
+func (e *Engine) CostModelValue() CostModel { return e.cost }
+
+// Cluster returns the engine's cluster view.
+func (e *Engine) Cluster() *simcluster.Cluster { return e.cluster }
+
+// Metrics aggregates everything measured about one or more job
+// executions. Byte counters are exact encoded sizes of the records the
+// user code actually emitted.
+type Metrics struct {
+	// Duration is total simulated job time.
+	Duration simtime.Duration
+	// Phase breakdown of Duration.
+	MapPhase      simtime.Duration
+	ShufflePhase  simtime.Duration
+	ReducePhase   simtime.Duration
+	ModelPhase    simtime.Duration
+	OverheadPhase simtime.Duration
+
+	Jobs        int
+	MapTasks    int
+	ReduceTasks int
+	TaskRetries int
+	// StragglerTasks counts injected slow tasks; SpeculativeTasks the
+	// subset rescued by speculative backup copies.
+	StragglerTasks   int
+	SpeculativeTasks int
+
+	// LocalJobs and LocalRecords count in-memory executions
+	// (Engine.RunLocal) — PIC's best-effort local iterations.
+	LocalJobs    int
+	LocalRecords int64
+
+	InputRecords int64
+
+	// MapOutputRecords/Bytes measure mapper output before the
+	// combiner — the paper's "intermediate data".
+	MapOutputRecords int64
+	MapOutputBytes   int64
+
+	// ShuffleRecords/Bytes measure post-combine data handed to the
+	// shuffle; the network counters are the subset that actually
+	// crossed node and rack boundaries.
+	ShuffleRecords        int64
+	ShuffleBytes          int64
+	ShuffleNetworkBytes   int64
+	ShuffleCrossRackBytes int64
+
+	// ModelBytes is model-distribution traffic (bytes that crossed a
+	// node boundary to deliver the current model to task nodes).
+	ModelBytes int64
+
+	ReduceInputValues int64
+	OutputRecords     int64
+	OutputBytes       int64
+
+	NonLocalInputBytes int64
+}
+
+// Add accumulates o into m.
+func (m *Metrics) Add(o Metrics) {
+	m.Duration += o.Duration
+	m.MapPhase += o.MapPhase
+	m.ShufflePhase += o.ShufflePhase
+	m.ReducePhase += o.ReducePhase
+	m.ModelPhase += o.ModelPhase
+	m.OverheadPhase += o.OverheadPhase
+	m.Jobs += o.Jobs
+	m.MapTasks += o.MapTasks
+	m.ReduceTasks += o.ReduceTasks
+	m.TaskRetries += o.TaskRetries
+	m.StragglerTasks += o.StragglerTasks
+	m.SpeculativeTasks += o.SpeculativeTasks
+	m.LocalJobs += o.LocalJobs
+	m.LocalRecords += o.LocalRecords
+	m.InputRecords += o.InputRecords
+	m.MapOutputRecords += o.MapOutputRecords
+	m.MapOutputBytes += o.MapOutputBytes
+	m.ShuffleRecords += o.ShuffleRecords
+	m.ShuffleBytes += o.ShuffleBytes
+	m.ShuffleNetworkBytes += o.ShuffleNetworkBytes
+	m.ShuffleCrossRackBytes += o.ShuffleCrossRackBytes
+	m.ModelBytes += o.ModelBytes
+	m.ReduceInputValues += o.ReduceInputValues
+	m.OutputRecords += o.OutputRecords
+	m.OutputBytes += o.OutputBytes
+	m.NonLocalInputBytes += o.NonLocalInputBytes
+}
+
+// Sub returns the component-wise difference m - o; with o a snapshot
+// taken earlier from the same accumulator, the result is the activity
+// between the two points.
+func (m Metrics) Sub(o Metrics) Metrics {
+	m.Duration -= o.Duration
+	m.MapPhase -= o.MapPhase
+	m.ShufflePhase -= o.ShufflePhase
+	m.ReducePhase -= o.ReducePhase
+	m.ModelPhase -= o.ModelPhase
+	m.OverheadPhase -= o.OverheadPhase
+	m.Jobs -= o.Jobs
+	m.MapTasks -= o.MapTasks
+	m.ReduceTasks -= o.ReduceTasks
+	m.TaskRetries -= o.TaskRetries
+	m.StragglerTasks -= o.StragglerTasks
+	m.SpeculativeTasks -= o.SpeculativeTasks
+	m.LocalJobs -= o.LocalJobs
+	m.LocalRecords -= o.LocalRecords
+	m.InputRecords -= o.InputRecords
+	m.MapOutputRecords -= o.MapOutputRecords
+	m.MapOutputBytes -= o.MapOutputBytes
+	m.ShuffleRecords -= o.ShuffleRecords
+	m.ShuffleBytes -= o.ShuffleBytes
+	m.ShuffleNetworkBytes -= o.ShuffleNetworkBytes
+	m.ShuffleCrossRackBytes -= o.ShuffleCrossRackBytes
+	m.ModelBytes -= o.ModelBytes
+	m.ReduceInputValues -= o.ReduceInputValues
+	m.OutputRecords -= o.OutputRecords
+	m.OutputBytes -= o.OutputBytes
+	m.NonLocalInputBytes -= o.NonLocalInputBytes
+	return m
+}
+
+// Output is the result of one job.
+type Output struct {
+	// Records is every reduce-output record (or map output for
+	// map-only jobs), concatenated in reducer order.
+	Records []Record
+	// ByReducer holds each reduce task's output; ReducerNodes the node
+	// each task ran on. Both are nil for map-only jobs.
+	ByReducer    [][]Record
+	ReducerNodes []int
+}
+
+// Run executes one job over the input with the given read-only model
+// (nil for model-free jobs) and returns its output and metrics.
+func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, error) {
+	if err := job.validate(); err != nil {
+		return nil, Metrics{}, err
+	}
+	cost := e.cost
+	if job.Cost != nil {
+		if err := job.Cost.Validate(); err != nil {
+			return nil, Metrics{}, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+		cost = *job.Cost
+	}
+	partition := job.Partition
+	if partition == nil {
+		partition = HashPartition
+	}
+	numReducers := job.NumReducers
+	if numReducers == 0 {
+		numReducers = e.cluster.ReduceSlots()
+	}
+	if job.Reducer == nil {
+		numReducers = 0
+	}
+
+	var metrics Metrics
+	metrics.Jobs = 1
+	metrics.OverheadPhase = cost.JobOverhead
+	metrics.InputRecords = in.NumRecords()
+
+	// ---- Map phase: execute user code per split, partition and
+	// combine the output.
+	nSplits := len(in.Splits)
+	mapParts := make([][][]Record, nSplits) // split -> partition -> records
+	mapOnlyOut := make([][]Record, nSplits)
+	mapCosts := make([]float64, nSplits)
+	mapOutBytes := make([]int64, nSplits)
+	mapOutRecords := make([]int64, nSplits)
+	errs := make([]error, nSplits)
+
+	e.parallelFor(nSplits, func(i int) {
+		split := in.Splits[i]
+		em := &listEmitter{}
+		for _, rec := range split.Records {
+			if err := job.Mapper.Map(rec.Key, rec.Value, m, em); err != nil {
+				errs[i] = fmt.Errorf("job %q map task %d: %w", job.Name, i, err)
+				return
+			}
+		}
+		outBytes := RecordsSize(em.records)
+		mapOutBytes[i] = outBytes
+		mapOutRecords[i] = int64(len(em.records))
+		mapCosts[i] = cost.MapCostPerRecord*float64(len(split.Records)) +
+			cost.MapCostPerByte*float64(split.Bytes) +
+			cost.EmitCostPerByte*float64(outBytes)
+
+		if numReducers == 0 {
+			mapOnlyOut[i] = em.records
+			return
+		}
+		parts := make([][]Record, numReducers)
+		for _, r := range em.records {
+			p := partition(r.Key, numReducers)
+			parts[p] = append(parts[p], r)
+		}
+		if job.Combiner != nil {
+			for p := range parts {
+				combined, err := runGrouped(job.Combiner, parts[p], m)
+				if err != nil {
+					errs[i] = fmt.Errorf("job %q combine task %d: %w", job.Name, i, err)
+					return
+				}
+				parts[p] = combined
+			}
+		}
+		mapParts[i] = parts
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, Metrics{}, err
+		}
+	}
+	for i := range mapOutBytes {
+		metrics.MapOutputBytes += mapOutBytes[i]
+		metrics.MapOutputRecords += mapOutRecords[i]
+	}
+
+	// ---- Schedule map tasks (with failure re-execution).
+	tasks := make([]simcluster.Task, nSplits)
+	for i, split := range in.Splits {
+		tasks[i] = simcluster.Task{Cost: mapCosts[i], Preferred: split.Home}
+		if e.FailEveryNthMapTask > 0 && (i+1)%e.FailEveryNthMapTask == 0 {
+			// The failed attempt's work is lost and the re-execution
+			// runs after it, so the task occupies a slot for twice its
+			// cost — Hadoop-style recovery without result corruption.
+			tasks[i].Cost *= 2
+			metrics.TaskRetries++
+		}
+		if e.StraggleEveryNthMapTask > 0 && (i+1)%e.StraggleEveryNthMapTask == 0 {
+			slowdown := e.StragglerSlowdown
+			if slowdown <= 1 {
+				slowdown = 4
+			}
+			metrics.StragglerTasks++
+			if e.SpeculativeExecution {
+				// A backup copy launches once the task is observed
+				// lagging; the winner finishes ≈30% late.
+				tasks[i].Cost *= 1.3
+				metrics.SpeculativeTasks++
+			} else {
+				tasks[i].Cost *= slowdown
+			}
+		}
+	}
+	placements, mapMakespan := e.cluster.Schedule(tasks, e.cluster.Config().MapSlotsPerNode)
+	metrics.MapTasks = nSplits
+
+	// Non-local tasks pull their split from its home node.
+	fabric := e.cluster.Fabric()
+	var inputFlows []simnet.Flow
+	// splitNode records where each split's map task ran; shuffle flows
+	// originate there.
+	splitNode := make([]int, nSplits)
+	for i, p := range placements {
+		splitNode[i] = p.Node
+		if !p.Local && in.Splits[i].Home >= 0 {
+			inputFlows = append(inputFlows, simnet.Flow{Src: in.Splits[i].Home, Dst: p.Node, Bytes: in.Splits[i].Bytes})
+			metrics.NonLocalInputBytes += in.Splits[i].Bytes
+		}
+	}
+	inputTime := e.transfer(inputFlows)
+	metrics.MapPhase = max(mapMakespan, inputTime)
+
+	// ---- Model distribution: every node running a task needs the
+	// current model (Hadoop distributed cache: one copy per node).
+	if m != nil && m.Len() > 0 {
+		nodesNeeding := map[int]bool{}
+		for _, p := range placements {
+			nodesNeeding[p.Node] = true
+		}
+		// Reduce nodes are chosen below, but every node in the view is
+		// a potential reduce node; distribute wherever map tasks run
+		// now and charge reduce-node distribution after placement.
+		metrics.ModelPhase = e.distributeModel(m, nodesNeeding, job.PartitionedModel, &metrics)
+	}
+
+	// ---- Map-only jobs stop here.
+	if numReducers == 0 {
+		out := &Output{}
+		for i := range mapOnlyOut {
+			out.Records = append(out.Records, mapOnlyOut[i]...)
+		}
+		metrics.OutputRecords = int64(len(out.Records))
+		metrics.OutputBytes = RecordsSize(out.Records)
+		metrics.Duration = metrics.OverheadPhase + metrics.ModelPhase + metrics.MapPhase
+		return out, metrics, nil
+	}
+
+	// ---- Reduce phase: gather, group, execute.
+	reduceIn := make([][]Record, numReducers)
+	for i := 0; i < nSplits; i++ {
+		for p := 0; p < numReducers; p++ {
+			recs := mapParts[i][p]
+			reduceIn[p] = append(reduceIn[p], recs...)
+			sz := RecordsSize(recs)
+			metrics.ShuffleBytes += sz
+			metrics.ShuffleRecords += int64(len(recs))
+		}
+	}
+
+	reduceOut := make([][]Record, numReducers)
+	reduceCosts := make([]float64, numReducers)
+	reduceValues := make([]int64, numReducers)
+	rerrs := make([]error, numReducers)
+	e.parallelFor(numReducers, func(p int) {
+		out, err := runGrouped(job.Reducer, reduceIn[p], m)
+		if err != nil {
+			rerrs[p] = fmt.Errorf("job %q reduce task %d: %w", job.Name, p, err)
+			return
+		}
+		reduceOut[p] = out
+		reduceValues[p] = int64(len(reduceIn[p]))
+		reduceCosts[p] = cost.ReduceCostPerValue*float64(len(reduceIn[p])) +
+			cost.EmitCostPerByte*float64(RecordsSize(out))
+	})
+	for _, err := range rerrs {
+		if err != nil {
+			return nil, Metrics{}, err
+		}
+	}
+
+	rTasks := make([]simcluster.Task, numReducers)
+	for p := range rTasks {
+		rTasks[p] = simcluster.Task{Cost: reduceCosts[p], Preferred: -1}
+	}
+	rPlacements, reduceMakespan := e.cluster.Schedule(rTasks, e.cluster.Config().ReduceSlotsPerNode)
+	metrics.ReduceTasks = numReducers
+	metrics.ReducePhase = reduceMakespan
+	for _, v := range reduceValues {
+		metrics.ReduceInputValues += v
+	}
+
+	// Model distribution to reduce nodes that did not run map tasks.
+	if m != nil && m.Len() > 0 {
+		nodesNeeding := map[int]bool{}
+		for _, p := range placements {
+			nodesNeeding[p.Node] = false // already have it
+		}
+		extra := map[int]bool{}
+		for _, p := range rPlacements {
+			if _, have := nodesNeeding[p.Node]; !have {
+				extra[p.Node] = true
+			}
+		}
+		metrics.ModelPhase += e.distributeModel(m, extra, job.PartitionedModel, &metrics)
+	}
+
+	// ---- Shuffle: post-combine partitions travel from the node each
+	// map task ran on to the node its reduce task runs on.
+	var shuffleFlows []simnet.Flow
+	for i := 0; i < nSplits; i++ {
+		for p := 0; p < numReducers; p++ {
+			sz := RecordsSize(mapParts[i][p])
+			if sz == 0 {
+				continue
+			}
+			src, dst := splitNode[i], rPlacements[p].Node
+			if src != dst {
+				metrics.ShuffleNetworkBytes += sz
+				if fabric.Rack(src) != fabric.Rack(dst) {
+					metrics.ShuffleCrossRackBytes += sz
+				}
+			}
+			shuffleFlows = append(shuffleFlows, simnet.Flow{Src: src, Dst: dst, Bytes: sz})
+		}
+	}
+	shuffleTime := e.transfer(shuffleFlows)
+	metrics.ShufflePhase = shuffleTime * simtime.Duration(1-cost.ShuffleOverlap)
+
+	out := &Output{ByReducer: reduceOut, ReducerNodes: make([]int, numReducers)}
+	for p := range reduceOut {
+		out.Records = append(out.Records, reduceOut[p]...)
+		out.ReducerNodes[p] = rPlacements[p].Node
+	}
+	metrics.OutputRecords = int64(len(out.Records))
+	metrics.OutputBytes = RecordsSize(out.Records)
+	metrics.Duration = metrics.OverheadPhase + metrics.ModelPhase + metrics.MapPhase +
+		metrics.ShufflePhase + metrics.ReducePhase
+	return out, metrics, nil
+}
+
+// distributeModel charges delivery of m to the given nodes (map values
+// that are false are skipped) from the model's replica nodes and
+// returns the transfer time. When partitioned is true, each node pulls
+// only its share of the model; otherwise every node receives a full
+// copy.
+func (e *Engine) distributeModel(m *model.Model, nodes map[int]bool, partitioned bool, metrics *Metrics) simtime.Duration {
+	size := m.Size()
+	view := e.cluster.Nodes()
+	nSources := e.ModelSources
+	if nSources < 1 {
+		nSources = 1
+	}
+	if nSources > len(view) {
+		nSources = len(view)
+	}
+	// Replica nodes: the model home plus its successors in the view,
+	// mirroring the DFS write pipeline's placement.
+	homeIdx := 0
+	for i, n := range view {
+		if n == e.ModelHome {
+			homeIdx = i
+			break
+		}
+	}
+	sources := make([]int, nSources)
+	isSource := map[int]bool{}
+	for i := range sources {
+		sources[i] = view[(homeIdx+i)%len(view)]
+		isSource[sources[i]] = true
+	}
+
+	var flows []simnet.Flow
+	targets := make([]int, 0, len(nodes))
+	for n, need := range nodes {
+		if need {
+			targets = append(targets, n)
+		}
+	}
+	sort.Ints(targets)
+	perNode := size
+	if partitioned && len(targets) > 0 {
+		perNode = size / int64(len(targets))
+	}
+	for i, n := range targets {
+		if isSource[n] {
+			continue
+		}
+		flows = append(flows, simnet.Flow{Src: sources[i%nSources], Dst: n, Bytes: perNode})
+		metrics.ModelBytes += perNode
+	}
+	return e.transfer(flows)
+}
+
+// transfer records flows on the fabric and charges their time under the
+// engine's configured network model.
+func (e *Engine) transfer(flows []simnet.Flow) simtime.Duration {
+	fabric := e.cluster.Fabric()
+	fabric.Record(flows)
+	if e.FairSharingNetwork {
+		return fabric.MaxMinTransferTime(flows)
+	}
+	return fabric.TransferTime(flows)
+}
+
+// runGrouped sorts records by key, groups values per key, and applies
+// the reducer, returning its emissions. Within a key, values keep their
+// arrival order, so execution is deterministic.
+func runGrouped(r Reducer, recs []Record, m *model.Model) ([]Record, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	byKey := make(map[string][]writable.Writable)
+	keys := make([]string, 0, len(recs))
+	for _, rec := range recs {
+		if _, seen := byKey[rec.Key]; !seen {
+			keys = append(keys, rec.Key)
+		}
+		byKey[rec.Key] = append(byKey[rec.Key], rec.Value)
+	}
+	sort.Strings(keys)
+	em := &listEmitter{}
+	for _, k := range keys {
+		if err := r.Reduce(k, byKey[k], m, em); err != nil {
+			return nil, err
+		}
+	}
+	return em.records, nil
+}
+
+// parallelFor runs worker(i) for i in [0,n) on a bounded pool. Output
+// slots are indexed, so results are deterministic regardless of
+// interleaving.
+func (e *Engine) parallelFor(n int, worker func(int)) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			worker(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				worker(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// String renders the metrics as a compact multi-line report.
+func (m Metrics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "duration %.3fs (map %.3fs, shuffle %.3fs, reduce %.3fs, model %.3fs, overhead %.3fs)\n",
+		float64(m.Duration), float64(m.MapPhase), float64(m.ShufflePhase),
+		float64(m.ReducePhase), float64(m.ModelPhase), float64(m.OverheadPhase))
+	fmt.Fprintf(&sb, "jobs %d (+%d local), tasks %d map / %d reduce, retries %d, stragglers %d (%d speculated)\n",
+		m.Jobs, m.LocalJobs, m.MapTasks, m.ReduceTasks, m.TaskRetries, m.StragglerTasks, m.SpeculativeTasks)
+	fmt.Fprintf(&sb, "records: %d in, %d map-out, %d shuffled, %d reduced, %d out\n",
+		m.InputRecords, m.MapOutputRecords, m.ShuffleRecords, m.ReduceInputValues, m.OutputRecords)
+	fmt.Fprintf(&sb, "bytes: %d map-out, %d shuffled (%d network, %d cross-rack), %d model-dist, %d out\n",
+		m.MapOutputBytes, m.ShuffleBytes, m.ShuffleNetworkBytes, m.ShuffleCrossRackBytes,
+		m.ModelBytes, m.OutputBytes)
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package mapred_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/writable"
+)
+
+// Example runs the canonical word count on a simulated 4-node cluster,
+// showing the runtime's job surface: mapper, combiner, reducer, and the
+// byte-exact traffic counters.
+func Example() {
+	cluster := simcluster.New(simcluster.Config{
+		Nodes: 4, RackSize: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		ComputeRate: 1e6, NodeBandwidth: 1e6, RackBandwidth: 4e6, CoreBandwidth: 4e6,
+	})
+	engine := mapred.NewEngine(cluster)
+
+	sum := mapred.ReducerFunc(func(key string, values []writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+		var n int64
+		for _, v := range values {
+			n += int64(v.(writable.Int64))
+		}
+		emit.Emit(key, writable.Int64(n))
+		return nil
+	})
+	job := &mapred.Job{
+		Name: "wordcount",
+		Mapper: mapred.MapperFunc(func(_ string, v writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+			for _, w := range strings.Fields(string(v.(writable.Text))) {
+				emit.Emit(w, writable.Int64(1))
+			}
+			return nil
+		}),
+		Combiner: sum,
+		Reducer:  sum,
+	}
+
+	records := []mapred.Record{
+		{Key: "line1", Value: writable.Text("to be or not to be")},
+		{Key: "line2", Value: writable.Text("that is the question")},
+	}
+	in := mapred.NewInput(records, cluster, 2)
+
+	out, metrics, err := engine.Run(job, in, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	counts := map[string]int64{}
+	keys := []string{}
+	for _, r := range out.Records {
+		counts[r.Key] = int64(r.Value.(writable.Int64))
+		keys = append(keys, r.Key)
+	}
+	sort.Strings(keys)
+	for _, k := range keys[:3] {
+		fmt.Printf("%s: %d\n", k, counts[k])
+	}
+	fmt.Printf("map tasks: %d, reduce tasks ran: %v\n", metrics.MapTasks, metrics.ReduceTasks > 0)
+	// Output:
+	// be: 2
+	// is: 1
+	// not: 1
+	// map tasks: 2, reduce tasks ran: true
+}

@@ -1,0 +1,85 @@
+package mapred
+
+import "repro/internal/simcluster"
+
+// Split is one map task's worth of input: a batch of records resident on
+// a home node. Splits model cached DFS blocks — the baseline of the PIC
+// paper already avoids re-reading input from remote storage each
+// iteration, and so does this runtime.
+type Split struct {
+	Records []Record
+	// Home is the node holding the split's data, or -1 when the data
+	// has no affinity.
+	Home int
+	// Bytes caches the encoded size of Records.
+	Bytes int64
+}
+
+// Input is a distributed dataset: the list of splits a job maps over.
+type Input struct {
+	Splits []Split
+}
+
+// NewInput builds an input by dealing records round-robin into
+// splitCount splits homed round-robin on the cluster view's nodes.
+// Contiguous runs of records stay together: records are dealt in
+// chunks, not one at a time, preserving any locality in their order.
+func NewInput(records []Record, c *simcluster.Cluster, splitCount int) *Input {
+	if splitCount <= 0 {
+		panic("mapred: splitCount must be positive")
+	}
+	if splitCount > len(records) && len(records) > 0 {
+		splitCount = len(records)
+	}
+	nodes := c.Nodes()
+	in := &Input{Splits: make([]Split, 0, splitCount)}
+	for i := 0; i < splitCount; i++ {
+		lo := i * len(records) / splitCount
+		hi := (i + 1) * len(records) / splitCount
+		recs := records[lo:hi]
+		in.Splits = append(in.Splits, Split{
+			Records: recs,
+			Home:    nodes[i%len(nodes)],
+			Bytes:   RecordsSize(recs),
+		})
+	}
+	return in
+}
+
+// InputFromSplits wraps pre-assembled splits, computing their sizes.
+func InputFromSplits(splits []Split) *Input {
+	for i := range splits {
+		if splits[i].Bytes == 0 {
+			splits[i].Bytes = RecordsSize(splits[i].Records)
+		}
+	}
+	return &Input{Splits: splits}
+}
+
+// NumRecords reports the total record count across splits.
+func (in *Input) NumRecords() int64 {
+	var n int64
+	for _, s := range in.Splits {
+		n += int64(len(s.Records))
+	}
+	return n
+}
+
+// TotalBytes reports the total encoded size across splits.
+func (in *Input) TotalBytes() int64 {
+	var n int64
+	for _, s := range in.Splits {
+		n += s.Bytes
+	}
+	return n
+}
+
+// Records returns all records in split order. The result aliases the
+// splits' storage; callers must not mutate it.
+func (in *Input) Records() []Record {
+	out := make([]Record, 0, in.NumRecords())
+	for _, s := range in.Splits {
+		out = append(out, s.Records...)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package mapred
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/writable"
+)
+
+func TestRunLocalMatchesFrameworkResults(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "a b a", "b c", "a c c")
+	framework, _, err := e.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _, err := e.RunLocal(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, lc := countsFromOutput(framework), countsFromOutput(local)
+	if len(fc) != len(lc) {
+		t.Fatalf("distinct keys differ: %d vs %d", len(fc), len(lc))
+	}
+	for k, v := range fc {
+		if lc[k] != v {
+			t.Errorf("count[%q]: framework %d, local %d", k, v, lc[k])
+		}
+	}
+}
+
+func TestRunLocalIsFasterAndTrafficFree(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	lines := make([]string, 8)
+	for i := range lines {
+		lines[i] = strings.Repeat("word ", 40)
+	}
+	in := textInput(c, lines...)
+	before := c.Fabric().Counters()
+	_, fw, err := e.Run(wordCountJob(false), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFramework := c.Fabric().Counters()
+	_, loc, err := e.RunLocal(wordCountJob(false), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterLocal := c.Fabric().Counters()
+
+	if loc.Duration >= fw.Duration {
+		t.Fatalf("local run not faster: %v vs %v", loc.Duration, fw.Duration)
+	}
+	if afterFramework == before {
+		t.Fatal("framework run produced no traffic (test not meaningful)")
+	}
+	if afterLocal != afterFramework {
+		t.Fatalf("local run produced network traffic: %+v -> %+v", afterFramework, afterLocal)
+	}
+	if loc.MapOutputBytes != 0 || loc.ShuffleBytes != 0 || loc.ModelBytes != 0 {
+		t.Fatalf("local run charged byte counters: %+v", loc)
+	}
+	if loc.LocalJobs != 1 || fw.LocalJobs != 0 {
+		t.Fatalf("LocalJobs misattributed: local=%d framework=%d", loc.LocalJobs, fw.LocalJobs)
+	}
+}
+
+func TestRunLocalMapOnly(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "p q r")
+	job := &Job{
+		Name: "tokens",
+		Mapper: MapperFunc(func(_ string, v writable.Writable, _ *model.Model, emit Emitter) error {
+			for _, w := range strings.Fields(string(v.(writable.Text))) {
+				emit.Emit(w, writable.Null{})
+			}
+			return nil
+		}),
+	}
+	out, metrics, err := e.RunLocal(job, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 3 {
+		t.Fatalf("got %d records", len(out.Records))
+	}
+	if metrics.ReducePhase != 0 {
+		t.Fatal("map-only local run charged reduce time")
+	}
+}
+
+func TestRunLocalErrorPropagates(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "a")
+	job := &Job{
+		Name: "boom",
+		Mapper: MapperFunc(func(string, writable.Writable, *model.Model, Emitter) error {
+			return errors.New("map exploded")
+		}),
+	}
+	if _, _, err := e.RunLocal(job, in, nil); err == nil {
+		t.Fatal("local map error swallowed")
+	}
+}
+
+func TestRunLocalRejectsMissingMapper(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	if _, _, err := e.RunLocal(&Job{Name: "nil"}, textInput(c, "a"), nil); err == nil {
+		t.Fatal("job without mapper accepted")
+	}
+}
+
+func TestLocalComputeFactorScalesDuration(t *testing.T) {
+	c := testCluster()
+	in := textInput(c, "a b c d e f g h")
+	run := func(factor float64) simtime.Duration {
+		e := NewEngine(c)
+		cm := DefaultCostModel()
+		cm.LocalComputeFactor = factor
+		e.SetCostModel(cm)
+		_, m, err := e.RunLocal(wordCountJob(false), in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Duration
+	}
+	fast, slow := run(0.1), run(1.0)
+	if fast >= slow {
+		t.Fatalf("factor did not scale duration: %v vs %v", fast, slow)
+	}
+}
+
+func TestMetricsSubInvertsAdd(t *testing.T) {
+	a := Metrics{Duration: 5, Jobs: 2, LocalJobs: 1, MapOutputBytes: 100, ShuffleNetworkBytes: 40, LocalRecords: 7}
+	b := Metrics{Duration: 2, Jobs: 1, MapOutputBytes: 30, ShuffleNetworkBytes: 10, LocalRecords: 3}
+	sum := a
+	sum.Add(b)
+	if got := sum.Sub(b); got != a {
+		t.Fatalf("Sub(Add) != identity: %+v", got)
+	}
+}
+
+func TestPartitionedModelDistributionMovesFewerBytes(t *testing.T) {
+	c := testCluster()
+	m := model.New()
+	m.Set("big", make(writable.Vector, 1000))
+	recs := make([]Record, 8)
+	for i := range recs {
+		recs[i] = Record{Key: string(rune('a' + i)), Value: writable.Text("x y z")}
+	}
+	in := NewInput(recs, c, 8)
+
+	run := func(partitioned bool) Metrics {
+		e := NewEngine(c)
+		job := wordCountJob(false)
+		job.PartitionedModel = partitioned
+		// The mapper ignores the model; only distribution accounting
+		// differs.
+		_, metrics, err := e.Run(job, in, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics
+	}
+	broadcast := run(false)
+	partitioned := run(true)
+	if broadcast.ModelBytes == 0 {
+		t.Fatal("broadcast moved no model bytes")
+	}
+	if partitioned.ModelBytes >= broadcast.ModelBytes {
+		t.Fatalf("partitioned distribution (%d B) not below broadcast (%d B)",
+			partitioned.ModelBytes, broadcast.ModelBytes)
+	}
+	// Partitioned distribution moves roughly one model's worth of bytes
+	// in total (each node pulls its share), broadcast one per node.
+	if partitioned.ModelBytes > m.Size()*2 {
+		t.Fatalf("partitioned distribution moved %d B for a %d B model",
+			partitioned.ModelBytes, m.Size())
+	}
+}
+
+func TestModelSourcesSpreadDistribution(t *testing.T) {
+	c := testCluster()
+	m := model.New()
+	m.Set("w", make(writable.Vector, 4000))
+	recs := make([]Record, 4)
+	for i := range recs {
+		recs[i] = Record{Key: string(rune('a' + i)), Value: writable.Text("q")}
+	}
+	in := NewInput(recs, c, 4)
+
+	run := func(sources int) Metrics {
+		e := NewEngine(c)
+		e.ModelSources = sources
+		_, metrics, err := e.Run(wordCountJob(false), in, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics
+	}
+	one := run(1)
+	three := run(3)
+	// Replica nodes already hold the model, so more sources means fewer
+	// bytes moved and never more time (the single source's uplink stops
+	// being the bottleneck).
+	if three.ModelBytes >= one.ModelBytes {
+		t.Fatalf("more sources did not reduce distribution bytes: %d vs %d",
+			three.ModelBytes, one.ModelBytes)
+	}
+	if three.ModelPhase > one.ModelPhase {
+		t.Fatalf("more sources slowed distribution: %v vs %v", three.ModelPhase, one.ModelPhase)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{Duration: 1.5, Jobs: 2, MapTasks: 3, InputRecords: 10, ShuffleNetworkBytes: 42}
+	out := m.String()
+	for _, want := range []string{"duration 1.500s", "jobs 2", "42 network"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Metrics.String missing %q:\n%s", want, out)
+		}
+	}
+}

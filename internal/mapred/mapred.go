@@ -1,0 +1,146 @@
+// Package mapred is a from-scratch MapReduce runtime in the style of
+// Hadoop 0.20, executing on the simulated cluster of internal/simcluster.
+// User map, combine and reduce functions run for real — the key/value
+// records they emit are genuine — while task scheduling, shuffle and
+// model distribution are charged to the simulated clock and fabric, so
+// every experiment is deterministic and byte-exact.
+//
+// The runtime mirrors the conventional iterative-convergence template of
+// the PIC paper's Figure 1(a): each iteration of an algorithm is one or
+// more jobs that read the (cached) input data and the current model and
+// produce the records from which the next model is assembled.
+//
+// Consistent with the paper's baseline, which already includes the
+// prior-work optimizations of Twister/Spark/HaLoop (§V: no repeated job
+// initialization, no repeated input reads), input splits are considered
+// cached at their home nodes across iterations; only genuinely new
+// traffic — shuffle, model distribution, model updates — is charged.
+package mapred
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/model"
+	"repro/internal/writable"
+)
+
+// Record is one key/value pair flowing through the runtime.
+type Record struct {
+	Key   string
+	Value writable.Writable
+}
+
+// Size reports the encoded size of the record in bytes: a
+// length-prefixed key plus the encoded value. This is the unit in which
+// all traffic counters are maintained.
+func (r Record) Size() int64 {
+	n := 1
+	for k := uint64(len(r.Key)); k >= 0x80; k >>= 7 {
+		n++
+	}
+	return int64(n + len(r.Key) + writable.Size(r.Value))
+}
+
+// RecordsSize sums the encoded sizes of a batch of records.
+func RecordsSize(recs []Record) int64 {
+	var n int64
+	for _, r := range recs {
+		n += r.Size()
+	}
+	return n
+}
+
+// Emitter receives the key/value pairs produced by map and reduce
+// functions.
+type Emitter interface {
+	Emit(key string, value writable.Writable)
+}
+
+// Mapper is the user map computation. It is invoked once per input
+// record with the current model; the model must be treated as
+// read-only — tasks run concurrently.
+type Mapper interface {
+	Map(key string, value writable.Writable, m *model.Model, emit Emitter) error
+}
+
+// Reducer is the user reduce (or combine) computation, invoked once per
+// distinct key with all values for that key. As with Mapper, the model
+// is read-only.
+type Reducer interface {
+	Reduce(key string, values []writable.Writable, m *model.Model, emit Emitter) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(key string, value writable.Writable, m *model.Model, emit Emitter) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(key string, value writable.Writable, m *model.Model, emit Emitter) error {
+	return f(key, value, m, emit)
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key string, values []writable.Writable, m *model.Model, emit Emitter) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key string, values []writable.Writable, m *model.Model, emit Emitter) error {
+	return f(key, values, m, emit)
+}
+
+// Partitioner maps an intermediate key to one of r reduce partitions.
+type Partitioner func(key string, r int) int
+
+// HashPartition is the default partitioner: FNV-1a modulo r.
+func HashPartition(key string, r int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(r))
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	// Name labels the job in metrics and errors.
+	Name string
+	// Mapper is required.
+	Mapper Mapper
+	// Combiner optionally pre-aggregates map output per partition
+	// before it is shuffled, as Hadoop combiners do. The paper's
+	// baselines all use combiners (§V-D).
+	Combiner Reducer
+	// Reducer is required unless the job is map-only.
+	Reducer Reducer
+	// NumReducers defaults to the cluster view's reduce slot count.
+	NumReducers int
+	// Partition defaults to HashPartition.
+	Partition Partitioner
+	// PartitionedModel declares that each task reads only the model
+	// entries co-located with its input split (PageRank's per-vertex
+	// state, the smoother's image rows) rather than the whole model.
+	// Distribution then moves each node's share of the model once —
+	// the HDFS re-read of the updated state — instead of broadcasting
+	// the full model to every task node (K-means centroids, network
+	// weights).
+	PartitionedModel bool
+	// Cost overrides the engine's default cost model when non-zero.
+	Cost *CostModel
+}
+
+func (j *Job) validate() error {
+	if j.Mapper == nil {
+		return fmt.Errorf("mapred: job %q has no mapper", j.Name)
+	}
+	if j.NumReducers < 0 {
+		return fmt.Errorf("mapred: job %q has negative NumReducers", j.Name)
+	}
+	return nil
+}
+
+// listEmitter collects emissions in order.
+type listEmitter struct {
+	records []Record
+}
+
+// Emit implements Emitter.
+func (e *listEmitter) Emit(key string, value writable.Writable) {
+	e.records = append(e.records, Record{Key: key, Value: value})
+}

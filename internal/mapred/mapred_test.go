@@ -1,0 +1,608 @@
+package mapred
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/writable"
+)
+
+func testCluster() *simcluster.Cluster {
+	return simcluster.New(simcluster.Config{
+		Nodes:              4,
+		RackSize:           2,
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+		ComputeRate:        1e6,
+		NodeBandwidth:      1e6,
+		RackBandwidth:      4e6,
+		CoreBandwidth:      4e6,
+	})
+}
+
+// wordCountJob tokenizes record values and counts word occurrences.
+func wordCountJob(withCombiner bool) *Job {
+	sum := ReducerFunc(func(key string, values []writable.Writable, _ *model.Model, emit Emitter) error {
+		var total int64
+		for _, v := range values {
+			total += int64(v.(writable.Int64))
+		}
+		emit.Emit(key, writable.Int64(total))
+		return nil
+	})
+	j := &Job{
+		Name: "wordcount",
+		Mapper: MapperFunc(func(_ string, value writable.Writable, _ *model.Model, emit Emitter) error {
+			for _, w := range strings.Fields(string(value.(writable.Text))) {
+				emit.Emit(w, writable.Int64(1))
+			}
+			return nil
+		}),
+		Reducer: sum,
+	}
+	if withCombiner {
+		j.Combiner = sum
+	}
+	return j
+}
+
+func textInput(c *simcluster.Cluster, lines ...string) *Input {
+	recs := make([]Record, len(lines))
+	for i, l := range lines {
+		recs[i] = Record{Key: fmt.Sprintf("line%d", i), Value: writable.Text(l)}
+	}
+	return NewInput(recs, c, 4)
+}
+
+func countsFromOutput(out *Output) map[string]int64 {
+	counts := map[string]int64{}
+	for _, r := range out.Records {
+		counts[r.Key] += int64(r.Value.(writable.Int64))
+	}
+	return counts
+}
+
+func TestWordCount(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "a b a", "b c", "a")
+	out, metrics, err := e.Run(wordCountJob(false), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := countsFromOutput(out)
+	want := map[string]int64{"a": 3, "b": 2, "c": 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, counts[k], v)
+		}
+	}
+	if len(counts) != len(want) {
+		t.Errorf("got %d distinct words, want %d", len(counts), len(want))
+	}
+	if metrics.InputRecords != 3 {
+		t.Errorf("InputRecords = %d, want 3", metrics.InputRecords)
+	}
+	if metrics.MapOutputRecords != 6 {
+		t.Errorf("MapOutputRecords = %d, want 6", metrics.MapOutputRecords)
+	}
+	if metrics.Duration <= 0 {
+		t.Error("job took no simulated time")
+	}
+}
+
+func TestCombinerDoesNotChangeResult(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "x y x y x", "y z", "x z z")
+	noComb, _, err := e.Run(wordCountJob(false), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withComb, _, err := e.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := countsFromOutput(noComb), countsFromOutput(withComb)
+	if len(a) != len(b) {
+		t.Fatalf("distinct keys differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("count[%q]: %d without combiner, %d with", k, v, b[k])
+		}
+	}
+}
+
+func TestCombinerReducesShuffleBytes(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	lines := make([]string, 8)
+	for i := range lines {
+		lines[i] = strings.Repeat("hot ", 50)
+	}
+	in := textInput(c, lines...)
+	_, plain, err := e.Run(wordCountJob(false), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, combined, err := e.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.ShuffleBytes >= plain.ShuffleBytes {
+		t.Fatalf("combiner did not shrink shuffle: %d vs %d", combined.ShuffleBytes, plain.ShuffleBytes)
+	}
+	if combined.MapOutputBytes != plain.MapOutputBytes {
+		t.Fatalf("combiner changed pre-combine intermediate data: %d vs %d",
+			combined.MapOutputBytes, plain.MapOutputBytes)
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "p q", "r")
+	job := &Job{
+		Name: "tokenize",
+		Mapper: MapperFunc(func(_ string, value writable.Writable, _ *model.Model, emit Emitter) error {
+			for _, w := range strings.Fields(string(value.(writable.Text))) {
+				emit.Emit(w, writable.Null{})
+			}
+			return nil
+		}),
+	}
+	out, metrics, err := e.Run(job, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(out.Records))
+	}
+	if out.ByReducer != nil {
+		t.Fatal("map-only job produced reducer outputs")
+	}
+	if metrics.ReduceTasks != 0 || metrics.ShuffleBytes != 0 {
+		t.Fatalf("map-only job shuffled: %+v", metrics)
+	}
+}
+
+func TestReduceKeysAreSorted(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	recs := []Record{
+		{Key: "in", Value: writable.Null{}},
+	}
+	in := NewInput(recs, c, 1)
+	var seen []string
+	job := &Job{
+		Name: "order",
+		Mapper: MapperFunc(func(_ string, _ writable.Writable, _ *model.Model, emit Emitter) error {
+			for _, k := range []string{"zeta", "alpha", "mid"} {
+				emit.Emit(k, writable.Null{})
+			}
+			return nil
+		}),
+		Reducer: ReducerFunc(func(key string, _ []writable.Writable, _ *model.Model, emit Emitter) error {
+			seen = append(seen, key)
+			emit.Emit(key, writable.Null{})
+			return nil
+		}),
+		NumReducers: 1,
+	}
+	if _, _, err := e.Run(job, in, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if len(seen) != 3 {
+		t.Fatalf("reducer saw %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("reducer key order %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestModelIsPassedToTasks(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	m := model.New()
+	m.Set("bias", writable.Float64(10))
+	// Four splits across four nodes, so nodes other than ModelHome run
+	// tasks and need the model delivered.
+	recs := []Record{
+		{Key: "r", Value: writable.Float64(5)},
+		{Key: "s", Value: writable.Float64(6)},
+		{Key: "t", Value: writable.Float64(7)},
+		{Key: "u", Value: writable.Float64(8)},
+	}
+	in := NewInput(recs, c, 4)
+	job := &Job{
+		Name: "add-bias",
+		Mapper: MapperFunc(func(key string, value writable.Writable, m *model.Model, emit Emitter) error {
+			bias, ok := m.Float("bias")
+			if !ok {
+				return errors.New("model missing in mapper")
+			}
+			emit.Emit(key, writable.Float64(float64(value.(writable.Float64))+bias))
+			return nil
+		}),
+		Reducer: ReducerFunc(func(key string, values []writable.Writable, m *model.Model, emit Emitter) error {
+			if _, ok := m.Float("bias"); !ok {
+				return errors.New("model missing in reducer")
+			}
+			emit.Emit(key, values[0])
+			return nil
+		}),
+		NumReducers: 1,
+	}
+	out, metrics, err := e.Run(job, in, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, r := range out.Records {
+		got[r.Key] = float64(r.Value.(writable.Float64))
+	}
+	for key, want := range map[string]float64{"r": 15, "s": 16, "t": 17, "u": 18} {
+		if got[key] != want {
+			t.Fatalf("output[%s] = %v, want %v", key, got[key], want)
+		}
+	}
+	if metrics.ModelBytes == 0 {
+		t.Error("model distribution charged no traffic")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "a")
+	job := &Job{
+		Name: "boom",
+		Mapper: MapperFunc(func(string, writable.Writable, *model.Model, Emitter) error {
+			return errors.New("map exploded")
+		}),
+		Reducer: ReducerFunc(func(string, []writable.Writable, *model.Model, Emitter) error { return nil }),
+	}
+	if _, _, err := e.Run(job, in, nil); err == nil || !strings.Contains(err.Error(), "map exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "a")
+	job := &Job{
+		Name: "boom",
+		Mapper: MapperFunc(func(k string, v writable.Writable, _ *model.Model, emit Emitter) error {
+			emit.Emit(k, v)
+			return nil
+		}),
+		Reducer: ReducerFunc(func(string, []writable.Writable, *model.Model, Emitter) error {
+			return errors.New("reduce exploded")
+		}),
+	}
+	if _, _, err := e.Run(job, in, nil); err == nil || !strings.Contains(err.Error(), "reduce exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingMapperRejected(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	if _, _, err := e.Run(&Job{Name: "nil"}, textInput(c, "a"), nil); err == nil {
+		t.Fatal("job without mapper accepted")
+	}
+}
+
+func TestFailureInjectionRetriesTasks(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "a", "b", "c", "d")
+	_, clean, err := e.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.FailEveryNthMapTask = 2
+	out, faulty, err := e.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.TaskRetries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	if faulty.Duration <= clean.Duration {
+		t.Fatalf("failures did not cost time: %v vs %v", faulty.Duration, clean.Duration)
+	}
+	// Fault tolerance must not corrupt results.
+	counts := countsFromOutput(out)
+	for _, w := range []string{"a", "b", "c", "d"} {
+		if counts[w] != 1 {
+			t.Fatalf("counts after failures = %v", counts)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func(workers int) (*Output, Metrics) {
+		c := testCluster()
+		e := NewEngine(c)
+		e.Workers = workers
+		in := textInput(c, "m n o", "n o p", "o p q", "q r s t")
+		out, metrics, err := e.Run(wordCountJob(true), in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, metrics
+	}
+	out1, m1 := run(1)
+	out2, m2 := run(8)
+	if m1 != m2 {
+		t.Fatalf("metrics differ:\n%+v\n%+v", m1, m2)
+	}
+	if len(out1.Records) != len(out2.Records) {
+		t.Fatalf("output sizes differ: %d vs %d", len(out1.Records), len(out2.Records))
+	}
+	for i := range out1.Records {
+		if out1.Records[i].Key != out2.Records[i].Key ||
+			!writable.Equal(out1.Records[i].Value, out2.Records[i].Value) {
+			t.Fatalf("record %d differs: %v vs %v", i, out1.Records[i], out2.Records[i])
+		}
+	}
+}
+
+func TestSingleNodeJobHasNoNetworkShuffle(t *testing.T) {
+	c := testCluster()
+	sub := c.Subset([]int{2})
+	e := NewEngine(sub)
+	recs := []Record{
+		{Key: "a", Value: writable.Text("x y z")},
+		{Key: "b", Value: writable.Text("y z")},
+	}
+	in := NewInput(recs, sub, 2)
+	_, metrics, err := e.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.ShuffleNetworkBytes != 0 {
+		t.Fatalf("single-node job moved %d shuffle bytes over the network", metrics.ShuffleNetworkBytes)
+	}
+	if metrics.ShuffleBytes == 0 {
+		t.Fatal("expected local shuffle data")
+	}
+}
+
+func TestSubClusterShuffleStaysInRack(t *testing.T) {
+	c := testCluster() // racks {0,1} and {2,3}
+	sub := c.Subset([]int{0, 1})
+	e := NewEngine(sub)
+	lines := make([]string, 8)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("w%d w%d w%d", i, i+1, i+2)
+	}
+	recs := make([]Record, len(lines))
+	for i, l := range lines {
+		recs[i] = Record{Key: fmt.Sprintf("l%d", i), Value: writable.Text(l)}
+	}
+	in := NewInput(recs, sub, 4)
+	_, metrics, err := e.Run(wordCountJob(false), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.ShuffleCrossRackBytes != 0 {
+		t.Fatalf("rack-confined job crossed racks: %d bytes", metrics.ShuffleCrossRackBytes)
+	}
+}
+
+func TestHashPartitionInRange(t *testing.T) {
+	for r := 1; r <= 7; r++ {
+		for i := 0; i < 100; i++ {
+			p := HashPartition(fmt.Sprintf("key%d", i), r)
+			if p < 0 || p >= r {
+				t.Fatalf("HashPartition out of range: %d with r=%d", p, r)
+			}
+		}
+	}
+}
+
+func TestCustomPartitioner(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "aa ab ba bb")
+	var firstLetterPart Partitioner = func(key string, r int) int {
+		return int(key[0]-'a') % r
+	}
+	job := wordCountJob(false)
+	job.Partition = firstLetterPart
+	job.NumReducers = 2
+	out, _, err := e.Run(job, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reducer 0 must hold exactly the 'a'-words, reducer 1 the 'b'-words.
+	for _, r := range out.ByReducer[0] {
+		if r.Key[0] != 'a' {
+			t.Fatalf("reducer 0 got %q", r.Key)
+		}
+	}
+	for _, r := range out.ByReducer[1] {
+		if r.Key[0] != 'b' {
+			t.Fatalf("reducer 1 got %q", r.Key)
+		}
+	}
+}
+
+func TestInputRoundRobinHomes(t *testing.T) {
+	c := testCluster()
+	recs := make([]Record, 8)
+	for i := range recs {
+		recs[i] = Record{Key: fmt.Sprintf("k%d", i), Value: writable.Int64(i)}
+	}
+	in := NewInput(recs, c, 8)
+	if len(in.Splits) != 8 {
+		t.Fatalf("got %d splits", len(in.Splits))
+	}
+	for i, s := range in.Splits {
+		if s.Home != i%4 {
+			t.Fatalf("split %d homed on %d", i, s.Home)
+		}
+	}
+	if in.NumRecords() != 8 {
+		t.Fatalf("NumRecords = %d", in.NumRecords())
+	}
+}
+
+func TestInputSplitCountClamped(t *testing.T) {
+	c := testCluster()
+	recs := []Record{{Key: "only", Value: writable.Null{}}}
+	in := NewInput(recs, c, 16)
+	if len(in.Splits) != 1 {
+		t.Fatalf("got %d splits for 1 record", len(in.Splits))
+	}
+}
+
+func TestInputBytesMatchRecords(t *testing.T) {
+	c := testCluster()
+	recs := []Record{
+		{Key: "a", Value: writable.Vector{1, 2, 3}},
+		{Key: "b", Value: writable.Text("hello")},
+	}
+	in := NewInput(recs, c, 2)
+	if in.TotalBytes() != RecordsSize(recs) {
+		t.Fatalf("TotalBytes = %d, want %d", in.TotalBytes(), RecordsSize(recs))
+	}
+}
+
+func TestRecordSizeMatchesEncoding(t *testing.T) {
+	r := Record{Key: "centroid-17", Value: writable.Vector{1, 2, 3}}
+	// Key encoding: uvarint length + bytes; value: kind + payload.
+	want := int64(1+len(r.Key)) + int64(writable.Size(r.Value))
+	if r.Size() != want {
+		t.Fatalf("Size = %d, want %d", r.Size(), want)
+	}
+}
+
+func TestDefaultCostModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	bad := DefaultCostModel()
+	bad.ShuffleOverlap = 1
+	if bad.Validate() == nil {
+		t.Error("overlap 1 accepted")
+	}
+	bad = DefaultCostModel()
+	bad.MapCostPerRecord = -1
+	if bad.Validate() == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestJobLevelCostOverride(t *testing.T) {
+	c := testCluster()
+	e := NewEngine(c)
+	in := textInput(c, "a b c")
+	job := wordCountJob(false)
+	slow := DefaultCostModel()
+	slow.MapCostPerRecord *= 100
+	job.Cost = &slow
+	_, slowMetrics, err := e.Run(job, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Cost = nil
+	_, fastMetrics, err := e.Run(job, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowMetrics.MapPhase <= fastMetrics.MapPhase {
+		t.Fatalf("cost override ignored: %v vs %v", slowMetrics.MapPhase, fastMetrics.MapPhase)
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{Duration: 1, Jobs: 1, MapOutputBytes: 10, ShuffleNetworkBytes: 5}
+	a.Add(Metrics{Duration: 2, Jobs: 1, MapOutputBytes: 20, ShuffleNetworkBytes: 7})
+	if a.Duration != 3 || a.Jobs != 2 || a.MapOutputBytes != 30 || a.ShuffleNetworkBytes != 12 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+// Property: for random word streams, word counts from the runtime match
+// a sequential reference count, with and without a combiner.
+func TestQuickWordCountMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLines := rng.Intn(10) + 1
+		lines := make([]string, nLines)
+		ref := map[string]int64{}
+		for i := range lines {
+			nWords := rng.Intn(20)
+			words := make([]string, nWords)
+			for j := range words {
+				words[j] = fmt.Sprintf("w%d", rng.Intn(8))
+				ref[words[j]]++
+			}
+			lines[i] = strings.Join(words, " ")
+		}
+		c := testCluster()
+		e := NewEngine(c)
+		in := textInput(c, lines...)
+		for _, withComb := range []bool{false, true} {
+			out, _, err := e.Run(wordCountJob(withComb), in, nil)
+			if err != nil {
+				return false
+			}
+			counts := countsFromOutput(out)
+			if len(counts) != len(ref) {
+				return false
+			}
+			for k, v := range ref {
+				if counts[k] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shuffle network bytes never exceed total shuffle bytes, and
+// cross-rack never exceeds network.
+func TestQuickShuffleByteOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lines := make([]string, rng.Intn(6)+1)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("a%d b%d", rng.Intn(5), rng.Intn(5))
+		}
+		c := testCluster()
+		e := NewEngine(c)
+		in := textInput(c, lines...)
+		_, m, err := e.Run(wordCountJob(rng.Intn(2) == 0), in, nil)
+		if err != nil {
+			return false
+		}
+		return m.ShuffleNetworkBytes <= m.ShuffleBytes &&
+			m.ShuffleCrossRackBytes <= m.ShuffleNetworkBytes &&
+			m.ShuffleBytes <= m.MapOutputBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

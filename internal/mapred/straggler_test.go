@@ -1,0 +1,129 @@
+package mapred
+
+import "testing"
+
+func TestStragglersSlowTheJob(t *testing.T) {
+	c := testCluster()
+	in := textInput(c, "a", "b", "c", "d", "e", "f", "g", "h")
+
+	clean := NewEngine(c)
+	_, base, err := clean.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slow := NewEngine(c)
+	slow.StraggleEveryNthMapTask = 4
+	_, straggled, err := slow.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if straggled.StragglerTasks == 0 {
+		t.Fatal("no stragglers injected")
+	}
+	if straggled.MapPhase <= base.MapPhase {
+		t.Fatalf("stragglers did not slow the map phase: %v vs %v",
+			straggled.MapPhase, base.MapPhase)
+	}
+}
+
+func TestSpeculativeExecutionRescuesStragglers(t *testing.T) {
+	c := testCluster()
+	in := textInput(c, "a", "b", "c", "d", "e", "f", "g", "h")
+
+	run := func(speculative bool) Metrics {
+		e := NewEngine(c)
+		e.StraggleEveryNthMapTask = 4
+		e.StragglerSlowdown = 8
+		e.SpeculativeExecution = speculative
+		_, m, err := e.Run(wordCountJob(true), in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	without := run(false)
+	with := run(true)
+	if with.SpeculativeTasks == 0 {
+		t.Fatal("no speculative tasks recorded")
+	}
+	if with.MapPhase >= without.MapPhase {
+		t.Fatalf("speculation did not help: %v vs %v", with.MapPhase, without.MapPhase)
+	}
+}
+
+func TestSpeculationPreservesResults(t *testing.T) {
+	c := testCluster()
+	in := textInput(c, "x y x", "y z", "x z z")
+	clean := NewEngine(c)
+	want, _, err := clean.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(c)
+	e.StraggleEveryNthMapTask = 2
+	e.SpeculativeExecution = true
+	got, _, err := e.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, gc := countsFromOutput(want), countsFromOutput(got)
+	for k, v := range wc {
+		if gc[k] != v {
+			t.Fatalf("count[%q] = %d, want %d", k, gc[k], v)
+		}
+	}
+}
+
+func TestDefaultSlowdownApplied(t *testing.T) {
+	c := testCluster()
+	in := textInput(c, "a", "b")
+	e := NewEngine(c)
+	e.StraggleEveryNthMapTask = 1 // every task straggles, slowdown default 4
+	_, m, err := e.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := NewEngine(c)
+	_, base, err := clean.Run(wordCountJob(true), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(m.MapPhase) / float64(base.MapPhase)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("default slowdown ratio = %v, want ≈4", ratio)
+	}
+}
+
+func TestFairSharingNetworkIsNeverFaster(t *testing.T) {
+	c := testCluster()
+	lines := make([]string, 8)
+	for i := range lines {
+		lines[i] = "a b c d e f g h i j k l m n o p"
+	}
+	in := textInput(c, lines...)
+
+	bottleneck := NewEngine(c)
+	_, base, err := bottleneck.Run(wordCountJob(false), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := NewEngine(c)
+	fair.FairSharingNetwork = true
+	out, shared, err := fair.Run(wordCountJob(false), in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(shared.ShufflePhase) < float64(base.ShufflePhase)*(1-1e-9) {
+		t.Fatalf("fair sharing shuffled faster than the bottleneck bound: %v vs %v",
+			shared.ShufflePhase, base.ShufflePhase)
+	}
+	// Byte counters are independent of the timing model.
+	if shared.ShuffleNetworkBytes != base.ShuffleNetworkBytes {
+		t.Fatalf("network model changed byte counters: %d vs %d",
+			shared.ShuffleNetworkBytes, base.ShuffleNetworkBytes)
+	}
+	if len(out.Records) == 0 {
+		t.Fatal("no output")
+	}
+}

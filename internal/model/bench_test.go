@@ -1,0 +1,51 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/writable"
+)
+
+func benchModel(entries int) *Model {
+	m := New()
+	for i := 0; i < entries; i++ {
+		m.Set(fmt.Sprintf("c%05d", i), writable.Vector{float64(i), float64(i) + 1, float64(i) + 2})
+	}
+	return m
+}
+
+func BenchmarkModelClone(b *testing.B) {
+	m := benchModel(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if m.Clone().Len() != 100 {
+			b.Fatal("bad clone")
+		}
+	}
+}
+
+func BenchmarkModelSize(b *testing.B) {
+	m := benchModel(100)
+	for i := 0; i < b.N; i++ {
+		if m.Size() == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}
+
+func BenchmarkModelEncode(b *testing.B) {
+	m := benchModel(100)
+	buf := make([]byte, 0, m.Size())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Encode(buf[:0])
+	}
+}
+
+func BenchmarkMaxVectorDelta(b *testing.B) {
+	a, c := benchModel(100), benchModel(100)
+	for i := 0; i < b.N; i++ {
+		MaxVectorDelta(a, c)
+	}
+}

@@ -1,0 +1,40 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/writable"
+)
+
+// FuzzModelDecode exercises the model decoder with arbitrary bytes: no
+// panics, and accepted inputs must round-trip canonically.
+func FuzzModelDecode(f *testing.F) {
+	m := New()
+	m.Set("centroid", writable.Vector{1, 2, 3})
+	m.Set("rank", writable.Float64(0.5))
+	f.Add(m.Encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x03, 'a', 'b', 'c', 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// The model encoding is canonical (sorted keys), so a decoded
+		// model re-encodes to an equivalent model, byte-identically
+		// when the input was itself canonical.
+		again, err := Decode(decoded.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !decoded.Equal(again) {
+			t.Fatal("round trip changed the model")
+		}
+		if int64(len(decoded.Encode(nil))) != decoded.Size() {
+			t.Fatal("Size disagrees with encoding length")
+		}
+		_ = bytes.Equal(data, decoded.Encode(nil)) // canonical inputs round-trip exactly
+	})
+}

@@ -1,0 +1,283 @@
+// Package model implements the model store of the PIC framework. The
+// paper requires only that "the model be expressed in the form of
+// key/value pairs" (§III-C): keys make model elements uniquely
+// identifiable so partition functions can split a model and merge
+// functions can establish correspondence between elements of partial
+// models.
+//
+// A Model is a mutable map from string keys to writable values with a
+// deterministic encoded size; the size is what the runtime charges when
+// a model is updated in the DFS or distributed to tasks.
+package model
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"repro/internal/writable"
+)
+
+// Model is a set of key/value pairs representing an iterative
+// algorithm's state (centroids, ranks and edge scores, weights, the
+// solution vector, image rows, ...).
+type Model struct {
+	entries map[string]writable.Writable
+}
+
+// New returns an empty model.
+func New() *Model {
+	return &Model{entries: make(map[string]writable.Writable)}
+}
+
+// Set stores v under key, replacing any previous value.
+func (m *Model) Set(key string, v writable.Writable) { m.entries[key] = v }
+
+// Get returns the value stored under key.
+func (m *Model) Get(key string) (writable.Writable, bool) {
+	v, ok := m.entries[key]
+	return v, ok
+}
+
+// Vector returns the value under key as a writable.Vector. It returns
+// false if the key is missing or holds a different kind.
+func (m *Model) Vector(key string) (writable.Vector, bool) {
+	v, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	vec, ok := v.(writable.Vector)
+	return vec, ok
+}
+
+// Float returns the value under key as a float64. It returns false if
+// the key is missing or holds a different kind.
+func (m *Model) Float(key string) (float64, bool) {
+	v, ok := m.entries[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(writable.Float64)
+	return float64(f), ok
+}
+
+// Delete removes key from the model. Deleting a missing key is a no-op.
+func (m *Model) Delete(key string) { delete(m.entries, key) }
+
+// Len reports the number of entries.
+func (m *Model) Len() int { return len(m.entries) }
+
+// Keys returns the model's keys in sorted order, so iteration over a
+// model is deterministic.
+func (m *Model) Keys() []string {
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Range calls fn for each entry in sorted key order until fn returns
+// false.
+func (m *Model) Range(fn func(key string, v writable.Writable) bool) {
+	for _, k := range m.Keys() {
+		if !fn(k, m.entries[k]) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy: mutating the copy's values never affects
+// the original.
+func (m *Model) Clone() *Model {
+	c := &Model{entries: make(map[string]writable.Writable, len(m.entries))}
+	for k, v := range m.entries {
+		c.entries[k] = writable.Clone(v)
+	}
+	return c
+}
+
+// Size reports the encoded size of the model in bytes: for each entry, a
+// length-prefixed key plus the encoded value. This is the number of
+// bytes a model update moves across the network per copy.
+func (m *Model) Size() int64 {
+	var n int64
+	for k, v := range m.entries {
+		n += int64(uvarintLen(uint64(len(k))) + len(k) + writable.Size(v))
+	}
+	return n
+}
+
+// Equal reports whether two models have the same keys bound to equal
+// values.
+func (m *Model) Equal(o *Model) bool {
+	if m.Len() != o.Len() {
+		return false
+	}
+	for k, v := range m.entries {
+		ov, ok := o.entries[k]
+		if !ok || !writable.Equal(v, ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode appends a deterministic binary encoding of the model to dst:
+// entries in sorted key order, each as length-prefixed key bytes
+// followed by the encoded value. len(Encode(nil)) == Size().
+func (m *Model) Encode(dst []byte) []byte {
+	for _, k := range m.Keys() {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = writable.Encode(dst, m.entries[k])
+	}
+	return dst
+}
+
+// Decode parses a model encoded by Encode.
+func Decode(src []byte) (*Model, error) {
+	m := New()
+	for len(src) > 0 {
+		klen, n := binary.Uvarint(src)
+		if n <= 0 || uint64(len(src)-n) < klen {
+			return nil, writable.ErrTruncated
+		}
+		if n != uvarintLen(klen) {
+			return nil, writable.ErrNonCanonical
+		}
+		key := string(src[n : n+int(klen)])
+		var v writable.Writable
+		var err error
+		v, src, err = writable.Decode(src[n+int(klen):])
+		if err != nil {
+			return nil, err
+		}
+		m.entries[key] = v
+	}
+	return m, nil
+}
+
+// MaxVectorDelta returns the largest L2 distance between corresponding
+// Vector entries of two models — the convergence metric the paper uses
+// for K-means ("the change in the value of all the K centroids is within
+// a pre-specified threshold"). Entries that are not vectors, or keys
+// present in only one model, are ignored.
+func MaxVectorDelta(a, b *Model) float64 {
+	var worst float64
+	for k, av := range a.entries {
+		avec, ok := av.(writable.Vector)
+		if !ok {
+			continue
+		}
+		bv, ok := b.entries[k]
+		if !ok {
+			continue
+		}
+		bvec, ok := bv.(writable.Vector)
+		if !ok || len(bvec) != len(avec) {
+			continue
+		}
+		var d2 float64
+		for i := range avec {
+			d := avec[i] - bvec[i]
+			d2 += d * d
+		}
+		if d2 > worst {
+			worst = d2
+		}
+	}
+	return math.Sqrt(worst)
+}
+
+// MaxFloatDelta returns the largest absolute difference between
+// corresponding Float64 entries of two models — the convergence metric
+// for scalar-valued models such as PageRank ranks.
+func MaxFloatDelta(a, b *Model) float64 {
+	var worst float64
+	for k, av := range a.entries {
+		af, ok := av.(writable.Float64)
+		if !ok {
+			continue
+		}
+		bv, ok := b.entries[k]
+		if !ok {
+			continue
+		}
+		bf, ok := bv.(writable.Float64)
+		if !ok {
+			continue
+		}
+		d := float64(af) - float64(bf)
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// DiffStats summarizes how a model changed between two versions.
+type DiffStats struct {
+	// Added, Removed and Changed count keys by category; Unchanged is
+	// the rest.
+	Added, Removed, Changed, Unchanged int
+	// DeltaBytes is the encoded size of a delta update: every added or
+	// changed entry plus a key-only tombstone per removal.
+	DeltaBytes int64
+}
+
+// Diff compares two model versions and returns the delta model (added
+// and changed entries of next) together with statistics. Models whose
+// entries all change every iteration (float state) produce deltas as
+// large as the full model — the measurement the delta-update ablation
+// relies on.
+func Diff(prev, next *Model) (*Model, DiffStats) {
+	delta := New()
+	var stats DiffStats
+	for k, nv := range next.entries {
+		pv, ok := prev.entries[k]
+		switch {
+		case !ok:
+			stats.Added++
+			delta.Set(k, nv)
+		case !writable.Equal(pv, nv):
+			stats.Changed++
+			delta.Set(k, nv)
+		default:
+			stats.Unchanged++
+		}
+	}
+	for k := range prev.entries {
+		if _, ok := next.entries[k]; !ok {
+			stats.Removed++
+			stats.DeltaBytes += int64(uvarintLen(uint64(len(k))) + len(k) + 1) // tombstone
+		}
+	}
+	stats.DeltaBytes += delta.Size()
+	return delta, stats
+}
+
+// ApplyDelta returns prev with the delta's entries applied (removals are
+// not represented in the delta model itself; pass removed keys
+// separately if needed).
+func ApplyDelta(prev, delta *Model) *Model {
+	out := prev.Clone()
+	delta.Range(func(k string, v writable.Writable) bool {
+		out.Set(k, writable.Clone(v))
+		return true
+	})
+	return out
+}

@@ -1,0 +1,109 @@
+// Package quality implements the model-quality metrics of the paper's
+// §VI evaluation: the Jagota index for clustering tightness, validation
+// misclassification rate for classifiers, and distances to golden
+// solutions for solvers.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// NearestCentroid returns the index of the centroid closest to p (ties
+// break toward the lower index).
+func NearestCentroid(p linalg.Vector, centroids []linalg.Vector) int {
+	best, bestDist := 0, math.Inf(1)
+	for c, mu := range centroids {
+		if d := p.Dist2(mu); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// JagotaIndex computes Q = Σ_i (1/|C_i|) Σ_{x∈C_i} d(x, μ_i), the
+// cluster-tightness metric of the paper's Table III (lower is tighter).
+// Points are assigned to their nearest centroid; empty clusters
+// contribute zero.
+func JagotaIndex(points []linalg.Vector, centroids []linalg.Vector) float64 {
+	if len(centroids) == 0 {
+		panic("quality: JagotaIndex with no centroids")
+	}
+	sums := make([]float64, len(centroids))
+	counts := make([]int, len(centroids))
+	for _, p := range points {
+		c := NearestCentroid(p, centroids)
+		sums[c] += p.Dist2(centroids[c])
+		counts[c]++
+	}
+	var q float64
+	for c := range sums {
+		if counts[c] > 0 {
+			q += sums[c] / float64(counts[c])
+		}
+	}
+	return q
+}
+
+// PercentDifference returns |a-b| / b × 100 — how the paper reports the
+// Table III gap between PIC's best-effort model and the IC solution.
+func PercentDifference(a, b float64) float64 {
+	if b == 0 {
+		panic("quality: percent difference against zero")
+	}
+	return math.Abs(a-b) / math.Abs(b) * 100
+}
+
+// MisclassificationRate is the fraction of samples whose predicted label
+// differs from the truth — the neural-network model error of Figure
+// 12(a).
+func MisclassificationRate(predicted, truth []int) float64 {
+	if len(predicted) != len(truth) {
+		panic(fmt.Sprintf("quality: %d predictions for %d labels", len(predicted), len(truth)))
+	}
+	if len(truth) == 0 {
+		panic("quality: empty evaluation set")
+	}
+	wrong := 0
+	for i := range truth {
+		if predicted[i] != truth[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(truth))
+}
+
+// MatchCentroids greedily pairs each reference centroid with its nearest
+// unmatched candidate and returns the summed pairing distance — the
+// "distance to the reference solution" K-means error metric of Figure
+// 12(b), made permutation-invariant.
+func MatchCentroids(candidates, reference []linalg.Vector) float64 {
+	if len(candidates) != len(reference) {
+		panic(fmt.Sprintf("quality: %d candidates for %d reference centroids", len(candidates), len(reference)))
+	}
+	used := make([]bool, len(candidates))
+	var total float64
+	for _, ref := range reference {
+		best, bestDist := -1, math.Inf(1)
+		for c, cand := range candidates {
+			if used[c] {
+				continue
+			}
+			if d := ref.Dist2(cand); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		used[best] = true
+		total += bestDist
+	}
+	return total
+}
+
+// VectorError returns the Euclidean distance between a candidate and a
+// golden solution vector — the linear-solver error metric of Figure
+// 12(c).
+func VectorError(candidate, golden linalg.Vector) float64 {
+	return candidate.Dist2(golden)
+}

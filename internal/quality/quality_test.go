@@ -1,0 +1,160 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestNearestCentroid(t *testing.T) {
+	centroids := []linalg.Vector{{0, 0}, {10, 0}, {0, 10}}
+	cases := []struct {
+		p    linalg.Vector
+		want int
+	}{
+		{linalg.Vector{1, 1}, 0},
+		{linalg.Vector{9, 1}, 1},
+		{linalg.Vector{1, 9}, 2},
+		{linalg.Vector{5, 0}, 0}, // tie breaks to lower index
+	}
+	for _, c := range cases {
+		if got := NearestCentroid(c.p, centroids); got != c.want {
+			t.Errorf("NearestCentroid(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestJagotaIndexPerfectClusters(t *testing.T) {
+	centroids := []linalg.Vector{{0, 0}, {100, 100}}
+	points := []linalg.Vector{{0, 0}, {100, 100}, {0, 0}}
+	if q := JagotaIndex(points, centroids); q != 0 {
+		t.Fatalf("Q = %v for points on centroids, want 0", q)
+	}
+}
+
+func TestJagotaIndexKnownValue(t *testing.T) {
+	centroids := []linalg.Vector{{0, 0}}
+	points := []linalg.Vector{{3, 4}, {0, 5}} // distances 5 and 5
+	if q := JagotaIndex(points, centroids); math.Abs(q-5) > 1e-12 {
+		t.Fatalf("Q = %v, want 5", q)
+	}
+}
+
+func TestJagotaIndexEmptyClusterIgnored(t *testing.T) {
+	centroids := []linalg.Vector{{0, 0}, {1000, 1000}}
+	points := []linalg.Vector{{1, 0}}
+	if q := JagotaIndex(points, centroids); math.Abs(q-1) > 1e-12 {
+		t.Fatalf("Q = %v, want 1", q)
+	}
+}
+
+func TestJagotaTighterClustersScoreLower(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centroids := []linalg.Vector{{0, 0}, {50, 50}}
+	tight := make([]linalg.Vector, 100)
+	loose := make([]linalg.Vector, 100)
+	for i := range tight {
+		c := centroids[i%2]
+		tight[i] = linalg.Vector{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()}
+		loose[i] = linalg.Vector{c[0] + rng.NormFloat64()*10, c[1] + rng.NormFloat64()*10}
+	}
+	if JagotaIndex(tight, centroids) >= JagotaIndex(loose, centroids) {
+		t.Fatal("tighter clusters did not score lower")
+	}
+}
+
+func TestPercentDifference(t *testing.T) {
+	if got := PercentDifference(2.112, 2.109); math.Abs(got-0.1422) > 0.01 {
+		t.Fatalf("PercentDifference = %v, want ≈0.14 (the paper's Table III)", got)
+	}
+	if got := PercentDifference(1, 2); got != 50 {
+		t.Fatalf("PercentDifference(1,2) = %v", got)
+	}
+}
+
+func TestMisclassificationRate(t *testing.T) {
+	if got := MisclassificationRate([]int{1, 2, 3, 4}, []int{1, 2, 0, 0}); got != 0.5 {
+		t.Fatalf("rate = %v, want 0.5", got)
+	}
+	if got := MisclassificationRate([]int{1}, []int{1}); got != 0 {
+		t.Fatalf("rate = %v, want 0", got)
+	}
+}
+
+func TestMisclassificationRatePanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { MisclassificationRate([]int{1}, []int{1, 2}) },
+		func() { MisclassificationRate(nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatchCentroidsPermutationInvariant(t *testing.T) {
+	ref := []linalg.Vector{{0, 0}, {10, 10}, {20, 0}}
+	permuted := []linalg.Vector{{20, 0}, {0, 0}, {10, 10}}
+	if d := MatchCentroids(permuted, ref); d != 0 {
+		t.Fatalf("distance = %v for permuted identical centroids", d)
+	}
+}
+
+func TestMatchCentroidsKnownDistance(t *testing.T) {
+	ref := []linalg.Vector{{0, 0}, {10, 0}}
+	cand := []linalg.Vector{{0, 3}, {10, 4}}
+	if d := MatchCentroids(cand, ref); math.Abs(d-7) > 1e-12 {
+		t.Fatalf("distance = %v, want 7", d)
+	}
+}
+
+func TestVectorError(t *testing.T) {
+	if got := VectorError(linalg.Vector{3, 4}, linalg.Vector{0, 0}); got != 5 {
+		t.Fatalf("VectorError = %v, want 5", got)
+	}
+}
+
+// Property: the Jagota index is non-negative and zero only when all
+// points sit on centroids.
+func TestQuickJagotaNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(4) + 1
+		centroids := make([]linalg.Vector, k)
+		for i := range centroids {
+			centroids[i] = linalg.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		}
+		points := make([]linalg.Vector, rng.Intn(30)+1)
+		for i := range points {
+			points[i] = linalg.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		}
+		return JagotaIndex(points, centroids) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matching a centroid set against itself is always zero.
+func TestQuickMatchSelfIsZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(6) + 1
+		cs := make([]linalg.Vector, k)
+		for i := range cs {
+			cs[i] = linalg.Vector{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		return MatchCentroids(cs, cs) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

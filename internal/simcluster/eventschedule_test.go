@@ -1,0 +1,148 @@
+package simcluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestEventScheduleSingleTask(t *testing.T) {
+	c := New(testConfig())
+	pl, makespan := c.EventSchedule([]Task{{Cost: 50, Preferred: -1}}, 2)
+	if makespan != 5 || pl[0].End != 5 {
+		t.Fatalf("makespan=%v placement=%+v", makespan, pl[0])
+	}
+}
+
+func TestEventScheduleLocalityPreference(t *testing.T) {
+	// Locality in the event scheduler is slot-driven: a freed slot
+	// takes its node's earliest local task, falling back to FIFO. With
+	// one slot per node, every task lands on its preferred node.
+	c := New(testConfig())
+	tasks := []Task{
+		{Cost: 10, Preferred: 3},
+		{Cost: 10, Preferred: 2},
+		{Cost: 10, Preferred: 1},
+		{Cost: 10, Preferred: 0},
+	}
+	pl, _ := c.EventSchedule(tasks, 1)
+	for i, p := range pl {
+		if p.Node != tasks[i].Preferred {
+			t.Fatalf("task %d placed on %d, want %d", i, p.Node, tasks[i].Preferred)
+		}
+		if !p.Local {
+			t.Fatalf("task %d not marked local", i)
+		}
+	}
+}
+
+func TestEventScheduleWaves(t *testing.T) {
+	c := New(testConfig()) // 8 map slots
+	tasks := make([]Task, 9)
+	for i := range tasks {
+		tasks[i] = Task{Cost: 10, Preferred: -1}
+	}
+	pl, makespan := c.EventSchedule(tasks, 2)
+	if makespan != 2 {
+		t.Fatalf("makespan = %v, want 2", makespan)
+	}
+	ordered := sortedByStart(pl)
+	if ordered[8].Start != 1 {
+		t.Fatalf("overflow task starts at %v", ordered[8].Start)
+	}
+}
+
+func TestEventScheduleRejectsBadInputs(t *testing.T) {
+	c := New(testConfig())
+	for _, fn := range []func(){
+		func() { c.EventSchedule([]Task{{Cost: 1}}, 0) },
+		func() { c.EventSchedule([]Task{{Cost: -1}}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad input did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the event-driven scheduler and the greedy list scheduler
+// agree exactly on makespan for preference-free workloads, and within
+// the classic list-scheduling bounds otherwise. Both always respect the
+// work and critical-path lower bounds.
+func TestQuickEventScheduleCrossValidation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(testConfig())
+		n := rng.Intn(30) + 1
+		withPrefs := rng.Intn(2) == 0
+		tasks := make([]Task, n)
+		var total, longest float64
+		for i := range tasks {
+			cost := float64(rng.Intn(100) + 1)
+			pref := -1
+			if withPrefs {
+				pref = rng.Intn(4)
+			}
+			tasks[i] = Task{Cost: cost, Preferred: pref}
+			total += cost
+			if cost > longest {
+				longest = cost
+			}
+		}
+		_, listMakespan := c.Schedule(tasks, 2)
+		_, eventMakespan := c.EventSchedule(tasks, 2)
+
+		lower := simtime.Duration(total / 10 / 8)
+		if l := simtime.Duration(longest / 10); l > lower {
+			lower = l
+		}
+		// Graham's bound: any greedy list schedule is within 2x of any
+		// other (both are ≤ 2·OPT and ≥ OPT ≥ lower).
+		if eventMakespan < lower-1e-9 || listMakespan < lower-1e-9 {
+			return false
+		}
+		if eventMakespan > 2*listMakespan+1e-9 || listMakespan > 2*eventMakespan+1e-9 {
+			return false
+		}
+		if !withPrefs && eventMakespan != listMakespan {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the event scheduler is deterministic.
+func TestQuickEventScheduleDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(testConfig())
+		n := rng.Intn(20) + 1
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = Task{Cost: float64(rng.Intn(50)), Preferred: rng.Intn(4)}
+		}
+		a, ma := c.EventSchedule(tasks, 2)
+		b, mb := c.EventSchedule(tasks, 2)
+		if ma != mb {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

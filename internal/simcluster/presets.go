@@ -1,0 +1,58 @@
+package simcluster
+
+// Presets mirroring the three testbeds of the PIC paper (§V-A). Compute
+// rates are in abstract cost units per second; the applications' cost
+// models are expressed in the same units, so only ratios between compute
+// and network speeds matter.
+
+// GigE is Gigabit Ethernet NIC bandwidth in bytes per second.
+const GigE = 125e6
+
+// Small returns the paper's 6-node research testbed: one rack, one
+// Gigabit switch, 24 map and 24 reduce slots.
+func Small() Config {
+	return Config{
+		Nodes:              6,
+		RackSize:           6,
+		MapSlotsPerNode:    4,
+		ReduceSlotsPerNode: 4,
+		ComputeRate:        1e9,
+		NodeBandwidth:      GigE,
+		RackBandwidth:      6 * GigE, // single switch: no rack uplink bottleneck
+		CoreBandwidth:      6 * GigE,
+	}
+}
+
+// Medium returns the paper's 64-node production cluster: 6 racks on a
+// Gigabit interconnect, 330 map and 110 reduce slots (≈5 and 2 per
+// node). The core is oversubscribed roughly 3:1, typical of production
+// Hadoop clusters of the era.
+func Medium() Config {
+	return Config{
+		Nodes:              64,
+		RackSize:           11,
+		MapSlotsPerNode:    5,
+		ReduceSlotsPerNode: 2,
+		ComputeRate:        1.2e9,
+		NodeBandwidth:      GigE,
+		RackBandwidth:      4 * GigE,
+		CoreBandwidth:      12 * GigE,
+	}
+}
+
+// Large returns the paper's Amazon Elastic MapReduce testbed scaled to n
+// extra-large instances (64 ≤ n ≤ 256 in the paper): 16-node racks,
+// 4 map and 2 reduce slots per instance, and a core whose bisection does
+// not grow with n — the scarce resource of §I.
+func Large(n int) Config {
+	return Config{
+		Nodes:              n,
+		RackSize:           16,
+		MapSlotsPerNode:    4,
+		ReduceSlotsPerNode: 2,
+		ComputeRate:        1e9,
+		NodeBandwidth:      GigE,
+		RackBandwidth:      6 * GigE,
+		CoreBandwidth:      24 * GigE,
+	}
+}

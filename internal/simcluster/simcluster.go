@@ -1,0 +1,251 @@
+// Package simcluster models the compute side of a shared-nothing
+// cluster: nodes with a fixed number of map and reduce task slots,
+// grouped into racks, attached to a simnet fabric. The MapReduce runtime
+// schedules tasks onto slots through this package and charges network
+// transfers through the shared fabric.
+//
+// A Cluster value is a *view*: a subset of the nodes of one physical
+// fabric. Sub-cluster views are how the PIC best-effort phase confines a
+// sub-problem to a node group — jobs scheduled on a view only use that
+// view's nodes, while traffic from all views meets in the one fabric.
+package simcluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+// Config describes a cluster: its size, slot counts, compute speed, and
+// interconnect.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// RackSize is the number of nodes per rack.
+	RackSize int
+	// MapSlotsPerNode and ReduceSlotsPerNode bound per-node task
+	// concurrency, like Hadoop's slot model.
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// ComputeRate is how many task cost units one slot retires per
+	// simulated second.
+	ComputeRate float64
+	// NodeRateFactors optionally scales each node's compute rate
+	// (heterogeneous hardware: a factor of 0.5 makes a node half
+	// speed). Empty means uniform; otherwise it must have one entry
+	// per node, each positive.
+	NodeRateFactors []float64
+	// NodeBandwidth, RackBandwidth and CoreBandwidth configure the
+	// fabric (bytes/second); see simnet.Config.
+	NodeBandwidth float64
+	RackBandwidth float64
+	CoreBandwidth float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.MapSlotsPerNode <= 0 || c.ReduceSlotsPerNode <= 0 {
+		return fmt.Errorf("simcluster: slot counts must be positive (map=%d reduce=%d)",
+			c.MapSlotsPerNode, c.ReduceSlotsPerNode)
+	}
+	if c.ComputeRate <= 0 {
+		return fmt.Errorf("simcluster: ComputeRate = %g, must be positive", c.ComputeRate)
+	}
+	if len(c.NodeRateFactors) != 0 {
+		if len(c.NodeRateFactors) != c.Nodes {
+			return fmt.Errorf("simcluster: %d rate factors for %d nodes", len(c.NodeRateFactors), c.Nodes)
+		}
+		for i, f := range c.NodeRateFactors {
+			if f <= 0 {
+				return fmt.Errorf("simcluster: node %d rate factor %g, must be positive", i, f)
+			}
+		}
+	}
+	return c.NetConfig().Validate()
+}
+
+// NetConfig derives the fabric configuration.
+func (c Config) NetConfig() simnet.Config {
+	return simnet.Config{
+		Nodes:         c.Nodes,
+		RackSize:      c.RackSize,
+		NodeBandwidth: c.NodeBandwidth,
+		CoreBandwidth: c.CoreBandwidth,
+		RackBandwidth: c.RackBandwidth,
+	}
+}
+
+// Cluster is a scheduling view over (a subset of) a fabric's nodes.
+type Cluster struct {
+	cfg    Config
+	fabric *simnet.Fabric
+	nodes  []int // sorted global node ids in this view
+}
+
+// New builds a full-cluster view and its fabric. It panics on an invalid
+// configuration; topologies come from experiment code, not user input.
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nodes := make([]int, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return &Cluster{cfg: cfg, fabric: simnet.New(cfg.NetConfig()), nodes: nodes}
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Fabric returns the shared interconnect. All views over the same
+// physical cluster return the same fabric.
+func (c *Cluster) Fabric() *simnet.Fabric { return c.fabric }
+
+// Nodes returns the global ids of the nodes in this view. The caller
+// must not modify the returned slice.
+func (c *Cluster) Nodes() []int { return c.nodes }
+
+// Size reports the number of nodes in this view.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// MapSlots reports the total map slots in this view.
+func (c *Cluster) MapSlots() int { return len(c.nodes) * c.cfg.MapSlotsPerNode }
+
+// ReduceSlots reports the total reduce slots in this view.
+func (c *Cluster) ReduceSlots() int { return len(c.nodes) * c.cfg.ReduceSlotsPerNode }
+
+// Subset returns a view restricted to the given global node ids, sharing
+// this view's fabric and counters.
+func (c *Cluster) Subset(nodes []int) *Cluster {
+	if len(nodes) == 0 {
+		panic("simcluster: empty subset")
+	}
+	sorted := append([]int(nil), nodes...)
+	sort.Ints(sorted)
+	for i, n := range sorted {
+		if n < 0 || n >= c.cfg.Nodes {
+			panic(fmt.Sprintf("simcluster: node %d out of range", n))
+		}
+		if i > 0 && sorted[i-1] == n {
+			panic(fmt.Sprintf("simcluster: duplicate node %d in subset", n))
+		}
+	}
+	return &Cluster{cfg: c.cfg, fabric: c.fabric, nodes: sorted}
+}
+
+// Groups splits this view into p disjoint sub-views of near-equal size,
+// assigning contiguous node ranges so that groups align with racks
+// whenever the arithmetic allows. It panics if p exceeds the view size.
+func (c *Cluster) Groups(p int) []*Cluster {
+	if p <= 0 || p > len(c.nodes) {
+		panic(fmt.Sprintf("simcluster: cannot split %d nodes into %d groups", len(c.nodes), p))
+	}
+	groups := make([]*Cluster, p)
+	for i := 0; i < p; i++ {
+		lo := i * len(c.nodes) / p
+		hi := (i + 1) * len(c.nodes) / p
+		groups[i] = c.Subset(c.nodes[lo:hi])
+	}
+	return groups
+}
+
+// Task is one unit of schedulable work.
+type Task struct {
+	// Cost is the compute demand in cost units; duration on a slot is
+	// Cost / ComputeRate.
+	Cost float64
+	// Preferred is the global id of the node holding the task's input
+	// (for locality), or -1 for no preference.
+	Preferred int
+}
+
+// Placement records where and when a scheduled task ran, in time
+// relative to the start of its wave.
+type Placement struct {
+	Node       int
+	Start, End simtime.Time
+	// Local reports whether the task ran on its preferred node (always
+	// true when there was no preference).
+	Local bool
+}
+
+// Schedule assigns tasks to slots using greedy earliest-start list
+// scheduling with locality preference: when several slots could start a
+// task at the same earliest time, a slot on the task's preferred node
+// wins. It returns the placements and the makespan. Scheduling is
+// deterministic.
+//
+// slotsPerNode selects the slot pool (use Config.MapSlotsPerNode or
+// ReduceSlotsPerNode).
+func (c *Cluster) Schedule(tasks []Task, slotsPerNode int) ([]Placement, simtime.Duration) {
+	if slotsPerNode <= 0 {
+		panic("simcluster: slotsPerNode must be positive")
+	}
+	// free[i] holds the sorted free times of node c.nodes[i]'s slots.
+	free := make([][]simtime.Time, len(c.nodes))
+	for i := range free {
+		free[i] = make([]simtime.Time, slotsPerNode)
+	}
+	index := make(map[int]int, len(c.nodes)) // global node id -> view index
+	for i, n := range c.nodes {
+		index[n] = i
+	}
+
+	placements := make([]Placement, len(tasks))
+	var makespan simtime.Duration
+	for ti, task := range tasks {
+		if task.Cost < 0 {
+			panic("simcluster: negative task cost")
+		}
+		// Earliest slot availability across the view.
+		best := free[0][0]
+		for _, f := range free[1:] {
+			if f[0] < best {
+				best = f[0]
+			}
+		}
+		// Prefer the task's home node when it can start equally early.
+		chosen := -1
+		if pi, ok := index[task.Preferred]; ok && free[pi][0] == best {
+			chosen = pi
+		} else {
+			for i, f := range free {
+				if f[0] == best {
+					chosen = i
+					break
+				}
+			}
+		}
+		dur := simtime.Duration(task.Cost / c.nodeRate(c.nodes[chosen]))
+		end := best + dur
+		placements[ti] = Placement{
+			Node:  c.nodes[chosen],
+			Start: best,
+			End:   end,
+			Local: task.Preferred < 0 || c.nodes[chosen] == task.Preferred,
+		}
+		// Re-insert the slot's new free time, keeping the list sorted.
+		f := free[chosen]
+		f[0] = end
+		for j := 1; j < len(f) && f[j] < f[j-1]; j++ {
+			f[j], f[j-1] = f[j-1], f[j]
+		}
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return placements, makespan
+}
+
+// nodeRate is the compute rate of global node n, after any
+// heterogeneous rate factor.
+func (c *Cluster) nodeRate(n int) float64 {
+	rate := c.cfg.ComputeRate
+	if len(c.cfg.NodeRateFactors) > 0 {
+		rate *= c.cfg.NodeRateFactors[n]
+	}
+	return rate
+}

@@ -1,0 +1,35 @@
+package simnet
+
+import "testing"
+
+func benchFlows(n int) []Flow {
+	flows := make([]Flow, n)
+	for i := range flows {
+		flows[i] = Flow{Src: i % 8, Dst: (i + 3) % 8, Bytes: int64(1000 + i)}
+	}
+	return flows
+}
+
+func BenchmarkTransferTime64Flows(b *testing.B) {
+	f := New(testConfig())
+	flows := benchFlows(64)
+	for i := 0; i < b.N; i++ {
+		f.TransferTime(flows)
+	}
+}
+
+func BenchmarkMaxMinTransferTime64Flows(b *testing.B) {
+	f := New(testConfig())
+	flows := benchFlows(64)
+	for i := 0; i < b.N; i++ {
+		f.MaxMinTransferTime(flows)
+	}
+}
+
+func BenchmarkRecord64Flows(b *testing.B) {
+	f := New(testConfig())
+	flows := benchFlows(64)
+	for i := 0; i < b.N; i++ {
+		f.Record(flows)
+	}
+}

@@ -1,0 +1,121 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func approx(a, b simtime.Duration) bool { return math.Abs(float64(a-b)) < 1e-6 }
+
+func TestMaxMinSingleFlow(t *testing.T) {
+	f := New(testConfig())
+	d := f.MaxMinTransferTime([]Flow{{Src: 0, Dst: 1, Bytes: 1000}})
+	if !approx(d, 10) { // 1000 B at 100 B/s NIC
+		t.Fatalf("duration = %v, want 10", d)
+	}
+}
+
+func TestMaxMinSharedDownlinkSerializes(t *testing.T) {
+	f := New(testConfig())
+	// Two equal flows into node 0: each gets half the downlink, both
+	// finish together at 2x the solo time.
+	d := f.MaxMinTransferTime([]Flow{
+		{Src: 1, Dst: 0, Bytes: 1000},
+		{Src: 2, Dst: 0, Bytes: 1000},
+	})
+	if !approx(d, 20) {
+		t.Fatalf("duration = %v, want 20", d)
+	}
+}
+
+func TestMaxMinProgressiveSpeedup(t *testing.T) {
+	f := New(testConfig())
+	// A short and a long flow share a downlink. The short one finishes
+	// at t=10 (500 B at 50 B/s); the long one then gets the full link:
+	// 500 B done at t=10, 1500 left at 100 B/s -> t=25.
+	d := f.MaxMinTransferTime([]Flow{
+		{Src: 1, Dst: 0, Bytes: 500},
+		{Src: 2, Dst: 0, Bytes: 2000},
+	})
+	if !approx(d, 25) {
+		t.Fatalf("duration = %v, want 25", d)
+	}
+}
+
+func TestMaxMinDisjointFlowsRunInParallel(t *testing.T) {
+	f := New(testConfig())
+	d := f.MaxMinTransferTime([]Flow{
+		{Src: 0, Dst: 1, Bytes: 1000},
+		{Src: 2, Dst: 3, Bytes: 1000},
+	})
+	if !approx(d, 10) {
+		t.Fatalf("duration = %v, want 10", d)
+	}
+}
+
+func TestMaxMinLocalAndEmptyFlowsFree(t *testing.T) {
+	f := New(testConfig())
+	if d := f.MaxMinTransferTime([]Flow{{Src: 1, Dst: 1, Bytes: 500}, {Src: 0, Dst: 1, Bytes: 0}}); d != 0 {
+		t.Fatalf("duration = %v, want 0", d)
+	}
+	if d := f.MaxMinTransferTime(nil); d != 0 {
+		t.Fatalf("duration = %v, want 0", d)
+	}
+}
+
+func TestMaxMinCrossRackUsesCore(t *testing.T) {
+	cfg := testConfig()
+	cfg.CoreBandwidth = 50 // slower than any NIC
+	f := New(cfg)
+	d := f.MaxMinTransferTime([]Flow{{Src: 0, Dst: 4, Bytes: 1000}})
+	if !approx(d, 20) { // 1000/50
+		t.Fatalf("duration = %v, want 20", d)
+	}
+}
+
+// Property: the max-min completion time is never below the bottleneck
+// bound and never above fully serialized execution.
+func TestQuickMaxMinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fab := New(testConfig())
+		n := rng.Intn(12) + 1
+		flows := make([]Flow, n)
+		var serial simtime.Duration
+		for i := range flows {
+			flows[i] = Flow{Src: rng.Intn(8), Dst: rng.Intn(8), Bytes: int64(rng.Intn(5000))}
+			serial += fab.TransferTime(flows[i : i+1])
+		}
+		mm := fab.MaxMinTransferTime(flows)
+		lower := fab.TransferTime(flows)
+		return mm >= lower-1e-6 && mm <= serial+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max-min time is monotone in flow sizes.
+func TestQuickMaxMinMonotoneInBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fab := New(testConfig())
+		n := rng.Intn(8) + 1
+		flows := make([]Flow, n)
+		for i := range flows {
+			flows[i] = Flow{Src: rng.Intn(8), Dst: rng.Intn(8), Bytes: int64(rng.Intn(3000) + 1)}
+		}
+		base := fab.MaxMinTransferTime(flows)
+		grown := make([]Flow, n)
+		copy(grown, flows)
+		grown[rng.Intn(n)].Bytes *= 2
+		return fab.MaxMinTransferTime(grown) >= base-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

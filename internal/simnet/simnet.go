@@ -1,0 +1,194 @@
+// Package simnet models the cluster interconnect: a two-level tree of
+// node NICs feeding rack switches that attach to an (oversubscribed)
+// core switch. This is the topology whose bisection bandwidth the PIC
+// paper identifies as the scarce resource stressed by MapReduce shuffle
+// traffic.
+//
+// The fabric uses a bottleneck transfer model: the time for a set of
+// concurrent flows is the utilization of the most-loaded resource (a node
+// uplink or downlink, a rack uplink or downlink, or the core). The model
+// is deterministic, conserves bytes, and captures the property that
+// matters for PIC — cross-rack traffic contends for core bandwidth that
+// does not grow with cluster size, while intra-node transfers are free.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Config describes the fabric topology and link speeds.
+type Config struct {
+	// Nodes is the number of compute nodes attached to the fabric.
+	Nodes int
+	// RackSize is the number of nodes per rack. The last rack may be
+	// partially filled.
+	RackSize int
+	// NodeBandwidth is the full-duplex NIC speed per direction, in
+	// bytes per second (1 GbE ≈ 125e6).
+	NodeBandwidth float64
+	// CoreBandwidth is the aggregate bisection bandwidth of the core,
+	// in bytes per second. Cross-rack traffic in either direction
+	// shares it.
+	CoreBandwidth float64
+	// RackBandwidth is the uplink speed of each rack switch to the
+	// core, per direction, in bytes per second.
+	RackBandwidth float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("simnet: Nodes = %d, must be positive", c.Nodes)
+	case c.RackSize <= 0:
+		return fmt.Errorf("simnet: RackSize = %d, must be positive", c.RackSize)
+	case c.NodeBandwidth <= 0:
+		return fmt.Errorf("simnet: NodeBandwidth = %g, must be positive", c.NodeBandwidth)
+	case c.CoreBandwidth <= 0:
+		return fmt.Errorf("simnet: CoreBandwidth = %g, must be positive", c.CoreBandwidth)
+	case c.RackBandwidth <= 0:
+		return fmt.Errorf("simnet: RackBandwidth = %g, must be positive", c.RackBandwidth)
+	}
+	return nil
+}
+
+// Racks reports the number of racks implied by the configuration.
+func (c Config) Racks() int { return (c.Nodes + c.RackSize - 1) / c.RackSize }
+
+// Flow is a point-to-point transfer of Bytes from node Src to node Dst.
+// A flow with Src == Dst is an in-memory hand-off: it takes no time and
+// is not counted as network traffic.
+type Flow struct {
+	Src, Dst int
+	Bytes    int64
+}
+
+// Counters accumulates the traffic a fabric has carried. All fields are
+// bytes.
+type Counters struct {
+	// Total is every byte that crossed a node boundary.
+	Total int64
+	// CrossRack is the subset of Total that crossed the core switch.
+	CrossRack int64
+	// IntraRack is the subset of Total that stayed within one rack.
+	IntraRack int64
+	// Local is bytes "transferred" within a single node (free).
+	Local int64
+	// Transfers counts network flows (Src != Dst, Bytes > 0).
+	Transfers int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Total += o.Total
+	c.CrossRack += o.CrossRack
+	c.IntraRack += o.IntraRack
+	c.Local += o.Local
+	c.Transfers += o.Transfers
+}
+
+// Fabric is an instantiated interconnect with traffic counters.
+type Fabric struct {
+	cfg      Config
+	counters Counters
+}
+
+// New builds a fabric from cfg. It panics if cfg is invalid; topology
+// parameters come from experiment code, not user input.
+func New(cfg Config) *Fabric {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Fabric{cfg: cfg}
+}
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Rack reports the rack that node n belongs to.
+func (f *Fabric) Rack(n int) int {
+	if n < 0 || n >= f.cfg.Nodes {
+		panic(fmt.Sprintf("simnet: node %d out of range [0,%d)", n, f.cfg.Nodes))
+	}
+	return n / f.cfg.RackSize
+}
+
+// Counters returns a snapshot of the traffic carried so far.
+func (f *Fabric) Counters() Counters { return f.counters }
+
+// ResetCounters zeroes the traffic counters.
+func (f *Fabric) ResetCounters() { f.counters = Counters{} }
+
+// TransferTime computes, without recording any traffic, how long the
+// given set of concurrent flows takes under the bottleneck model.
+func (f *Fabric) TransferTime(flows []Flow) simtime.Duration {
+	up := make(map[int]int64)   // node -> egress bytes
+	down := make(map[int]int64) // node -> ingress bytes
+	rackUp := make(map[int]int64)
+	rackDown := make(map[int]int64)
+	var core int64
+	for _, fl := range flows {
+		if fl.Bytes < 0 {
+			panic("simnet: negative flow size")
+		}
+		if fl.Src == fl.Dst || fl.Bytes == 0 {
+			continue
+		}
+		up[fl.Src] += fl.Bytes
+		down[fl.Dst] += fl.Bytes
+		sr, dr := f.Rack(fl.Src), f.Rack(fl.Dst)
+		if sr != dr {
+			core += fl.Bytes
+			rackUp[sr] += fl.Bytes
+			rackDown[dr] += fl.Bytes
+		}
+	}
+	var worst simtime.Duration
+	for _, b := range up {
+		worst = max(worst, simtime.Duration(float64(b)/f.cfg.NodeBandwidth))
+	}
+	for _, b := range down {
+		worst = max(worst, simtime.Duration(float64(b)/f.cfg.NodeBandwidth))
+	}
+	for _, b := range rackUp {
+		worst = max(worst, simtime.Duration(float64(b)/f.cfg.RackBandwidth))
+	}
+	for _, b := range rackDown {
+		worst = max(worst, simtime.Duration(float64(b)/f.cfg.RackBandwidth))
+	}
+	worst = max(worst, simtime.Duration(float64(core)/f.cfg.CoreBandwidth))
+	return worst
+}
+
+// Transfer records the traffic of the given concurrent flows and returns
+// the time they take. It is the combination of Record and TransferTime.
+func (f *Fabric) Transfer(flows []Flow) simtime.Duration {
+	f.Record(flows)
+	return f.TransferTime(flows)
+}
+
+// Record accumulates the byte counters for flows without computing a
+// duration. Use it when a higher-level model charges time separately.
+func (f *Fabric) Record(flows []Flow) {
+	for _, fl := range flows {
+		if fl.Bytes < 0 {
+			panic("simnet: negative flow size")
+		}
+		if fl.Bytes == 0 {
+			continue
+		}
+		if fl.Src == fl.Dst {
+			f.counters.Local += fl.Bytes
+			continue
+		}
+		f.counters.Total += fl.Bytes
+		f.counters.Transfers++
+		if f.Rack(fl.Src) != f.Rack(fl.Dst) {
+			f.counters.CrossRack += fl.Bytes
+		} else {
+			f.counters.IntraRack += fl.Bytes
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func testConfig() Config {
+	return Config{
+		Nodes:         8,
+		RackSize:      4,
+		NodeBandwidth: 100,
+		CoreBandwidth: 200,
+		RackBandwidth: 150,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Nodes: -1, RackSize: 4, NodeBandwidth: 1, CoreBandwidth: 1, RackBandwidth: 1},
+		{Nodes: 4, RackSize: 0, NodeBandwidth: 1, CoreBandwidth: 1, RackBandwidth: 1},
+		{Nodes: 4, RackSize: 4, NodeBandwidth: 0, CoreBandwidth: 1, RackBandwidth: 1},
+		{Nodes: 4, RackSize: 4, NodeBandwidth: 1, CoreBandwidth: 0, RackBandwidth: 1},
+		{Nodes: 4, RackSize: 4, NodeBandwidth: 1, CoreBandwidth: 1, RackBandwidth: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRacks(t *testing.T) {
+	cases := []struct {
+		nodes, rackSize, want int
+	}{
+		{8, 4, 2}, {9, 4, 3}, {1, 4, 1}, {4, 4, 1}, {64, 16, 4},
+	}
+	for _, c := range cases {
+		cfg := Config{Nodes: c.nodes, RackSize: c.rackSize, NodeBandwidth: 1, CoreBandwidth: 1, RackBandwidth: 1}
+		if got := cfg.Racks(); got != c.want {
+			t.Errorf("Racks(%d nodes, %d/rack) = %d, want %d", c.nodes, c.rackSize, got, c.want)
+		}
+	}
+}
+
+func TestRackAssignment(t *testing.T) {
+	f := New(testConfig())
+	for n := 0; n < 8; n++ {
+		want := n / 4
+		if got := f.Rack(n); got != want {
+			t.Errorf("Rack(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRackOutOfRangePanics(t *testing.T) {
+	f := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("Rack(-1) did not panic")
+		}
+	}()
+	f.Rack(-1)
+}
+
+func TestLocalFlowIsFree(t *testing.T) {
+	f := New(testConfig())
+	d := f.Transfer([]Flow{{Src: 3, Dst: 3, Bytes: 1 << 20}})
+	if d != 0 {
+		t.Fatalf("local flow took %v, want 0", d)
+	}
+	c := f.Counters()
+	if c.Total != 0 || c.Local != 1<<20 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestIntraRackTransferTime(t *testing.T) {
+	f := New(testConfig())
+	// 1000 bytes node 0 -> node 1, same rack: bottleneck is the NIC.
+	d := f.Transfer([]Flow{{Src: 0, Dst: 1, Bytes: 1000}})
+	if want := simtime.Duration(10); d != want {
+		t.Fatalf("duration = %v, want %v", d, want)
+	}
+	c := f.Counters()
+	if c.IntraRack != 1000 || c.CrossRack != 0 || c.Total != 1000 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestCrossRackUsesCore(t *testing.T) {
+	f := New(testConfig())
+	d := f.Transfer([]Flow{{Src: 0, Dst: 4, Bytes: 1000}})
+	// NIC: 1000/100 = 10s; rack uplink: 1000/150 ≈ 6.67s; core: 1000/200 = 5s.
+	if want := simtime.Duration(10); d != want {
+		t.Fatalf("duration = %v, want %v", d, want)
+	}
+	c := f.Counters()
+	if c.CrossRack != 1000 || c.IntraRack != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestRackUplinkBecomesBottleneck(t *testing.T) {
+	f := New(testConfig())
+	// Four parallel cross-rack flows of 1000 bytes from distinct sources
+	// to distinct destinations: each NIC carries 1000 (10s), the core
+	// carries 4000 (20s), rack 0's uplink carries 4000 (4000/150 ≈
+	// 26.67s) -> rack uplink dominates.
+	flows := []Flow{
+		{Src: 0, Dst: 4, Bytes: 1000},
+		{Src: 1, Dst: 5, Bytes: 1000},
+		{Src: 2, Dst: 6, Bytes: 1000},
+		{Src: 3, Dst: 7, Bytes: 1000},
+	}
+	d := f.TransferTime(flows)
+	if want := simtime.Duration(4000.0 / 150.0); d != want {
+		t.Fatalf("duration = %v, want %v", d, want)
+	}
+}
+
+func TestCoreBecomesBottleneck(t *testing.T) {
+	cfg := testConfig()
+	cfg.RackBandwidth = 10000 // rack uplinks out of the way
+	f := New(cfg)
+	flows := []Flow{
+		{Src: 0, Dst: 4, Bytes: 1000},
+		{Src: 1, Dst: 5, Bytes: 1000},
+		{Src: 2, Dst: 6, Bytes: 1000},
+		{Src: 3, Dst: 7, Bytes: 1000},
+	}
+	// Core carries 4000 at 200 B/s -> 20s, beating the 10s NIC time.
+	d := f.TransferTime(flows)
+	if want := simtime.Duration(20); d != want {
+		t.Fatalf("duration = %v, want %v", d, want)
+	}
+}
+
+func TestParallelIntraRackScales(t *testing.T) {
+	f := New(testConfig())
+	// Two disjoint intra-rack flows proceed in parallel: same time as one.
+	one := f.TransferTime([]Flow{{Src: 0, Dst: 1, Bytes: 1000}})
+	two := f.TransferTime([]Flow{
+		{Src: 0, Dst: 1, Bytes: 1000},
+		{Src: 2, Dst: 3, Bytes: 1000},
+	})
+	if one != two {
+		t.Fatalf("parallel disjoint flows: one=%v two=%v", one, two)
+	}
+}
+
+func TestFanInCongestsDownlink(t *testing.T) {
+	f := New(testConfig())
+	// Three nodes send 1000 bytes each to node 0: downlink carries 3000.
+	flows := []Flow{
+		{Src: 1, Dst: 0, Bytes: 1000},
+		{Src: 2, Dst: 0, Bytes: 1000},
+		{Src: 3, Dst: 0, Bytes: 1000},
+	}
+	d := f.TransferTime(flows)
+	if want := simtime.Duration(30); d != want {
+		t.Fatalf("duration = %v, want %v", d, want)
+	}
+}
+
+func TestZeroByteFlowIgnored(t *testing.T) {
+	f := New(testConfig())
+	d := f.Transfer([]Flow{{Src: 0, Dst: 1, Bytes: 0}})
+	if d != 0 {
+		t.Fatalf("zero-byte flow took %v", d)
+	}
+	if c := f.Counters(); c.Total != 0 || c.Transfers != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestNegativeFlowPanics(t *testing.T) {
+	f := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("negative flow did not panic")
+		}
+	}()
+	f.Record([]Flow{{Src: 0, Dst: 1, Bytes: -1}})
+}
+
+func TestResetCounters(t *testing.T) {
+	f := New(testConfig())
+	f.Record([]Flow{{Src: 0, Dst: 5, Bytes: 10}})
+	f.ResetCounters()
+	if c := f.Counters(); c != (Counters{}) {
+		t.Fatalf("counters after reset = %+v", c)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Total: 1, CrossRack: 2, IntraRack: 3, Local: 4, Transfers: 5}
+	b := Counters{Total: 10, CrossRack: 20, IntraRack: 30, Local: 40, Transfers: 50}
+	a.Add(b)
+	want := Counters{Total: 11, CrossRack: 22, IntraRack: 33, Local: 44, Transfers: 55}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+// Property: Total == CrossRack + IntraRack, and recording is additive.
+func TestQuickByteConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fab := New(testConfig())
+		var wantTotal, wantLocal int64
+		n := rng.Intn(30)
+		flows := make([]Flow, 0, n)
+		for i := 0; i < n; i++ {
+			fl := Flow{Src: rng.Intn(8), Dst: rng.Intn(8), Bytes: int64(rng.Intn(1000))}
+			flows = append(flows, fl)
+			if fl.Src == fl.Dst {
+				wantLocal += fl.Bytes
+			} else {
+				wantTotal += fl.Bytes
+			}
+		}
+		fab.Record(flows)
+		c := fab.Counters()
+		return c.Total == wantTotal && c.Local == wantLocal && c.Total == c.CrossRack+c.IntraRack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transfer time is monotone — adding a flow never makes the
+// set finish sooner.
+func TestQuickMonotoneTransferTime(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fab := New(testConfig())
+		n := rng.Intn(20) + 1
+		flows := make([]Flow, n)
+		for i := range flows {
+			flows[i] = Flow{Src: rng.Intn(8), Dst: rng.Intn(8), Bytes: int64(rng.Intn(5000))}
+		}
+		prev := simtime.Duration(0)
+		for i := 1; i <= n; i++ {
+			d := fab.TransferTime(flows[:i])
+			if d < prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

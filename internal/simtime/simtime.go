@@ -1,0 +1,96 @@
+// Package simtime provides the virtual clock and discrete-event engine
+// that the cluster simulator runs on. All durations in the simulator are
+// expressed in simulated seconds; nothing in this package consults wall
+// time, so every simulation is deterministic and reproducible.
+package simtime
+
+import "container/heap"
+
+// Time is a point on the simulated clock, in seconds since the start of
+// the simulation.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration = Time
+
+// Engine is a discrete-event executor. Events are run in timestamp
+// order; events with equal timestamps run in the order they were
+// scheduled (FIFO), which keeps simulations deterministic.
+type Engine struct {
+	now  Time
+	next int64
+	pq   eventQueue
+}
+
+// NewEngine returns an engine with the clock at zero and no pending
+// events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run when the clock reaches t. Scheduling in the
+// past panics: discrete-event time only moves forward.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("simtime: event scheduled in the past")
+	}
+	heap.Push(&e.pq, &event{at: t, seq: e.next, fn: fn})
+	e.next++
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if e.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final
+// clock value.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// Pending reports the number of events waiting to run.
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

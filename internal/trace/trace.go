@@ -1,0 +1,170 @@
+// Package trace records a structured timeline of a simulated execution:
+// every job, model write, transfer burst and phase boundary, with its
+// start time, duration and byte counts on the simulated clock. The
+// timeline renders as text for debugging and as a compact Gantt-style
+// view per phase — the observability layer of the runtime.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Kind classifies a timeline event.
+type Kind string
+
+// The recorded event kinds.
+const (
+	KindJob        Kind = "job"
+	KindLocalJob   Kind = "local-job"
+	KindModelWrite Kind = "model-write"
+	KindTransfer   Kind = "transfer"
+	KindPhase      Kind = "phase"
+)
+
+// Event is one entry on the timeline.
+type Event struct {
+	Kind  Kind
+	Name  string
+	Start simtime.Time
+	End   simtime.Time
+	Bytes int64
+	// Lane groups events that proceed in parallel (e.g. one lane per
+	// best-effort node group). Lane 0 is the driver.
+	Lane int
+}
+
+// Duration is the event's extent.
+func (e Event) Duration() simtime.Duration { return e.End - e.Start }
+
+// Tracer accumulates events. The zero value is ready to use; a nil
+// *Tracer ignores all records, so callers never need nil checks.
+type Tracer struct {
+	events []Event
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Record appends an event. Recording on a nil tracer is a no-op.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	if e.End < e.Start {
+		panic("trace: event ends before it starts")
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded events sorted by start time (ties by
+// insertion order).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := append([]Event(nil), t.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Span reports the timeline's extent.
+func (t *Tracer) Span() (start, end simtime.Time) {
+	events := t.Events()
+	if len(events) == 0 {
+		return 0, 0
+	}
+	start = events[0].Start
+	for _, e := range events {
+		if e.End > end {
+			end = e.End
+		}
+		if e.Start < start {
+			start = e.Start
+		}
+	}
+	return start, end
+}
+
+// Render prints the timeline as one line per event.
+func (t *Tracer) Render() string {
+	var sb strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&sb, "%9.3fs %9.3fs  lane %-3d %-12s %s", float64(e.Start), float64(e.End),
+			e.Lane, e.Kind, e.Name)
+		if e.Bytes > 0 {
+			fmt.Fprintf(&sb, "  (%d B)", e.Bytes)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Gantt renders a width-column ASCII Gantt chart, one row per event,
+// grouped by lane.
+func (t *Tracer) Gantt(width int) string {
+	events := t.Events()
+	if len(events) == 0 {
+		return "(empty timeline)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	start, end := t.Span()
+	if end <= start {
+		end = start + 1
+	}
+	scale := float64(width) / float64(end-start)
+
+	byLane := map[int][]Event{}
+	lanes := []int{}
+	for _, e := range events {
+		if _, ok := byLane[e.Lane]; !ok {
+			lanes = append(lanes, e.Lane)
+		}
+		byLane[e.Lane] = append(byLane[e.Lane], e)
+	}
+	sort.Ints(lanes)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline %.3fs – %.3fs\n", float64(start), float64(end))
+	for _, lane := range lanes {
+		fmt.Fprintf(&sb, "lane %d:\n", lane)
+		for _, e := range byLane[lane] {
+			from := int(float64(e.Start-start) * scale)
+			to := int(float64(e.End-start) * scale)
+			if to <= from {
+				to = from + 1
+			}
+			if to > width {
+				to = width
+			}
+			bar := strings.Repeat(" ", from) + strings.Repeat("=", to-from)
+			fmt.Fprintf(&sb, "  |%-*s| %-12s %s\n", width, bar, e.Kind, e.Name)
+		}
+	}
+	return sb.String()
+}
+
+// TotalBytes sums the byte counts of events of the given kind (all
+// kinds when kind is empty).
+func (t *Tracer) TotalBytes(kind Kind) int64 {
+	var sum int64
+	for _, e := range t.Events() {
+		if kind == "" || e.Kind == kind {
+			sum += e.Bytes
+		}
+	}
+	return sum
+}

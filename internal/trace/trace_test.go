@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: KindJob, Name: "x", End: 1})
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	if tr.TotalBytes("") != 0 {
+		t.Fatal("nil tracer has bytes")
+	}
+}
+
+func TestRecordAndEventsSorted(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: KindJob, Name: "b", Start: 5, End: 6})
+	tr.Record(Event{Kind: KindJob, Name: "a", Start: 1, End: 2})
+	tr.Record(Event{Kind: KindJob, Name: "c", Start: 5, End: 7})
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("Len = %d", len(events))
+	}
+	if events[0].Name != "a" {
+		t.Fatalf("events not sorted: %v", events)
+	}
+	// Stable for ties.
+	if events[1].Name != "b" || events[2].Name != "c" {
+		t.Fatalf("tie order not stable: %v", events)
+	}
+}
+
+func TestRecordRejectsNegativeDuration(t *testing.T) {
+	tr := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative-duration event accepted")
+		}
+	}()
+	tr.Record(Event{Start: 5, End: 3})
+}
+
+func TestSpan(t *testing.T) {
+	tr := New()
+	if s, e := tr.Span(); s != 0 || e != 0 {
+		t.Fatal("empty span not zero")
+	}
+	tr.Record(Event{Start: 2, End: 9})
+	tr.Record(Event{Start: 1, End: 4})
+	s, e := tr.Span()
+	if s != 1 || e != 9 {
+		t.Fatalf("Span = %v, %v", s, e)
+	}
+}
+
+func TestTotalBytesByKind(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: KindJob, Bytes: 10, End: 1})
+	tr.Record(Event{Kind: KindTransfer, Bytes: 5, End: 1})
+	tr.Record(Event{Kind: KindTransfer, Bytes: 7, End: 1})
+	if got := tr.TotalBytes(KindTransfer); got != 12 {
+		t.Fatalf("transfer bytes = %d", got)
+	}
+	if got := tr.TotalBytes(""); got != 22 {
+		t.Fatalf("total bytes = %d", got)
+	}
+}
+
+func TestRenderContainsEvents(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: KindModelWrite, Name: "kmeans", Start: 1, End: 2, Bytes: 100, Lane: 3})
+	out := tr.Render()
+	for _, want := range []string{"model-write", "kmeans", "lane 3", "(100 B)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGantt(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: KindJob, Name: "iter1", Start: 0, End: 5, Lane: 0})
+	tr.Record(Event{Kind: KindLocalJob, Name: "sub", Start: 5, End: 10, Lane: 1})
+	out := tr.Gantt(40)
+	if !strings.Contains(out, "lane 0:") || !strings.Contains(out, "lane 1:") {
+		t.Fatalf("Gantt missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "=") {
+		t.Fatalf("Gantt has no bars:\n%s", out)
+	}
+	if e := New().Gantt(40); !strings.Contains(e, "empty") {
+		t.Fatalf("empty Gantt = %q", e)
+	}
+	// Tiny widths are clamped.
+	if out := tr.Gantt(1); out == "" {
+		t.Fatal("clamped Gantt empty")
+	}
+}
+
+func TestEventDuration(t *testing.T) {
+	e := Event{Start: 2, End: 5.5}
+	if e.Duration() != 3.5 {
+		t.Fatalf("Duration = %v", e.Duration())
+	}
+}

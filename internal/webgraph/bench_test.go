@@ -1,0 +1,26 @@
+package webgraph
+
+import "testing"
+
+func BenchmarkNearlyUncoupled10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NearlyUncoupled(1, 10_000, 10, 0.05, 4)
+	}
+}
+
+func BenchmarkMultilevelPartition5k(b *testing.B) {
+	g := NearlyUncoupled(1, 5_000, 8, 0.05, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MultilevelPartition(g, 8)
+	}
+}
+
+func BenchmarkCutEdges(b *testing.B) {
+	g := NearlyUncoupled(1, 10_000, 10, 0.05, 4)
+	assign := RandomPartition(1, g.N, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CutEdges(g, assign)
+	}
+}

@@ -1,0 +1,305 @@
+package webgraph
+
+import "sort"
+
+// MultilevelPartition is a METIS-style min-cut partitioner (the paper
+// explicitly suggests METIS for PageRank partitioning, §III-B/§VI-B):
+//
+//  1. coarsen the graph by repeated heavy-edge matching until it is
+//     small;
+//  2. partition the coarse graph greedily into p balanced parts;
+//  3. project the assignment back through the matchings, refining at
+//     each level with a Kernighan–Lin-style pass that moves boundary
+//     vertices to the neighboring part where most of their edges live,
+//     subject to a balance constraint.
+//
+// The partitioner is deterministic and treats the graph as undirected
+// for cut purposes (an edge in either direction couples two vertices).
+func MultilevelPartition(g *Graph, p int) []int {
+	if p <= 0 || p > g.N {
+		panic("webgraph: bad partition count")
+	}
+	if p == 1 {
+		return make([]int, g.N)
+	}
+	levels := coarsen(symmetrize(g), 4*p)
+	coarsest := levels[len(levels)-1]
+	assign := greedyGrow(coarsest.g, p)
+	// Project back up, refining at each level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		refine(lv.g, assign, p, 3)
+		if i > 0 {
+			fine := make([]int, len(levels[i-1].match))
+			for v := range fine {
+				fine[v] = assign[levels[i-1].match[v]]
+			}
+			assign = fine
+		}
+	}
+	return assign
+}
+
+// wgraph is an undirected weighted graph used during coarsening.
+type wgraph struct {
+	n      int
+	adj    []map[int32]float64 // neighbor -> edge weight
+	weight []float64           // vertex weights (fine-vertex counts)
+}
+
+type level struct {
+	g *wgraph
+	// match maps each vertex of the next-finer level to its coarse
+	// vertex (identity at the coarsest level's own entry).
+	match []int
+}
+
+// symmetrize folds the directed graph into an undirected weighted one.
+func symmetrize(g *Graph) *wgraph {
+	w := &wgraph{n: g.N, adj: make([]map[int32]float64, g.N), weight: make([]float64, g.N)}
+	for v := range w.adj {
+		w.adj[v] = make(map[int32]float64)
+		w.weight[v] = 1
+	}
+	for v, out := range g.Out {
+		for _, u := range out {
+			if int(u) == v {
+				continue
+			}
+			w.adj[v][u]++
+			w.adj[u][int32(v)]++
+		}
+	}
+	return w
+}
+
+// coarsen repeatedly contracts heavy-edge matchings until the graph has
+// at most target vertices (or contraction stalls). The returned slice
+// is ordered fine→coarse; levels[i].match maps level-i vertices to
+// level-i+1 vertices (the last level's match is its own identity).
+func coarsen(g *wgraph, target int) []level {
+	// Cap coarse-vertex weight so no single vertex can swallow the
+	// graph and make balanced partitioning impossible (METIS uses the
+	// same guard).
+	var total float64
+	for _, w := range g.weight {
+		total += w
+	}
+	maxW := 1.5 * total / float64(target)
+
+	levels := []level{{g: g}}
+	for levels[len(levels)-1].g.n > target {
+		cur := levels[len(levels)-1].g
+		match := heavyEdgeMatch(cur, maxW)
+		next, mapping := contract(cur, match)
+		if float64(next.n) > 0.95*float64(cur.n) { // stalled
+			break
+		}
+		levels[len(levels)-1].match = mapping
+		levels = append(levels, level{g: next})
+	}
+	last := levels[len(levels)-1].g
+	identity := make([]int, last.n)
+	for v := range identity {
+		identity[v] = v
+	}
+	levels[len(levels)-1].match = identity
+	return levels
+}
+
+// heavyEdgeMatch pairs each unmatched vertex with its heaviest
+// unmatched neighbor whose combined weight stays under maxW, visiting
+// vertices in order (deterministic).
+func heavyEdgeMatch(g *wgraph, maxW float64) []int {
+	match := make([]int, g.n)
+	for v := range match {
+		match[v] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if match[v] >= 0 {
+			continue
+		}
+		best, bestW := -1, 0.0
+		// Deterministic neighbor order.
+		nbrs := make([]int32, 0, len(g.adj[v]))
+		for u := range g.adj[v] {
+			nbrs = append(nbrs, u)
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, u := range nbrs {
+			if match[u] >= 0 || int(u) == v {
+				continue
+			}
+			if g.weight[v]+g.weight[u] > maxW {
+				continue
+			}
+			if w := g.adj[v][u]; w > bestW {
+				best, bestW = int(u), w
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v // self-matched
+		}
+	}
+	return match
+}
+
+// contract merges matched pairs into coarse vertices.
+func contract(g *wgraph, match []int) (*wgraph, []int) {
+	mapping := make([]int, g.n)
+	for v := range mapping {
+		mapping[v] = -1
+	}
+	next := 0
+	for v := 0; v < g.n; v++ {
+		if mapping[v] >= 0 {
+			continue
+		}
+		mapping[v] = next
+		if m := match[v]; m != v && m >= 0 {
+			mapping[m] = next
+		}
+		next++
+	}
+	out := &wgraph{n: next, adj: make([]map[int32]float64, next), weight: make([]float64, next)}
+	for v := range out.adj {
+		out.adj[v] = make(map[int32]float64)
+	}
+	for v := 0; v < g.n; v++ {
+		cv := mapping[v]
+		out.weight[cv] += g.weight[v]
+		for u, w := range g.adj[v] {
+			cu := mapping[u]
+			if cu != cv {
+				out.adj[cv][int32(cu)] += w
+			}
+		}
+	}
+	return out, mapping
+}
+
+// greedyGrow seeds p parts and grows them by repeatedly assigning the
+// unassigned vertex most attached to the lightest part.
+func greedyGrow(g *wgraph, p int) []int {
+	assign := make([]int, g.n)
+	for v := range assign {
+		assign[v] = -1
+	}
+	var total float64
+	for _, w := range g.weight {
+		total += w
+	}
+	capacity := total / float64(p) * 1.1
+	loads := make([]float64, p)
+	part := 0
+	for v := 0; v < g.n && part < p; v++ {
+		if assign[v] == -1 {
+			assign[v] = part
+			loads[part] += g.weight[v]
+			grow(g, v, part, assign, loads, capacity)
+			part++
+		}
+	}
+	// Anything untouched goes to the lightest part.
+	for v := range assign {
+		if assign[v] == -1 {
+			l := lightest(loads)
+			assign[v] = l
+			loads[l] += g.weight[v]
+		}
+	}
+	return assign
+}
+
+// grow breadth-first expands part from seed until it reaches capacity.
+func grow(g *wgraph, seed, part int, assign []int, loads []float64, capacity float64) {
+	queue := []int{seed}
+	for len(queue) > 0 && loads[part] < capacity {
+		v := queue[0]
+		queue = queue[1:]
+		nbrs := make([]int32, 0, len(g.adj[v]))
+		for u := range g.adj[v] {
+			nbrs = append(nbrs, u)
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, u := range nbrs {
+			if assign[u] != -1 || loads[part]+g.weight[u] > capacity {
+				continue
+			}
+			assign[u] = part
+			loads[part] += g.weight[u]
+			queue = append(queue, int(u))
+		}
+	}
+}
+
+func lightest(loads []float64) int {
+	best := 0
+	for i, l := range loads {
+		if l < loads[best] {
+			best = i
+		}
+	}
+	_ = loads[best]
+	return best
+}
+
+// refine runs Kernighan–Lin-style boundary passes: each pass moves
+// vertices whose external attachment to some neighbor part exceeds
+// their internal attachment, provided balance is preserved.
+func refine(g *wgraph, assign []int, p, passes int) {
+	var total float64
+	for _, w := range g.weight {
+		total += w
+	}
+	capacity := total / float64(p) * 1.15
+	floor := total / float64(p) * 0.75
+	loads := make([]float64, p)
+	for v, a := range assign {
+		loads[a] += g.weight[v]
+	}
+	for pass := 0; pass < passes; pass++ {
+		moved := false
+		for v := 0; v < g.n; v++ {
+			cur := assign[v]
+			// Keep every part above the balance floor.
+			if loads[cur]-g.weight[v] < floor {
+				continue
+			}
+			gain := make(map[int]float64)
+			internal := 0.0
+			for u, w := range g.adj[v] {
+				if assign[u] == cur {
+					internal += w
+				} else {
+					gain[assign[u]] += w
+				}
+			}
+			bestPart, bestGain := -1, 0.0
+			// Deterministic part order.
+			parts := make([]int, 0, len(gain))
+			for q := range gain {
+				parts = append(parts, q)
+			}
+			sort.Ints(parts)
+			for _, q := range parts {
+				improvement := gain[q] - internal
+				if improvement > bestGain && loads[q]+g.weight[v] <= capacity {
+					bestPart, bestGain = q, improvement
+				}
+			}
+			if bestPart >= 0 {
+				loads[cur] -= g.weight[v]
+				loads[bestPart] += g.weight[v]
+				assign[v] = bestPart
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package webgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMultilevelPartitionCoversAllVertices(t *testing.T) {
+	g := NearlyUncoupled(1, 1000, 8, 0.05, 4)
+	assign := MultilevelPartition(g, 8)
+	if len(assign) != g.N {
+		t.Fatalf("assignment has %d entries", len(assign))
+	}
+	for v, a := range assign {
+		if a < 0 || a >= 8 {
+			t.Fatalf("vertex %d assigned to %d", v, a)
+		}
+	}
+}
+
+func TestMultilevelPartitionBalance(t *testing.T) {
+	g := NearlyUncoupled(2, 2000, 8, 0.05, 4)
+	assign := MultilevelPartition(g, 8)
+	sizes := PartitionSizes(assign, 8)
+	for p, s := range sizes {
+		// Within 35% of perfect balance (the refiner's slack is 15%,
+		// plus coarsening granularity).
+		if s < 2000/8*65/100 || s > 2000/8*135/100 {
+			t.Fatalf("partition %d holds %d vertices (sizes %v)", p, s, sizes)
+		}
+	}
+}
+
+func TestMultilevelBeatsRandomCut(t *testing.T) {
+	g := NearlyUncoupled(3, 3000, 6, 0.1, 4)
+	multilevel := CutEdges(g, MultilevelPartition(g, 6))
+	random := CutEdges(g, RandomPartition(3, 3000, 6))
+	if multilevel >= random/2 {
+		t.Fatalf("multilevel cut %d not well below random cut %d", multilevel, random)
+	}
+}
+
+func TestMultilevelCompetitiveWithLocalityOnCommunityGraphs(t *testing.T) {
+	// On graphs whose communities are contiguous, LocalityPartition is
+	// near-optimal; multilevel must come close (within 2x) without
+	// knowing the labeling.
+	g := NearlyUncoupled(4, 3000, 6, 0.05, 4)
+	multilevel := CutEdges(g, MultilevelPartition(g, 6))
+	locality := CutEdges(g, LocalityPartition(3000, 6))
+	if multilevel > 2*locality+10 {
+		t.Fatalf("multilevel cut %d far above locality cut %d", multilevel, locality)
+	}
+}
+
+func TestMultilevelScrambledCommunities(t *testing.T) {
+	// Scramble vertex ids so contiguity no longer matches communities:
+	// LocalityPartition degrades to random, multilevel must still find
+	// the structure.
+	g := NearlyUncoupled(5, 2000, 4, 0.05, 4)
+	perm := RandomPartition(9, g.N, g.N) // reuse as a permutation source
+	// Build an actual permutation deterministically.
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	for i := g.N - 1; i > 0; i-- {
+		j := perm[i] % (i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	scrambled := &Graph{N: g.N, Out: make([][]int32, g.N)}
+	pos := make([]int32, g.N)
+	for newID, oldID := range order {
+		pos[oldID] = int32(newID)
+	}
+	for oldID, out := range g.Out {
+		newOut := make([]int32, len(out))
+		for i, w := range out {
+			newOut[i] = pos[w]
+		}
+		scrambled.Out[pos[oldID]] = newOut
+	}
+
+	multilevel := CutEdges(scrambled, MultilevelPartition(scrambled, 4))
+	locality := CutEdges(scrambled, LocalityPartition(scrambled.N, 4))
+	if multilevel >= locality {
+		t.Fatalf("multilevel cut %d not below naive contiguous cut %d on scrambled graph",
+			multilevel, locality)
+	}
+}
+
+func TestMultilevelSinglePartition(t *testing.T) {
+	g := NearlyUncoupled(6, 100, 2, 0.1, 3)
+	assign := MultilevelPartition(g, 1)
+	for _, a := range assign {
+		if a != 0 {
+			t.Fatal("p=1 assignment not all zero")
+		}
+	}
+}
+
+func TestMultilevelPanicsOnBadP(t *testing.T) {
+	g := NearlyUncoupled(7, 10, 2, 0.1, 2)
+	for _, p := range []int{0, -1, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%d did not panic", p)
+				}
+			}()
+			MultilevelPartition(g, p)
+		}()
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := NearlyUncoupled(8, 500, 4, 0.1, 3)
+	a := MultilevelPartition(g, 4)
+	b := MultilevelPartition(g, 4)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("multilevel partitioning not deterministic")
+		}
+	}
+}
+
+// Property: for any graph, the multilevel assignment is valid (complete,
+// in range, covers all p parts for reasonably sized graphs).
+func TestQuickMultilevelValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%400) + 100
+		if n < 100 {
+			n = 100
+		}
+		p := int(seed%5) + 2
+		if p < 2 {
+			p = 2
+		}
+		g := NearlyUncoupled(seed, n, p, 0.2, 3)
+		assign := MultilevelPartition(g, p)
+		if len(assign) != n {
+			return false
+		}
+		seen := make([]bool, p)
+		for _, a := range assign {
+			if a < 0 || a >= p {
+				return false
+			}
+			seen[a] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

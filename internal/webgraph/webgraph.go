@@ -1,0 +1,166 @@
+// Package webgraph provides the directed web graphs for the PageRank
+// case study: a generator for "nearly uncoupled" graphs (the dependency
+// structure of §VI-B that makes PIC effective — the web graph "is
+// typically local"), plus the partitioners the best-effort phase splits
+// the graph with.
+package webgraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is a directed graph on vertices 0..N-1 with out-adjacency lists.
+type Graph struct {
+	N   int
+	Out [][]int32
+}
+
+// NumEdges reports the total directed edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, out := range g.Out {
+		n += len(out)
+	}
+	return n
+}
+
+// OutDegree reports the out-degree of v.
+func (g *Graph) OutDegree(v int) int { return len(g.Out[v]) }
+
+// NearlyUncoupled generates a graph of n vertices organized in `blocks`
+// communities: each vertex's edges stay within its community with
+// probability 1-crossFrac and go anywhere otherwise. Out-degrees follow
+// a heavy-tailed distribution with the given mean. Vertices are numbered
+// so that communities are contiguous ranges. Every vertex has at least
+// one outgoing edge (no dangling pages), matching the Nutch PageRank
+// setup the paper builds on.
+func NearlyUncoupled(seed int64, n, blocks int, crossFrac, meanOutDeg float64) *Graph {
+	if n <= 0 || blocks <= 0 || blocks > n {
+		panic(fmt.Sprintf("webgraph: bad shape n=%d blocks=%d", n, blocks))
+	}
+	if crossFrac < 0 || crossFrac > 1 {
+		panic(fmt.Sprintf("webgraph: crossFrac = %g out of [0,1]", crossFrac))
+	}
+	if meanOutDeg < 1 {
+		panic("webgraph: meanOutDeg must be ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{N: n, Out: make([][]int32, n)}
+	blockOf := func(v int) int { return v * blocks / n }
+	blockRange := func(b int) (int, int) { return b * n / blocks, (b + 1) * n / blocks }
+	for v := 0; v < n; v++ {
+		// Heavy-tailed degree: geometric-ish with the requested mean,
+		// at least 1.
+		deg := 1
+		for float64(deg) < meanOutDeg*8 && rng.Float64() < 1-1/meanOutDeg {
+			deg++
+		}
+		out := make([]int32, 0, deg)
+		seen := map[int32]bool{}
+		lo, hi := blockRange(blockOf(v))
+		for e := 0; e < deg; e++ {
+			var dst int
+			if rng.Float64() < crossFrac {
+				dst = rng.Intn(n)
+			} else {
+				dst = lo + rng.Intn(hi-lo)
+			}
+			if dst == v {
+				dst = (dst + 1) % n
+			}
+			// Edges are simple: duplicate destinations are dropped
+			// (edge scores are keyed per (src,dst) pair).
+			if d := int32(dst); !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+		g.Out[v] = out
+	}
+	return g
+}
+
+// RandomPartition assigns each vertex independently to one of p
+// partitions, deterministically from the seed — the paper's default
+// partitioning for PageRank ("our partitioning function randomly divides
+// the web graph").
+func RandomPartition(seed int64, n, p int) []int {
+	if p <= 0 {
+		panic("webgraph: p must be ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	assign := make([]int, n)
+	for v := range assign {
+		assign[v] = rng.Intn(p)
+	}
+	return assign
+}
+
+// LocalityPartition splits vertices into p contiguous ranges. Because
+// NearlyUncoupled numbers communities contiguously, this approximates a
+// min-cut partitioning (the paper's METIS suggestion) without an
+// external package.
+func LocalityPartition(n, p int) []int {
+	if p <= 0 || p > n {
+		panic(fmt.Sprintf("webgraph: bad partition count %d for %d vertices", p, n))
+	}
+	assign := make([]int, n)
+	for v := range assign {
+		assign[v] = v * p / n
+	}
+	return assign
+}
+
+// CutEdges counts directed edges whose endpoints fall in different
+// partitions under assign.
+func CutEdges(g *Graph, assign []int) int {
+	if len(assign) != g.N {
+		panic("webgraph: assignment length mismatch")
+	}
+	cut := 0
+	for v, out := range g.Out {
+		for _, w := range out {
+			if assign[v] != assign[int(w)] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// PartitionSizes reports how many vertices each of the p partitions
+// received.
+func PartitionSizes(assign []int, p int) []int {
+	sizes := make([]int, p)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	return sizes
+}
+
+// CrossEdge is a directed edge between partitions.
+type CrossEdge struct {
+	Src, Dst int32
+}
+
+// CrossEdgeGroups groups the cut edges into p×p sets indexed by (source
+// partition, destination partition) — the paper's PageRank
+// implementation forms exactly these groups (18² = 324 sets for its 18
+// partitions) so the merge step can process inter-partition score flow
+// per pair.
+func CrossEdgeGroups(g *Graph, assign []int, p int) [][][]CrossEdge {
+	groups := make([][][]CrossEdge, p)
+	for i := range groups {
+		groups[i] = make([][]CrossEdge, p)
+	}
+	for v, out := range g.Out {
+		for _, w := range out {
+			sp, dp := assign[v], assign[int(w)]
+			if sp != dp {
+				groups[sp][dp] = append(groups[sp][dp], CrossEdge{Src: int32(v), Dst: w})
+			}
+		}
+	}
+	return groups
+}

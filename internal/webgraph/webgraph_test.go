@@ -1,0 +1,193 @@
+package webgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNearlyUncoupledShape(t *testing.T) {
+	g := NearlyUncoupled(1, 1000, 10, 0.05, 4)
+	if g.N != 1000 || len(g.Out) != 1000 {
+		t.Fatal("wrong vertex count")
+	}
+	for v := 0; v < g.N; v++ {
+		if g.OutDegree(v) < 1 {
+			t.Fatalf("vertex %d is dangling", v)
+		}
+		for _, w := range g.Out[v] {
+			if int(w) < 0 || int(w) >= g.N {
+				t.Fatalf("edge to %d out of range", w)
+			}
+			if int(w) == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestNearlyUncoupledDeterministic(t *testing.T) {
+	a := NearlyUncoupled(5, 200, 4, 0.1, 3)
+	b := NearlyUncoupled(5, 200, 4, 0.1, 3)
+	for v := range a.Out {
+		if len(a.Out[v]) != len(b.Out[v]) {
+			t.Fatal("same seed produced different graphs")
+		}
+		for i := range a.Out[v] {
+			if a.Out[v][i] != b.Out[v][i] {
+				t.Fatal("same seed produced different edges")
+			}
+		}
+	}
+}
+
+func TestNearlyUncoupledMeanDegree(t *testing.T) {
+	g := NearlyUncoupled(2, 5000, 10, 0.05, 5)
+	mean := float64(g.NumEdges()) / float64(g.N)
+	if mean < 3 || mean > 8 {
+		t.Fatalf("mean out-degree = %v, want ≈5", mean)
+	}
+}
+
+func TestNearlyUncoupledIsActuallyLocal(t *testing.T) {
+	g := NearlyUncoupled(3, 2000, 10, 0.05, 4)
+	assign := LocalityPartition(2000, 10) // aligned with communities
+	cut := CutEdges(g, assign)
+	frac := float64(cut) / float64(g.NumEdges())
+	// With crossFrac 0.05, ~5% of edges leave their community (a cross
+	// edge can land in its own block by chance, so slightly less).
+	if frac > 0.08 {
+		t.Fatalf("cut fraction = %v, want ≤ 0.08", frac)
+	}
+	if cut == 0 {
+		t.Fatal("no cross edges at all; generator degenerate")
+	}
+}
+
+func TestFullCouplingIsMostlyCut(t *testing.T) {
+	g := NearlyUncoupled(4, 2000, 10, 1.0, 4)
+	assign := LocalityPartition(2000, 10)
+	frac := float64(CutEdges(g, assign)) / float64(g.NumEdges())
+	if frac < 0.8 {
+		t.Fatalf("cut fraction = %v for fully random edges, want ≈0.9", frac)
+	}
+}
+
+func TestRandomPartitionCoversAndBalances(t *testing.T) {
+	assign := RandomPartition(1, 10000, 8)
+	sizes := PartitionSizes(assign, 8)
+	for p, s := range sizes {
+		if s < 1000 || s > 1500 {
+			t.Fatalf("partition %d has %d vertices (sizes %v)", p, s, sizes)
+		}
+	}
+}
+
+func TestLocalityPartitionContiguous(t *testing.T) {
+	assign := LocalityPartition(10, 3)
+	for v := 1; v < 10; v++ {
+		if assign[v] < assign[v-1] {
+			t.Fatalf("assignment not monotone: %v", assign)
+		}
+	}
+	sizes := PartitionSizes(assign, 3)
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Fatalf("sizes = %v", sizes)
+		}
+	}
+}
+
+func TestLocalityBeatsRandomOnCut(t *testing.T) {
+	g := NearlyUncoupled(6, 3000, 6, 0.05, 4)
+	local := CutEdges(g, LocalityPartition(3000, 6))
+	random := CutEdges(g, RandomPartition(6, 3000, 6))
+	if local >= random {
+		t.Fatalf("locality cut %d not better than random cut %d", local, random)
+	}
+}
+
+func TestCrossEdgeGroups(t *testing.T) {
+	g := &Graph{N: 4, Out: [][]int32{{1, 2}, {0}, {3}, {0}}}
+	assign := []int{0, 0, 1, 1}
+	groups := CrossEdgeGroups(g, assign, 2)
+	// Cut edges: 0->2 (p0->p1), 3->0 (p1->p0).
+	if len(groups[0][1]) != 1 || groups[0][1][0] != (CrossEdge{0, 2}) {
+		t.Fatalf("groups[0][1] = %v", groups[0][1])
+	}
+	if len(groups[1][0]) != 1 || groups[1][0][0] != (CrossEdge{3, 0}) {
+		t.Fatalf("groups[1][0] = %v", groups[1][0])
+	}
+	if len(groups[0][0]) != 0 || len(groups[1][1]) != 0 {
+		t.Fatal("intra-partition edges grouped as cross edges")
+	}
+}
+
+func TestCutEdgesMismatchPanics(t *testing.T) {
+	g := &Graph{N: 2, Out: [][]int32{{1}, {0}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	CutEdges(g, []int{0})
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NearlyUncoupled(1, 0, 1, 0, 2) },
+		func() { NearlyUncoupled(1, 10, 20, 0, 2) },
+		func() { NearlyUncoupled(1, 10, 2, 1.5, 2) },
+		func() { NearlyUncoupled(1, 10, 2, 0, 0.5) },
+		func() { RandomPartition(1, 10, 0) },
+		func() { LocalityPartition(5, 9) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: cross-edge groups together contain exactly the cut edges,
+// and partition sizes always sum to n.
+func TestQuickCrossEdgeAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%500) + 20
+		if n < 20 {
+			n = 20
+		}
+		p := int(seed%7) + 2
+		if p < 2 {
+			p = 2
+		}
+		g := NearlyUncoupled(seed, n, p, 0.2, 3)
+		assign := RandomPartition(seed, n, p)
+		sizes := PartitionSizes(assign, p)
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		if total != n {
+			return false
+		}
+		groups := CrossEdgeGroups(g, assign, p)
+		grouped := 0
+		for i := range groups {
+			for j := range groups[i] {
+				if i == j && len(groups[i][j]) != 0 {
+					return false
+				}
+				grouped += len(groups[i][j])
+			}
+		}
+		return grouped == CutEdges(g, assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

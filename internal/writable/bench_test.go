@@ -1,0 +1,44 @@
+package writable
+
+import "testing"
+
+func BenchmarkEncodeVector(b *testing.B) {
+	v := make(Vector, 100)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	buf := make([]byte, 0, Size(v))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], v)
+	}
+}
+
+func BenchmarkDecodeVector(b *testing.B) {
+	v := make(Vector, 100)
+	buf := Encode(nil, v)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodePair(b *testing.B) {
+	p := Pair{First: Text("centroid-00042"), Second: Vector{1, 2, 3}}
+	buf := make([]byte, 0, Size(p))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], p)
+	}
+}
+
+func BenchmarkSizeVector(b *testing.B) {
+	v := make(Vector, 100)
+	for i := 0; i < b.N; i++ {
+		if Size(v) == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package writable
+
+// Equal reports whether two values have identical encodings, which for
+// all kinds in this package coincides with semantic equality (NaN
+// payloads compare bitwise).
+func Equal(a, b Writable) bool {
+	if Size(a) != Size(b) {
+		return false
+	}
+	ea := Encode(nil, a)
+	eb := Encode(nil, b)
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of w. It round-trips through the binary
+// encoding, so the copy shares no mutable state with the original.
+func Clone(w Writable) Writable {
+	if w == nil {
+		return nil
+	}
+	c, _, err := Decode(Encode(nil, w))
+	if err != nil {
+		// Every Writable produced by this package decodes its own
+		// encoding; a failure here is a programming error.
+		panic("writable: clone round-trip failed: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,42 @@
+package writable
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode exercises the decoder with arbitrary byte streams: it must
+// never panic, and everything it accepts must re-encode to the bytes it
+// consumed (the encoding is canonical).
+func FuzzDecode(f *testing.F) {
+	seeds := []Writable{
+		Null{},
+		Text("hello"),
+		Int32(-7),
+		Int64(1 << 40),
+		Float64(3.14),
+		Bytes{0, 1, 2},
+		Vector{1.5, -2.5},
+		Pair{First: Text("k"), Second: Vector{9}},
+	}
+	for _, w := range seeds {
+		f.Add(Encode(nil, w))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, rest, err := Decode(data)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		again := Encode(nil, w)
+		if !bytes.Equal(again, consumed) {
+			t.Fatalf("decode(%x) re-encoded as %x", consumed, again)
+		}
+		if Size(w) != len(consumed) {
+			t.Fatalf("Size = %d for %d consumed bytes", Size(w), len(consumed))
+		}
+	})
+}
