@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"abl-seeding", wrap(bench.AblationSeeding)},
 	{"abl-rate", wrap(bench.AblationConvergenceRate)},
 	{"abl-degenerate", wrap(bench.AblationDegenerate)},
+	{"abl-faults", wrap(bench.AblationNodeFailure)},
 }
 
 func main() {

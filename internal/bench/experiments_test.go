@@ -104,6 +104,26 @@ func TestExperimentsSmoke(t *testing.T) {
 			}
 		}
 	})
+	t.Run("abl-faults", func(t *testing.T) {
+		r, err := AblationNodeFailure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 4 {
+			t.Fatalf("got %d rows", len(r.Rows))
+		}
+		for _, row := range r.Rows {
+			if !row.ConvergedLikeSame {
+				t.Fatalf("%s %s did not converge", row.Scheme, row.Condition)
+			}
+			if row.Condition == "node crash" && row.ReReplicationB == 0 {
+				t.Fatalf("%s crash run charged no re-replication traffic", row.Scheme)
+			}
+		}
+		if !strings.Contains(r.Render(), "Re-repl") {
+			t.Fatal("render missing re-replication column")
+		}
+	})
 	t.Run("abl-degenerate", func(t *testing.T) {
 		r, err := AblationDegenerate()
 		if err != nil {

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// chaosRuntime builds the standard 4-node test runtime with a failure
+// plan registered on the cluster before the runtime snapshots it.
+func chaosRuntime(plan *simcluster.FailurePlan) *Runtime {
+	cluster := simcluster.New(simcluster.Config{
+		Nodes:              4,
+		RackSize:           2,
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+		ComputeRate:        1e6,
+		NodeBandwidth:      1e6,
+		RackBandwidth:      4e6,
+		CoreBandwidth:      4e6,
+	})
+	cluster.SetFailurePlan(plan)
+	return NewRuntime(cluster, dfs.Config{Replication: 3, BlockSize: 64 << 10})
+}
+
+// picOpts are the PIC options shared by the chaos tests: enough
+// partitions that node groups are single nodes, so one crash takes out
+// a whole group.
+var chaosPICOpts = PICOptions{Partitions: 4, MaxLocalIterations: 50}
+
+func runChaosPIC(t *testing.T, plan *simcluster.FailurePlan) (*PICResult, *Runtime, *trace.Tracer) {
+	t.Helper()
+	rt := chaosRuntime(plan)
+	tr := trace.New()
+	rt.SetTracer(tr)
+	// The input dataset lives in the DFS (as it would on a real
+	// cluster), so a crash has replicated state to lose and restore.
+	rt.FS().CreateWithData("input/points", make([]byte, 200<<10), 0)
+	in, _ := pointsInput(rt, 40)
+	res, err := RunPIC(rt, &meanSeeker{eps: 1e-9}, in, startModel(), chaosPICOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rt, tr
+}
+
+func countKind(tr *trace.Tracer, kind trace.Kind) int {
+	n := 0
+	for _, e := range tr.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPICChaosCrashMidBestEffort kills one node partway through the
+// best-effort phase: the run must still converge to the healthy
+// solution, repair its node groups around the hole, and charge
+// observable re-replication traffic on the trace.
+func TestPICChaosCrashMidBestEffort(t *testing.T) {
+	healthy, _, _ := runChaosPIC(t, nil)
+	if !healthy.TopOffConverged {
+		t.Fatal("healthy run did not converge")
+	}
+
+	// Crash node 0 — the model home and a replica holder of every DFS
+	// block under the HDFS-style local+remote-rack placement — so the
+	// failure exercises re-homing and re-replication at once.
+	crashAt := simtime.Time(healthy.BEDuration) / 3
+	plan := &simcluster.FailurePlan{Events: []simcluster.NodeEvent{{Node: 0, Time: crashAt}}}
+	res, rt, tr := runChaosPIC(t, plan)
+
+	if !res.TopOffConverged {
+		t.Fatal("crash run did not converge")
+	}
+	if d := model.MaxVectorDelta(healthy.Model, res.Model); d > 1e-6 {
+		t.Fatalf("crash run converged %g away from the healthy solution", d)
+	}
+	if res.Metrics.NodeCrashes != 1 {
+		t.Fatalf("NodeCrashes = %d, want 1", res.Metrics.NodeCrashes)
+	}
+	if res.GroupRepairs == 0 && res.LostPartials == 0 {
+		t.Fatalf("mid-BE crash repaired no groups and lost no partials: %+v", res)
+	}
+	if res.Metrics.ReReplicationBytes == 0 {
+		t.Fatal("crash charged no DFS re-replication traffic")
+	}
+	if got := countKind(tr, trace.KindNodeCrash); got != 1 {
+		t.Fatalf("trace has %d node-crash events, want 1", got)
+	}
+	if countKind(tr, trace.KindReReplication) == 0 {
+		t.Fatal("trace has no re-replication events")
+	}
+	if countKind(tr, trace.KindGroupRepair) == 0 {
+		t.Fatal("trace has no group-repair events")
+	}
+	if tr.TotalBytes(trace.KindReReplication) != res.Metrics.ReReplicationBytes {
+		t.Fatalf("trace re-replication bytes %d != metrics %d",
+			tr.TotalBytes(trace.KindReReplication), res.Metrics.ReReplicationBytes)
+	}
+	if res.Duration <= healthy.Duration {
+		t.Fatalf("losing a quarter of the cluster cost no time: %v vs %v", res.Duration, healthy.Duration)
+	}
+	if got := rt.DeadNodes(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("DeadNodes = %v", got)
+	}
+}
+
+// TestPICChaosCrashMidTopOff kills a node after the best-effort phase,
+// while the unmodified IC top-off is running framework jobs; the
+// engine's task rescheduling carries the run to convergence.
+func TestPICChaosCrashMidTopOff(t *testing.T) {
+	healthy, _, _ := runChaosPIC(t, nil)
+	crashAt := simtime.Time(healthy.BEDuration + healthy.TopOffDuration/2)
+	plan := &simcluster.FailurePlan{Events: []simcluster.NodeEvent{{Node: 2, Time: crashAt}}}
+	res, _, tr := runChaosPIC(t, plan)
+
+	if !res.TopOffConverged {
+		t.Fatal("crash run did not converge")
+	}
+	if d := model.MaxVectorDelta(healthy.Model, res.Model); d > 1e-6 {
+		t.Fatalf("crash run converged %g away from the healthy solution", d)
+	}
+	if res.Metrics.NodeCrashes != 1 {
+		t.Fatalf("NodeCrashes = %d, want 1", res.Metrics.NodeCrashes)
+	}
+	if res.Metrics.ReReplicationBytes == 0 {
+		t.Fatal("crash charged no DFS re-replication traffic")
+	}
+	if countKind(tr, trace.KindNodeCrash) != 1 {
+		t.Fatal("trace missing the node-crash event")
+	}
+}
+
+// TestPICChaosCrashAndRecover crashes a node in the best-effort phase
+// and brings it back (with an empty disk) before the top-off; the run
+// converges and the recovery appears on the trace.
+func TestPICChaosCrashAndRecover(t *testing.T) {
+	healthy, _, _ := runChaosPIC(t, nil)
+	crashAt := simtime.Time(healthy.BEDuration) / 3
+	backAt := simtime.Time(healthy.BEDuration) * 2 / 3
+	plan := &simcluster.FailurePlan{Events: []simcluster.NodeEvent{
+		{Node: 1, Time: crashAt},
+		{Node: 1, Time: backAt, Recover: true},
+	}}
+	res, rt, tr := runChaosPIC(t, plan)
+	if !res.TopOffConverged {
+		t.Fatal("crash+recover run did not converge")
+	}
+	if countKind(tr, trace.KindNodeRecover) != 1 {
+		t.Fatal("trace missing the node-recover event")
+	}
+	if got := rt.DeadNodes(); len(got) != 0 {
+		t.Fatalf("DeadNodes after recovery = %v", got)
+	}
+}
+
+// TestPICChaosDeterminism replays the identical workload and failure
+// plan twice; the simulator must produce byte-identical timelines and
+// exactly equal metrics — the property that makes chaos runs
+// debuggable.
+func TestPICChaosDeterminism(t *testing.T) {
+	plan := &simcluster.FailurePlan{Events: []simcluster.NodeEvent{
+		{Node: 1, Time: 0.4},
+		{Node: 3, Time: 0.9},
+		{Node: 1, Time: 1.5, Recover: true},
+	}}
+	run := func() (*PICResult, string) {
+		res, rt, tr := runChaosPIC(t, plan)
+		_ = rt
+		return res, tr.Render()
+	}
+	res1, trace1 := run()
+	res2, trace2 := run()
+	if trace1 != trace2 {
+		t.Fatalf("timelines differ between identical runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", trace1, trace2)
+	}
+	if res1.Metrics != res2.Metrics {
+		t.Fatalf("metrics differ:\n%+v\n%+v", res1.Metrics, res2.Metrics)
+	}
+	if res1.Duration != res2.Duration || res1.BEIterations != res2.BEIterations ||
+		res1.GroupRepairs != res2.GroupRepairs || res1.LostPartials != res2.LostPartials {
+		t.Fatalf("results differ:\n%+v\n%+v", res1, res2)
+	}
+	if !reflect.DeepEqual(res1.Model.Encode(nil), res2.Model.Encode(nil)) {
+		t.Fatal("final models differ between identical runs")
+	}
+}
+
+// TestPICChaosAllNodesDead fails with a clear error when the whole
+// cluster dies before any best-effort group can run.
+func TestPICChaosAllNodesDead(t *testing.T) {
+	var events []simcluster.NodeEvent
+	for n := 0; n < 4; n++ {
+		events = append(events, simcluster.NodeEvent{Node: n, Time: 0})
+	}
+	rt := chaosRuntime(&simcluster.FailurePlan{Events: events})
+	in, _ := pointsInput(rt, 40)
+	_, err := RunPIC(rt, &meanSeeker{eps: 1e-9}, in, startModel(), chaosPICOpts)
+	if err == nil {
+		t.Fatal("fully-dead cluster converged")
+	}
+	if !strings.Contains(err.Error(), "no live nodes") {
+		t.Fatalf("err = %v, want no-live-nodes failure", err)
+	}
+}

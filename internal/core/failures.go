@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simcluster"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// failureTracker replays a cluster's FailurePlan against the runtime
+// clock. One tracker is shared by a root runtime and all its forks (like
+// the DFS and fabric), so every crash and recovery is processed exactly
+// once — by whichever runtime's clock first passes the event — no matter
+// which sub-runtime is executing when it strikes.
+type failureTracker struct {
+	events []simcluster.NodeEvent // sorted by time
+	next   int
+	dead   map[int]bool
+}
+
+func newFailureTracker(plan *simcluster.FailurePlan) *failureTracker {
+	if plan == nil || len(plan.Events) == 0 {
+		return nil
+	}
+	return &failureTracker{events: plan.Sorted(), dead: map[int]bool{}}
+}
+
+// syncFailures processes every failure event the clock has passed:
+// crashes destroy the node's DFS replicas and trigger a re-replication
+// pass (charged as traffic, in metrics and on the trace; the copies run
+// in the background, so the driver clock does not block on them), and
+// recoveries return the node to service with empty disks. Runtimes call
+// it after every clock advance.
+func (rt *Runtime) syncFailures() {
+	ft := rt.fails
+	if ft == nil {
+		return
+	}
+	now := rt.now()
+	for ft.next < len(ft.events) && ft.events[ft.next].Time <= now {
+		ev := ft.events[ft.next]
+		ft.next++
+		if ev.Recover {
+			if !ft.dead[ev.Node] {
+				continue
+			}
+			delete(ft.dead, ev.Node)
+			rt.fs.MarkAlive(ev.Node)
+			rt.tracer.Record(trace.Event{
+				Kind: trace.KindNodeRecover, Name: fmt.Sprintf("node %d", ev.Node),
+				Start: ev.Time, End: ev.Time, Lane: rt.lane,
+			})
+			// A returning node may let blocks stuck below full
+			// replication (too few live nodes) top back up.
+			rt.repairDFS(ev.Time)
+			continue
+		}
+		if ft.dead[ev.Node] {
+			continue
+		}
+		ft.dead[ev.Node] = true
+		rt.metrics.NodeCrashes++
+		rt.fs.MarkDead(ev.Node)
+		rt.tracer.Record(trace.Event{
+			Kind: trace.KindNodeCrash, Name: fmt.Sprintf("node %d", ev.Node),
+			Start: ev.Time, End: ev.Time, Lane: rt.lane,
+		})
+		rt.repairDFS(ev.Time)
+	}
+}
+
+// repairDFS runs one DFS re-replication pass and records its traffic.
+func (rt *Runtime) repairDFS(at simtime.Time) {
+	report, d := rt.fs.Repair()
+	if report.ReplicatedBytes == 0 {
+		return
+	}
+	rt.metrics.ReReplicationBytes += report.ReplicatedBytes
+	rt.tracer.Record(trace.Event{
+		Kind: trace.KindReReplication, Name: fmt.Sprintf("%d blocks", report.ReplicatedBlocks),
+		Start: at, End: at + d, Bytes: report.ReplicatedBytes, Lane: rt.lane,
+	})
+}
+
+// DeadNodes returns the nodes currently dead on the runtime's clock, in
+// sorted order.
+func (rt *Runtime) DeadNodes() []int {
+	if rt.fails == nil {
+		return nil
+	}
+	out := make([]int, 0, len(rt.fails.dead))
+	for n := range rt.fails.dead {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// deadSnapshot copies the current dead set.
+func (rt *Runtime) deadSnapshot() map[int]bool {
+	if rt.fails == nil {
+		return nil
+	}
+	out := make(map[int]bool, len(rt.fails.dead))
+	for n := range rt.fails.dead {
+		out[n] = true
+	}
+	return out
+}
+
+// newlyDead lists the nodes dead now that were not dead in before, in
+// sorted order.
+func newlyDead(rt *Runtime, before map[int]bool) []int {
+	if rt.fails == nil {
+		return nil
+	}
+	var out []int
+	for n := range rt.fails.dead {
+		if !before[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// viewTouches reports whether any of the given nodes belongs to view.
+func viewTouches(view *simcluster.Cluster, nodes []int) bool {
+	for _, n := range nodes {
+		if view.Contains(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// liveView restricts a cluster view to its currently-live nodes,
+// returning the view unchanged when nothing in it is dead and nil when
+// nothing in it is alive.
+func (rt *Runtime) liveView(view *simcluster.Cluster) *simcluster.Cluster {
+	if rt.fails == nil || len(rt.fails.dead) == 0 {
+		return view
+	}
+	live := make([]int, 0, view.Size())
+	for _, n := range view.Nodes() {
+		if !rt.fails.dead[n] {
+			live = append(live, n)
+		}
+	}
+	switch {
+	case len(live) == 0:
+		return nil
+	case len(live) == view.Size():
+		return view
+	}
+	return view.Subset(live)
+}
+
+// LiveModelHome returns the engine's model-home node, re-homing it to
+// the first live node of the view when the configured home has crashed
+// (HDFS would have re-replicated the model file's blocks off the dead
+// primary already).
+func (rt *Runtime) LiveModelHome() int {
+	home := rt.engine.ModelHome
+	if rt.fails == nil || !rt.fails.dead[home] {
+		return home
+	}
+	for _, n := range rt.Cluster().Nodes() {
+		if !rt.fails.dead[n] {
+			rt.engine.ModelHome = n
+			return n
+		}
+	}
+	panic("core: no live nodes remain in the runtime's view")
+}

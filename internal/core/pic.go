@@ -68,6 +68,16 @@ type PICResult struct {
 	TopOffIterations int
 	TopOffConverged  bool
 
+	// GroupRepairs counts sub-problem dispatches that ran on a repaired
+	// node group — one shrunk around dead nodes, or a sibling standing
+	// in for a fully-dead group. LostPartials counts best-effort
+	// partials discarded because their group lost a node mid-iteration;
+	// the merge proceeds with the partition's starting model in their
+	// place, the graceful degradation of the paper's §VII (a
+	// conventional IC iteration must instead re-execute).
+	GroupRepairs int
+	LostPartials int
+
 	// Duration = BEDuration + TopOffDuration, in simulated seconds.
 	Duration       simtime.Duration
 	BEDuration     simtime.Duration
@@ -154,11 +164,54 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 			redistributed = true
 		}
 
+		// Group repair: refresh each group's live membership. A group
+		// that lost some nodes shrinks to the survivors; a fully-dead
+		// group's sub-problems move to the next usable sibling. The
+		// best-effort phase tolerates this because merged models absorb
+		// imperfect partials (§VII).
+		liveGroups := make([]*simcluster.Cluster, nGroups)
+		usable := 0
+		for g := range groups {
+			liveGroups[g] = rt.liveView(groups[g])
+			if liveGroups[g] != nil {
+				usable++
+			}
+		}
+		if usable == 0 {
+			return nil, fmt.Errorf("core: %s: no live nodes remain for the best-effort groups", app.Name())
+		}
+		assign := make([]int, opt.Partitions)
+		leaders := make([]int, opt.Partitions)
+		for i := range assign {
+			g := i % nGroups
+			if liveGroups[g] == nil {
+				from := g
+				for liveGroups[g] == nil {
+					g = (g + 1) % nGroups
+				}
+				res.GroupRepairs++
+				rt.tracer.Record(trace.Event{
+					Kind: trace.KindGroupRepair,
+					Name: fmt.Sprintf("%s: partition %d moved from dead group %d to group %d", app.Name(), i, from, g),
+					Start: rt.now(), End: rt.now(), Lane: rt.lane,
+				})
+			} else if liveGroups[g].Size() < groups[g].Size() {
+				res.GroupRepairs++
+				rt.tracer.Record(trace.Event{
+					Kind: trace.KindGroupRepair,
+					Name: fmt.Sprintf("%s: partition %d on group %d shrunk to %d/%d nodes",
+						app.Name(), i, g, liveGroups[g].Size(), groups[g].Size()),
+					Start: rt.now(), End: rt.now(), Lane: rt.lane,
+				})
+			}
+			assign[i] = g
+			leaders[i] = liveGroups[g].Nodes()[0]
+		}
+
 		// Scatter each sub-problem's starting model to its group.
 		var scatter []simnet.Flow
 		for i, sub := range subs {
-			leader := groups[i%nGroups].Nodes()[0]
-			scatter = append(scatter, simnet.Flow{Src: rt.Engine().ModelHome, Dst: leader, Bytes: sub.Model.Size()})
+			scatter = append(scatter, simnet.Flow{Src: rt.LiveModelHome(), Dst: leaders[i], Bytes: sub.Model.Size()})
 		}
 		res.MergeTrafficBytes += rt.ChargeFlows(scatter)
 
@@ -166,14 +219,15 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 		// communication between them. Groups run in parallel in
 		// simulated time; sub-problems sharing a group run back to
 		// back, so the phase takes the busiest group's total.
+		deadBefore := rt.deadSnapshot()
 		parts := make([]*model.Model, opt.Partitions)
 		localIters := make([]int, opt.Partitions)
 		groupBusy := make([]simtime.Duration, nGroups)
 		for i, sub := range subs {
-			g := i % nGroups
-			subRT := rt.Fork(groups[g], true)
+			g := assign[i]
+			subRT := rt.Fork(liveGroups[g], true)
 			subRT.SetLane(g + 1)
-			subIn := mapred.NewInput(sub.Records, groups[g], groups[g].MapSlots())
+			subIn := mapred.NewInput(sub.Records, liveGroups[g], liveGroups[g].MapSlots())
 			local, err := RunIC(subRT, app, subIn, sub.Model, &ICOptions{
 				MaxIterations:      opt.MaxLocalIterations,
 				DisableModelWrites: true,
@@ -195,6 +249,24 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 		rt.AdvanceTime(busiest)
 		res.LocalIterations = append(res.LocalIterations, localIters)
 
+		// A node that crashed while the groups were solving takes its
+		// group's in-memory partials with it. Merge over the survivors,
+		// substituting the lost partition's starting model — no
+		// progress there this iteration, but nothing else is lost.
+		if crashed := newlyDead(rt, deadBefore); len(crashed) > 0 {
+			for i := range parts {
+				if viewTouches(liveGroups[assign[i]], crashed) {
+					parts[i] = subs[i].Model
+					res.LostPartials++
+					rt.tracer.Record(trace.Event{
+						Kind: trace.KindGroupRepair,
+						Name: fmt.Sprintf("%s: partial %d lost to mid-iteration crash, merging its starting model", app.Name(), i),
+						Start: rt.now(), End: rt.now(), Lane: rt.lane,
+					})
+				}
+			}
+		}
+
 		// Merge the partial models: either as a real MapReduce job over
 		// their key/value entries (§III-C), or by gathering them to the
 		// driver and applying the application's merge function.
@@ -205,7 +277,7 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 				return nil, fmt.Errorf("core: %s: DistributedMerge requires KeyMerger", app.Name())
 			}
 			var mergeMetrics mapred.Metrics
-			merged, mergeMetrics, err = distributedMerge(rt, app.Name(), km, parts, groups, nGroups)
+			merged, mergeMetrics, err = distributedMerge(rt, app.Name(), km, parts, leaders)
 			if err != nil {
 				return nil, err
 			}
@@ -213,8 +285,7 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 		} else {
 			var gather []simnet.Flow
 			for i, part := range parts {
-				leader := groups[i%nGroups].Nodes()[0]
-				gather = append(gather, simnet.Flow{Src: leader, Dst: rt.Engine().ModelHome, Bytes: part.Size()})
+				gather = append(gather, simnet.Flow{Src: leaders[i], Dst: rt.LiveModelHome(), Bytes: part.Size()})
 			}
 			res.MergeTrafficBytes += rt.ChargeFlows(gather)
 			merged, err = app.Merge(parts, m)
@@ -301,12 +372,12 @@ func repartitionFlows(allNodes []int, groups []*simcluster.Cluster, subs []SubPr
 }
 
 // distributedMerge runs the merge as a MapReduce job: each partition's
-// partial model becomes one input split homed on its group leader, the
-// identity mapper forwards every entry, and the reducer applies the
-// application's per-key merge. The shuffle of partial-model entries is
-// the merge traffic.
+// partial model becomes one input split homed on its (live) group
+// leader, the identity mapper forwards every entry, and the reducer
+// applies the application's per-key merge. The shuffle of partial-model
+// entries is the merge traffic.
 func distributedMerge(rt *Runtime, appName string, km KeyMerger, parts []*model.Model,
-	groups []*simcluster.Cluster, nGroups int) (*model.Model, mapred.Metrics, error) {
+	leaders []int) (*model.Model, mapred.Metrics, error) {
 	splits := make([]mapred.Split, len(parts))
 	for i, part := range parts {
 		var recs []mapred.Record
@@ -314,7 +385,7 @@ func distributedMerge(rt *Runtime, appName string, km KeyMerger, parts []*model.
 			recs = append(recs, mapred.Record{Key: key, Value: v})
 			return true
 		})
-		splits[i] = mapred.Split{Records: recs, Home: groups[i%nGroups].Nodes()[0]}
+		splits[i] = mapred.Split{Records: recs, Home: leaders[i]}
 	}
 	job := &mapred.Job{
 		Name: appName + "-merge",

@@ -36,15 +36,24 @@ type Runtime struct {
 	tracer *trace.Tracer
 	lane   int
 	base   simtime.Time
+
+	// fails replays the cluster's FailurePlan (nil when none is
+	// registered); shared by all forks of a runtime.
+	fails *failureTracker
 }
 
 // NewRuntime creates a runtime over a full cluster view with a fresh
-// DFS using the given configuration.
+// DFS using the given configuration. Register any FailurePlan on the
+// cluster before calling: the runtime snapshots it here and processes
+// its events as the simulated clock advances.
 func NewRuntime(cluster *simcluster.Cluster, fsCfg dfs.Config) *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		engine: mapred.NewEngine(cluster),
 		fs:     dfs.New(cluster, fsCfg),
+		fails:  newFailureTracker(cluster.FailurePlan()),
 	}
+	rt.syncFailures() // apply any events scripted at time zero
+	return rt
 }
 
 // Engine exposes the underlying MapReduce engine (to set cost models or
@@ -90,6 +99,7 @@ func (rt *Runtime) AdvanceTime(d simtime.Duration) {
 		panic("core: negative time advance")
 	}
 	rt.elapsed += d
+	rt.syncFailures()
 }
 
 // AddMetrics folds externally measured metrics (e.g. a sub-runtime's)
@@ -110,13 +120,15 @@ func (rt *Runtime) RunJob(job *mapred.Job, in *mapred.Input, m *model.Model) (*m
 		kind = trace.KindLocalJob
 		out, metrics, err = rt.engine.RunLocal(job, in, m)
 	} else {
-		out, metrics, err = rt.engine.Run(job, in, m)
+		rt.LiveModelHome() // re-home model distribution off crashed nodes
+		out, metrics, err = rt.engine.RunAt(job, in, m, start)
 	}
 	if err != nil {
 		return nil, err
 	}
 	rt.metrics.Add(metrics)
 	rt.elapsed += metrics.Duration
+	rt.syncFailures()
 	rt.tracer.Record(trace.Event{
 		Kind: kind, Name: job.Name, Start: start, End: rt.now(),
 		Bytes: metrics.ShuffleNetworkBytes + metrics.ModelBytes, Lane: rt.lane,
@@ -130,12 +142,14 @@ func (rt *Runtime) RunJob(job *mapred.Job, in *mapred.Input, m *model.Model) (*m
 // recovered with RestoreModel after a driver restart.
 func (rt *Runtime) WriteModel(name string, m *model.Model) {
 	start := rt.now()
+	home := rt.LiveModelHome()
 	before := rt.fs.Counters().WritePipeline
-	_, d := rt.fs.CreateWithData(checkpointName(name, rt.modelWrites), m.Encode(nil), rt.engine.ModelHome)
+	_, d := rt.fs.CreateWithData(checkpointName(name, rt.modelWrites), m.Encode(nil), home)
 	rt.fs.Delete(latestPointer(name))
-	rt.fs.CreateWithData(latestPointer(name), []byte(checkpointName(name, rt.modelWrites)), rt.engine.ModelHome)
+	rt.fs.CreateWithData(latestPointer(name), []byte(checkpointName(name, rt.modelWrites)), home)
 	rt.modelWrites++
 	rt.elapsed += d
+	rt.syncFailures()
 	delta := rt.fs.Counters().WritePipeline - before
 	rt.modelUpdateBytes += delta
 	rt.tracer.Record(trace.Event{
@@ -153,13 +167,21 @@ func (rt *Runtime) RestoreModel(name string) (*model.Model, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no checkpoint for %q", name)
 	}
-	target, _ := rt.fs.ReadData(ptr, rt.engine.ModelHome)
+	home := rt.LiveModelHome()
+	if rt.fs.Lost(ptr) {
+		return nil, fmt.Errorf("core: checkpoint pointer for %q lost to node failures", name)
+	}
+	target, _ := rt.fs.ReadData(ptr, home)
 	f, ok := rt.fs.Open(string(target))
 	if !ok {
 		return nil, fmt.Errorf("core: dangling checkpoint pointer %q", target)
 	}
-	data, d := rt.fs.ReadData(f, rt.engine.ModelHome)
+	if rt.fs.Lost(f) {
+		return nil, fmt.Errorf("core: checkpoint %q lost to node failures", target)
+	}
+	data, d := rt.fs.ReadData(f, home)
 	rt.elapsed += d
+	rt.syncFailures()
 	m, err := model.Decode(data)
 	if err != nil {
 		return nil, fmt.Errorf("core: corrupt checkpoint %q: %w", target, err)
@@ -184,6 +206,7 @@ func (rt *Runtime) ChargeFlows(flows []simnet.Flow) int64 {
 	fabric := rt.Cluster().Fabric()
 	before := fabric.Counters().Total
 	rt.elapsed += fabric.Transfer(flows)
+	rt.syncFailures()
 	moved := fabric.Counters().Total - before
 	if moved > 0 {
 		rt.tracer.Record(trace.Event{
@@ -208,5 +231,5 @@ func (rt *Runtime) Fork(view *simcluster.Cluster, local bool) *Runtime {
 	e.FairSharingNetwork = rt.engine.FairSharingNetwork
 	e.Workers = rt.engine.Workers
 	e.ModelSources = rt.engine.ModelSources
-	return &Runtime{engine: e, fs: rt.fs, local: local, tracer: rt.tracer, base: rt.now()}
+	return &Runtime{engine: e, fs: rt.fs, local: local, tracer: rt.tracer, base: rt.now(), fails: rt.fails}
 }

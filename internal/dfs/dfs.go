@@ -82,6 +82,9 @@ type Counters struct {
 	RemoteRead int64
 	// LocalRead is read traffic served from a local replica (free).
 	LocalRead int64
+	// ReReplication is traffic spent restoring replication after node
+	// failures (see Repair).
+	ReReplication int64
 }
 
 // FS is a simulated distributed file system over one cluster fabric.
@@ -91,6 +94,9 @@ type FS struct {
 	files    map[string]*File
 	counters Counters
 	place    int // round-robin cursor for primary placement
+	// dead marks crashed nodes: their replicas are destroyed and they
+	// receive no new placements until MarkAlive.
+	dead map[int]bool
 }
 
 // New creates an empty file system on the given cluster view. The view
@@ -131,6 +137,11 @@ func (fs *FS) Create(name string, size int64, writer int) (*File, simtime.Durati
 	if size < 0 {
 		panic("dfs: negative file size")
 	}
+	if writer >= 0 && fs.dead[writer] {
+		// A dead writer cannot hold the primary; fall back to
+		// off-cluster placement over the live nodes.
+		writer = -1
+	}
 	f := &File{Name: name}
 	var flows []simnet.Flow
 	for remaining := size; ; {
@@ -168,7 +179,7 @@ func (fs *FS) Create(name string, size int64, writer int) (*File, simtime.Durati
 // writers), second on a different rack when one exists, third on the
 // second replica's rack. Placement is deterministic.
 func (fs *FS) placeReplicas(writer int) []int {
-	nodes := fs.cluster.Nodes()
+	nodes := fs.liveNodes()
 	fabric := fs.cluster.Fabric()
 	n := len(nodes)
 	reps := min(fs.cfg.Replication, n)
@@ -260,6 +271,9 @@ func (fs *FS) Read(f *File, reader int) simtime.Duration {
 
 // closestReplica picks the cheapest replica of b for the reader.
 func (fs *FS) closestReplica(b Block, reader int) int {
+	if len(b.Replicas) == 0 {
+		panic("dfs: block has no live replicas (lost to node failures); check Lost before reading")
+	}
 	fabric := fs.cluster.Fabric()
 	best := b.Replicas[0]
 	bestCost := 2
@@ -276,6 +290,160 @@ func (fs *FS) closestReplica(b Block, reader int) int {
 		}
 	}
 	return best
+}
+
+// liveNodes returns the view's nodes that are not marked dead, in
+// sorted order. It panics when every node is dead: the file system has
+// nowhere left to place data.
+func (fs *FS) liveNodes() []int {
+	all := fs.cluster.Nodes()
+	if len(fs.dead) == 0 {
+		return all
+	}
+	live := make([]int, 0, len(all))
+	for _, n := range all {
+		if !fs.dead[n] {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		panic("dfs: no live nodes")
+	}
+	return live
+}
+
+// MarkDead records node n as crashed: every replica it held is
+// destroyed and it receives no new placements. Call Repair afterwards to
+// restore replication from the surviving copies. Marking a dead node
+// dead again is a no-op.
+func (fs *FS) MarkDead(n int) {
+	if fs.dead == nil {
+		fs.dead = map[int]bool{}
+	}
+	if fs.dead[n] {
+		return
+	}
+	fs.dead[n] = true
+	for _, f := range fs.files {
+		for bi := range f.Blocks {
+			reps := f.Blocks[bi].Replicas
+			kept := reps[:0]
+			for _, r := range reps {
+				if r != n {
+					kept = append(kept, r)
+				}
+			}
+			f.Blocks[bi].Replicas = kept
+		}
+	}
+}
+
+// MarkAlive records node n as recovered. It rejoins with empty disks —
+// re-replication moved its blocks elsewhere — and becomes eligible for
+// placements again; call Repair to top blocks back up to full
+// replication if earlier failures left too few live nodes.
+func (fs *FS) MarkAlive(n int) { delete(fs.dead, n) }
+
+// DeadNodes returns the crashed nodes in sorted order.
+func (fs *FS) DeadNodes() []int {
+	out := make([]int, 0, len(fs.dead))
+	for n := range fs.dead {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Lost reports whether any block of f has no surviving replica. Such a
+// file can be neither read nor repaired: crashes destroy disks, so a
+// recovering node does not bring lost blocks back.
+func (fs *FS) Lost(f *File) bool {
+	for _, b := range f.Blocks {
+		if len(b.Replicas) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RepairReport summarizes one re-replication pass.
+type RepairReport struct {
+	// ReplicatedBlocks and ReplicatedBytes count the block copies made
+	// to restore replication.
+	ReplicatedBlocks int
+	ReplicatedBytes  int64
+	// LostBlocks counts blocks with no surviving replica, which cannot
+	// be repaired.
+	LostBlocks int
+}
+
+// Repair scans every file for under-replicated blocks — fewer live
+// replicas than min(Replication, live nodes) — and copies each from a
+// surviving replica to a live node not already holding it, mirroring the
+// namenode's re-replication queue. The copy traffic is charged on the
+// fabric and in Counters.ReReplication, and the returned duration is the
+// transfer time of the burst. The scan is deterministic (files in name
+// order, targets in rotation order), so simulations with failures stay
+// reproducible.
+func (fs *FS) Repair() (RepairReport, simtime.Duration) {
+	var report RepairReport
+	live := make([]int, 0, len(fs.cluster.Nodes()))
+	for _, n := range fs.cluster.Nodes() {
+		if !fs.dead[n] {
+			live = append(live, n)
+		}
+	}
+	target := min(fs.cfg.Replication, len(live))
+
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var flows []simnet.Flow
+	for _, name := range names {
+		f := fs.files[name]
+		for bi := range f.Blocks {
+			b := &f.Blocks[bi]
+			if len(b.Replicas) == 0 {
+				report.LostBlocks++
+				continue
+			}
+			for len(b.Replicas) < target {
+				dst, ok := fs.repairTarget(b.Replicas, live)
+				if !ok {
+					break
+				}
+				src := b.Replicas[0]
+				if b.Size > 0 {
+					flows = append(flows, simnet.Flow{Src: src, Dst: dst, Bytes: b.Size})
+					fs.counters.ReReplication += b.Size
+					report.ReplicatedBytes += b.Size
+				}
+				report.ReplicatedBlocks++
+				b.Replicas = append(b.Replicas, dst)
+			}
+		}
+	}
+	return report, fs.cluster.Fabric().Transfer(flows)
+}
+
+// repairTarget picks the next live node to receive a block copy: the
+// first live non-holder in rotation order after the newest replica.
+func (fs *FS) repairTarget(holders, live []int) (int, bool) {
+	used := make(map[int]bool, len(holders))
+	for _, r := range holders {
+		used[r] = true
+	}
+	start := sort.SearchInts(live, holders[len(holders)-1])
+	for i := 1; i <= len(live); i++ {
+		c := live[(start+i)%len(live)]
+		if !used[c] {
+			return c, true
+		}
+	}
+	return 0, false
 }
 
 // BlockHomes returns the primary replica node of each block, used by the

@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -37,9 +38,23 @@ func TestDefaultConfig(t *testing.T) {
 }
 
 func TestConfigValidate(t *testing.T) {
-	for _, c := range []Config{{Replication: 0, BlockSize: 1}, {Replication: 1, BlockSize: 0}} {
-		if err := c.Validate(); err == nil {
-			t.Errorf("config %+v accepted", c)
+	cases := []struct {
+		cfg     Config
+		wantMsg string
+	}{
+		{Config{Replication: 0, BlockSize: 1}, "Replication = 0"},
+		{Config{Replication: -2, BlockSize: 1}, "Replication = -2"},
+		{Config{Replication: 1, BlockSize: 0}, "BlockSize = 0"},
+		{Config{Replication: 3, BlockSize: -4096}, "BlockSize = -4096"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("config %+v accepted", tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("config %+v: err = %v, want mention of %q", tc.cfg, err, tc.wantMsg)
 		}
 	}
 }

@@ -1,0 +1,133 @@
+package dfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simcluster"
+)
+
+// fuzzCluster is a 6-node, 2-rack testbed for placement fuzzing.
+func fuzzCluster() *simcluster.Cluster {
+	return simcluster.New(simcluster.Config{
+		Nodes:              6,
+		RackSize:           3,
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+		ComputeRate:        1e6,
+		NodeBandwidth:      1e6,
+		RackBandwidth:      4e6,
+		CoreBandwidth:      4e6,
+	})
+}
+
+// checkReplicaInvariants asserts the property Repair maintains: every
+// block of a non-lost file carries exactly min(Replication, live nodes)
+// replicas, each on a distinct live node; lost blocks stay lost.
+func checkReplicaInvariants(t *testing.T, fs *FS, files []*File, step string) {
+	t.Helper()
+	live := map[int]bool{}
+	for _, n := range fs.cluster.Nodes() {
+		live[n] = true
+	}
+	for _, n := range fs.DeadNodes() {
+		delete(live, n)
+	}
+	want := fs.Config().Replication
+	if len(live) < want {
+		want = len(live)
+	}
+	for _, f := range files {
+		for bi, b := range f.Blocks {
+			if len(b.Replicas) == 0 {
+				continue // lost block: nothing to restore from
+			}
+			if len(b.Replicas) != want {
+				t.Fatalf("%s: file %q block %d has %d replicas %v, want %d (live=%d)",
+					step, f.Name, bi, len(b.Replicas), b.Replicas, want, len(live))
+			}
+			seen := map[int]bool{}
+			for _, r := range b.Replicas {
+				if !live[r] {
+					t.Fatalf("%s: file %q block %d replicated on dead node %d (%v)",
+						step, f.Name, bi, r, b.Replicas)
+				}
+				if seen[r] {
+					t.Fatalf("%s: file %q block %d holds duplicate replica %d (%v)",
+						step, f.Name, bi, r, b.Replicas)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+// FuzzReplicaPlacement drives the file system through an arbitrary
+// crash/recover sequence, repairing after each event, and checks the
+// replication invariants at every step. Each input byte encodes one
+// liveness event: the low bits select the node, one bit selects crash
+// versus recover.
+func FuzzReplicaPlacement(f *testing.F) {
+	f.Add([]byte{0})                      // crash one node
+	f.Add([]byte{0, 1, 2, 3, 4, 5})       // crash everything
+	f.Add([]byte{0, 8, 0, 8})             // crash/recover node 0 twice
+	f.Add([]byte{2, 3, 10, 4, 11, 5, 12}) // rolling failures with recoveries
+	f.Add([]byte{5, 4, 3, 13, 12, 11})    // kill a rack, then revive it
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64] // bound the walk; longer suffixes add nothing
+		}
+		c := fuzzCluster()
+		nodes := c.Size()
+		fs := New(c, Config{Replication: 3, BlockSize: 4 << 10})
+		var files []*File
+		for i := 0; i < 4; i++ {
+			// Mixed writers and sizes: single- and multi-block files.
+			file, _ := fs.Create(fmt.Sprintf("f%d", i), int64(3<<10+i*5<<10), i%nodes)
+			files = append(files, file)
+		}
+		checkReplicaInvariants(t, fs, files, "initial placement")
+
+		everLost := map[string]bool{}
+		for i, op := range ops {
+			node := int(op) % nodes
+			recover := (int(op)/nodes)%2 == 1
+			if recover {
+				fs.MarkAlive(node)
+			} else {
+				fs.MarkDead(node)
+			}
+			fs.Repair()
+			step := fmt.Sprintf("op %d (%s node %d)", i, map[bool]string{true: "recover", false: "crash"}[recover], node)
+			checkReplicaInvariants(t, fs, files, step)
+
+			// Lost is permanent: crashes destroy disks, so once every
+			// replica of a block is gone the file must stay lost even
+			// after its former holders recover.
+			for _, file := range files {
+				if fs.Lost(file) {
+					everLost[file.Name] = true
+				} else if everLost[file.Name] {
+					t.Fatalf("%s: file %q was lost but has recovered", step, file.Name)
+				}
+			}
+		}
+
+		// Full recovery: every node back, one repair pass must restore
+		// full replication for all non-lost files.
+		for n := 0; n < nodes; n++ {
+			fs.MarkAlive(n)
+		}
+		fs.Repair()
+		checkReplicaInvariants(t, fs, files, "after full recovery")
+		for _, file := range files {
+			for bi, b := range file.Blocks {
+				if len(b.Replicas) != 0 && len(b.Replicas) != fs.Config().Replication {
+					t.Fatalf("after full recovery file %q block %d has %d replicas",
+						file.Name, bi, len(b.Replicas))
+				}
+			}
+		}
+	})
+}

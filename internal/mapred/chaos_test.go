@@ -1,0 +1,202 @@
+package mapred
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/simcluster"
+	"repro/internal/simtime"
+	"repro/internal/writable"
+)
+
+// chaosCluster builds the shared 4-node test cluster with a failure
+// plan registered before any engine sees it.
+func chaosCluster(plan *simcluster.FailurePlan) *simcluster.Cluster {
+	c := testCluster()
+	c.SetFailurePlan(plan)
+	return c
+}
+
+// chaosInput builds a word-count input large enough that every node has
+// tasks in flight for a while: 16 splits over 8 map slots, ~50 records
+// each.
+func chaosInput(c *simcluster.Cluster) *Input {
+	recs := make([]Record, 800)
+	for i := range recs {
+		recs[i] = Record{Key: fmt.Sprintf("line%d", i), Value: writable.Text(fmt.Sprintf("w%d w%d common", i%7, i%13))}
+	}
+	return NewInput(recs, c, 16)
+}
+
+// TestChaosCrashesPreserveOutput crashes a node at several points of a
+// job's life — before it starts, mid-map-wave, mid-reduce-wave — and
+// checks the job still produces exactly the healthy run's output, with
+// mid-wave crashes observable as rescheduled tasks.
+func TestChaosCrashesPreserveOutput(t *testing.T) {
+	healthyC := testCluster()
+	healthyE := NewEngine(healthyC)
+	healthyOut, healthy, err := healthyE.Run(wordCountJob(false), chaosInput(healthyC), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := countsFromOutput(healthyOut)
+
+	cases := []struct {
+		name           string
+		crashAt        simtime.Duration
+		wantReschedule bool
+	}{
+		{"at-job-start", 0, false},
+		{"mid-map", healthy.OverheadPhase + healthy.ModelPhase + healthy.MapPhase/2, true},
+		// Early in the reduce wave, while every reducer (including the
+		// cheap ones) is still in flight.
+		{"mid-reduce", healthy.OverheadPhase + healthy.ModelPhase + healthy.MapPhase +
+			healthy.ReducePhase/8, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := &simcluster.FailurePlan{Events: []simcluster.NodeEvent{
+				{Node: 1, Time: simtime.Time(tc.crashAt)},
+			}}
+			c := chaosCluster(plan)
+			out, m, err := NewEngine(c).RunAt(wordCountJob(false), chaosInput(c), nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := countsFromOutput(out)
+			if len(got) != len(want) {
+				t.Fatalf("distinct keys differ: %d vs %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("count[%q] = %d after crash, want %d", k, got[k], v)
+				}
+			}
+			if tc.wantReschedule && m.RescheduledTasks == 0 {
+				t.Fatalf("%s crash killed no in-flight tasks: %+v", tc.name, m)
+			}
+			if !tc.wantReschedule && m.RescheduledTasks != 0 {
+				t.Fatalf("pre-start crash rescheduled %d tasks", m.RescheduledTasks)
+			}
+			if m.Duration < healthy.Duration {
+				t.Fatalf("crash run finished faster than healthy: %v vs %v", m.Duration, healthy.Duration)
+			}
+		})
+	}
+}
+
+// TestChaosRecoveryRestoresCapacity crashes a node mid-map and brings
+// it back before the reduce wave; the job completes correctly and no
+// slower than the run without the recovery.
+func TestChaosRecoveryRestoresCapacity(t *testing.T) {
+	healthyC := testCluster()
+	_, healthy, err := NewEngine(healthyC).Run(wordCountJob(false), chaosInput(healthyC), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := simtime.Time(healthy.OverheadPhase + healthy.ModelPhase + healthy.MapPhase/2)
+	run := func(events ...simcluster.NodeEvent) Metrics {
+		c := chaosCluster(&simcluster.FailurePlan{Events: events})
+		_, m, err := NewEngine(c).RunAt(wordCountJob(false), chaosInput(c), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	noRecover := run(simcluster.NodeEvent{Node: 1, Time: crashAt})
+	recovered := run(
+		simcluster.NodeEvent{Node: 1, Time: crashAt},
+		simcluster.NodeEvent{Node: 1, Time: crashAt + simtime.Time(healthy.MapPhase/4), Recover: true},
+	)
+	if recovered.RescheduledTasks == 0 {
+		t.Fatal("crash before recovery killed no tasks")
+	}
+	if recovered.Duration > noRecover.Duration {
+		t.Fatalf("recovery made the job slower: %v vs %v", recovered.Duration, noRecover.Duration)
+	}
+}
+
+// TestChaosSplitRehomedToSurvivingReplica homes a split on a node that
+// is dead at job start; the engine must read it from the surviving
+// replica and charge the non-local read.
+func TestChaosSplitRehomedToSurvivingReplica(t *testing.T) {
+	plan := &simcluster.FailurePlan{Events: []simcluster.NodeEvent{{Node: 1, Time: 0}}}
+	c := chaosCluster(plan)
+	recs := []Record{{Key: "a", Value: writable.Text("x y x")}}
+	in := InputFromSplits([]Split{{Records: recs, Home: 1, Replicas: []int{1, 2}}})
+	out, m, err := NewEngine(c).RunAt(wordCountJob(false), in, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countsFromOutput(out); got["x"] != 2 || got["y"] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+	if m.NonLocalInputBytes == 0 {
+		t.Fatal("re-homed split charged no non-local input traffic")
+	}
+}
+
+// TestChaosAllReplicasLost fails the job — rather than silently losing
+// records — when every replica of a split is on dead nodes.
+func TestChaosAllReplicasLost(t *testing.T) {
+	plan := &simcluster.FailurePlan{Events: []simcluster.NodeEvent{
+		{Node: 1, Time: 0}, {Node: 2, Time: 0},
+	}}
+	c := chaosCluster(plan)
+	recs := []Record{{Key: "a", Value: writable.Text("x")}}
+	in := InputFromSplits([]Split{{Records: recs, Home: 1, Replicas: []int{1, 2}}})
+	_, _, err := NewEngine(c).RunAt(wordCountJob(false), in, nil, 0)
+	if err == nil || !strings.Contains(err.Error(), "all replicas lost") {
+		t.Fatalf("err = %v, want all-replicas-lost failure", err)
+	}
+}
+
+// TestChaosNoLiveNodes fails cleanly when the whole view is dead at job
+// start.
+func TestChaosNoLiveNodes(t *testing.T) {
+	var events []simcluster.NodeEvent
+	for n := 0; n < 4; n++ {
+		events = append(events, simcluster.NodeEvent{Node: n, Time: 0})
+	}
+	c := chaosCluster(&simcluster.FailurePlan{Events: events})
+	_, _, err := NewEngine(c).RunAt(wordCountJob(false), chaosInput(c), nil, 0)
+	if err == nil || !strings.Contains(err.Error(), "no live nodes") {
+		t.Fatalf("err = %v, want no-live-nodes failure", err)
+	}
+}
+
+// TestChaosInertPlanMatchesHealthySchedule runs the same job through
+// the failure-aware scheduler (a plan whose only event fires long after
+// the job ends) and the plain scheduler; timings, metrics and output
+// must agree exactly.
+func TestChaosInertPlanMatchesHealthySchedule(t *testing.T) {
+	healthyC := testCluster()
+	healthyOut, healthy, err := NewEngine(healthyC).Run(wordCountJob(false), chaosInput(healthyC), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &simcluster.FailurePlan{Events: []simcluster.NodeEvent{{Node: 1, Time: 1e9}}}
+	c := chaosCluster(plan)
+	out, m, err := NewEngine(c).RunAt(wordCountJob(false), chaosInput(c), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failure-aware scheduler may place tasks on different nodes
+	// than the greedy list scheduler (shifting shuffle bytes between
+	// links), but with no live failures the makespans — and so every
+	// phase duration — must agree exactly.
+	if m.Duration != healthy.Duration || m.MapPhase != healthy.MapPhase ||
+		m.ReducePhase != healthy.ReducePhase || m.OverheadPhase != healthy.OverheadPhase {
+		t.Fatalf("failure-aware schedule diverged from plain schedule with no failures:\n%+v\n%+v", m, healthy)
+	}
+	if m.RescheduledTasks != 0 || m.NodeCrashes != 0 {
+		t.Fatalf("inert plan recorded faults: %+v", m)
+	}
+	a, b := countsFromOutput(healthyOut), countsFromOutput(out)
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("count[%q]: %d vs %d", k, v, b[k])
+		}
+	}
+}

@@ -105,6 +105,14 @@ type Metrics struct {
 	StragglerTasks   int
 	SpeculativeTasks int
 
+	// NodeCrashes counts whole-node crash events processed;
+	// RescheduledTasks the in-flight task attempts those crashes killed
+	// (each re-ran on a survivor); ReReplicationBytes the DFS traffic
+	// spent restoring block replication afterwards.
+	NodeCrashes        int
+	RescheduledTasks   int
+	ReReplicationBytes int64
+
 	// LocalJobs and LocalRecords count in-memory executions
 	// (Engine.RunLocal) — PIC's best-effort local iterations.
 	LocalJobs    int
@@ -150,6 +158,9 @@ func (m *Metrics) Add(o Metrics) {
 	m.TaskRetries += o.TaskRetries
 	m.StragglerTasks += o.StragglerTasks
 	m.SpeculativeTasks += o.SpeculativeTasks
+	m.NodeCrashes += o.NodeCrashes
+	m.RescheduledTasks += o.RescheduledTasks
+	m.ReReplicationBytes += o.ReReplicationBytes
 	m.LocalJobs += o.LocalJobs
 	m.LocalRecords += o.LocalRecords
 	m.InputRecords += o.InputRecords
@@ -182,6 +193,9 @@ func (m Metrics) Sub(o Metrics) Metrics {
 	m.TaskRetries -= o.TaskRetries
 	m.StragglerTasks -= o.StragglerTasks
 	m.SpeculativeTasks -= o.SpeculativeTasks
+	m.NodeCrashes -= o.NodeCrashes
+	m.RescheduledTasks -= o.RescheduledTasks
+	m.ReReplicationBytes -= o.ReReplicationBytes
 	m.LocalJobs -= o.LocalJobs
 	m.LocalRecords -= o.LocalRecords
 	m.InputRecords -= o.InputRecords
@@ -211,8 +225,21 @@ type Output struct {
 }
 
 // Run executes one job over the input with the given read-only model
-// (nil for model-free jobs) and returns its output and metrics.
+// (nil for model-free jobs) and returns its output and metrics. The job
+// is placed at simulated time zero; use RunAt to align it with a
+// FailurePlan's absolute clock.
 func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, error) {
+	return e.RunAt(job, in, m, 0)
+}
+
+// RunAt executes one job like Run, with the job starting at the given
+// simulated time. When the cluster view carries a FailurePlan the
+// schedule honors it: tasks never run on dead nodes, in-flight tasks on
+// a node that crashes mid-wave are killed and re-executed on survivors
+// (counted in Metrics.RescheduledTasks), splits homed on dead nodes are
+// re-read from their surviving replicas, and the job fails only when
+// every replica of a needed split is gone or no live node remains.
+func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) (*Output, Metrics, error) {
 	if err := job.validate(); err != nil {
 		return nil, Metrics{}, err
 	}
@@ -239,6 +266,44 @@ func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, err
 	metrics.Jobs = 1
 	metrics.OverheadPhase = cost.JobOverhead
 	metrics.InputRecords = in.NumRecords()
+
+	// ---- Node liveness: with a FailurePlan registered, resolve which
+	// view nodes are dead at the job start and re-home splits whose
+	// home node has crashed onto a surviving replica.
+	plan := e.cluster.FailurePlan()
+	var dead map[int]bool
+	if plan != nil {
+		dead = plan.DeadAt(start)
+		live := 0
+		for _, n := range e.cluster.Nodes() {
+			if !dead[n] {
+				live++
+			}
+		}
+		if live == 0 {
+			return nil, Metrics{}, fmt.Errorf("job %q: no live nodes in view at t=%.3fs", job.Name, float64(start))
+		}
+	}
+	homes := make([]int, len(in.Splits))
+	for i, split := range in.Splits {
+		homes[i] = split.Home
+		if split.Home >= 0 && dead[split.Home] {
+			homes[i] = -1
+			if len(split.Replicas) > 0 {
+				found := false
+				for _, r := range split.Replicas {
+					if !dead[r] {
+						homes[i] = r
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, Metrics{}, fmt.Errorf("job %q: split %d: all replicas lost to node failures", job.Name, i)
+				}
+			}
+		}
+	}
 
 	// ---- Map phase: execute user code per split, partition and
 	// combine the output.
@@ -299,8 +364,8 @@ func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, err
 
 	// ---- Schedule map tasks (with failure re-execution).
 	tasks := make([]simcluster.Task, nSplits)
-	for i, split := range in.Splits {
-		tasks[i] = simcluster.Task{Cost: mapCosts[i], Preferred: split.Home}
+	for i := range in.Splits {
+		tasks[i] = simcluster.Task{Cost: mapCosts[i], Preferred: homes[i]}
 		if e.FailEveryNthMapTask > 0 && (i+1)%e.FailEveryNthMapTask == 0 {
 			// The failed attempt's work is lost and the re-execution
 			// runs after it, so the task occupies a slot for twice its
@@ -324,7 +389,19 @@ func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, err
 			}
 		}
 	}
-	placements, mapMakespan := e.cluster.Schedule(tasks, e.cluster.Config().MapSlotsPerNode)
+	var placements []simcluster.Placement
+	var mapMakespan simtime.Duration
+	if plan != nil {
+		var killed int
+		var err error
+		placements, mapMakespan, killed, err = e.cluster.ScheduleFailureAware(tasks, e.cluster.Config().MapSlotsPerNode, start+cost.JobOverhead)
+		if err != nil {
+			return nil, Metrics{}, fmt.Errorf("job %q map wave: %w", job.Name, err)
+		}
+		metrics.RescheduledTasks += killed
+	} else {
+		placements, mapMakespan = e.cluster.Schedule(tasks, e.cluster.Config().MapSlotsPerNode)
+	}
 	metrics.MapTasks = nSplits
 
 	// Non-local tasks pull their split from its home node.
@@ -335,8 +412,8 @@ func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, err
 	splitNode := make([]int, nSplits)
 	for i, p := range placements {
 		splitNode[i] = p.Node
-		if !p.Local && in.Splits[i].Home >= 0 {
-			inputFlows = append(inputFlows, simnet.Flow{Src: in.Splits[i].Home, Dst: p.Node, Bytes: in.Splits[i].Bytes})
+		if !p.Local && homes[i] >= 0 {
+			inputFlows = append(inputFlows, simnet.Flow{Src: homes[i], Dst: p.Node, Bytes: in.Splits[i].Bytes})
 			metrics.NonLocalInputBytes += in.Splits[i].Bytes
 		}
 	}
@@ -353,7 +430,7 @@ func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, err
 		// Reduce nodes are chosen below, but every node in the view is
 		// a potential reduce node; distribute wherever map tasks run
 		// now and charge reduce-node distribution after placement.
-		metrics.ModelPhase = e.distributeModel(m, nodesNeeding, job.PartitionedModel, &metrics)
+		metrics.ModelPhase = e.distributeModel(m, nodesNeeding, job.PartitionedModel, dead, &metrics)
 	}
 
 	// ---- Map-only jobs stop here.
@@ -405,7 +482,22 @@ func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, err
 	for p := range rTasks {
 		rTasks[p] = simcluster.Task{Cost: reduceCosts[p], Preferred: -1}
 	}
-	rPlacements, reduceMakespan := e.cluster.Schedule(rTasks, e.cluster.Config().ReduceSlotsPerNode)
+	var rPlacements []simcluster.Placement
+	var reduceMakespan simtime.Duration
+	if plan != nil {
+		// The reduce wave starts once map output and the model are in
+		// place; crashes inside the wave reschedule reduce attempts.
+		rStart := start + metrics.OverheadPhase + metrics.ModelPhase + metrics.MapPhase
+		var killed int
+		var err error
+		rPlacements, reduceMakespan, killed, err = e.cluster.ScheduleFailureAware(rTasks, e.cluster.Config().ReduceSlotsPerNode, rStart)
+		if err != nil {
+			return nil, Metrics{}, fmt.Errorf("job %q reduce wave: %w", job.Name, err)
+		}
+		metrics.RescheduledTasks += killed
+	} else {
+		rPlacements, reduceMakespan = e.cluster.Schedule(rTasks, e.cluster.Config().ReduceSlotsPerNode)
+	}
 	metrics.ReduceTasks = numReducers
 	metrics.ReducePhase = reduceMakespan
 	for _, v := range reduceValues {
@@ -424,7 +516,7 @@ func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, err
 				extra[p.Node] = true
 			}
 		}
-		metrics.ModelPhase += e.distributeModel(m, extra, job.PartitionedModel, &metrics)
+		metrics.ModelPhase += e.distributeModel(m, extra, job.PartitionedModel, dead, &metrics)
 	}
 
 	// ---- Shuffle: post-combine partitions travel from the node each
@@ -465,10 +557,20 @@ func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, err
 // that are false are skipped) from the model's replica nodes and
 // returns the transfer time. When partitioned is true, each node pulls
 // only its share of the model; otherwise every node receives a full
-// copy.
-func (e *Engine) distributeModel(m *model.Model, nodes map[int]bool, partitioned bool, metrics *Metrics) simtime.Duration {
+// copy. Dead nodes (nil when no failures are scripted) never serve as
+// sources.
+func (e *Engine) distributeModel(m *model.Model, nodes map[int]bool, partitioned bool, dead map[int]bool, metrics *Metrics) simtime.Duration {
 	size := m.Size()
 	view := e.cluster.Nodes()
+	if len(dead) > 0 {
+		live := make([]int, 0, len(view))
+		for _, n := range view {
+			if !dead[n] {
+				live = append(live, n)
+			}
+		}
+		view = live
+	}
 	nSources := e.ModelSources
 	if nSources < 1 {
 		nSources = 1
@@ -477,7 +579,8 @@ func (e *Engine) distributeModel(m *model.Model, nodes map[int]bool, partitioned
 		nSources = len(view)
 	}
 	// Replica nodes: the model home plus its successors in the view,
-	// mirroring the DFS write pipeline's placement.
+	// mirroring the DFS write pipeline's placement. A crashed home
+	// falls back to the first live node.
 	homeIdx := 0
 	for i, n := range view {
 		if n == e.ModelHome {
@@ -598,5 +701,9 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&sb, "bytes: %d map-out, %d shuffled (%d network, %d cross-rack), %d model-dist, %d out\n",
 		m.MapOutputBytes, m.ShuffleBytes, m.ShuffleNetworkBytes, m.ShuffleCrossRackBytes,
 		m.ModelBytes, m.OutputBytes)
+	if m.NodeCrashes > 0 || m.RescheduledTasks > 0 || m.ReReplicationBytes > 0 {
+		fmt.Fprintf(&sb, "faults: %d node crashes, %d rescheduled tasks, %d re-replication bytes\n",
+			m.NodeCrashes, m.RescheduledTasks, m.ReReplicationBytes)
+	}
 	return sb.String()
 }

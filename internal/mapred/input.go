@@ -11,6 +11,14 @@ type Split struct {
 	// Home is the node holding the split's data, or -1 when the data
 	// has no affinity.
 	Home int
+	// Replicas optionally lists every node holding a copy of the
+	// split's underlying block (Home first, as dfs.Block.Replicas
+	// stores them). When Home crashes, the engine re-reads the split
+	// from the first surviving replica; if Replicas is non-empty and
+	// none survive, the job fails with a data-loss error. An empty list
+	// means the split has no tracked replicas: a crash of Home then
+	// only costs the locality preference.
+	Replicas []int
 	// Bytes caches the encoded size of Records.
 	Bytes int64
 }

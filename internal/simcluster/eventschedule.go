@@ -1,6 +1,7 @@
 package simcluster
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/simtime"
@@ -79,6 +80,154 @@ func (c *Cluster) EventSchedule(tasks []Task, slotsPerNode int) ([]Placement, si
 	}
 	eng.Run()
 	return placements, makespan
+}
+
+// ScheduleFailureAware schedules tasks like EventSchedule while honoring
+// the view's registered FailurePlan, with the plan's absolute times
+// aligned so that simulated time start corresponds to wave time zero:
+// slots on nodes dead at the wave start never dispatch, a task in flight
+// on a node when it crashes is killed and re-queued onto survivors (the
+// failed attempt's work is lost, as in Hadoop), and a node that recovers
+// mid-wave rejoins with empty slots. Placements are relative to the wave
+// start, like Schedule's. killed reports how many in-flight attempts
+// node crashes destroyed. It returns an error when tasks remain
+// unrunnable because every node in the view is dead with no recovery
+// scheduled.
+func (c *Cluster) ScheduleFailureAware(tasks []Task, slotsPerNode int, start simtime.Time) (pl []Placement, makespan simtime.Duration, killed int, err error) {
+	if slotsPerNode <= 0 {
+		panic("simcluster: slotsPerNode must be positive")
+	}
+	for _, t := range tasks {
+		if t.Cost < 0 {
+			panic("simcluster: negative task cost")
+		}
+	}
+
+	inView := make(map[int]bool, len(c.nodes))
+	for _, n := range c.nodes {
+		inView[n] = true
+	}
+	dead := map[int]bool{}
+	for n, d := range c.failplan.DeadAt(start) {
+		if d && inView[n] {
+			dead[n] = true
+		}
+	}
+
+	type slot struct {
+		node    int
+		gen     int // bumped when the node crashes, invalidating completions
+		running int // task index in flight, or -1
+		startAt simtime.Time
+	}
+	slots := make([]*slot, 0, len(c.nodes)*slotsPerNode)
+	byNode := map[int][]int{} // node -> slot indices
+	for _, n := range c.nodes {
+		for s := 0; s < slotsPerNode; s++ {
+			byNode[n] = append(byNode[n], len(slots))
+			slots = append(slots, &slot{node: n, running: -1})
+		}
+	}
+
+	placements := make([]Placement, len(tasks))
+	pending := make([]int, len(tasks))
+	for i := range pending {
+		pending[i] = i
+	}
+	completed := 0
+
+	eng := simtime.NewEngine()
+	var dispatch func(si int, at simtime.Time)
+	complete := func(si, gen int, at simtime.Time) {
+		s := slots[si]
+		if s.gen != gen || s.running < 0 {
+			return // stale completion: the attempt was killed by a crash
+		}
+		ti := s.running
+		end := at
+		placements[ti] = Placement{
+			Node:  s.node,
+			Start: s.startAt,
+			End:   end,
+			Local: tasks[ti].Preferred < 0 || s.node == tasks[ti].Preferred,
+		}
+		completed++
+		if simtime.Duration(end) > makespan {
+			makespan = simtime.Duration(end)
+		}
+		s.running = -1
+		dispatch(si, at)
+	}
+	dispatch = func(si int, at simtime.Time) {
+		s := slots[si]
+		if dead[s.node] || s.running >= 0 || len(pending) == 0 {
+			return
+		}
+		// Same tie-breaking as EventSchedule: the earliest pending task
+		// homed on this node, else FIFO.
+		pick := 0
+		for qi, ti := range pending {
+			if tasks[ti].Preferred == s.node {
+				pick = qi
+				break
+			}
+		}
+		ti := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+		dur := simtime.Duration(tasks[ti].Cost / c.nodeRate(s.node))
+		s.running, s.startAt = ti, at
+		gen := s.gen
+		eng.At(at+dur, func() { complete(si, gen, eng.Now()) })
+	}
+
+	// Crash/recover events strictly after the wave start, on the wave's
+	// relative clock.
+	for _, ev := range c.failplan.Sorted() {
+		if ev.Time <= start || !inView[ev.Node] {
+			continue
+		}
+		ev := ev
+		eng.At(ev.Time-start, func() {
+			if ev.Recover {
+				if !dead[ev.Node] {
+					return
+				}
+				delete(dead, ev.Node)
+				for _, si := range byNode[ev.Node] {
+					dispatch(si, eng.Now())
+				}
+				return
+			}
+			if dead[ev.Node] {
+				return
+			}
+			dead[ev.Node] = true
+			for _, si := range byNode[ev.Node] {
+				s := slots[si]
+				if s.running >= 0 {
+					pending = append(pending, s.running)
+					s.running = -1
+					killed++
+				}
+				s.gen++
+			}
+			// Survivors' idle slots pick up the re-queued work.
+			for si := range slots {
+				dispatch(si, eng.Now())
+			}
+		})
+	}
+
+	for si := range slots {
+		si := si
+		eng.At(0, func() { dispatch(si, eng.Now()) })
+	}
+	eng.Run()
+	if completed < len(tasks) {
+		return nil, 0, killed, fmt.Errorf("simcluster: %d of %d tasks stranded: no live nodes in view and no recovery scheduled",
+			len(tasks)-completed, len(tasks))
+	}
+	return placements, makespan, killed, nil
 }
 
 // sortedByStart is a test helper ordering placements by start time.

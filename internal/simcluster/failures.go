@@ -1,0 +1,106 @@
+package simcluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// NodeEvent is one liveness transition in a FailurePlan: a whole-node
+// crash (the node's slots stop dispatching and its disk contents are
+// lost) or a recovery (the node rejoins with empty disks).
+type NodeEvent struct {
+	// Node is the global id of the node the event applies to.
+	Node int
+	// Time is when the event takes effect on the simulated clock.
+	Time simtime.Time
+	// Recover marks the event as a node rejoining; false is a crash.
+	Recover bool
+}
+
+// FailurePlan scripts whole-node crashes and recoveries against the
+// simulated clock. Register it with Cluster.SetFailurePlan before
+// building runtimes or sub-views; schedulers and the DFS then honor it.
+// Crashing an already-dead node or recovering a live one is a no-op, so
+// arbitrary (e.g. fuzz-generated) event sequences are valid plans.
+type FailurePlan struct {
+	Events []NodeEvent
+}
+
+// Validate reports whether every event names a node in [0, nodes) at a
+// non-negative time.
+func (p *FailurePlan) Validate(nodes int) error {
+	for i, ev := range p.Events {
+		if ev.Node < 0 || ev.Node >= nodes {
+			return fmt.Errorf("simcluster: failure event %d: node %d out of range [0,%d)", i, ev.Node, nodes)
+		}
+		if ev.Time < 0 {
+			return fmt.Errorf("simcluster: failure event %d: negative time %g", i, float64(ev.Time))
+		}
+	}
+	return nil
+}
+
+// Sorted returns the events ordered by time; events at equal times keep
+// their plan order, so replaying a plan is deterministic.
+func (p *FailurePlan) Sorted() []NodeEvent {
+	if p == nil {
+		return nil
+	}
+	out := append([]NodeEvent(nil), p.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// DeadAt replays the plan up to and including time t and returns the set
+// of nodes dead at that instant. A nil plan returns nil.
+func (p *FailurePlan) DeadAt(t simtime.Time) map[int]bool {
+	if p == nil {
+		return nil
+	}
+	dead := map[int]bool{}
+	for _, ev := range p.Sorted() {
+		if ev.Time > t {
+			break
+		}
+		if ev.Recover {
+			delete(dead, ev.Node)
+		} else {
+			dead[ev.Node] = true
+		}
+	}
+	return dead
+}
+
+// SetFailurePlan registers a node-failure script on this view and every
+// view later derived from it with Subset or Groups. Call it before
+// deriving sub-views or constructing runtimes; views created earlier do
+// not see the plan. It panics on an invalid plan.
+func (c *Cluster) SetFailurePlan(p *FailurePlan) {
+	if p != nil {
+		if err := p.Validate(c.cfg.Nodes); err != nil {
+			panic(err)
+		}
+	}
+	c.failplan = p
+}
+
+// FailurePlan returns the registered failure script (nil when none).
+func (c *Cluster) FailurePlan() *FailurePlan { return c.failplan }
+
+// LiveNodesAt returns the view's nodes alive at time t under the
+// registered plan (all nodes when no plan is registered).
+func (c *Cluster) LiveNodesAt(t simtime.Time) []int {
+	dead := c.failplan.DeadAt(t)
+	if len(dead) == 0 {
+		return c.nodes
+	}
+	live := make([]int, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if !dead[n] {
+			live = append(live, n)
+		}
+	}
+	return live
+}

@@ -1,0 +1,134 @@
+package simcluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidateRejectsDegenerateTopologies(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantMsg string
+	}{
+		{"zero nodes", func(c *Config) { c.Nodes = 0 }, "Nodes = 0"},
+		{"negative nodes", func(c *Config) { c.Nodes = -3 }, "Nodes = -3"},
+		{"zero rack size", func(c *Config) { c.RackSize = 0 }, "RackSize = 0"},
+		{"negative compute rate", func(c *Config) { c.ComputeRate = -1 }, "ComputeRate"},
+		{"short rate factors", func(c *Config) { c.NodeRateFactors = []float64{1} }, "1 rate factors for 4 nodes"},
+		{"negative rate factor", func(c *Config) { c.NodeRateFactors = []float64{1, 1, -0.5, 1} }, "node 2 rate factor -0.5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("config %+v accepted", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestFailurePlanValidate(t *testing.T) {
+	ok := &FailurePlan{Events: []NodeEvent{
+		{Node: 0, Time: 0},
+		{Node: 3, Time: 2.5, Recover: true},
+	}}
+	if err := ok.Validate(4); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		plan    *FailurePlan
+		wantMsg string
+	}{
+		{"node beyond cluster", &FailurePlan{Events: []NodeEvent{{Node: 4, Time: 1}}},
+			"node 4 out of range [0,4)"},
+		{"negative node", &FailurePlan{Events: []NodeEvent{{Node: -1, Time: 1}}},
+			"node -1 out of range"},
+		{"negative time", &FailurePlan{Events: []NodeEvent{{Node: 0, Time: 0}, {Node: 1, Time: -2}}},
+			"event 1: negative time -2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(4)
+			if err == nil {
+				t.Fatalf("plan %+v accepted", tc.plan)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestSetFailurePlanPanicsOnInvalidPlan(t *testing.T) {
+	c := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range failure plan accepted")
+		}
+	}()
+	c.SetFailurePlan(&FailurePlan{Events: []NodeEvent{{Node: 99, Time: 0}}})
+}
+
+func TestFailurePlanDeadAtReplaysInOrder(t *testing.T) {
+	// Events deliberately out of time order: Sorted must order them and
+	// DeadAt must replay crash → recover correctly.
+	p := &FailurePlan{Events: []NodeEvent{
+		{Node: 1, Time: 5, Recover: true},
+		{Node: 1, Time: 2},
+		{Node: 3, Time: 4},
+	}}
+	if dead := p.DeadAt(1); len(dead) != 0 {
+		t.Fatalf("dead before any event: %v", dead)
+	}
+	if dead := p.DeadAt(4); !dead[1] || !dead[3] || len(dead) != 2 {
+		t.Fatalf("DeadAt(4) = %v, want {1,3}", dead)
+	}
+	if dead := p.DeadAt(5); dead[1] || !dead[3] {
+		t.Fatalf("DeadAt(5) = %v, want node 1 recovered", dead)
+	}
+	var nilPlan *FailurePlan
+	if dead := nilPlan.DeadAt(10); dead != nil {
+		t.Fatalf("nil plan DeadAt = %v", dead)
+	}
+}
+
+func TestLiveNodesAtFiltersView(t *testing.T) {
+	c := New(testConfig())
+	c.SetFailurePlan(&FailurePlan{Events: []NodeEvent{
+		{Node: 1, Time: 1},
+		{Node: 2, Time: 3},
+		{Node: 1, Time: 6, Recover: true},
+	}})
+	if got := c.LiveNodesAt(0); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("LiveNodesAt(0) = %v", got)
+	}
+	if got := c.LiveNodesAt(4); !reflect.DeepEqual(got, []int{0, 3}) {
+		t.Fatalf("LiveNodesAt(4) = %v", got)
+	}
+	if got := c.LiveNodesAt(7); !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Fatalf("LiveNodesAt(7) = %v", got)
+	}
+	// Sub-views derived after registration inherit the plan.
+	sub := c.Subset([]int{1, 2})
+	if got := sub.LiveNodesAt(4); len(got) != 0 {
+		t.Fatalf("sub-view LiveNodesAt(4) = %v, want empty", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := New(testConfig())
+	sub := c.Subset([]int{1, 3})
+	for n, want := range map[int]bool{0: false, 1: true, 2: false, 3: true, 4: false} {
+		if sub.Contains(n) != want {
+			t.Fatalf("Contains(%d) = %v, want %v", n, !want, want)
+		}
+	}
+}

@@ -46,6 +46,12 @@ type Config struct {
 
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("simcluster: Nodes = %d, must be positive", c.Nodes)
+	}
+	if c.RackSize <= 0 {
+		return fmt.Errorf("simcluster: RackSize = %d, must be positive", c.RackSize)
+	}
 	if c.MapSlotsPerNode <= 0 || c.ReduceSlotsPerNode <= 0 {
 		return fmt.Errorf("simcluster: slot counts must be positive (map=%d reduce=%d)",
 			c.MapSlotsPerNode, c.ReduceSlotsPerNode)
@@ -82,6 +88,9 @@ type Cluster struct {
 	cfg    Config
 	fabric *simnet.Fabric
 	nodes  []int // sorted global node ids in this view
+	// failplan, when set, scripts node crashes and recoveries against
+	// the simulated clock (see SetFailurePlan). Shared by derived views.
+	failplan *FailurePlan
 }
 
 // New builds a full-cluster view and its fabric. It panics on an invalid
@@ -111,6 +120,12 @@ func (c *Cluster) Nodes() []int { return c.nodes }
 // Size reports the number of nodes in this view.
 func (c *Cluster) Size() int { return len(c.nodes) }
 
+// Contains reports whether the given global node id is in this view.
+func (c *Cluster) Contains(node int) bool {
+	i := sort.SearchInts(c.nodes, node)
+	return i < len(c.nodes) && c.nodes[i] == node
+}
+
 // MapSlots reports the total map slots in this view.
 func (c *Cluster) MapSlots() int { return len(c.nodes) * c.cfg.MapSlotsPerNode }
 
@@ -133,7 +148,7 @@ func (c *Cluster) Subset(nodes []int) *Cluster {
 			panic(fmt.Sprintf("simcluster: duplicate node %d in subset", n))
 		}
 	}
-	return &Cluster{cfg: c.cfg, fabric: c.fabric, nodes: sorted}
+	return &Cluster{cfg: c.cfg, fabric: c.fabric, nodes: sorted, failplan: c.failplan}
 }
 
 // Groups splits this view into p disjoint sub-views of near-equal size,

@@ -23,6 +23,13 @@ const (
 	KindModelWrite Kind = "model-write"
 	KindTransfer   Kind = "transfer"
 	KindPhase      Kind = "phase"
+	// Fault-injection events: a whole-node crash, a node recovery, the
+	// DFS re-replication burst a crash triggers, and a PIC best-effort
+	// group repaired around dead nodes.
+	KindNodeCrash     Kind = "node-crash"
+	KindNodeRecover   Kind = "node-recover"
+	KindReReplication Kind = "re-replicate"
+	KindGroupRepair   Kind = "group-repair"
 )
 
 // Event is one entry on the timeline.
