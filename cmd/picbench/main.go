@@ -4,6 +4,12 @@
 //	picbench fig2 fig9 fig10 fig11 fig12a fig12b fig12c \
 //	         table1 table2 table3 \
 //	         abl-parts abl-coupling abl-localfactor abl-degenerate
+//
+// The report subcommand runs one fully-instrumented PIC execution and
+// emits its run-inspector artifacts (Chrome trace JSON and a
+// convergence-curve CSV alongside the text report):
+//
+//	picbench [-scale S] report [-out DIR] [workload ...]
 package main
 
 import (
@@ -11,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/bench"
@@ -53,10 +60,23 @@ var experiments = []experiment{
 func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of rendered tables")
 	scaleArg := flag.Float64("scale", 1.0, "dataset-size multiplier in (0,1] for quick smoke runs")
+	list := flag.Bool("list", false, "list experiments and report workloads, then exit")
 	flag.Parse()
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e.name)
+		}
+		for _, w := range bench.ReportWorkloads() {
+			fmt.Printf("report %s\n", w)
+		}
+		return
+	}
 	if *scaleArg != 1.0 {
 		bench.SetScale(*scaleArg)
 		fmt.Fprintf(os.Stderr, "note: running at scale %.2f — numbers will not match EXPERIMENTS.md\n", *scaleArg)
+	}
+	if args := flag.Args(); len(args) > 0 && args[0] == "report" {
+		os.Exit(runReport(args[1:]))
 	}
 	selected := map[string]bool{}
 	for _, arg := range flag.Args() {
@@ -92,7 +112,12 @@ func main() {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
-			if err := enc.Encode(map[string]any{"experiment": e.name, "result": result}); err != nil {
+			payload := map[string]any{
+				"experiment":   e.name,
+				"wall_seconds": time.Since(start).Seconds(),
+				"result":       result,
+			}
+			if err := enc.Encode(payload); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: encode: %v\n", e.name, err)
 				failed = true
 			}
@@ -104,4 +129,56 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runReport executes the report subcommand: one instrumented PIC run
+// per named workload (all of them when none are named), printing the
+// inspector report and, with -out, writing <name>-trace.json and
+// <name>-convergence.csv into the directory.
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	outDir := fs.String("out", "", "directory for <name>-trace.json and <name>-convergence.csv artifacts")
+	fs.Parse(args)
+	names := fs.Args()
+	if len(names) == 0 {
+		names = bench.ReportWorkloads()
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			return 1
+		}
+	}
+	for _, name := range names {
+		start := time.Now()
+		rep, err := bench.RunReport(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Println(rep.Render())
+		fmt.Printf("[report %s completed in %.1fs wall time]\n\n", name, time.Since(start).Seconds())
+		if *outDir == "" {
+			continue
+		}
+		tracePath := filepath.Join(*outDir, name+"-trace.json")
+		f, err := os.Create(tracePath)
+		if err == nil {
+			err = rep.WriteTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report %s: write trace: %v\n", name, err)
+			return 1
+		}
+		csvPath := filepath.Join(*outDir, name+"-convergence.csv")
+		if err := os.WriteFile(csvPath, []byte(rep.ConvergenceCSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "report %s: write csv: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "report %s: wrote %s and %s\n", name, tracePath, csvPath)
+	}
+	return 0
 }

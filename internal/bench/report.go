@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// CurvePoint is one row of a run's convergence curve: the residual
+// (max model delta against the previous iterate) after one iteration,
+// stamped on the simulated clock.
+type CurvePoint struct {
+	Phase     core.Phase
+	Iteration int
+	Time      simtime.Time
+	Delta     float64
+}
+
+// Report is the run inspector's view of one fully-instrumented PIC run:
+// the execution timeline, the metrics registry, the convergence curve,
+// and end-of-run snapshots of every resource accumulator. Everything in
+// it derives from the simulated clock, so rendering the same workload
+// twice produces byte-identical output.
+type Report struct {
+	Name     string
+	Result   *core.PICResult
+	Trace    *trace.Tracer
+	Registry *metrics.Registry
+	Curve    []CurvePoint
+
+	NetUtil   simnet.Utilization
+	SlotUsage simcluster.Usage
+	Stored    []int64
+	ReRepl    []int64
+}
+
+// ReportWorkloads names the workloads RunReport can execute.
+func ReportWorkloads() []string { return []string{"kmeans", "pagerank", "linsolve"} }
+
+// reportWorkload builds the named workload at the bench's canonical
+// small-cluster configuration (honoring the current -scale).
+func reportWorkload(name string) (*Workload, error) {
+	switch name {
+	case "kmeans":
+		w, _ := KMeansWorkload("kmeans", simcluster.Small(), scaled(300_000, 40_000), 25, 3, 6, 3)
+		return w, nil
+	case "pagerank":
+		w, _ := PageRankWorkload("pagerank", simcluster.Small(), scaled(10_000, 2_000), 18, 0.05, 4)
+		return w, nil
+	case "linsolve":
+		w, _ := LinSolveWorkload("linsolve", simcluster.Small(), 100, 6, 5)
+		return w, nil
+	}
+	return nil, fmt.Errorf("bench: unknown report workload %q (have %s)",
+		name, strings.Join(ReportWorkloads(), ", "))
+}
+
+// RunReport executes one PIC run of the named workload with the tracer
+// and metrics registry attached, collecting everything the inspector
+// renders.
+func RunReport(name string) (*Report, error) {
+	w, err := reportWorkload(name)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New()
+	reg := metrics.New()
+	rt := w.NewRuntime()
+	rt.SetTracer(tr)
+	rt.SetObservability(reg)
+
+	rep := &Report{Name: name, Trace: tr, Registry: reg}
+	m0 := w.MakeModel()
+	prev := m0
+	opts := w.PICOpts
+	opts.Observer = func(s core.Sample) {
+		delta := math.Max(model.MaxVectorDelta(prev, s.Model), model.MaxFloatDelta(prev, s.Model))
+		rep.Curve = append(rep.Curve, CurvePoint{Phase: s.Phase, Iteration: s.Iteration, Time: s.Time, Delta: delta})
+		prev = s.Model
+	}
+	res, err := core.RunPIC(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), m0, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: report %s: %w", name, err)
+	}
+	rep.Result = res
+	rep.NetUtil = rt.Cluster().Fabric().Utilization()
+	rep.SlotUsage = rt.Cluster().Usage()
+	rep.Stored = rt.FS().StoredBytes()
+	rep.ReRepl = rt.FS().ReReplicationReceived()
+	return rep, nil
+}
+
+// WriteTrace emits the run's Chrome trace-event JSON (load it in
+// chrome://tracing or ui.perfetto.dev).
+func (r *Report) WriteTrace(w io.Writer) error { return r.Trace.ChromeTrace(w) }
+
+// ConvergenceCSV renders the convergence curve as CSV with a
+// phase,iteration,time_s,delta header. Time is monotone across the
+// best-effort/top-off boundary by construction.
+func (r *Report) ConvergenceCSV() string {
+	var sb strings.Builder
+	sb.WriteString("phase,iteration,time_s,delta\n")
+	for _, p := range r.Curve {
+		fmt.Fprintf(&sb, "%s,%d,%.6f,%.9g\n", p.Phase, p.Iteration, float64(p.Time), p.Delta)
+	}
+	return sb.String()
+}
+
+// phaseCounter reads one mapred.phase_seconds counter from the registry
+// snapshot.
+func phaseCounter(snap metrics.Snapshot, phase string) float64 {
+	m, ok := snap.Get(fmt.Sprintf("mapred.phase_seconds{phase=%s}", phase))
+	if !ok {
+		return 0
+	}
+	return m.Value
+}
+
+// Render produces the inspector's text report: run summary, wall-clock
+// attribution from the trace, the phase breakdown cross-checked between
+// the metrics registry and the driver's Metrics, per-node resource
+// utilization, and the full registry dump.
+func (r *Report) Render() string {
+	res := r.Result
+	t := &table{}
+	t.title("run inspector: " + r.Name)
+	t.row("phase", "duration", "iterations")
+	t.row("best-effort", FormatDuration(res.BEDuration), fmt.Sprintf("%d", res.BEIterations))
+	t.row("top-off", FormatDuration(res.TopOffDuration), fmt.Sprintf("%d", res.TopOffIterations))
+	t.row("total", FormatDuration(res.Duration), "")
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteByte('\n')
+
+	sb.WriteString(r.Trace.CriticalPath().Render())
+	sb.WriteByte('\n')
+
+	// Phase seconds as the engine's registry counted them against the
+	// driver's Metrics accumulator — identical sources, so any drift
+	// here is a bug in the instrumentation.
+	snap := r.Registry.Snapshot()
+	pt := &table{}
+	pt.title("framework phase seconds (registry vs driver metrics)")
+	pt.row("phase", "registry", "metrics")
+	for _, p := range []struct {
+		name string
+		d    simtime.Duration
+	}{
+		{"map", res.Metrics.MapPhase},
+		{"shuffle", res.Metrics.ShufflePhase},
+		{"reduce", res.Metrics.ReducePhase},
+		{"model", res.Metrics.ModelPhase},
+		{"overhead", res.Metrics.OverheadPhase},
+	} {
+		pt.row(p.name, fmt.Sprintf("%.3f s", phaseCounter(snap, p.name)), fmt.Sprintf("%.3f s", float64(p.d)))
+	}
+	sb.WriteString(pt.String())
+	sb.WriteByte('\n')
+
+	ut := &table{}
+	ut.title("per-node utilization")
+	ut.row("node", "slot busy", "tasks", "nic up", "nic down", "stored", "re-repl")
+	for n := range r.SlotUsage.SlotBusy {
+		ut.row(fmt.Sprintf("node %d", n),
+			fmt.Sprintf("%.3f s", float64(r.SlotUsage.SlotBusy[n])),
+			fmt.Sprintf("%d", r.SlotUsage.Tasks[n]),
+			fmt.Sprintf("%.3f s", float64(r.NetUtil.NodeUp[n])),
+			fmt.Sprintf("%.3f s", float64(r.NetUtil.NodeDown[n])),
+			FormatBytes(r.Stored[n]),
+			FormatBytes(r.ReRepl[n]))
+	}
+	for rk := range r.NetUtil.RackUp {
+		ut.row(fmt.Sprintf("rack %d uplink", rk), "", "",
+			fmt.Sprintf("%.3f s", float64(r.NetUtil.RackUp[rk])),
+			fmt.Sprintf("%.3f s", float64(r.NetUtil.RackDown[rk])), "", "")
+	}
+	ut.row("core bisection", "", "", fmt.Sprintf("%.3f s", float64(r.NetUtil.Core)), "", "", "")
+	sb.WriteString(ut.String())
+	sb.WriteByte('\n')
+
+	sb.WriteString("metrics registry\n----------------\n")
+	sb.WriteString(snap.Text())
+	return sb.String()
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// reportScale shrinks the report workloads for test speed, restoring
+// the global scale afterwards.
+func reportScale(t *testing.T) {
+	t.Helper()
+	scale = 0.05
+	t.Cleanup(func() { scale = 1.0 })
+}
+
+func TestRunReportUnknownWorkload(t *testing.T) {
+	if _, err := RunReport("no-such-workload"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunReportArtifacts(t *testing.T) {
+	reportScale(t)
+	rep, err := RunReport("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Convergence CSV: header, one row per observed iteration, strictly
+	// monotone simulated time across the best-effort/top-off boundary.
+	lines := strings.Split(strings.TrimSpace(rep.ConvergenceCSV()), "\n")
+	if lines[0] != "phase,iteration,time_s,delta" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) < 3 {
+		t.Fatalf("csv has %d rows", len(lines)-1)
+	}
+	prev := math.Inf(-1)
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			t.Fatalf("csv row %q", line)
+		}
+		ts, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || ts <= prev {
+			t.Fatalf("csv time not monotone at %q (prev %g)", line, prev)
+		}
+		prev = ts
+	}
+
+	// Chrome trace: parses back through encoding/json and contains
+	// spans from the network, framework and driver layers.
+	var buf bytes.Buffer
+	if err := rep.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+			Ph  string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "M" {
+			cats[e.Cat] = true
+		}
+	}
+	for _, want := range []string{"simnet", "mapred", "core"} {
+		if !cats[want] {
+			t.Fatalf("trace missing %s spans; have %v", want, cats)
+		}
+	}
+
+	// The registry's phase counters must equal the driver's Metrics
+	// phase breakdown — the consistency the report's table asserts.
+	snap := rep.Registry.Snapshot()
+	for _, p := range []struct {
+		name string
+		want float64
+	}{
+		{"map", float64(rep.Result.Metrics.MapPhase)},
+		{"shuffle", float64(rep.Result.Metrics.ShufflePhase)},
+		{"reduce", float64(rep.Result.Metrics.ReducePhase)},
+		{"model", float64(rep.Result.Metrics.ModelPhase)},
+		{"overhead", float64(rep.Result.Metrics.OverheadPhase)},
+	} {
+		got := phaseCounter(snap, p.name)
+		if math.Abs(got-p.want) > 1e-9*math.Max(1, p.want) {
+			t.Fatalf("phase %s: registry %g != metrics %g", p.name, got, p.want)
+		}
+	}
+
+	out := rep.Render()
+	for _, want := range []string{"run inspector: kmeans", "per-node utilization", "metrics registry", "end-to-end"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReportDeterministic(t *testing.T) {
+	reportScale(t)
+	render := make([]string, 2)
+	traces := make([][]byte, 2)
+	csvs := make([]string, 2)
+	for i := range render {
+		rep, err := RunReport("kmeans")
+		if err != nil {
+			t.Fatal(err)
+		}
+		render[i] = rep.Render()
+		var buf bytes.Buffer
+		if err := rep.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = buf.Bytes()
+		csvs[i] = rep.ConvergenceCSV()
+	}
+	if render[0] != render[1] {
+		t.Fatal("report text differs between identical runs")
+	}
+	if !bytes.Equal(traces[0], traces[1]) {
+		t.Fatal("trace JSON differs between identical runs")
+	}
+	if csvs[0] != csvs[1] {
+		t.Fatal("convergence CSV differs between identical runs")
+	}
+}

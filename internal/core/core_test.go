@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/simcluster"
 	"repro/internal/trace"
@@ -634,5 +635,85 @@ func TestDistributedMergeRequiresKeyMerger(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("DistributedMerge without KeyMerger accepted")
+	}
+}
+
+func TestObservabilityInstrumentation(t *testing.T) {
+	rt := testRuntime()
+	in, _ := pointsInput(rt, 24)
+	reg := metrics.New()
+	tr := trace.New()
+	rt.SetObservability(reg)
+	rt.SetTracer(tr)
+
+	res, err := RunPIC(rt, &meanSeeker{eps: 1e-9}, in, startModel(), PICOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	jobs, ok := snap.Get("mapred.jobs")
+	if !ok || jobs.Value < 1 {
+		t.Fatalf("mapred.jobs missing or zero: %+v", jobs)
+	}
+	be, ok := snap.Get("core.be_delta")
+	if !ok || len(be.Samples) != res.BEIterations {
+		t.Fatalf("core.be_delta samples = %+v, want %d", be, res.BEIterations)
+	}
+	for i := 1; i < len(be.Samples); i++ {
+		if be.Samples[i].Time <= be.Samples[i-1].Time {
+			t.Fatal("be_delta samples not strictly increasing in time")
+		}
+	}
+	if _, ok := snap.Get("core.residual{phase=top-off}"); !ok {
+		var ids []string
+		for _, m := range snap.Metrics {
+			ids = append(ids, m.ID())
+		}
+		t.Fatalf("no top-off residual series; have %v", ids)
+	}
+	if skew, ok := snap.Get("core.be_skew"); !ok || len(skew.Samples) == 0 || skew.Samples[0].Value < 1 {
+		t.Fatalf("core.be_skew = %+v", skew)
+	}
+	if cb, ok := snap.Get("simnet.core_busy_seconds"); !ok || len(cb.Samples) == 0 {
+		t.Fatalf("simnet.core_busy_seconds = %+v", cb)
+	}
+
+	// The trace carries hierarchical spans: jobs parent under phase
+	// spans, and framework jobs decompose into phase sub-spans.
+	var phaseIDs []int64
+	for _, e := range tr.Events() {
+		if e.Kind == trace.KindPhase {
+			if e.ID == 0 {
+				t.Fatalf("phase span without id: %+v", e)
+			}
+			phaseIDs = append(phaseIDs, e.ID)
+		}
+	}
+	if len(phaseIDs) < 2 { // best-effort + top-off
+		t.Fatalf("phase spans = %d", len(phaseIDs))
+	}
+	parented, subSpans := 0, 0
+	isPhase := map[int64]bool{}
+	for _, id := range phaseIDs {
+		isPhase[id] = true
+	}
+	for _, e := range tr.Events() {
+		if isPhase[e.Parent] {
+			parented++
+		}
+		switch e.Kind {
+		case trace.KindMap, trace.KindShuffle, trace.KindReduce, trace.KindOverhead, trace.KindModelDist:
+			subSpans++
+			if e.Parent == 0 {
+				t.Fatalf("sub-span without parent: %+v", e)
+			}
+		}
+	}
+	if parented == 0 {
+		t.Fatal("no events parented under phase spans")
+	}
+	if subSpans == 0 {
+		t.Fatal("no per-job phase sub-spans recorded")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -76,6 +77,14 @@ func RunIC(rt *Runtime, app App, in *mapred.Input, m0 *model.Model, opts *ICOpti
 	startMetrics := rt.Metrics()
 	startModelBytes := rt.ModelUpdateBytes()
 
+	// The phase span encloses every job the loop runs: allocate its id
+	// up front so children parent under it, record the event at the end
+	// when the extent is known.
+	phaseID := rt.tracer.NextID()
+	prevSpan := rt.span
+	rt.span = phaseID
+	defer func() { rt.span = prevSpan }()
+
 	m := m0
 	res := &ICResult{}
 	for res.Iterations < opt.MaxIterations {
@@ -98,6 +107,11 @@ func RunIC(rt *Runtime, app App, in *mapred.Input, m0 *model.Model, opts *ICOpti
 				Model:     next,
 			})
 		}
+		if rt.obs != nil && !rt.local {
+			delta := max(model.MaxVectorDelta(m, next), model.MaxFloatDelta(m, next))
+			rt.obs.Series("core.residual", metrics.L("phase", string(opt.Phase))...).
+				Sample(rt.now(), delta)
+		}
 		converged := app.Converged(m, next)
 		m = next
 		if converged {
@@ -115,6 +129,7 @@ func RunIC(rt *Runtime, app App, in *mapred.Input, m0 *model.Model, opts *ICOpti
 		Start: rt.now() - simtime.Time(res.Duration),
 		End:   rt.now(),
 		Lane:  rt.lane,
+		ID:    phaseID,
 	})
 	return res, nil
 }

@@ -143,9 +143,17 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 	startModelBytes := rt.ModelUpdateBytes()
 	res := &PICResult{}
 
+	// The best-effort phase span encloses scatter/gather transfers,
+	// merge jobs and model writes; group-local job spans parent under it
+	// too, via the forks' inherited span id.
+	beSpan := rt.tracer.NextID()
+	prevSpan := rt.span
+	rt.span = beSpan
+
 	m := m0
 	redistributed := false
 	for res.BEIterations < opt.MaxBEIterations {
+		mergeBytesBefore := res.MergeTrafficBytes
 		subs, err := app.Partition(in, m, opt.Partitions)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s partition: %w", app.Name(), err)
@@ -302,6 +310,27 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 		}
 		rt.WriteModel(app.Name()+"-be", merged)
 		res.BEIterations++
+		if r := rt.obs; r != nil {
+			now := rt.now()
+			delta := max(model.MaxVectorDelta(m, merged), model.MaxFloatDelta(m, merged))
+			r.Series("core.be_delta").Sample(now, delta)
+			r.Series("core.be_merge_bytes").Sample(now, float64(res.MergeTrafficBytes-mergeBytesBefore))
+			// Partition skew: the busiest group's solve time over the
+			// mean across groups that did work — 1.0 is perfect balance.
+			var total simtime.Duration
+			used := 0
+			for _, b := range groupBusy {
+				if b > 0 {
+					total += b
+					used++
+				}
+			}
+			skew := 1.0
+			if total > 0 {
+				skew = float64(busiest) * float64(used) / float64(total)
+			}
+			r.Series("core.be_skew").Sample(now, skew)
+		}
 		if opt.Observer != nil {
 			opt.Observer(Sample{
 				Phase:     PhaseBestEffort,
@@ -320,13 +349,20 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 	res.BestEffortModel = m
 	res.BEDuration = rt.Elapsed() - startElapsed
 	res.BEMetrics = rt.Metrics().Sub(startMetrics)
+	rt.span = prevSpan
 	rt.tracer.Record(trace.Event{
 		Kind:  trace.KindPhase,
 		Name:  app.Name() + "/best-effort",
 		Start: rt.now() - simtime.Time(res.BEDuration),
 		End:   rt.now(),
 		Lane:  rt.lane,
+		ID:    beSpan,
 	})
+	if r := rt.obs; r != nil {
+		r.Counter("core.group_repairs").Add(float64(res.GroupRepairs))
+		r.Counter("core.lost_partials").Add(float64(res.LostPartials))
+		r.Gauge("core.be_iterations").Set(float64(res.BEIterations))
+	}
 
 	// Top-off: the unmodified IC computation from the best-effort model.
 	topOff, err := RunIC(rt, app, in, m, &ICOptions{

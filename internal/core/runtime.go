@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/simcluster"
 	"repro/internal/simnet"
@@ -32,10 +33,17 @@ type Runtime struct {
 
 	// tracer, lane and base implement the optional execution timeline:
 	// forked runtimes inherit the tracer, carry their own lane, and
-	// stamp events relative to the parent clock at fork time.
+	// stamp events relative to the parent clock at fork time. span is
+	// the id of the enclosing phase span; job events parent under it.
 	tracer *trace.Tracer
 	lane   int
 	base   simtime.Time
+	span   int64
+
+	// obs, when set, accumulates observability metrics: resource series
+	// sampled at event boundaries (job/write/transfer completion) plus
+	// the per-phase counters the engine records. Shared by forks.
+	obs *metrics.Registry
 
 	// fails replays the cluster's FailurePlan (nil when none is
 	// registered); shared by all forks of a runtime.
@@ -70,6 +78,37 @@ func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
 // SetLane labels this runtime's timeline events (the PIC driver gives
 // each node group its own lane).
 func (rt *Runtime) SetLane(lane int) { rt.lane = lane }
+
+// SetObservability attaches a metrics registry. The runtime samples
+// resource timelines into it at event boundaries and wires it into the
+// engine for per-phase counters. A nil registry (the default) records
+// nothing.
+func (rt *Runtime) SetObservability(r *metrics.Registry) {
+	rt.obs = r
+	rt.engine.Obs = r
+}
+
+// Observability returns the attached registry (nil when metrics are
+// off).
+func (rt *Runtime) Observability() *metrics.Registry { return rt.obs }
+
+// observeNow samples the shared resource accumulators at the current
+// simulated time. Called after every clock-advancing operation, it
+// yields utilization-over-time series without any wall-clock sampling.
+func (rt *Runtime) observeNow() {
+	// In-memory local iterations are invisible to the fabric and DFS
+	// counters, so sampling from a local fork would only duplicate the
+	// previous point.
+	if rt.obs == nil || rt.local {
+		return
+	}
+	now := rt.now()
+	fabric := rt.Cluster().Fabric()
+	rt.obs.Series("simnet.core_busy_seconds").Sample(now, float64(fabric.CoreBusy()))
+	c := fabric.Counters()
+	rt.obs.Series("simnet.cross_rack_bytes").Sample(now, float64(c.CrossRack))
+	rt.obs.Series("dfs.re_replication_bytes").Sample(now, float64(rt.fs.Counters().ReReplication))
+}
 
 // now is the runtime's position on the global simulated clock.
 func (rt *Runtime) now() simtime.Time { return rt.base + simtime.Time(rt.elapsed) }
@@ -129,11 +168,44 @@ func (rt *Runtime) RunJob(job *mapred.Job, in *mapred.Input, m *model.Model) (*m
 	rt.metrics.Add(metrics)
 	rt.elapsed += metrics.Duration
 	rt.syncFailures()
+	id := rt.tracer.NextID()
 	rt.tracer.Record(trace.Event{
 		Kind: kind, Name: job.Name, Start: start, End: rt.now(),
 		Bytes: metrics.ShuffleNetworkBytes + metrics.ModelBytes, Lane: rt.lane,
+		ID: id, Parent: rt.span,
 	})
+	if kind == trace.KindJob {
+		rt.recordJobSpans(id, job.Name, start, metrics)
+	}
+	rt.observeNow()
 	return out, nil
+}
+
+// recordJobSpans decomposes a framework job's extent into its phase
+// sub-spans, sequenced in the same order RunAt charges them (overhead,
+// model distribution, map, shuffle, reduce) and parented under the job
+// span so the critical-path pass attributes leaf time, not the
+// container.
+func (rt *Runtime) recordJobSpans(job int64, name string, start simtime.Time, m mapred.Metrics) {
+	if rt.tracer == nil {
+		return
+	}
+	t := start
+	sub := func(kind trace.Kind, suffix string, d simtime.Duration, bytes int64) {
+		if d <= 0 {
+			return
+		}
+		rt.tracer.Record(trace.Event{
+			Kind: kind, Name: name + "/" + suffix, Start: t, End: t + simtime.Time(d),
+			Bytes: bytes, Lane: rt.lane, Parent: job,
+		})
+		t += simtime.Time(d)
+	}
+	sub(trace.KindOverhead, "overhead", m.OverheadPhase, 0)
+	sub(trace.KindModelDist, "model", m.ModelPhase, m.ModelBytes)
+	sub(trace.KindMap, "map", m.MapPhase, m.NonLocalInputBytes)
+	sub(trace.KindShuffle, "shuffle", m.ShufflePhase, m.ShuffleNetworkBytes)
+	sub(trace.KindReduce, "reduce", m.ReducePhase, 0)
 }
 
 // WriteModel persists a model version (its real encoded bytes) to the
@@ -154,8 +226,13 @@ func (rt *Runtime) WriteModel(name string, m *model.Model) {
 	rt.modelUpdateBytes += delta
 	rt.tracer.Record(trace.Event{
 		Kind: trace.KindModelWrite, Name: name, Start: start, End: rt.now(),
-		Bytes: delta, Lane: rt.lane,
+		Bytes: delta, Lane: rt.lane, Parent: rt.span,
 	})
+	if rt.obs != nil {
+		rt.obs.Counter("core.model_writes").Add(1)
+		rt.obs.Counter("core.model_update_bytes").Add(float64(delta))
+	}
+	rt.observeNow()
 }
 
 // RestoreModel recovers the most recent checkpoint WriteModel stored
@@ -211,9 +288,10 @@ func (rt *Runtime) ChargeFlows(flows []simnet.Flow) int64 {
 	if moved > 0 {
 		rt.tracer.Record(trace.Event{
 			Kind: trace.KindTransfer, Name: "flows", Start: start, End: rt.now(),
-			Bytes: moved, Lane: rt.lane,
+			Bytes: moved, Lane: rt.lane, Parent: rt.span,
 		})
 	}
+	rt.observeNow()
 	return moved
 }
 
@@ -231,5 +309,10 @@ func (rt *Runtime) Fork(view *simcluster.Cluster, local bool) *Runtime {
 	e.FairSharingNetwork = rt.engine.FairSharingNetwork
 	e.Workers = rt.engine.Workers
 	e.ModelSources = rt.engine.ModelSources
-	return &Runtime{engine: e, fs: rt.fs, local: local, tracer: rt.tracer, base: rt.now(), fails: rt.fails}
+	// Local forks run in-memory iterations whose registry traffic is
+	// counter-only (observeLocal); framework forks share the full
+	// registry wiring.
+	e.Obs = rt.engine.Obs
+	return &Runtime{engine: e, fs: rt.fs, local: local, tracer: rt.tracer, base: rt.now(),
+		fails: rt.fails, span: rt.span, obs: rt.obs}
 }

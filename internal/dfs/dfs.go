@@ -94,6 +94,10 @@ type FS struct {
 	files    map[string]*File
 	counters Counters
 	place    int // round-robin cursor for primary placement
+	// reReplTo accumulates re-replication bytes received per node
+	// (indexed by global node id) — the per-node share of
+	// Counters.ReReplication.
+	reReplTo []int64
 	// dead marks crashed nodes: their replicas are destroyed and they
 	// receive no new placements until MarkAlive.
 	dead map[int]bool
@@ -106,7 +110,8 @@ func New(cluster *simcluster.Cluster, cfg Config) *FS {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &FS{cfg: cfg, cluster: cluster, files: make(map[string]*File)}
+	return &FS{cfg: cfg, cluster: cluster, files: make(map[string]*File),
+		reReplTo: make([]int64, cluster.Config().Nodes)}
 }
 
 // Config returns the file-system configuration.
@@ -114,6 +119,28 @@ func (fs *FS) Config() Config { return fs.cfg }
 
 // Counters returns a snapshot of the traffic counters.
 func (fs *FS) Counters() Counters { return fs.counters }
+
+// StoredBytes returns the bytes of replica data each node currently
+// holds, indexed by global node id — the storage-utilization view of
+// the namespace. Crashed nodes hold zero (their replicas are destroyed).
+func (fs *FS) StoredBytes() []int64 {
+	out := make([]int64, fs.cluster.Config().Nodes)
+	for _, f := range fs.files {
+		for _, b := range f.Blocks {
+			for _, r := range b.Replicas {
+				out[r] += b.Size
+			}
+		}
+	}
+	return out
+}
+
+// ReReplicationReceived returns the re-replication bytes each node has
+// received across all Repair passes, indexed by global node id. The
+// values sum to Counters().ReReplication.
+func (fs *FS) ReReplicationReceived() []int64 {
+	return append([]int64(nil), fs.reReplTo...)
+}
 
 // ResetCounters zeroes the traffic counters.
 func (fs *FS) ResetCounters() { fs.counters = Counters{} }
@@ -419,6 +446,7 @@ func (fs *FS) Repair() (RepairReport, simtime.Duration) {
 				if b.Size > 0 {
 					flows = append(flows, simnet.Flow{Src: src, Dst: dst, Bytes: b.Size})
 					fs.counters.ReReplication += b.Size
+					fs.reReplTo[dst] += b.Size
 					report.ReplicatedBytes += b.Size
 				}
 				report.ReplicatedBlocks++

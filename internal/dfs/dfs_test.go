@@ -323,3 +323,39 @@ func TestSizeOnlyFilesHaveNoData(t *testing.T) {
 		t.Fatal("ReadData on size-only file returned bytes")
 	}
 }
+
+func TestStoredBytesAndReReplicationPerNode(t *testing.T) {
+	fs := New(testCluster(), Config{Replication: 3, BlockSize: 1 << 20})
+	fs.Create("a", 3<<20, 0)
+	stored := fs.StoredBytes()
+	var total int64
+	for _, b := range stored {
+		total += b
+	}
+	if total != 3*(3<<20) { // three replicas of every block
+		t.Fatalf("stored total = %d", total)
+	}
+	if stored[0] != 3<<20 { // writer holds every primary
+		t.Fatalf("stored[0] = %d", stored[0])
+	}
+
+	fs.MarkDead(0)
+	report, _ := fs.Repair()
+	if report.ReplicatedBytes == 0 {
+		t.Fatal("repair moved nothing")
+	}
+	recv := fs.ReReplicationReceived()
+	var recvTotal int64
+	for _, b := range recv {
+		recvTotal += b
+	}
+	if recvTotal != fs.Counters().ReReplication {
+		t.Fatalf("per-node re-replication %d != counter %d", recvTotal, fs.Counters().ReReplication)
+	}
+	if recv[0] != 0 {
+		t.Fatal("dead node received re-replication")
+	}
+	if got := fs.StoredBytes()[0]; got != 0 {
+		t.Fatalf("dead node still stores %d bytes", got)
+	}
+}

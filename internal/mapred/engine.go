@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/simcluster"
 	"repro/internal/simnet"
@@ -60,6 +61,11 @@ type Engine struct {
 	// Workers bounds real (not simulated) execution parallelism of
 	// user code. Zero means GOMAXPROCS.
 	Workers int
+
+	// Obs, when set, receives per-job observability metrics: phase-time
+	// counters and per-job time series stamped on the simulated clock at
+	// job completion. Nil (the default) records nothing.
+	Obs *metrics.Registry
 }
 
 // NewEngine returns an engine for the given cluster view with the
@@ -442,6 +448,7 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 		metrics.OutputRecords = int64(len(out.Records))
 		metrics.OutputBytes = RecordsSize(out.Records)
 		metrics.Duration = metrics.OverheadPhase + metrics.ModelPhase + metrics.MapPhase
+		e.observe(metrics, start)
 		return out, metrics, nil
 	}
 
@@ -550,7 +557,51 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 	metrics.OutputBytes = RecordsSize(out.Records)
 	metrics.Duration = metrics.OverheadPhase + metrics.ModelPhase + metrics.MapPhase +
 		metrics.ShufflePhase + metrics.ReducePhase
+	e.observe(metrics, start)
 	return out, metrics, nil
+}
+
+// observe folds one framework job's metrics into the engine's registry:
+// cumulative per-phase counters plus series samples stamped at the job's
+// simulated end time, so phase weight can be read over the run.
+func (e *Engine) observe(m Metrics, start simtime.Time) {
+	if e.Obs == nil {
+		return
+	}
+	end := start + simtime.Time(m.Duration)
+	e.Obs.Counter("mapred.jobs").Add(float64(m.Jobs))
+	for _, p := range []struct {
+		name string
+		d    simtime.Duration
+	}{
+		{"map", m.MapPhase},
+		{"shuffle", m.ShufflePhase},
+		{"reduce", m.ReducePhase},
+		{"model", m.ModelPhase},
+		{"overhead", m.OverheadPhase},
+	} {
+		e.Obs.Counter("mapred.phase_seconds", metrics.L("phase", p.name)...).Add(float64(p.d))
+	}
+	e.Obs.Counter("mapred.shuffle_network_bytes").Add(float64(m.ShuffleNetworkBytes))
+	e.Obs.Counter("mapred.shuffle_cross_rack_bytes").Add(float64(m.ShuffleCrossRackBytes))
+	e.Obs.Counter("mapred.model_bytes").Add(float64(m.ModelBytes))
+	e.Obs.Series("mapred.job_seconds").Sample(end, float64(m.Duration))
+	e.Obs.Series("mapred.shuffle_seconds").Sample(end, float64(m.ShufflePhase))
+}
+
+// observeLocal records an in-memory execution: local jobs have no
+// absolute clock or network phases, so only counters apply.
+func (e *Engine) observeLocal(m Metrics) {
+	if e.Obs == nil {
+		return
+	}
+	e.Obs.Counter("mapred.local_jobs").Add(float64(m.LocalJobs))
+	e.Obs.Counter("mapred.local_records").Add(float64(m.LocalRecords))
+	// Local map/reduce compute lands in the same phase counters the
+	// framework path uses, so the registry's phase totals stay equal to
+	// the driver's Metrics accumulator.
+	e.Obs.Counter("mapred.phase_seconds", metrics.L("phase", "map")...).Add(float64(m.MapPhase))
+	e.Obs.Counter("mapred.phase_seconds", metrics.L("phase", "reduce")...).Add(float64(m.ReducePhase))
 }
 
 // distributeModel charges delivery of m to the given nodes (map values

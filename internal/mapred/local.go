@@ -76,6 +76,7 @@ func (e *Engine) RunLocal(job *Job, in *Input, m *model.Model) (*Output, Metrics
 		}
 		metrics.OutputRecords = int64(len(out.Records))
 		metrics.Duration = metrics.MapPhase
+		e.observeLocal(metrics)
 		return out, metrics, nil
 	}
 
@@ -97,5 +98,6 @@ func (e *Engine) RunLocal(job *Job, in *Input, m *model.Model) (*Output, Metrics
 	out := &Output{Records: outRecs}
 	metrics.OutputRecords = int64(len(outRecs))
 	metrics.Duration = metrics.MapPhase + metrics.ReducePhase
+	e.observeLocal(metrics)
 	return out, metrics, nil
 }

@@ -1,0 +1,338 @@
+// Package metrics provides the simulation-native metrics registry: a
+// deterministic collection of typed counters, gauges and simulated-clock
+// time series that every layer of the runtime reports through. Unlike
+// wall-clock metric systems, series are sampled at event boundaries on
+// the simulated clock, so two identical runs produce byte-identical
+// snapshots.
+//
+// A nil *Registry ignores all instrumentation (like a nil trace.Tracer),
+// so layers can record unconditionally. Metric identity is the metric
+// name plus its label set; labels are kept sorted, and every rendering
+// (text and JSON) is ordered by the canonical identity string, never by
+// map iteration order.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// Kind classifies a metric.
+type Kind string
+
+// The metric kinds.
+const (
+	KindCounter Kind = "counter"
+	KindGauge   Kind = "gauge"
+	KindSeries  Kind = "series"
+)
+
+// Label is one key=value dimension of a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a label set from alternating key, value strings. It panics on
+// an odd count; label construction happens in instrumentation code, not
+// on user input.
+func L(kv ...string) []Label {
+	if len(kv)%2 != 0 {
+		panic("metrics: L requires an even number of strings")
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// id renders the canonical identity of a metric: name{k=v,k=v} with
+// labels sorted by key.
+func id(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Sample is one point of a time series, on the simulated clock.
+type Sample struct {
+	Time  simtime.Time `json:"t"`
+	Value float64      `json:"v"`
+}
+
+// metric is the shared storage behind the typed handles.
+type metric struct {
+	name    string
+	labels  []Label
+	kind    Kind
+	value   float64
+	samples []Sample
+}
+
+// Registry holds the metrics of one run. The zero value is not usable;
+// call New. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{metrics: make(map[string]*metric)} }
+
+// lookup returns the metric under the canonical id, creating it with the
+// given kind on first use. Re-registering the same id with a different
+// kind panics: that is an instrumentation bug, not a runtime condition.
+func (r *Registry) lookup(name string, kind Kind, labels []Label) *metric {
+	key := id(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[key]
+	if !ok {
+		sorted := append([]Label(nil), labels...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+		m = &metric{name: name, labels: sorted, kind: kind}
+		r.metrics[key] = m
+		return m
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", key, m.kind, kind))
+	}
+	return m
+}
+
+// Counter is a monotonically accumulating value.
+type Counter struct {
+	r *Registry
+	m *metric
+}
+
+// Counter returns the counter with the given name and labels, creating
+// it at zero on first use. On a nil registry it returns a no-op counter.
+func (r *Registry) Counter(name string, labels ...Label) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{r: r, m: r.lookup(name, KindCounter, labels)}
+}
+
+// Add increases the counter. Negative deltas panic: counters only grow.
+func (c Counter) Add(delta float64) {
+	if c.r == nil {
+		return
+	}
+	if delta < 0 {
+		panic(fmt.Sprintf("metrics: negative counter delta %g on %s", delta, c.m.name))
+	}
+	c.r.mu.Lock()
+	c.m.value += delta
+	c.r.mu.Unlock()
+}
+
+// Value returns the accumulated total (zero on a no-op counter).
+func (c Counter) Value() float64 {
+	if c.r == nil {
+		return 0
+	}
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	return c.m.value
+}
+
+// Gauge is a value that can move in both directions.
+type Gauge struct {
+	r *Registry
+	m *metric
+}
+
+// Gauge returns the gauge with the given name and labels, creating it at
+// zero on first use. On a nil registry it returns a no-op gauge.
+func (r *Registry) Gauge(name string, labels ...Label) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{r: r, m: r.lookup(name, KindGauge, labels)}
+}
+
+// Set stores the gauge's current value.
+func (g Gauge) Set(v float64) {
+	if g.r == nil {
+		return
+	}
+	g.r.mu.Lock()
+	g.m.value = v
+	g.r.mu.Unlock()
+}
+
+// Value returns the gauge's current value (zero on a no-op gauge).
+func (g Gauge) Value() float64 {
+	if g.r == nil {
+		return 0
+	}
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	return g.m.value
+}
+
+// Series is a simulated-clock time series. Samples are appended at event
+// boundaries — after a job, a transfer, a model write — never on wall
+// time, so series are deterministic and replayable.
+type Series struct {
+	r *Registry
+	m *metric
+}
+
+// Series returns the series with the given name and labels, creating it
+// empty on first use. On a nil registry it returns a no-op series.
+func (r *Registry) Series(name string, labels ...Label) Series {
+	if r == nil {
+		return Series{}
+	}
+	return Series{r: r, m: r.lookup(name, KindSeries, labels)}
+}
+
+// Sample appends one (time, value) point. Out-of-order times are allowed
+// (parallel simulated lanes overlap); Snapshot keeps arrival order,
+// which is deterministic.
+func (s Series) Sample(t simtime.Time, v float64) {
+	if s.r == nil {
+		return
+	}
+	s.r.mu.Lock()
+	s.m.samples = append(s.m.samples, Sample{Time: t, Value: v})
+	s.r.mu.Unlock()
+}
+
+// Len reports the number of samples recorded so far.
+func (s Series) Len() int {
+	if s.r == nil {
+		return 0
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	return len(s.m.samples)
+}
+
+// Metric is one exported metric of a snapshot.
+type Metric struct {
+	Name    string   `json:"name"`
+	Labels  []Label  `json:"labels,omitempty"`
+	Kind    Kind     `json:"kind"`
+	Value   float64  `json:"value"`
+	Samples []Sample `json:"samples,omitempty"`
+}
+
+// ID returns the metric's canonical identity string.
+func (m Metric) ID() string { return id(m.Name, m.Labels) }
+
+// Snapshot is a point-in-time copy of a registry, ordered by canonical
+// metric identity.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := Snapshot{Metrics: make([]Metric, 0, len(keys))}
+	for _, k := range keys {
+		m := r.metrics[k]
+		out.Metrics = append(out.Metrics, Metric{
+			Name:    m.name,
+			Labels:  append([]Label(nil), m.labels...),
+			Kind:    m.kind,
+			Value:   m.value,
+			Samples: append([]Sample(nil), m.samples...),
+		})
+	}
+	return out
+}
+
+// Get returns the metric with the given canonical id, if present.
+func (s Snapshot) Get(canonicalID string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.ID() == canonicalID {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Sub returns the activity between prev and s: counter and gauge values
+// are subtracted (gauges report their change), and series keep only the
+// samples appended after prev was taken. Metrics absent from prev pass
+// through unchanged.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	before := make(map[string]Metric, len(prev.Metrics))
+	for _, m := range prev.Metrics {
+		before[m.ID()] = m
+	}
+	out := Snapshot{Metrics: make([]Metric, 0, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		p, ok := before[m.ID()]
+		if ok {
+			m.Value -= p.Value
+			if len(p.Samples) <= len(m.Samples) {
+				m.Samples = append([]Sample(nil), m.Samples[len(p.Samples):]...)
+			}
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
+// Text renders the snapshot one metric per line, sorted by identity.
+// Series render their sample count and final point; use JSON for the
+// full sample list.
+func (s Snapshot) Text() string {
+	var sb strings.Builder
+	for _, m := range s.Metrics {
+		switch m.Kind {
+		case KindSeries:
+			if n := len(m.Samples); n > 0 {
+				last := m.Samples[n-1]
+				fmt.Fprintf(&sb, "%s %s n=%d last=(%.6g, %.6g)\n", m.ID(), m.Kind, n,
+					float64(last.Time), last.Value)
+			} else {
+				fmt.Fprintf(&sb, "%s %s n=0\n", m.ID(), m.Kind)
+			}
+		default:
+			fmt.Fprintf(&sb, "%s %s %.6g\n", m.ID(), m.Kind, m.Value)
+		}
+	}
+	return sb.String()
+}
+
+// JSON renders the snapshot as stable-ordered indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil registry counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Fatal("nil registry gauge stored")
+	}
+	s := r.Series("z")
+	s.Sample(1, 2)
+	if s.Len() != 0 {
+		t.Fatal("nil registry series sampled")
+	}
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+}
+
+func TestCounterGaugeSeries(t *testing.T) {
+	r := New()
+	c := r.Counter("bytes", L("node", "3")...)
+	c.Add(10)
+	r.Counter("bytes", L("node", "3")...).Add(5) // same identity
+	if got := c.Value(); got != 15 {
+		t.Fatalf("counter = %g, want 15", got)
+	}
+	g := r.Gauge("occupancy")
+	g.Set(2)
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+	s := r.Series("busy", L("resource", "core")...)
+	s.Sample(1.5, 0.25)
+	s.Sample(2.5, 0.75)
+	if s.Len() != 2 {
+		t.Fatalf("series len = %d", s.Len())
+	}
+}
+
+func TestNegativeCounterPanics(t *testing.T) {
+	r := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter delta accepted")
+		}
+	}()
+	r.Counter("x").Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch accepted")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestLabelOrderIsCanonical(t *testing.T) {
+	r := New()
+	r.Counter("m", L("b", "2", "a", "1")...).Add(1)
+	r.Counter("m", L("a", "1", "b", "2")...).Add(1)
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 {
+		t.Fatalf("label order created distinct metrics: %+v", snap.Metrics)
+	}
+	if got := snap.Metrics[0].ID(); got != "m{a=1,b=2}" {
+		t.Fatalf("ID = %q", got)
+	}
+	if snap.Metrics[0].Value != 2 {
+		t.Fatalf("value = %g", snap.Metrics[0].Value)
+	}
+}
+
+func TestSnapshotOrderingAndText(t *testing.T) {
+	r := New()
+	r.Gauge("zeta").Set(1)
+	r.Counter("alpha").Add(2)
+	r.Series("mid").Sample(3, 4)
+	snap := r.Snapshot()
+	ids := make([]string, len(snap.Metrics))
+	for i, m := range snap.Metrics {
+		ids[i] = m.ID()
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("order = %v, want %v", ids, want)
+		}
+	}
+	text := snap.Text()
+	if !strings.Contains(text, "alpha counter 2") ||
+		!strings.Contains(text, "mid series n=1 last=(3, 4)") ||
+		!strings.Contains(text, "zeta gauge 1") {
+		t.Fatalf("text rendering:\n%s", text)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs")
+	s := r.Series("busy")
+	c.Add(2)
+	s.Sample(1, 10)
+	before := r.Snapshot()
+	c.Add(3)
+	s.Sample(2, 20)
+	s.Sample(3, 30)
+	delta := r.Snapshot().Sub(before)
+	m, ok := delta.Get("jobs")
+	if !ok || m.Value != 3 {
+		t.Fatalf("counter delta = %+v", m)
+	}
+	sm, ok := delta.Get("busy")
+	if !ok || len(sm.Samples) != 2 || sm.Samples[0].Value != 20 {
+		t.Fatalf("series delta = %+v", sm)
+	}
+}
+
+func TestJSONStable(t *testing.T) {
+	build := func() Snapshot {
+		r := New()
+		r.Counter("b", L("x", "1")...).Add(1)
+		r.Counter("a").Add(2)
+		r.Series("s").Sample(0.5, 1.5)
+		return r.Snapshot()
+	}
+	j1, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("snapshot JSON not byte-identical across identical runs")
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(j1, &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(decoded.Metrics) != 3 {
+		t.Fatalf("round-trip lost metrics: %+v", decoded)
+	}
+}

@@ -79,6 +79,7 @@ func (c *Cluster) EventSchedule(tasks []Task, slotsPerNode int) ([]Placement, si
 		eng.At(0, func() { onFree(si) })
 	}
 	eng.Run()
+	c.chargeUsage(placements)
 	return placements, makespan
 }
 
@@ -227,6 +228,7 @@ func (c *Cluster) ScheduleFailureAware(tasks []Task, slotsPerNode int, start sim
 		return nil, 0, killed, fmt.Errorf("simcluster: %d of %d tasks stranded: no live nodes in view and no recovery scheduled",
 			len(tasks)-completed, len(tasks))
 	}
+	c.chargeUsage(placements)
 	return placements, makespan, killed, nil
 }
 

@@ -83,11 +83,55 @@ func (c Config) NetConfig() simnet.Config {
 	}
 }
 
+// Usage accumulates slot occupancy across every wave scheduled on one
+// physical cluster: how long each node's slots ran completed task
+// attempts, and how many attempts each node retired. All views over the
+// same fabric share one accumulator, so best-effort group waves and
+// full-cluster waves land in the same per-node totals.
+type Usage struct {
+	// SlotBusy is per-node busy seconds, indexed by global node id.
+	SlotBusy []simtime.Duration
+	// Tasks is per-node completed task attempts.
+	Tasks []int
+}
+
+// MaxBusy returns the busiest node's slot-busy seconds.
+func (u Usage) MaxBusy() simtime.Duration {
+	var worst simtime.Duration
+	for _, b := range u.SlotBusy {
+		if b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// TotalBusy returns the summed slot-busy seconds across nodes.
+func (u Usage) TotalBusy() simtime.Duration {
+	var total simtime.Duration
+	for _, b := range u.SlotBusy {
+		total += b
+	}
+	return total
+}
+
+// TotalTasks returns the summed completed task attempts.
+func (u Usage) TotalTasks() int {
+	var total int
+	for _, t := range u.Tasks {
+		total += t
+	}
+	return total
+}
+
 // Cluster is a scheduling view over (a subset of) a fabric's nodes.
 type Cluster struct {
 	cfg    Config
 	fabric *simnet.Fabric
 	nodes  []int // sorted global node ids in this view
+	// usage accumulates slot occupancy; shared by all views over the
+	// same fabric (see Usage).
+	usage *Usage
 	// failplan, when set, scripts node crashes and recoveries against
 	// the simulated clock (see SetFailurePlan). Shared by derived views.
 	failplan *FailurePlan
@@ -103,7 +147,8 @@ func New(cfg Config) *Cluster {
 	for i := range nodes {
 		nodes[i] = i
 	}
-	return &Cluster{cfg: cfg, fabric: simnet.New(cfg.NetConfig()), nodes: nodes}
+	usage := &Usage{SlotBusy: make([]simtime.Duration, cfg.Nodes), Tasks: make([]int, cfg.Nodes)}
+	return &Cluster{cfg: cfg, fabric: simnet.New(cfg.NetConfig()), nodes: nodes, usage: usage}
 }
 
 // Config returns the cluster's configuration.
@@ -148,7 +193,25 @@ func (c *Cluster) Subset(nodes []int) *Cluster {
 			panic(fmt.Sprintf("simcluster: duplicate node %d in subset", n))
 		}
 	}
-	return &Cluster{cfg: c.cfg, fabric: c.fabric, nodes: sorted, failplan: c.failplan}
+	return &Cluster{cfg: c.cfg, fabric: c.fabric, nodes: sorted, usage: c.usage, failplan: c.failplan}
+}
+
+// Usage returns a snapshot of the slot-occupancy accumulator shared by
+// every view over this cluster's fabric.
+func (c *Cluster) Usage() Usage {
+	return Usage{
+		SlotBusy: append([]simtime.Duration(nil), c.usage.SlotBusy...),
+		Tasks:    append([]int(nil), c.usage.Tasks...),
+	}
+}
+
+// chargeUsage folds a wave's completed placements into the shared
+// occupancy accumulator.
+func (c *Cluster) chargeUsage(placements []Placement) {
+	for _, p := range placements {
+		c.usage.SlotBusy[p.Node] += p.End - p.Start
+		c.usage.Tasks[p.Node]++
+	}
 }
 
 // Groups splits this view into p disjoint sub-views of near-equal size,
@@ -252,6 +315,7 @@ func (c *Cluster) Schedule(tasks []Task, slotsPerNode int) ([]Placement, simtime
 			makespan = end
 		}
 	}
+	c.chargeUsage(placements)
 	return placements, makespan
 }
 

@@ -388,3 +388,39 @@ func TestRateFactorsValidation(t *testing.T) {
 		t.Fatalf("valid factors rejected: %v", err)
 	}
 }
+
+func TestUsageAccounting(t *testing.T) {
+	c := New(Config{Nodes: 4, RackSize: 2, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1,
+		ComputeRate: 1, NodeBandwidth: 1, RackBandwidth: 1, CoreBandwidth: 1})
+	tasks := []Task{{Cost: 2, Preferred: -1}, {Cost: 3, Preferred: -1}, {Cost: 4, Preferred: -1}}
+	placements, _ := c.Schedule(tasks, 1)
+	u := c.Usage()
+	var want simtime.Duration
+	for _, p := range placements {
+		want += p.End - p.Start
+	}
+	if got := u.TotalBusy(); got != want {
+		t.Fatalf("TotalBusy = %v, want %v", got, want)
+	}
+	if u.TotalTasks() != len(tasks) {
+		t.Fatalf("TotalTasks = %d", u.TotalTasks())
+	}
+	if u.MaxBusy() <= 0 {
+		t.Fatalf("MaxBusy = %v", u.MaxBusy())
+	}
+	// Sub-views charge the same shared accumulator.
+	sub := c.Subset([]int{0, 1})
+	sub.Schedule([]Task{{Cost: 5, Preferred: -1}}, 1)
+	u2 := c.Usage()
+	if u2.TotalTasks() != len(tasks)+1 {
+		t.Fatalf("shared accumulator missed sub-view wave: %d", u2.TotalTasks())
+	}
+	if u2.TotalBusy() != want+5 {
+		t.Fatalf("TotalBusy after sub-view = %v", u2.TotalBusy())
+	}
+	// The snapshot is a copy.
+	u2.SlotBusy[0] = 999
+	if c.Usage().SlotBusy[0] == 999 {
+		t.Fatal("Usage returned a live slice")
+	}
+}

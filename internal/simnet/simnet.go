@@ -89,10 +89,52 @@ func (c *Counters) Add(o Counters) {
 	c.Transfers += o.Transfers
 }
 
+// Utilization accumulates per-link busy time: for every byte the fabric
+// carries, each traversed resource is busy bytes/bandwidth seconds.
+// Busy time is charged from the same Record calls that feed Counters, so
+// the two views are always consistent. Because concurrent flows share
+// links, busy time is transmission time, not wall time: a link's busy
+// seconds can exceed the simulated span when the simulation overlaps
+// transfers on it.
+type Utilization struct {
+	// NodeUp and NodeDown are per-node NIC busy seconds (egress and
+	// ingress), indexed by global node id.
+	NodeUp, NodeDown []simtime.Duration
+	// RackUp and RackDown are per-rack uplink busy seconds, indexed by
+	// rack id.
+	RackUp, RackDown []simtime.Duration
+	// Core is bisection busy seconds: cross-rack bytes over the core
+	// bandwidth.
+	Core simtime.Duration
+}
+
+// MaxNode returns the busiest node's combined up+down busy time.
+func (u Utilization) MaxNode() simtime.Duration {
+	var worst simtime.Duration
+	for i := range u.NodeUp {
+		if b := u.NodeUp[i] + u.NodeDown[i]; b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// MaxRack returns the busiest rack uplink's combined busy time.
+func (u Utilization) MaxRack() simtime.Duration {
+	var worst simtime.Duration
+	for i := range u.RackUp {
+		if b := u.RackUp[i] + u.RackDown[i]; b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
 // Fabric is an instantiated interconnect with traffic counters.
 type Fabric struct {
 	cfg      Config
 	counters Counters
+	util     Utilization
 }
 
 // New builds a fabric from cfg. It panics if cfg is invalid; topology
@@ -101,7 +143,12 @@ func New(cfg Config) *Fabric {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Fabric{cfg: cfg}
+	return &Fabric{cfg: cfg, util: Utilization{
+		NodeUp:   make([]simtime.Duration, cfg.Nodes),
+		NodeDown: make([]simtime.Duration, cfg.Nodes),
+		RackUp:   make([]simtime.Duration, cfg.Racks()),
+		RackDown: make([]simtime.Duration, cfg.Racks()),
+	}}
 }
 
 // Config returns the fabric's configuration.
@@ -117,6 +164,21 @@ func (f *Fabric) Rack(n int) int {
 
 // Counters returns a snapshot of the traffic carried so far.
 func (f *Fabric) Counters() Counters { return f.counters }
+
+// Utilization returns a snapshot of the per-link busy time accumulated
+// so far.
+func (f *Fabric) Utilization() Utilization {
+	u := f.util
+	u.NodeUp = append([]simtime.Duration(nil), f.util.NodeUp...)
+	u.NodeDown = append([]simtime.Duration(nil), f.util.NodeDown...)
+	u.RackUp = append([]simtime.Duration(nil), f.util.RackUp...)
+	u.RackDown = append([]simtime.Duration(nil), f.util.RackDown...)
+	return u
+}
+
+// CoreBusy returns the accumulated bisection busy time without copying
+// the per-link slices — cheap enough for event-boundary sampling.
+func (f *Fabric) CoreBusy() simtime.Duration { return f.util.Core }
 
 // ResetCounters zeroes the traffic counters.
 func (f *Fabric) ResetCounters() { f.counters = Counters{} }
@@ -185,8 +247,13 @@ func (f *Fabric) Record(flows []Flow) {
 		}
 		f.counters.Total += fl.Bytes
 		f.counters.Transfers++
-		if f.Rack(fl.Src) != f.Rack(fl.Dst) {
+		f.util.NodeUp[fl.Src] += simtime.Duration(float64(fl.Bytes) / f.cfg.NodeBandwidth)
+		f.util.NodeDown[fl.Dst] += simtime.Duration(float64(fl.Bytes) / f.cfg.NodeBandwidth)
+		if sr, dr := f.Rack(fl.Src), f.Rack(fl.Dst); sr != dr {
 			f.counters.CrossRack += fl.Bytes
+			f.util.RackUp[sr] += simtime.Duration(float64(fl.Bytes) / f.cfg.RackBandwidth)
+			f.util.RackDown[dr] += simtime.Duration(float64(fl.Bytes) / f.cfg.RackBandwidth)
+			f.util.Core += simtime.Duration(float64(fl.Bytes) / f.cfg.CoreBandwidth)
 		} else {
 			f.counters.IntraRack += fl.Bytes
 		}

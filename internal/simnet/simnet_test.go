@@ -263,3 +263,46 @@ func TestQuickMonotoneTransferTime(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUtilizationAccounting(t *testing.T) {
+	f := New(Config{Nodes: 4, RackSize: 2, NodeBandwidth: 100, RackBandwidth: 200, CoreBandwidth: 400})
+	// One intra-rack flow (0->1) and one cross-rack flow (0->2).
+	f.Record([]Flow{{Src: 0, Dst: 1, Bytes: 100}, {Src: 0, Dst: 2, Bytes: 400}})
+	u := f.Utilization()
+	if got := float64(u.NodeUp[0]); got != 5 { // (100+400)/100
+		t.Fatalf("NodeUp[0] = %g, want 5", got)
+	}
+	if got := float64(u.NodeDown[1]); got != 1 {
+		t.Fatalf("NodeDown[1] = %g, want 1", got)
+	}
+	if got := float64(u.NodeDown[2]); got != 4 {
+		t.Fatalf("NodeDown[2] = %g, want 4", got)
+	}
+	if got := float64(u.RackUp[0]); got != 2 { // 400/200, cross-rack only
+		t.Fatalf("RackUp[0] = %g, want 2", got)
+	}
+	if got := float64(u.RackDown[1]); got != 2 {
+		t.Fatalf("RackDown[1] = %g, want 2", got)
+	}
+	if got := float64(u.Core); got != 1 { // 400/400
+		t.Fatalf("Core = %g, want 1", got)
+	}
+	if u.MaxNode() != u.NodeUp[0]+u.NodeDown[0] {
+		t.Fatalf("MaxNode = %v", u.MaxNode())
+	}
+	if u.MaxRack() != u.RackUp[0]+u.RackDown[0] {
+		t.Fatalf("MaxRack = %v", u.MaxRack())
+	}
+	// Local and zero flows charge nothing.
+	before := f.Utilization()
+	f.Record([]Flow{{Src: 3, Dst: 3, Bytes: 50}, {Src: 0, Dst: 1, Bytes: 0}})
+	after := f.Utilization()
+	if after.NodeUp[3] != before.NodeUp[3] || after.Core != before.Core {
+		t.Fatal("local/zero flow charged utilization")
+	}
+	// The snapshot is a copy, not a live view.
+	after.NodeUp[0] = 999
+	if f.Utilization().NodeUp[0] == 999 {
+		t.Fatal("Utilization returned a live slice")
+	}
+}

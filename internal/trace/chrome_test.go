@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeChrome parses exporter output back through encoding/json.
+func decodeChrome(t *testing.T, data []byte) chromeTrace {
+	t.Helper()
+	var out chromeTrace
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("exporter output does not parse: %v\n%s", err, data)
+	}
+	return out
+}
+
+func TestChromeTraceNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var nilT *Tracer
+	if err := nilT.ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := decodeChrome(t, buf.Bytes())
+	if len(out.TraceEvents) != 0 {
+		t.Fatalf("nil tracer exported events: %+v", out.TraceEvents)
+	}
+
+	buf.Reset()
+	if err := New().ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = decodeChrome(t, buf.Bytes())
+	if len(out.TraceEvents) != 0 {
+		t.Fatalf("empty tracer exported events: %+v", out.TraceEvents)
+	}
+}
+
+func TestChromeTraceEventsAndLanes(t *testing.T) {
+	tr := New()
+	jobID := tr.NextID()
+	tr.Record(Event{Kind: KindJob, Name: "iter", Start: 0, End: 2, Lane: 0, ID: jobID})
+	tr.Record(Event{Kind: KindMap, Name: "iter/map", Start: 0, End: 1, Lane: 0, Parent: jobID})
+	tr.Record(Event{Kind: KindTransfer, Name: "flows", Start: 1, End: 2, Lane: 1, Bytes: 42,
+		Attrs: []Attr{{Key: "dir", Value: "scatter"}}})
+	tr.Record(Event{Kind: KindNodeCrash, Name: "node 3", Start: 1.5, End: 1.5, Lane: 0})
+
+	var buf bytes.Buffer
+	if err := tr.ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := decodeChrome(t, buf.Bytes())
+
+	var meta, durable, instant int
+	cats := map[string]bool{}
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			durable++
+			cats[e.Cat] = true
+		case "i":
+			instant++
+			if e.Scope != "t" {
+				t.Fatalf("instant event scope = %q", e.Scope)
+			}
+		}
+	}
+	if meta != 2 { // lanes 0 and 1 named
+		t.Fatalf("metadata events = %d", meta)
+	}
+	if durable != 3 || instant != 1 {
+		t.Fatalf("durable = %d, instant = %d", durable, instant)
+	}
+	if !cats["mapred"] || !cats["simnet"] {
+		t.Fatalf("categories = %v", cats)
+	}
+	// Span linkage and attributes survive the round trip.
+	found := false
+	for _, e := range out.TraceEvents {
+		if e.Name == "iter/map" {
+			found = true
+			if e.Args == nil || e.Args.Parent != jobID {
+				t.Fatalf("child lost parent: %+v", e.Args)
+			}
+		}
+		if e.Name == "flows" {
+			if e.Args.Bytes != 42 || len(e.Args.Attrs) != 1 || e.Args.Attrs[0] != "dir=scatter" {
+				t.Fatalf("flow args = %+v", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("child span missing from export")
+	}
+}
+
+// TestChromeTraceGolden pins the exact serialized form: the exporter
+// must produce stable ordering and byte-identical output across runs.
+func TestChromeTraceGolden(t *testing.T) {
+	build := func() *Tracer {
+		tr := New()
+		tr.Record(Event{Kind: KindTransfer, Name: "t", Start: 1, End: 2, Bytes: 7, Lane: 1})
+		tr.Record(Event{Kind: KindJob, Name: "j", Start: 0, End: 2, Lane: 0, ID: 1})
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().ChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().ChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("export not byte-identical across identical timelines")
+	}
+	const golden = `{
+ "displayTimeUnit": "ms",
+ "traceEvents": [
+  {
+   "name": "thread_name",
+   "cat": "__metadata",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "name": "driver"
+   }
+  },
+  {
+   "name": "thread_name",
+   "cat": "__metadata",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 1,
+   "args": {
+    "name": "group 1"
+   }
+  },
+  {
+   "name": "j",
+   "cat": "mapred",
+   "ph": "X",
+   "ts": 0,
+   "dur": 2000000,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "kind": "job",
+    "id": 1
+   }
+  },
+  {
+   "name": "t",
+   "cat": "simnet",
+   "ph": "X",
+   "ts": 1000000,
+   "dur": 1000000,
+   "pid": 0,
+   "tid": 1,
+   "args": {
+    "kind": "transfer",
+    "bytes": 7
+   }
+  }
+ ]
+}
+`
+	if a.String() != golden {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", a.String(), golden)
+	}
+}
+
+func TestCriticalPathAttribution(t *testing.T) {
+	tr := New()
+	jobID := tr.NextID()
+	// A job span [0,10] decomposed into sub-phases; the job itself must
+	// not be double-counted.
+	tr.Record(Event{Kind: KindJob, Name: "j", Start: 0, End: 10, ID: jobID})
+	tr.Record(Event{Kind: KindMap, Name: "j/map", Start: 0, End: 4, Parent: jobID})
+	tr.Record(Event{Kind: KindShuffle, Name: "j/shuffle", Start: 4, End: 7, Parent: jobID})
+	tr.Record(Event{Kind: KindReduce, Name: "j/reduce", Start: 7, End: 10, Parent: jobID})
+	// A transfer overlapping the map phase: lower precedence than
+	// shuffle, higher than compute, so [2,4] goes to transfer.
+	tr.Record(Event{Kind: KindTransfer, Name: "t", Start: 2, End: 4})
+	// Idle tail.
+	tr.Record(Event{Kind: KindModelWrite, Name: "m", Start: 12, End: 13})
+
+	bd := tr.CriticalPath()
+	if bd.Total != 13 {
+		t.Fatalf("Total = %v", bd.Total)
+	}
+	want := map[Category]float64{
+		CatCompute:  5, // map [0,2) + reduce [7,10): transfer takes [2,4)
+		CatShuffle:  3,
+		CatTransfer: 2,
+		CatModel:    1,
+	}
+	for cat, w := range want {
+		if got := float64(bd.ByCategory[cat]); got != w {
+			t.Fatalf("%s = %g, want %g (full: %+v)", cat, got, w, bd.ByCategory)
+		}
+	}
+	if float64(bd.Idle) != 2 { // [10,12)
+		t.Fatalf("Idle = %v", bd.Idle)
+	}
+	out := bd.Render()
+	if !strings.Contains(out, "shuffle") || !strings.Contains(out, "idle") {
+		t.Fatalf("Render:\n%s", out)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	var nilT *Tracer
+	if bd := nilT.CriticalPath(); bd.Total != 0 || len(bd.ByCategory) != 0 {
+		t.Fatalf("nil breakdown = %+v", bd)
+	}
+	if bd := New().CriticalPath(); bd.Total != 0 {
+		t.Fatalf("empty breakdown = %+v", bd)
+	}
+}

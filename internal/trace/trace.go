@@ -23,6 +23,14 @@ const (
 	KindModelWrite Kind = "model-write"
 	KindTransfer   Kind = "transfer"
 	KindPhase      Kind = "phase"
+	// Sub-spans of a job: the per-phase segments a job's duration is
+	// composed of (overhead + model distribution + map + shuffle +
+	// reduce), recorded as children of the job's span.
+	KindOverhead  Kind = "overhead"
+	KindModelDist Kind = "model-dist"
+	KindMap       Kind = "map"
+	KindShuffle   Kind = "shuffle"
+	KindReduce    Kind = "reduce"
 	// Fault-injection events: a whole-node crash, a node recovery, the
 	// DFS re-replication burst a crash triggers, and a PIC best-effort
 	// group repaired around dead nodes.
@@ -31,6 +39,31 @@ const (
 	KindReReplication Kind = "re-replicate"
 	KindGroupRepair   Kind = "group-repair"
 )
+
+// Layer reports the runtime layer that produces events of the given
+// kind; exporters use it as the event category, so a trace viewer can
+// filter spans per subsystem.
+func Layer(k Kind) string {
+	switch k {
+	case KindJob, KindLocalJob, KindOverhead, KindModelDist, KindMap, KindShuffle, KindReduce:
+		return "mapred"
+	case KindTransfer:
+		return "simnet"
+	case KindModelWrite, KindReReplication:
+		return "dfs"
+	case KindNodeCrash, KindNodeRecover:
+		return "simcluster"
+	case KindPhase, KindGroupRepair:
+		return "core"
+	default:
+		return "other"
+	}
+}
+
+// Attr is one key=value attribute of an event.
+type Attr struct {
+	Key, Value string
+}
 
 // Event is one entry on the timeline.
 type Event struct {
@@ -42,6 +75,17 @@ type Event struct {
 	// Lane groups events that proceed in parallel (e.g. one lane per
 	// best-effort node group). Lane 0 is the driver.
 	Lane int
+	// ID identifies this event when other events name it as their
+	// parent; zero means the event parents nothing. IDs come from
+	// Tracer.NextID.
+	ID int64
+	// Parent is the ID of the enclosing span, or zero for a root event.
+	// Parents are recorded after their children (a span's extent is
+	// known only when it closes), so consumers must not assume parents
+	// precede children in the timeline.
+	Parent int64
+	// Attrs carries optional exporter-visible attributes.
+	Attrs []Attr
 }
 
 // Duration is the event's extent.
@@ -51,10 +95,26 @@ func (e Event) Duration() simtime.Duration { return e.End - e.Start }
 // *Tracer ignores all records, so callers never need nil checks.
 type Tracer struct {
 	events []Event
+	// sorted caches the start-ordered view Events returns; Record
+	// invalidates it, so accessors that all call Events (Span, Render,
+	// Gantt, TotalBytes, exporters) share one sort instead of re-sorting
+	// per call.
+	sorted []Event
+	nextID int64
 }
 
 // New returns an empty tracer.
 func New() *Tracer { return &Tracer{} }
+
+// NextID allocates a fresh span ID for an event that will parent other
+// events. A nil tracer returns zero (the "no span" ID).
+func (t *Tracer) NextID() int64 {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	return t.nextID
+}
 
 // Record appends an event. Recording on a nil tracer is a no-op.
 func (t *Tracer) Record(e Event) {
@@ -65,17 +125,21 @@ func (t *Tracer) Record(e Event) {
 		panic("trace: event ends before it starts")
 	}
 	t.events = append(t.events, e)
+	t.sorted = nil
 }
 
 // Events returns the recorded events sorted by start time (ties by
-// insertion order).
+// insertion order). The returned slice is a cached view shared between
+// calls; callers must not modify it.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	out := append([]Event(nil), t.events...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
-	return out
+	if t.sorted == nil && len(t.events) > 0 {
+		t.sorted = append([]Event(nil), t.events...)
+		sort.SliceStable(t.sorted, func(i, j int) bool { return t.sorted[i].Start < t.sorted[j].Start })
+	}
+	return t.sorted
 }
 
 // Len reports the number of recorded events.
@@ -92,13 +156,12 @@ func (t *Tracer) Span() (start, end simtime.Time) {
 	if len(events) == 0 {
 		return 0, 0
 	}
+	// Events are start-sorted, so the first event's start is the
+	// timeline's start; only the end needs a scan.
 	start = events[0].Start
 	for _, e := range events {
 		if e.End > end {
 			end = e.End
-		}
-		if e.Start < start {
-			start = e.Start
 		}
 	}
 	return start, end

@@ -107,3 +107,54 @@ func TestEventDuration(t *testing.T) {
 		t.Fatalf("Duration = %v", e.Duration())
 	}
 }
+
+func TestEventsCacheInvalidatedOnRecord(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: KindJob, Name: "b", Start: 5, End: 6})
+	first := tr.Events()
+	if len(first) != 1 {
+		t.Fatalf("len = %d", len(first))
+	}
+	// The cached view must be reused between reads...
+	if &first[0] != &tr.Events()[0] {
+		t.Fatal("Events re-sorted between reads with no Record")
+	}
+	// ...and refreshed after a Record.
+	tr.Record(Event{Kind: KindJob, Name: "a", Start: 1, End: 2})
+	events := tr.Events()
+	if len(events) != 2 || events[0].Name != "a" {
+		t.Fatalf("cache not invalidated: %v", events)
+	}
+	if s, e := tr.Span(); s != 1 || e != 6 {
+		t.Fatalf("Span after invalidation = %v, %v", s, e)
+	}
+}
+
+func TestNextID(t *testing.T) {
+	var nilT *Tracer
+	if nilT.NextID() != 0 {
+		t.Fatal("nil tracer allocated an ID")
+	}
+	tr := New()
+	if a, b := tr.NextID(), tr.NextID(); a != 1 || b != 2 {
+		t.Fatalf("NextID = %d, %d", a, b)
+	}
+}
+
+func TestLayerMapping(t *testing.T) {
+	cases := map[Kind]string{
+		KindJob:           "mapred",
+		KindShuffle:       "mapred",
+		KindTransfer:      "simnet",
+		KindModelWrite:    "dfs",
+		KindReReplication: "dfs",
+		KindNodeCrash:     "simcluster",
+		KindPhase:         "core",
+		Kind("bogus"):     "other",
+	}
+	for k, want := range cases {
+		if got := Layer(k); got != want {
+			t.Fatalf("Layer(%s) = %q, want %q", k, got, want)
+		}
+	}
+}
