@@ -10,6 +10,17 @@
 // convergence-curve CSV alongside the text report):
 //
 //	picbench [-scale S] report [-out DIR] [workload ...]
+//
+// The bench-snapshot subcommand measures the hot-path microbenchmark
+// kernels and emits a machine-readable performance snapshot (see
+// BENCH_baseline.json); -check validates an existing snapshot instead:
+//
+//	picbench [-scale S] bench-snapshot [-out FILE] [-suite]
+//	picbench bench-snapshot -check BENCH_baseline.json
+//
+// Independent experiment cells (figure rows, sweep points) can run
+// concurrently with -parallel N; outputs are byte-identical at any
+// setting because all clocks and counters are simulated per cell.
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/bench"
@@ -58,8 +70,15 @@ var experiments = []experiment{
 }
 
 func main() {
+	// The suite is allocation-heavy (every map output is materialized) and
+	// latency-bound on real compute, so trade heap headroom for fewer GC
+	// cycles. An explicit GOGC in the environment wins.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of rendered tables")
 	scaleArg := flag.Float64("scale", 1.0, "dataset-size multiplier in (0,1] for quick smoke runs")
+	parallel := flag.Int("parallel", 1, "experiment cells run concurrently (outputs are identical at any setting)")
 	list := flag.Bool("list", false, "list experiments and report workloads, then exit")
 	flag.Parse()
 	if *list {
@@ -75,8 +94,12 @@ func main() {
 		bench.SetScale(*scaleArg)
 		fmt.Fprintf(os.Stderr, "note: running at scale %.2f — numbers will not match EXPERIMENTS.md\n", *scaleArg)
 	}
+	bench.SetParallelism(*parallel)
 	if args := flag.Args(); len(args) > 0 && args[0] == "report" {
 		os.Exit(runReport(args[1:]))
+	}
+	if args := flag.Args(); len(args) > 0 && args[0] == "bench-snapshot" {
+		os.Exit(runSnapshot(args[1:]))
 	}
 	selected := map[string]bool{}
 	for _, arg := range flag.Args() {
@@ -98,12 +121,17 @@ func main() {
 	}
 
 	failed := false
+	ran := 0
+	var suiteSeconds float64
 	for _, e := range experiments {
 		if len(selected) > 0 && !selected[e.name] {
 			continue
 		}
 		start := time.Now()
 		result, err := e.run()
+		wall := time.Since(start).Seconds()
+		ran++
+		suiteSeconds += wall
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			failed = true
@@ -114,7 +142,7 @@ func main() {
 			enc.SetIndent("", "  ")
 			payload := map[string]any{
 				"experiment":   e.name,
-				"wall_seconds": time.Since(start).Seconds(),
+				"wall_seconds": wall,
 				"result":       result,
 			}
 			if err := enc.Encode(payload); err != nil {
@@ -124,11 +152,72 @@ func main() {
 			continue
 		}
 		fmt.Println(result.Render())
-		fmt.Printf("[%s completed in %.1fs wall time]\n\n", e.name, time.Since(start).Seconds())
+		fmt.Printf("[%s completed in %.1fs wall time]\n\n", e.name, wall)
+	}
+	if ran > 0 {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(map[string]any{"suite_wall_seconds": suiteSeconds, "experiments": ran})
+		} else {
+			fmt.Printf("[suite completed in %.1fs wall time: %d experiments]\n", suiteSeconds, ran)
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runSnapshot executes the bench-snapshot subcommand: measure the
+// hot-path microbenchmark kernels and emit (or, with -check, validate)
+// the machine-readable performance snapshot.
+func runSnapshot(args []string) int {
+	fs := flag.NewFlagSet("bench-snapshot", flag.ExitOnError)
+	outPath := fs.String("out", "", "write the snapshot JSON to this file (default stdout)")
+	checkPath := fs.String("check", "", "validate an existing snapshot file instead of measuring")
+	suite := fs.Bool("suite", false, "also run the full experiment suite once and record its wall time")
+	fs.Parse(args)
+	if *checkPath != "" {
+		data, err := os.ReadFile(*checkPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
+			return 1
+		}
+		snap, err := bench.CheckSnapshot(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench-snapshot: %s ok (%s, %d kernels, scale %g, suite %.1fs)\n",
+			*checkPath, snap.GoVersion, len(snap.Kernels), snap.Scale, snap.SuiteWallSeconds)
+		return 0
+	}
+	snap := bench.TakeSnapshot()
+	if *suite {
+		start := time.Now()
+		for _, e := range experiments {
+			if _, err := e.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "bench-snapshot: suite %s: %v\n", e.name, err)
+				return 1
+			}
+		}
+		snap.SuiteWallSeconds = time.Since(start).Seconds()
+	}
+	w := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := snap.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // runReport executes the report subcommand: one instrumented PIC run

@@ -91,10 +91,16 @@ func Centroids(m *model.Model) []linalg.Vector {
 type centroidSet struct {
 	keys []string
 	mus  []writable.Vector
+	// dims is the common centroid dimension, or -1 when centroids are
+	// ragged (or absent); flat packs the centroids contiguously when
+	// dims >= 0, so the per-point search walks one cache-friendly array
+	// instead of len(keys) separate slices.
+	dims int
+	flat []float64
 }
 
 func centroidsOf(m *model.Model) *centroidSet {
-	cs := &centroidSet{}
+	cs := &centroidSet{dims: -1}
 	m.Range(func(key string, v writable.Writable) bool {
 		if mu, ok := v.(writable.Vector); ok {
 			cs.keys = append(cs.keys, key)
@@ -102,24 +108,78 @@ func centroidsOf(m *model.Model) *centroidSet {
 		}
 		return true
 	})
+	for c, mu := range cs.mus {
+		if c == 0 {
+			cs.dims = len(mu)
+		} else if len(mu) != cs.dims {
+			cs.dims = -1
+			break
+		}
+	}
+	if cs.dims >= 0 && len(cs.mus) > 0 {
+		cs.flat = make([]float64, 0, len(cs.mus)*cs.dims)
+		for _, mu := range cs.mus {
+			cs.flat = append(cs.flat, mu...)
+		}
+	}
 	return cs
 }
 
-// nearestKey returns the model key of the centroid closest to p.
+// nearestKey returns the model key of the centroid closest to p. All
+// paths accumulate squared differences in the same component order, so
+// the argmin — and every byte downstream of it — is identical whichever
+// path runs.
 func (cs *centroidSet) nearestKey(p writable.Vector) string {
-	best := ""
+	best := -1
 	bestDist := math.Inf(1)
-	for c, mu := range cs.mus {
-		var d float64
-		for i := range mu {
-			diff := p[i] - mu[i]
-			d += diff * diff
+	switch {
+	case cs.dims == 3:
+		// Every paper workload clusters in three dimensions; an
+		// unrolled kernel over the packed array avoids the inner loop
+		// and its bounds checks entirely.
+		x, y, z := p[0], p[1], p[2]
+		flat := cs.flat
+		for j := 0; j+3 <= len(flat); j += 3 {
+			dx := x - flat[j]
+			dy := y - flat[j+1]
+			dz := z - flat[j+2]
+			d := dx * dx
+			d += dy * dy
+			d += dz * dz
+			if d < bestDist {
+				best, bestDist = j/3, d
+			}
 		}
-		if d < bestDist {
-			best, bestDist = cs.keys[c], d
+	case cs.dims > 0:
+		dims := cs.dims
+		pp := p[:dims]
+		for j := 0; j*dims < len(cs.flat); j++ {
+			mu := cs.flat[j*dims : (j+1)*dims]
+			var d float64
+			for i, m := range mu {
+				diff := pp[i] - m
+				d += diff * diff
+			}
+			if d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+	default:
+		for c, mu := range cs.mus {
+			var d float64
+			for i := range mu {
+				diff := p[i] - mu[i]
+				d += diff * diff
+			}
+			if d < bestDist {
+				best, bestDist = c, d
+			}
 		}
 	}
-	return best
+	if best < 0 {
+		return ""
+	}
+	return cs.keys[best]
 }
 
 // sumReducer aggregates (point..., count) accumulators component-wise;
@@ -133,6 +193,7 @@ func (sumReducer) Reduce(key string, values []writable.Writable, _ *model.Model,
 		if len(vec) != len(acc) {
 			return fmt.Errorf("kmeans: accumulator length mismatch at %q", key)
 		}
+		vec = vec[:len(acc)] // bounds-check elimination in the sum loop
 		for i := range acc {
 			acc[i] += vec[i]
 		}
@@ -179,7 +240,12 @@ func (a *App) Iteration(rt *core.Runtime, in *mapred.Input, m *model.Model) (*mo
 			if key == "" {
 				return fmt.Errorf("kmeans: model has no centroids")
 			}
-			emit.Emit(key, append(p.Clone(), 1))
+			// Build the (point..., count) accumulator in one exact-size
+			// allocation; Clone+append would allocate twice per point.
+			acc := make(writable.Vector, len(p)+1)
+			copy(acc, p)
+			acc[len(p)] = 1
+			emit.Emit(key, acc)
 			return nil
 		}),
 		Combiner: sumReducer{},

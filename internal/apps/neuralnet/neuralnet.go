@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/linalg"
@@ -97,31 +98,66 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 // forward computes the hidden and output activations.
 func (a *App) forward(w1, w2 writable.Vector, x []float64) (hidden, out []float64) {
 	hidden = make([]float64, a.Hidden)
-	for j := 0; j < a.Hidden; j++ {
-		row := w1[j*(a.In+1) : (j+1)*(a.In+1)]
-		s := row[a.In] // bias
-		for i := 0; i < a.In; i++ {
-			s += row[i] * x[i]
+	out = make([]float64, a.Out)
+	a.forwardInto(w1, w2, x, hidden, out)
+	return hidden, out
+}
+
+// forwardInto computes the activations into caller-provided buffers of
+// length Hidden and Out. Accumulation order — bias first, then inputs in
+// ascending index — matches the textbook loop exactly, so results are
+// bit-identical; the slice re-slicing just lets the compiler drop the
+// inner-loop bounds checks.
+func (a *App) forwardInto(w1, w2 writable.Vector, x []float64, hidden, out []float64) {
+	in := a.In
+	xx := x[:in]
+	for j := range hidden {
+		row := w1[j*(in+1) : (j+1)*(in+1)]
+		s := row[in] // bias
+		for i, w := range row[:in] {
+			s += w * xx[i]
 		}
 		hidden[j] = sigmoid(s)
 	}
-	out = make([]float64, a.Out)
-	for k := 0; k < a.Out; k++ {
-		row := w2[k*(a.Hidden+1) : (k+1)*(a.Hidden+1)]
-		s := row[a.Hidden] // bias
-		for j := 0; j < a.Hidden; j++ {
-			s += row[j] * hidden[j]
+	nh := a.Hidden
+	hh := hidden[:nh]
+	for k := range out {
+		row := w2[k*(nh+1) : (k+1)*(nh+1)]
+		s := row[nh] // bias
+		for j, w := range row[:nh] {
+			s += w * hh[j]
 		}
 		out[k] = sigmoid(s)
 	}
-	return hidden, out
+}
+
+// scratch holds the per-sample activation and delta buffers of one
+// back-propagation; instances are pooled because every training record
+// of every epoch needs the full set and none outlives the call.
+type scratch struct {
+	hidden, out, deltaOut, deltaHidden []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // gradients back-propagates one sample, returning the squared-error
 // gradients of both weight blocks.
 func (a *App) gradients(w1, w2 writable.Vector, x []float64, label int) (g1, g2 writable.Vector) {
-	hidden, out := a.forward(w1, w2, x)
-	deltaOut := make([]float64, a.Out)
+	sc := scratchPool.Get().(*scratch)
+	sc.hidden = grow(sc.hidden, a.Hidden)
+	sc.out = grow(sc.out, a.Out)
+	sc.deltaOut = grow(sc.deltaOut, a.Out)
+	sc.deltaHidden = grow(sc.deltaHidden, a.Hidden)
+	hidden, out, deltaOut, deltaHidden := sc.hidden, sc.out, sc.deltaOut, sc.deltaHidden
+
+	a.forwardInto(w1, w2, x, hidden, out)
 	for k := range deltaOut {
 		target := 0.0
 		if k == label {
@@ -129,30 +165,47 @@ func (a *App) gradients(w1, w2 writable.Vector, x []float64, label int) (g1, g2 
 		}
 		deltaOut[k] = (out[k] - target) * out[k] * (1 - out[k])
 	}
-	deltaHidden := make([]float64, a.Hidden)
+	// Accumulate the hidden deltas with k outermost so w2 is walked
+	// contiguously; each deltaHidden[j] still sums its k terms in
+	// ascending order, so the floating-point result is unchanged.
+	nh := a.Hidden
 	for j := range deltaHidden {
-		var s float64
-		for k := 0; k < a.Out; k++ {
-			s += deltaOut[k] * w2[k*(a.Hidden+1)+j]
+		deltaHidden[j] = 0
+	}
+	for k := 0; k < a.Out; k++ {
+		row := w2[k*(nh+1) : k*(nh+1)+nh]
+		dk := deltaOut[k]
+		for j, w := range row {
+			deltaHidden[j] += dk * w
 		}
-		deltaHidden[j] = s * hidden[j] * (1 - hidden[j])
+	}
+	for j := range deltaHidden {
+		deltaHidden[j] = deltaHidden[j] * hidden[j] * (1 - hidden[j])
 	}
 	g2 = make(writable.Vector, len(w2))
+	hh := hidden[:nh]
 	for k := 0; k < a.Out; k++ {
-		base := k * (a.Hidden + 1)
-		for j := 0; j < a.Hidden; j++ {
-			g2[base+j] = deltaOut[k] * hidden[j]
+		base := k * (nh + 1)
+		g2row := g2[base : base+nh+1]
+		dk := deltaOut[k]
+		for j, h := range hh {
+			g2row[j] = dk * h
 		}
-		g2[base+a.Hidden] = deltaOut[k]
+		g2row[nh] = dk
 	}
 	g1 = make(writable.Vector, len(w1))
-	for j := 0; j < a.Hidden; j++ {
-		base := j * (a.In + 1)
-		for i := 0; i < a.In; i++ {
-			g1[base+i] = deltaHidden[j] * x[i]
+	in := a.In
+	xx := x[:in]
+	for j := 0; j < nh; j++ {
+		base := j * (in + 1)
+		g1row := g1[base : base+in+1]
+		dj := deltaHidden[j]
+		for i, xi := range xx {
+			g1row[i] = dj * xi
 		}
-		g1[base+a.In] = deltaHidden[j]
+		g1row[in] = dj
 	}
+	scratchPool.Put(sc)
 	return g1, g2
 }
 
@@ -166,6 +219,7 @@ func (vectorSum) Reduce(key string, values []writable.Writable, _ *model.Model, 
 		if len(vec) != len(acc) {
 			return fmt.Errorf("neuralnet: gradient length mismatch at %q", key)
 		}
+		vec = vec[:len(acc)] // bounds-check elimination in the sum loop
 		for i := range acc {
 			acc[i] += vec[i]
 		}

@@ -94,10 +94,41 @@ func New(g *webgraph.Graph, damping, tolerance float64, partitionSeed int64) *Ap
 func (a *App) Name() string { return "pagerank" }
 
 // RankKey returns the model key of vertex v's PageRank.
-func RankKey(v int) string { return fmt.Sprintf("r%08d", v) }
+func RankKey(v int) string { return pad8Key('r', v) }
 
 // EdgeKey returns the model key of edge (src,dst)'s score.
-func EdgeKey(src, dst int) string { return fmt.Sprintf("e%08d:%08d", src, dst) }
+func EdgeKey(src, dst int) string {
+	if uint(src) >= 100_000_000 || uint(dst) >= 100_000_000 {
+		return fmt.Sprintf("e%08d:%08d", src, dst)
+	}
+	var b [18]byte
+	b[0] = 'e'
+	put8(b[1:9], src)
+	b[9] = ':'
+	put8(b[10:18], dst)
+	return string(b[:])
+}
+
+// pad8Key renders prefix + "%08d" without fmt: the aggregation mapper
+// builds one key per edge per iteration, and Sprintf dominated the
+// PageRank profile.
+func pad8Key(prefix byte, v int) string {
+	if uint(v) >= 100_000_000 {
+		return fmt.Sprintf("%c%08d", prefix, v)
+	}
+	var b [9]byte
+	b[0] = prefix
+	put8(b[1:9], v)
+	return string(b[:])
+}
+
+// put8 writes v as exactly eight decimal digits, zero-padded.
+func put8(dst []byte, v int) {
+	for i := 7; i >= 0; i-- {
+		dst[i] = byte('0' + v%10)
+		v /= 10
+	}
+}
 
 // inflowKey returns the sub-model key of vertex v's frozen
 // cross-partition in-flow: the summed scores of its incoming cross
@@ -107,7 +138,7 @@ func EdgeKey(src, dst int) string { return fmt.Sprintf("e%08d:%08d", src, dst) }
 // paper's merge step is "the only mechanism used to factor in the
 // dependencies", and freezing the inflow is the natural way to carry
 // that merged information through the local iterations.
-func inflowKey(v int) string { return fmt.Sprintf("f%08d", v) }
+func inflowKey(v int) string { return pad8Key('f', v) }
 
 // vertexValue encodes a vertex for the input records: component 0 is
 // the vertex id, the rest are out-neighbor ids.
@@ -230,10 +261,11 @@ func (a *App) Iteration(rt *core.Runtime, in *mapred.Input, m *model.Model) (*mo
 			outdeg := float64(len(val) - 1)
 			for _, wf := range val[1:] {
 				dst := int(wf)
-				if _, tracked := m.Get(EdgeKey(src, dst)); !tracked {
+				ek := EdgeKey(src, dst)
+				if _, tracked := m.Get(ek); !tracked {
 					continue // cross edge, not part of this sub-model
 				}
-				emit.Emit(EdgeKey(src, dst), writable.Float64(rank/outdeg))
+				emit.Emit(ek, writable.Float64(rank/outdeg))
 			}
 			return nil
 		}),

@@ -36,25 +36,30 @@ type PartitionSweepResult struct {
 // AblationPartitionCount sweeps the number of K-means sub-problems on
 // the small cluster.
 func AblationPartitionCount() (*PartitionSweepResult, error) {
-	res := &PartitionSweepResult{}
-	for _, p := range []int{1, 2, 6, 12, 24} {
+	counts := []int{1, 2, 6, 12, 24}
+	res := &PartitionSweepResult{Rows: make([]PartitionSweepRow, len(counts))}
+	if err := runCells(len(counts), func(i int) error {
+		p := counts[i]
 		w, _ := KMeansWorkload(fmt.Sprintf("kmeans-p%d", p), simcluster.Small(), scaled(300_000, 40_000), 25, 3, p, 3)
 		c, err := RunComparison(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		firstLocal := 0
 		if locals := c.PIC.MaxLocalIterationsPerBE(); len(locals) > 0 {
 			firstLocal = locals[0]
 		}
-		res.Rows = append(res.Rows, PartitionSweepRow{
+		res.Rows[i] = PartitionSweepRow{
 			Partitions:   p,
 			BEIterations: c.PIC.BEIterations,
 			FirstBELocal: firstLocal,
 			TopOffIters:  c.PIC.TopOffIterations,
 			Speedup:      c.Speedup(),
 			NetworkBytes: c.PICNetworkBytes(),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -92,13 +97,15 @@ type CouplingSweepResult struct {
 // AblationGraphCoupling sweeps the web graph's cross-community edge
 // fraction for PageRank.
 func AblationGraphCoupling() (*CouplingSweepResult, error) {
-	res := &CouplingSweepResult{}
-	for _, cross := range []float64{0.01, 0.05, 0.2, 0.5} {
+	fracs := []float64{0.01, 0.05, 0.2, 0.5}
+	res := &CouplingSweepResult{Rows: make([]CouplingRow, len(fracs))}
+	if err := runCells(len(fracs), func(i int) error {
+		cross := fracs[i]
 		w, g := PageRankWorkload(fmt.Sprintf("pagerank-x%.2f", cross),
 			simcluster.Small(), scaled(10_000, 2_000), 10, cross, 4)
 		c, err := RunComparison(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		icRanks := pagerank.Ranks(c.IC.Model, g.N)
 		picRanks := pagerank.Ranks(c.PIC.Model, g.N)
@@ -114,14 +121,17 @@ func AblationGraphCoupling() (*CouplingSweepResult, error) {
 		// The workload partitions by locality (the paper's METIS
 		// option), so measure the cut of that assignment.
 		assign := webgraph.LocalityPartition(g.N, 10)
-		res.Rows = append(res.Rows, CouplingRow{
+		res.Rows[i] = CouplingRow{
 			CrossFraction: cross,
 			CutFraction:   float64(webgraph.CutEdges(g, assign)) / float64(g.NumEdges()),
 			BEIterations:  c.PIC.BEIterations,
 			TopOffIters:   c.PIC.TopOffIterations,
 			Speedup:       c.Speedup(),
 			RankErrorL1:   l1 / norm,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -175,8 +185,9 @@ func AblationPartitioner() (*PartitionerSweepResult, error) {
 		{"locality", pagerank.PartitionLocality, webgraph.LocalityPartition(vertices, partitions)},
 		{"multilevel", pagerank.PartitionMultilevel, webgraph.MultilevelPartition(g, partitions)},
 	}
-	res := &PartitionerSweepResult{}
-	for _, s := range strategies {
+	res := &PartitionerSweepResult{Rows: make([]PartitionerRow, len(strategies))}
+	if err := runCells(len(strategies), func(i int) error {
+		s := strategies[i]
 		strategy := s.strategy
 		w := &Workload{
 			Name:    "pagerank-" + s.name,
@@ -200,15 +211,18 @@ func AblationPartitioner() (*PartitionerSweepResult, error) {
 		}
 		c, err := RunComparison(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, PartitionerRow{
+		res.Rows[i] = PartitionerRow{
 			Strategy:     s.name,
 			CutFraction:  float64(webgraph.CutEdges(g, s.assign)) / float64(g.NumEdges()),
 			BEIterations: c.PIC.BEIterations,
 			TopOffIters:  c.PIC.TopOffIterations,
 			Speedup:      c.Speedup(),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -241,17 +255,22 @@ type LocalFactorSweepResult struct {
 
 // AblationLocalFactor sweeps LocalComputeFactor for K-means.
 func AblationLocalFactor() (*LocalFactorSweepResult, error) {
-	res := &LocalFactorSweepResult{}
-	for _, f := range []float64{1, 1.0 / 3, 1.0 / 7, 1.0 / 15} {
+	factors := []float64{1, 1.0 / 3, 1.0 / 7, 1.0 / 15}
+	res := &LocalFactorSweepResult{Rows: make([]LocalFactorRow, len(factors))}
+	if err := runCells(len(factors), func(i int) error {
+		f := factors[i]
 		w, _ := KMeansWorkload(fmt.Sprintf("kmeans-lf%.3f", f), simcluster.Small(), scaled(300_000, 40_000), 25, 3, 6, 3)
 		cost := HadoopCost()
 		cost.LocalComputeFactor = f
 		w.Cost = cost
 		c, err := RunComparison(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, LocalFactorRow{Factor: f, Speedup: c.Speedup()})
+		res.Rows[i] = LocalFactorRow{Factor: f, Speedup: c.Speedup()}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -337,8 +356,10 @@ type NetworkModelSweepResult struct {
 
 // AblationNetworkModel runs K-means under both network models.
 func AblationNetworkModel() (*NetworkModelSweepResult, error) {
-	res := &NetworkModelSweepResult{}
-	for _, fair := range []bool{false, true} {
+	modes := []bool{false, true}
+	res := &NetworkModelSweepResult{Rows: make([]NetworkModelRow, len(modes))}
+	if err := runCells(len(modes), func(i int) error {
+		fair := modes[i]
 		name := "bottleneck"
 		if fair {
 			name = "max-min fair"
@@ -349,20 +370,23 @@ func AblationNetworkModel() (*NetworkModelSweepResult, error) {
 		rtIC.Engine().FairSharingNetwork = fair
 		ic, err := core.RunIC(rtIC, w.MakeApp(), w.MakeInput(rtIC.Cluster()), w.MakeModel(), &w.ICOpts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rtPIC := w.NewRuntime()
 		rtPIC.Engine().FairSharingNetwork = fair
 		pic, err := core.RunPIC(rtPIC, w.MakeApp(), w.MakeInput(rtPIC.Cluster()), w.MakeModel(), w.PICOpts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, NetworkModelRow{
+		res.Rows[i] = NetworkModelRow{
 			Model:   name,
 			ICTime:  float64(ic.Duration),
 			PICTime: float64(pic.Duration),
 			Speedup: float64(ic.Duration) / float64(pic.Duration),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -400,8 +424,10 @@ type AsyncSweepResult struct {
 // under asynchronous PIC — first on a healthy cluster, then with
 // stragglers, where the barrier-free variant shines.
 func AblationAsync() (*AsyncSweepResult, error) {
-	res := &AsyncSweepResult{}
-	for _, straggle := range []bool{false, true} {
+	modes := []bool{false, true}
+	res := &AsyncSweepResult{Rows: make([]AsyncRow, 2*len(modes))}
+	if err := runCells(len(modes), func(i int) error {
+		straggle := modes[i]
 		suffix := ""
 		if straggle {
 			suffix = " + stragglers"
@@ -419,27 +445,28 @@ func AblationAsync() (*AsyncSweepResult, error) {
 		rtIC := prep()
 		ic, err := core.RunIC(rtIC, w.MakeApp(), w.MakeInput(rtIC.Cluster()), w.MakeModel(), &w.ICOpts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rtSync := prep()
 		sync, err := core.RunPIC(rtSync, w.MakeApp(), w.MakeInput(rtSync.Cluster()), w.MakeModel(), w.PICOpts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rtAsync := prep()
 		async, err := core.RunPICAsync(rtAsync, w.MakeApp(), w.MakeInput(rtAsync.Cluster()), w.MakeModel(),
 			core.AsyncOptions{Partitions: w.PICOpts.Partitions})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows,
-			AsyncRow{Mode: "sync PIC" + suffix, BETime: float64(sync.BEDuration),
-				TopOffIters: sync.TopOffIterations, TotalTime: float64(sync.Duration),
-				Speedup: float64(ic.Duration) / float64(sync.Duration)},
-			AsyncRow{Mode: "async PIC" + suffix, BETime: float64(async.BEDuration),
-				TopOffIters: async.TopOffIterations, TotalTime: float64(async.Duration),
-				Speedup: float64(ic.Duration) / float64(async.Duration)},
-		)
+		res.Rows[2*i] = AsyncRow{Mode: "sync PIC" + suffix, BETime: float64(sync.BEDuration),
+			TopOffIters: sync.TopOffIterations, TotalTime: float64(sync.Duration),
+			Speedup: float64(ic.Duration) / float64(sync.Duration)}
+		res.Rows[2*i+1] = AsyncRow{Mode: "async PIC" + suffix, BETime: float64(async.BEDuration),
+			TopOffIters: async.TopOffIterations, TotalTime: float64(async.Duration),
+			Speedup: float64(ic.Duration) / float64(async.Duration)}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -477,9 +504,10 @@ type SeedingSweepResult struct {
 // AblationSeeding compares clumped, random (first-k of a shuffled
 // dataset) and k-means++ initialization under both schemes.
 func AblationSeeding() (*SeedingSweepResult, error) {
-	res := &SeedingSweepResult{}
-	for _, seeding := range []string{"clumped", "random", "k-means++"} {
-		seeding := seeding
+	seedings := []string{"clumped", "random", "k-means++"}
+	res := &SeedingSweepResult{Rows: make([]SeedingRow, len(seedings))}
+	if err := runCells(len(seedings), func(i int) error {
+		seeding := seedings[i]
 		w, ps := KMeansWorkload("kmeans-seed-"+seeding, simcluster.Small(), scaled(300_000, 40_000), 25, 3, 6, 3)
 		points := ps.Points
 		switch seeding {
@@ -516,15 +544,18 @@ func AblationSeeding() (*SeedingSweepResult, error) {
 		}
 		c, err := RunComparison(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, SeedingRow{
+		res.Rows[i] = SeedingRow{
 			Seeding:      seeding,
 			ICIterations: c.IC.Iterations,
 			ICTime:       float64(c.IC.Duration),
 			PICTime:      float64(c.PIC.Duration),
 			Speedup:      c.Speedup(),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -570,7 +601,8 @@ type RateSweepResult struct {
 // trajectories.
 func AblationConvergenceRate() (*RateSweepResult, error) {
 	const n = 120
-	res := &RateSweepResult{}
+	parts := []int{2, 6, 12, 24, 40}
+	res := &RateSweepResult{Rows: make([]RateRow, len(parts))}
 
 	contraction := func(errs []float64) float64 {
 		// Geometric mean of successive ratios over the clean tail
@@ -590,11 +622,12 @@ func AblationConvergenceRate() (*RateSweepResult, error) {
 		return math.Exp(logSum / float64(count))
 	}
 
-	for _, p := range []int{2, 6, 12, 24, 40} {
+	if err := runCells(len(parts), func(i int) error {
+		p := parts[i]
 		w, app := LinSolveWorkload(fmt.Sprintf("linsolve-rate-p%d", p), simcluster.Small(), n, p, 5)
 		golden, err := app.Golden()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		metric := func(s core.Sample) float64 {
 			return linsolve.Solution(s.Model, n).Sub(golden).Norm2()
@@ -602,7 +635,7 @@ func AblationConvergenceRate() (*RateSweepResult, error) {
 
 		var icErrs []float64
 		if _, err := w.RunIC(func(s core.Sample) { icErrs = append(icErrs, metric(s)) }); err != nil {
-			return nil, err
+			return err
 		}
 		var beErrs []float64
 		if _, err := w.RunPIC(func(s core.Sample) {
@@ -610,14 +643,17 @@ func AblationConvergenceRate() (*RateSweepResult, error) {
 				beErrs = append(beErrs, metric(s))
 			}
 		}); err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, RateRow{
+		res.Rows[i] = RateRow{
 			Partitions:  p,
 			BERate:      contraction(beErrs),
 			ICRate:      contraction(icErrs),
 			BEIteration: len(beErrs),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dfs"
@@ -71,6 +72,16 @@ type Workload struct {
 	Tracer *trace.Tracer
 }
 
+// engineWorkers pins the real (not simulated) execution parallelism of
+// every engine the bench creates; zero (the default) leaves the
+// engine's own GOMAXPROCS default. Simulated results are identical at
+// any setting — the determinism tests hold this invariant.
+var engineWorkers atomic.Int64
+
+// SetEngineWorkers pins Engine.Workers on every runtime subsequently
+// built by a Workload. Zero restores the GOMAXPROCS default.
+func SetEngineWorkers(n int) { engineWorkers.Store(int64(n)) }
+
 // NewRuntime builds a fresh runtime for the workload's cluster.
 func (w *Workload) NewRuntime() *core.Runtime {
 	cluster := simcluster.New(w.Cluster)
@@ -80,6 +91,7 @@ func (w *Workload) NewRuntime() *core.Runtime {
 		cost = HadoopCost()
 	}
 	rt.Engine().SetCostModel(cost)
+	rt.Engine().Workers = int(engineWorkers.Load())
 	rt.SetTracer(w.Tracer)
 	return rt
 }

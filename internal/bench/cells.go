@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment cells.
+//
+// Every figure row, table column and ablation sweep point is an
+// independent experiment cell: it builds its own workload, cluster,
+// fabric and metrics registry, runs to completion, and deposits its
+// result at a fixed index. Nothing is shared between cells but
+// read-only inputs (a generated graph, the global scale), so cells can
+// execute concurrently without changing a single byte of output: the
+// simulated clocks and traffic counters live inside each cell, and
+// results are assembled by index, never by completion order.
+
+// parallelism is the bound on concurrently running cells. It is set
+// once by the driver before experiments start (picbench -parallel).
+var parallelism atomic.Int64
+
+func init() { parallelism.Store(1) }
+
+// SetParallelism bounds how many experiment cells may run at once.
+// Values below 1 are treated as 1 (serial).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the current cell-parallelism bound.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// runCells executes fn(0) … fn(n-1) on at most Parallelism() workers
+// and returns the error of the lowest failing index — the same error a
+// serial loop would report first. Cells after a failing one may still
+// have run; their results are discarded by the caller returning the
+// error.
+func runCells(n int, fn func(i int) error) error {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

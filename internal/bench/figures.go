@@ -120,29 +120,42 @@ func speedupRow(app string, c *Comparison) SpeedupRow {
 // solver (100 variables) on the small 6-node cluster.
 func Fig9() (*SpeedupFigure, error) {
 	fig := &SpeedupFigure{Title: "Figure 9 — speedups on the small (6-node) cluster"}
-
-	nKM := scaled(600_000, 30_000)
-	km, _ := KMeansWorkload("kmeans-fig9", simcluster.Small(), nKM, 25, 3, 6, 3)
-	c, err := RunComparison(km)
-	if err != nil {
+	cells := []func() (SpeedupRow, error){
+		func() (SpeedupRow, error) {
+			nKM := scaled(600_000, 30_000)
+			km, _ := KMeansWorkload("kmeans-fig9", simcluster.Small(), nKM, 25, 3, 6, 3)
+			c, err := RunComparison(km)
+			if err != nil {
+				return SpeedupRow{}, err
+			}
+			return speedupRow(fmt.Sprintf("K-means (%dk pts, 25 clusters)", nKM/1000), c), nil
+		},
+		func() (SpeedupRow, error) {
+			nPR := scaled(20_000, 2_000)
+			pr, _ := PageRankWorkload("pagerank-fig9", simcluster.Small(), nPR, 18, 0.05, 4)
+			c, err := RunComparison(pr)
+			if err != nil {
+				return SpeedupRow{}, err
+			}
+			return speedupRow(fmt.Sprintf("PageRank (%dk pages, 18 parts)", nPR/1000), c), nil
+		},
+		func() (SpeedupRow, error) {
+			ls, _ := LinSolveWorkload("linsolve-fig9", simcluster.Small(), 100, 6, 5)
+			c, err := RunComparison(ls)
+			if err != nil {
+				return SpeedupRow{}, err
+			}
+			return speedupRow("Linear solver (100 vars)", c), nil
+		},
+	}
+	fig.Rows = make([]SpeedupRow, len(cells))
+	if err := runCells(len(cells), func(i int) error {
+		row, err := cells[i]()
+		fig.Rows[i] = row
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	fig.Rows = append(fig.Rows, speedupRow(fmt.Sprintf("K-means (%dk pts, 25 clusters)", nKM/1000), c))
-
-	nPR := scaled(20_000, 2_000)
-	pr, _ := PageRankWorkload("pagerank-fig9", simcluster.Small(), nPR, 18, 0.05, 4)
-	c, err = RunComparison(pr)
-	if err != nil {
-		return nil, err
-	}
-	fig.Rows = append(fig.Rows, speedupRow(fmt.Sprintf("PageRank (%dk pages, 18 parts)", nPR/1000), c))
-
-	ls, _ := LinSolveWorkload("linsolve-fig9", simcluster.Small(), 100, 6, 5)
-	c, err = RunComparison(ls)
-	if err != nil {
-		return nil, err
-	}
-	fig.Rows = append(fig.Rows, speedupRow("Linear solver (100 vars)", c))
 	return fig, nil
 }
 
@@ -151,27 +164,34 @@ func Fig9() (*SpeedupFigure, error) {
 // (40 Mpixel→0.5 Mpixel) on the medium 64-node cluster.
 func Fig10() (*SpeedupFigure, error) {
 	fig := &SpeedupFigure{Title: "Figure 10 — speedups on the medium (64-node) cluster"}
-
-	nKM := scaled(600_000, 30_000)
-	km, _ := KMeansWorkload("kmeans-fig10", simcluster.Medium(), nKM, 25, 3, 6, 6)
-	c, err := RunComparison(km)
-	if err != nil {
+	cells := []func() (SpeedupRow, error){
+		func() (SpeedupRow, error) {
+			nKM := scaled(600_000, 30_000)
+			km, _ := KMeansWorkload("kmeans-fig10", simcluster.Medium(), nKM, 25, 3, 6, 6)
+			c, err := RunComparison(km)
+			if err != nil {
+				return SpeedupRow{}, err
+			}
+			return speedupRow(fmt.Sprintf("K-means (%dk pts, 3-D)", nKM/1000), c), nil
+		},
+		neuralNetQualityRow,
+		func() (SpeedupRow, error) {
+			sm, _ := SmoothingWorkload("smoothing-fig10", simcluster.Medium(), 1024, scaled(512, 64), 16, 8)
+			c, err := RunComparison(sm)
+			if err != nil {
+				return SpeedupRow{}, err
+			}
+			return speedupRow("Image smoothing (1024x512)", c), nil
+		},
+	}
+	fig.Rows = make([]SpeedupRow, len(cells))
+	if err := runCells(len(cells), func(i int) error {
+		row, err := cells[i]()
+		fig.Rows[i] = row
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	fig.Rows = append(fig.Rows, speedupRow(fmt.Sprintf("K-means (%dk pts, 3-D)", nKM/1000), c))
-
-	nnRow, err := neuralNetQualityRow()
-	if err != nil {
-		return nil, err
-	}
-	fig.Rows = append(fig.Rows, nnRow)
-
-	sm, _ := SmoothingWorkload("smoothing-fig10", simcluster.Medium(), 1024, scaled(512, 64), 16, 8)
-	c, err = RunComparison(sm)
-	if err != nil {
-		return nil, err
-	}
-	fig.Rows = append(fig.Rows, speedupRow("Image smoothing (1024x512)", c))
 	return fig, nil
 }
 
@@ -260,20 +280,25 @@ type Fig11Result struct {
 
 // Fig11 runs the strong-scaling experiment.
 func Fig11() (*Fig11Result, error) {
-	res := &Fig11Result{}
-	for _, nodes := range []int{64, 128, 192, 256} {
+	sizes := []int{64, 128, 192, 256}
+	res := &Fig11Result{Points: make([]Fig11Point, len(sizes))}
+	if err := runCells(len(sizes), func(i int) error {
+		nodes := sizes[i]
 		w, _ := SmoothingWorkload(fmt.Sprintf("smoothing-%dn", nodes),
 			simcluster.Large(nodes), 1024, scaled(512, 64), 16, 8)
 		c, err := RunComparison(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, Fig11Point{
+		res.Points[i] = Fig11Point{
 			Nodes:   nodes,
 			ICTime:  c.IC.Duration,
 			PICTime: c.PIC.Duration,
 			Speedup: c.Speedup(),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

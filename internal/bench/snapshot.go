@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/writable"
+)
+
+// Performance snapshots.
+//
+// A snapshot is a machine-readable record of the hot-path
+// microbenchmarks (and optionally the full suite's wall time) at a
+// point in the repository's history. The committed BENCH_baseline.json
+// is the regression baseline: CI re-checks that it parses and names
+// every current kernel, and a developer chasing a slowdown re-runs
+// `picbench bench-snapshot` to diff against it.
+
+// KernelResult is one microbenchmark measurement.
+type KernelResult struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Snapshot is the machine-readable performance record emitted by
+// `picbench bench-snapshot`.
+type Snapshot struct {
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Scale      float64        `json:"scale"`
+	Kernels    []KernelResult `json:"kernels"`
+	// SuiteWallSeconds is the wall time of one full serial experiment
+	// suite at Scale, when the snapshot was taken with -suite; zero
+	// when only the kernels were measured.
+	SuiteWallSeconds float64 `json:"suite_wall_seconds"`
+}
+
+// kernel is one named snapshot microbenchmark.
+type kernel struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// groupedFixture builds the synthetic grouped job the mapred kernels
+// share: duplicate-heavy keys (the shape every iterative workload
+// produces — many records, few distinct reduce keys) through an
+// identity mapper and a vector-sum reducer.
+func groupedFixture() (*mapred.Engine, *mapred.Job, *mapred.Input) {
+	const nRecords = 20_000
+	const nKeys = 25
+	recs := make([]mapred.Record, nRecords)
+	for i := range recs {
+		recs[i] = mapred.Record{
+			Key:   fmt.Sprintf("k%02d", i%nKeys),
+			Value: writable.Vector{float64(i), 1, 2, 3},
+		}
+	}
+	cluster := simcluster.New(simcluster.Small())
+	e := mapred.NewEngine(cluster)
+	job := &mapred.Job{
+		Name: "snapshot-grouped",
+		Mapper: mapred.MapperFunc(func(k string, v writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+			emit.Emit(k, v)
+			return nil
+		}),
+		Reducer: mapred.ReducerFunc(func(k string, values []writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+			acc := values[0].(writable.Vector).Clone()
+			for _, v := range values[1:] {
+				vec := v.(writable.Vector)
+				for i := range acc {
+					acc[i] += vec[i]
+				}
+			}
+			emit.Emit(k, acc)
+			return nil
+		}),
+		NumReducers: 4,
+	}
+	return e, job, mapred.NewInput(recs, cluster, cluster.MapSlots())
+}
+
+// kernels returns the snapshot microbenchmarks. Their names are stable
+// identifiers: BENCH_baseline.json is validated against this list.
+func kernels() []kernel {
+	return []kernel{
+		{"run-grouped", func(b *testing.B) {
+			// In-memory path: sort-based grouping + sharded reduce
+			// (Engine.RunLocal), the best-effort-phase hot loop.
+			e, job, in := groupedFixture()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.RunLocal(job, in, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"shuffle-accounting", func(b *testing.B) {
+			// Framework path: partitioning, encoded-size caching and
+			// shuffle byte accounting (Engine.Run).
+			e, job, in := groupedFixture()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.Run(job, in, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"local-iteration", func(b *testing.B) {
+			// One Lloyd iteration of K-means through the runtime — the
+			// per-iteration cost every figure experiment multiplies.
+			w, _ := KMeansWorkload("snapshot-kmeans-iter", simcluster.Small(), 50_000, 25, 3, 6, 3)
+			rt := w.NewRuntime()
+			app := w.MakeApp()
+			in := w.MakeInput(rt.Cluster())
+			m := w.MakeModel()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Iteration(rt, in, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"kmeans-be-iter", func(b *testing.B) {
+			// One best-effort PIC round of K-means: partition, local
+			// convergence on every node group, merge.
+			w, _ := KMeansWorkload("snapshot-kmeans-be", simcluster.Small(), 50_000, 25, 3, 6, 3)
+			w.PICOpts.MaxBEIterations = 1
+			w.PICOpts.MaxLocalIterations = 10
+			w.PICOpts.MaxTopOffIterations = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunPIC(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// KernelNames lists the snapshot kernels in measurement order.
+func KernelNames() []string {
+	ks := kernels()
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.name
+	}
+	return names
+}
+
+// TakeSnapshot measures every kernel and returns the populated
+// snapshot (SuiteWallSeconds left zero; the caller fills it when it
+// also times a suite run).
+func TakeSnapshot() *Snapshot {
+	s := &Snapshot{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}
+	for _, k := range kernels() {
+		r := testing.Benchmark(k.fn)
+		s.Kernels = append(s.Kernels, KernelResult{
+			Name:    k.name,
+			Iters:   r.N,
+			NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// CheckSnapshot validates a serialized snapshot: it must parse, carry
+// a plausible header, and name every current kernel with positive
+// timings. It is the CI guard against a stale or hand-mangled
+// baseline.
+func CheckSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: snapshot does not parse: %w", err)
+	}
+	if s.GoVersion == "" || s.GOMAXPROCS < 1 {
+		return nil, fmt.Errorf("bench: snapshot header incomplete (go_version %q, gomaxprocs %d)", s.GoVersion, s.GOMAXPROCS)
+	}
+	if s.Scale <= 0 || s.Scale > 1 {
+		return nil, fmt.Errorf("bench: snapshot scale %v outside (0, 1]", s.Scale)
+	}
+	have := map[string]KernelResult{}
+	for _, k := range s.Kernels {
+		have[k.Name] = k
+	}
+	for _, name := range KernelNames() {
+		k, ok := have[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: snapshot missing kernel %q", name)
+		}
+		if k.Iters < 1 || k.NsPerOp <= 0 {
+			return nil, fmt.Errorf("bench: snapshot kernel %q has invalid measurement (%d iters, %v ns/op)", name, k.Iters, k.NsPerOp)
+		}
+	}
+	return &s, nil
+}

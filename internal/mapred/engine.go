@@ -3,6 +3,7 @@ package mapred
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -315,6 +316,7 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 	// combine the output.
 	nSplits := len(in.Splits)
 	mapParts := make([][][]Record, nSplits) // split -> partition -> records
+	partSizes := make([][]int64, nSplits)   // split -> partition -> encoded bytes, computed once
 	mapOnlyOut := make([][]Record, nSplits)
 	mapCosts := make([]float64, nSplits)
 	mapOutBytes := make([]int64, nSplits)
@@ -323,7 +325,7 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 
 	e.parallelFor(nSplits, func(i int) {
 		split := in.Splits[i]
-		em := &listEmitter{}
+		em := getEmitter()
 		for _, rec := range split.Records {
 			if err := job.Mapper.Map(rec.Key, rec.Value, m, em); err != nil {
 				errs[i] = fmt.Errorf("job %q map task %d: %w", job.Name, i, err)
@@ -338,14 +340,32 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 			cost.EmitCostPerByte*float64(outBytes)
 
 		if numReducers == 0 {
+			// The emitted records are the task's output: hand the
+			// buffer off instead of recycling it.
 			mapOnlyOut[i] = em.records
 			return
 		}
-		parts := make([][]Record, numReducers)
-		for _, r := range em.records {
+		// Partition in two passes — count, then fill exactly-sized
+		// slices — so per-partition buffers never re-grow.
+		idx := getPartIdx(len(em.records))
+		counts := make([]int, numReducers)
+		for j, r := range em.records {
 			p := partition(r.Key, numReducers)
+			idx[j] = int32(p)
+			counts[p]++
+		}
+		parts := make([][]Record, numReducers)
+		for p, c := range counts {
+			if c > 0 {
+				parts[p] = make([]Record, 0, c)
+			}
+		}
+		for j, r := range em.records {
+			p := idx[j]
 			parts[p] = append(parts[p], r)
 		}
+		putPartIdx(idx)
+		putEmitter(em)
 		if job.Combiner != nil {
 			for p := range parts {
 				combined, err := runGrouped(job.Combiner, parts[p], m)
@@ -356,6 +376,15 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 				parts[p] = combined
 			}
 		}
+		// Encoded sizes of the post-combine partitions, computed here
+		// exactly once; the reduce-in accumulation and the shuffle-flow
+		// construction below both read this table instead of
+		// re-serializing.
+		sizes := make([]int64, numReducers)
+		for p := range parts {
+			sizes[p] = RecordsSize(parts[p])
+		}
+		partSizes[i] = sizes
 		mapParts[i] = parts
 	})
 	for _, err := range errs {
@@ -441,30 +470,46 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 
 	// ---- Map-only jobs stop here.
 	if numReducers == 0 {
-		out := &Output{}
+		nOut := 0
+		for i := range mapOnlyOut {
+			nOut += len(mapOnlyOut[i])
+		}
+		out := &Output{Records: make([]Record, 0, nOut)}
 		for i := range mapOnlyOut {
 			out.Records = append(out.Records, mapOnlyOut[i]...)
 		}
-		metrics.OutputRecords = int64(len(out.Records))
-		metrics.OutputBytes = RecordsSize(out.Records)
+		metrics.OutputRecords = int64(nOut)
+		for _, b := range mapOutBytes {
+			metrics.OutputBytes += b
+		}
 		metrics.Duration = metrics.OverheadPhase + metrics.ModelPhase + metrics.MapPhase
 		e.observe(metrics, start)
 		return out, metrics, nil
 	}
 
-	// ---- Reduce phase: gather, group, execute.
+	// ---- Reduce phase: gather, group, execute. Partition sizes come
+	// from the partSizes table filled during the map phase.
 	reduceIn := make([][]Record, numReducers)
+	for p := 0; p < numReducers; p++ {
+		total := 0
+		for i := 0; i < nSplits; i++ {
+			total += len(mapParts[i][p])
+		}
+		if total > 0 {
+			reduceIn[p] = make([]Record, 0, total)
+		}
+	}
 	for i := 0; i < nSplits; i++ {
 		for p := 0; p < numReducers; p++ {
 			recs := mapParts[i][p]
 			reduceIn[p] = append(reduceIn[p], recs...)
-			sz := RecordsSize(recs)
-			metrics.ShuffleBytes += sz
+			metrics.ShuffleBytes += partSizes[i][p]
 			metrics.ShuffleRecords += int64(len(recs))
 		}
 	}
 
 	reduceOut := make([][]Record, numReducers)
+	reduceOutBytes := make([]int64, numReducers)
 	reduceCosts := make([]float64, numReducers)
 	reduceValues := make([]int64, numReducers)
 	rerrs := make([]error, numReducers)
@@ -475,9 +520,10 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 			return
 		}
 		reduceOut[p] = out
+		reduceOutBytes[p] = RecordsSize(out)
 		reduceValues[p] = int64(len(reduceIn[p]))
 		reduceCosts[p] = cost.ReduceCostPerValue*float64(len(reduceIn[p])) +
-			cost.EmitCostPerByte*float64(RecordsSize(out))
+			cost.EmitCostPerByte*float64(reduceOutBytes[p])
 	})
 	for _, err := range rerrs {
 		if err != nil {
@@ -531,7 +577,7 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 	var shuffleFlows []simnet.Flow
 	for i := 0; i < nSplits; i++ {
 		for p := 0; p < numReducers; p++ {
-			sz := RecordsSize(mapParts[i][p])
+			sz := partSizes[i][p]
 			if sz == 0 {
 				continue
 			}
@@ -548,13 +594,17 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 	shuffleTime := e.transfer(shuffleFlows)
 	metrics.ShufflePhase = shuffleTime * simtime.Duration(1-cost.ShuffleOverlap)
 
-	out := &Output{ByReducer: reduceOut, ReducerNodes: make([]int, numReducers)}
+	nOut := 0
+	for p := range reduceOut {
+		nOut += len(reduceOut[p])
+	}
+	out := &Output{ByReducer: reduceOut, ReducerNodes: make([]int, numReducers), Records: make([]Record, 0, nOut)}
 	for p := range reduceOut {
 		out.Records = append(out.Records, reduceOut[p]...)
 		out.ReducerNodes[p] = rPlacements[p].Node
+		metrics.OutputBytes += reduceOutBytes[p]
 	}
-	metrics.OutputRecords = int64(len(out.Records))
-	metrics.OutputBytes = RecordsSize(out.Records)
+	metrics.OutputRecords = int64(nOut)
 	metrics.Duration = metrics.OverheadPhase + metrics.ModelPhase + metrics.MapPhase +
 		metrics.ShufflePhase + metrics.ReducePhase
 	e.observe(metrics, start)
@@ -679,34 +729,171 @@ func (e *Engine) transfer(flows []simnet.Flow) simtime.Duration {
 	return fabric.TransferTime(flows)
 }
 
-// runGrouped sorts records by key, groups values per key, and applies
-// the reducer, returning its emissions. Within a key, values keep their
-// arrival order, so execution is deterministic.
+// sortRecordsByKey stably sorts recs by key in place. Stability keeps
+// within-key values in arrival order, so grouped execution over the
+// sorted slice visits exactly the (key, values) sequence the previous
+// map-based grouping produced.
+func sortRecordsByKey(recs []Record) {
+	if slices.IsSortedFunc(recs, compareRecordKeys) {
+		return
+	}
+	// Hash-assisted stable counting sort. Intermediate key sets are
+	// duplicate-heavy (25 centroid keys across 100k points is typical),
+	// where a general comparison sort pays Θ(n log n) string compares
+	// and, if stable, Θ(n log n) extra moves for in-place merging. Here
+	// each record is hashed once to its key's group, only the (few)
+	// distinct keys are comparison-sorted, and a single in-order scatter
+	// through a pooled buffer places every record: stable by
+	// construction, O(n + k log k) total.
+	groupOf := make(map[string]int32, 64)
+	keys := make([]string, 0, 64)
+	counts := make([]int32, 0, 64)
+	idx := getPartIdx(len(recs))
+	for j := range recs {
+		g, ok := groupOf[recs[j].Key]
+		if !ok {
+			g = int32(len(keys))
+			keys = append(keys, recs[j].Key)
+			counts = append(counts, 0)
+			groupOf[recs[j].Key] = g
+		}
+		idx[j] = g
+		counts[g]++
+	}
+	order := make([]int32, len(keys))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int { return strings.Compare(keys[a], keys[b]) })
+	// start[g] is group g's first output slot; it advances as the
+	// scatter fills the group.
+	start := make([]int32, len(keys))
+	var off int32
+	for _, g := range order {
+		start[g] = off
+		off += counts[g]
+	}
+	scratch := getRecScratch(len(recs))
+	for j := range recs {
+		g := idx[j]
+		scratch[start[g]] = recs[j]
+		start[g]++
+	}
+	copy(recs, scratch)
+	putPartIdx(idx)
+	putRecScratch(scratch)
+}
+
+func compareRecordKeys(a, b Record) int { return strings.Compare(a.Key, b.Key) }
+
+// reduceSorted applies r to each contiguous key group of the
+// already-sorted recs, emitting into em. The values slice handed to the
+// reducer is a scratch buffer reused across keys (see Reducer's
+// documented lifetime contract); the returned slice is the grown scratch
+// for the caller to reuse.
+func reduceSorted(r Reducer, recs []Record, m *model.Model, em Emitter, vals []writable.Writable) ([]writable.Writable, error) {
+	for lo := 0; lo < len(recs); {
+		hi := lo + 1
+		for hi < len(recs) && recs[hi].Key == recs[lo].Key {
+			hi++
+		}
+		vals = vals[:0]
+		for _, rec := range recs[lo:hi] {
+			vals = append(vals, rec.Value)
+		}
+		if err := r.Reduce(recs[lo].Key, vals, m, em); err != nil {
+			return vals, err
+		}
+		lo = hi
+	}
+	return vals, nil
+}
+
+// runGrouped groups records by key with an in-place stable sort and a
+// linear group scan, and applies the reducer, returning its emissions.
+// Keys are visited in sorted order and, within a key, values keep their
+// arrival order, so execution is deterministic. The input slice is
+// reordered in place.
 func runGrouped(r Reducer, recs []Record, m *model.Model) ([]Record, error) {
 	if len(recs) == 0 {
 		return nil, nil
 	}
-	byKey := make(map[string][]writable.Writable)
-	keys := make([]string, 0, len(recs))
-	for _, rec := range recs {
-		if _, seen := byKey[rec.Key]; !seen {
-			keys = append(keys, rec.Key)
-		}
-		byKey[rec.Key] = append(byKey[rec.Key], rec.Value)
+	sortRecordsByKey(recs)
+	em := getEmitter()
+	vals, err := reduceSorted(r, recs, m, em, getVals())
+	putVals(vals)
+	if err != nil {
+		putEmitter(em)
+		return nil, err
 	}
-	sort.Strings(keys)
-	em := &listEmitter{}
-	for _, k := range keys {
-		if err := r.Reduce(k, byKey[k], m, em); err != nil {
+	out := append([]Record(nil), em.records...)
+	putEmitter(em)
+	return out, nil
+}
+
+// runGroupedParallel is runGrouped with key groups sharded across the
+// engine's worker pool: records are stably sorted by key once, the
+// contiguous key groups are cut into at most one contiguous shard per
+// worker (balanced by record count, never splitting a key), and shard
+// outputs are concatenated in key order. Output is therefore
+// byte-identical to the serial scan for any worker count.
+func (e *Engine) runGroupedParallel(r Reducer, recs []Record, m *model.Model) ([]Record, error) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(recs) == 0 {
+		return runGrouped(r, recs, m)
+	}
+	sortRecordsByKey(recs)
+	// Cut points are group starts nearest the ideal even splits.
+	cuts := make([]int, 1, workers+1)
+	next := 1
+	for i := 1; i < len(recs) && next < workers; i++ {
+		if recs[i].Key != recs[i-1].Key && i*workers >= next*len(recs) {
+			cuts = append(cuts, i)
+			next++
+		}
+	}
+	cuts = append(cuts, len(recs))
+	nShards := len(cuts) - 1
+	outs := make([]*listEmitter, nShards)
+	shErrs := make([]error, nShards)
+	e.parallelFor(nShards, func(s int) {
+		em := getEmitter()
+		vals, err := reduceSorted(r, recs[cuts[s]:cuts[s+1]], m, em, getVals())
+		putVals(vals)
+		if err != nil {
+			shErrs[s] = err
+		}
+		outs[s] = em
+	})
+	// Shards hold disjoint, ascending key ranges, so the first failing
+	// shard holds the lowest failing key — the same error a serial scan
+	// reports first.
+	for _, err := range shErrs {
+		if err != nil {
 			return nil, err
 		}
 	}
-	return em.records, nil
+	total := 0
+	for _, o := range outs {
+		total += len(o.records)
+	}
+	out := make([]Record, 0, total)
+	for _, o := range outs {
+		out = append(out, o.records...)
+		putEmitter(o)
+	}
+	return out, nil
 }
 
 // parallelFor runs worker(i) for i in [0,n) on a bounded pool. Output
 // slots are indexed, so results are deterministic regardless of
-// interleaving.
+// interleaving. Work is handed out in index ranges rather than single
+// indices, so tiny tasks do not pay one channel operation each. A panic
+// in any worker is re-raised on the calling goroutine after the pool
+// drains.
 func (e *Engine) parallelFor(n int, worker func(int)) {
 	workers := e.Workers
 	if workers <= 0 {
@@ -721,22 +908,47 @@ func (e *Engine) parallelFor(n int, worker func(int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	// ~4 chunks per worker balances scheduling slack against channel
+	// traffic; a chunk is never smaller than one index.
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	type span struct{ lo, hi int }
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
+	next := make(chan span)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				worker(i)
+			for s := range next {
+				func() {
+					// Recover so the feeder never blocks on a dead
+					// pool; the first panic is re-raised by the caller.
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicVal = r })
+						}
+					}()
+					for i := s.lo; i < s.hi; i++ {
+						worker(i)
+					}
+				}()
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	for lo := 0; lo < n; lo += chunk {
+		next <- span{lo, min(lo+chunk, n)}
 	}
 	close(next)
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // String renders the metrics as a compact multi-line report.

@@ -41,19 +41,19 @@ func (e *Engine) RunLocal(job *Job, in *Input, m *model.Model) (*Output, Metrics
 	metrics.LocalRecords = in.NumRecords()
 
 	nSplits := len(in.Splits)
-	mapOut := make([][]Record, nSplits)
+	mapOut := make([]*listEmitter, nSplits)
 	mapCosts := make([]float64, nSplits)
 	errs := make([]error, nSplits)
 	e.parallelFor(nSplits, func(i int) {
 		split := in.Splits[i]
-		em := &listEmitter{}
+		em := getEmitter()
 		for _, rec := range split.Records {
 			if err := job.Mapper.Map(rec.Key, rec.Value, m, em); err != nil {
 				errs[i] = fmt.Errorf("job %q local map %d: %w", job.Name, i, err)
 				return
 			}
 		}
-		mapOut[i] = em.records
+		mapOut[i] = em
 		mapCosts[i] = factor * cost.MapCostPerRecord * float64(len(split.Records))
 	})
 	for _, err := range errs {
@@ -69,24 +69,31 @@ func (e *Engine) RunLocal(job *Job, in *Input, m *model.Model) (*Output, Metrics
 	_, mapMakespan := e.cluster.Schedule(tasks, e.cluster.Config().MapSlotsPerNode)
 	metrics.MapPhase = mapMakespan
 
+	// Concatenate the per-split emissions into one exactly-sized slice
+	// and recycle the emitter buffers: splits are revisited every local
+	// iteration, so pooled buffers turn the map phase's dominant
+	// allocation into a steady-state copy.
+	nMapOut := 0
+	for i := range mapOut {
+		nMapOut += len(mapOut[i].records)
+	}
+	all := make([]Record, 0, nMapOut)
+	for i := range mapOut {
+		all = append(all, mapOut[i].records...)
+		putEmitter(mapOut[i])
+	}
+
 	if job.Reducer == nil {
-		out := &Output{}
-		for i := range mapOut {
-			out.Records = append(out.Records, mapOut[i]...)
-		}
+		out := &Output{Records: all}
 		metrics.OutputRecords = int64(len(out.Records))
 		metrics.Duration = metrics.MapPhase
 		e.observeLocal(metrics)
 		return out, metrics, nil
 	}
 
-	// In-memory grouping and reduction: a single reduce pass over all
-	// emitted pairs, parallelized over the same slots.
-	var all []Record
-	for i := range mapOut {
-		all = append(all, mapOut[i]...)
-	}
-	outRecs, err := runGrouped(job.Reducer, all, m)
+	// In-memory grouping and reduction: one reduce pass over all emitted
+	// pairs, with key groups sharded across the real worker pool.
+	outRecs, err := e.runGroupedParallel(job.Reducer, all, m)
 	if err != nil {
 		return nil, Metrics{}, err
 	}

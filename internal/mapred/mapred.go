@@ -19,7 +19,7 @@ package mapred
 
 import (
 	"fmt"
-	"hash/fnv"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/writable"
@@ -66,7 +66,10 @@ type Mapper interface {
 
 // Reducer is the user reduce (or combine) computation, invoked once per
 // distinct key with all values for that key. As with Mapper, the model
-// is read-only.
+// is read-only. The values slice is a buffer the runtime reuses between
+// keys (as Hadoop reuses its value iterator): implementations must not
+// retain it — or any re-slice of it — past the call. The Writables it
+// holds may be retained freely.
 type Reducer interface {
 	Reduce(key string, values []writable.Writable, m *model.Model, emit Emitter) error
 }
@@ -90,11 +93,21 @@ func (f ReducerFunc) Reduce(key string, values []writable.Writable, m *model.Mod
 // Partitioner maps an intermediate key to one of r reduce partitions.
 type Partitioner func(key string, r int) int
 
-// HashPartition is the default partitioner: FNV-1a modulo r.
+// HashPartition is the default partitioner: FNV-1a modulo r. The hash is
+// inlined rather than taken from hash/fnv so the per-record hot path
+// allocates nothing (the stdlib constructor and []byte(key) conversion
+// both escape).
 func HashPartition(key string, r int) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(r))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(r))
 }
 
 // Job describes one MapReduce job.
@@ -143,4 +156,59 @@ type listEmitter struct {
 // Emit implements Emitter.
 func (e *listEmitter) Emit(key string, value writable.Writable) {
 	e.records = append(e.records, Record{Key: key, Value: value})
+}
+
+// emitterPool recycles listEmitter record buffers between map tasks.
+// Only buffers whose records have been copied out (or discarded) may be
+// returned; tasks whose emissions are handed off wholesale simply never
+// call putEmitter.
+var emitterPool = sync.Pool{New: func() any { return &listEmitter{} }}
+
+func getEmitter() *listEmitter { return emitterPool.Get().(*listEmitter) }
+
+func putEmitter(e *listEmitter) {
+	e.records = e.records[:0]
+	emitterPool.Put(e)
+}
+
+// partIdxPool recycles the per-task partition-index scratch used by the
+// two-pass partitioning in Engine.RunAt.
+var partIdxPool = sync.Pool{New: func() any { return []int32(nil) }}
+
+func getPartIdx(n int) []int32 {
+	idx := partIdxPool.Get().([]int32)
+	if cap(idx) < n {
+		idx = make([]int32, n)
+	}
+	return idx[:n]
+}
+
+func putPartIdx(idx []int32) { partIdxPool.Put(idx[:0]) } //nolint:staticcheck // slice header boxing is fine here
+
+// valsPool recycles the values scratch buffer reduceSorted hands to
+// reducers (which, per Reducer's contract, must not retain it).
+var valsPool = sync.Pool{New: func() any { return []writable.Writable(nil) }}
+
+func getVals() []writable.Writable { return valsPool.Get().([]writable.Writable) }
+
+func putVals(vals []writable.Writable) {
+	vals = vals[:cap(vals)]
+	clear(vals)            // drop value references so the pool doesn't pin them
+	valsPool.Put(vals[:0]) //nolint:staticcheck // slice header boxing is fine here
+}
+
+// recScratchPool recycles the scatter buffer used by sortRecordsByKey.
+var recScratchPool = sync.Pool{New: func() any { return []Record(nil) }}
+
+func getRecScratch(n int) []Record {
+	s := recScratchPool.Get().([]Record)
+	if cap(s) < n {
+		s = make([]Record, n)
+	}
+	return s[:n]
+}
+
+func putRecScratch(s []Record) {
+	clear(s)                  // drop key/value references so the pool doesn't pin them
+	recScratchPool.Put(s[:0]) //nolint:staticcheck // slice header boxing is fine here
 }

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/writable"
 )
@@ -23,6 +24,12 @@ import (
 // solution vector, image rows, ...).
 type Model struct {
 	entries map[string]writable.Writable
+	// keys caches the sorted key slice between mutations of the key
+	// set: models with tens of thousands of entries (PageRank's per-edge
+	// scores) are Range'd several times per iteration, and re-sorting
+	// on every walk dominated profiles. The pointer is atomic so
+	// read-only use from concurrent tasks stays race-free.
+	keys atomic.Pointer[[]string]
 }
 
 // New returns an empty model.
@@ -31,7 +38,14 @@ func New() *Model {
 }
 
 // Set stores v under key, replacing any previous value.
-func (m *Model) Set(key string, v writable.Writable) { m.entries[key] = v }
+func (m *Model) Set(key string, v writable.Writable) {
+	if m.keys.Load() != nil {
+		if _, ok := m.entries[key]; !ok {
+			m.keys.Store(nil)
+		}
+	}
+	m.entries[key] = v
+}
 
 // Get returns the value stored under key.
 func (m *Model) Get(key string) (writable.Writable, bool) {
@@ -62,19 +76,29 @@ func (m *Model) Float(key string) (float64, bool) {
 }
 
 // Delete removes key from the model. Deleting a missing key is a no-op.
-func (m *Model) Delete(key string) { delete(m.entries, key) }
+func (m *Model) Delete(key string) {
+	if _, ok := m.entries[key]; ok {
+		m.keys.Store(nil)
+	}
+	delete(m.entries, key)
+}
 
 // Len reports the number of entries.
 func (m *Model) Len() int { return len(m.entries) }
 
 // Keys returns the model's keys in sorted order, so iteration over a
-// model is deterministic.
+// model is deterministic. The slice is cached until the key set next
+// changes and is shared between callers: treat it as read-only.
 func (m *Model) Keys() []string {
+	if p := m.keys.Load(); p != nil {
+		return *p
+	}
 	keys := make([]string, 0, len(m.entries))
 	for k := range m.entries {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	m.keys.Store(&keys)
 	return keys
 }
 
@@ -94,6 +118,12 @@ func (m *Model) Clone() *Model {
 	c := &Model{entries: make(map[string]writable.Writable, len(m.entries))}
 	for k, v := range m.entries {
 		c.entries[k] = writable.Clone(v)
+	}
+	// The clone has the same key set, so it can share the (read-only)
+	// sorted-key cache; each copy invalidates its own pointer when its
+	// key set diverges.
+	if p := m.keys.Load(); p != nil {
+		c.keys.Store(p)
 	}
 	return c
 }
