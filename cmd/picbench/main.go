@@ -3,7 +3,8 @@
 //
 //	picbench fig2 fig9 fig10 fig11 fig12a fig12b fig12c \
 //	         table1 table2 table3 \
-//	         abl-parts abl-coupling abl-localfactor abl-degenerate
+//	         abl-parts abl-coupling abl-localfactor abl-degenerate \
+//	         abl-tenancy
 //
 // The report subcommand runs one fully-instrumented PIC execution and
 // emits its run-inspector artifacts (Chrome trace JSON and a
@@ -67,6 +68,7 @@ var experiments = []experiment{
 	{"abl-rate", wrap(bench.AblationConvergenceRate)},
 	{"abl-degenerate", wrap(bench.AblationDegenerate)},
 	{"abl-faults", wrap(bench.AblationNodeFailure)},
+	{"abl-tenancy", wrap(bench.AblationMultiTenant)},
 }
 
 func main() {

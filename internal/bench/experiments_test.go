@@ -124,6 +124,32 @@ func TestExperimentsSmoke(t *testing.T) {
 			t.Fatal("render missing re-replication column")
 		}
 	})
+	t.Run("abl-tenancy", func(t *testing.T) {
+		r, err := AblationMultiTenant()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 4 {
+			t.Fatalf("got %d rows", len(r.Rows))
+		}
+		if !r.Monotone() {
+			t.Fatalf("speedup not monotone in co-tenant load: %+v", r.Rows)
+		}
+		for i, row := range r.Rows {
+			if row.Speedup <= 1 {
+				t.Fatalf("row %d: PIC not ahead under contention: %+v", i, row)
+			}
+			if row.ICSteps != r.Rows[0].ICSteps || row.PICSteps != r.Rows[0].PICSteps {
+				t.Fatalf("iteration counts vary with contention — timing leaked into model math: %+v", r.Rows)
+			}
+		}
+		rend := r.Render()
+		for _, want := range []string{"Per-tenant metrics", "analytics", "background", "Scheduler spans"} {
+			if !strings.Contains(rend, want) {
+				t.Fatalf("render missing %q:\n%s", want, rend)
+			}
+		}
+	})
 	t.Run("abl-degenerate", func(t *testing.T) {
 		r, err := AblationDegenerate()
 		if err != nil {

@@ -127,6 +127,19 @@ func kernels() []kernel {
 				}
 			}
 		}},
+		{"sched-multitenant", func(b *testing.B) {
+			// One multi-tenant scheduler run: a PIC job beside a
+			// synthetic co-tenant on one shared cluster — the sched
+			// event loop, footprint measurement and residual-capacity
+			// accounting end to end.
+			w, _ := PageRankWorkload("snapshot-sched", tenancyCluster(), 2_000, 5, 0.02, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := runTenancyCell(w, "pic", 0.5, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"kmeans-be-iter", func(b *testing.B) {
 			// One best-effort PIC round of K-means: partition, local
 			// convergence on every node group, merge.

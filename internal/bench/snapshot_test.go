@@ -25,6 +25,20 @@ func BenchmarkKMeansBEIter(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedMultiTenant measures one multi-tenant scheduler run — a
+// PIC job contending with a synthetic co-tenant on one shared cluster —
+// mirroring the sched-multitenant snapshot kernel for CI's single-pass
+// bench smoke.
+func BenchmarkSchedMultiTenant(b *testing.B) {
+	w, _ := PageRankWorkload("bench-sched", tenancyCluster(), 2_000, 5, 0.02, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runTenancyCell(w, "pic", 0.5, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func validSnapshot() *Snapshot {
 	s := &Snapshot{GoVersion: "go1.24.0", GOMAXPROCS: 1, Scale: 1}
 	for _, name := range KernelNames() {
@@ -75,7 +89,7 @@ func TestCheckSnapshotRejectsBadInputs(t *testing.T) {
 }
 
 func TestKernelNamesStable(t *testing.T) {
-	want := []string{"run-grouped", "shuffle-accounting", "local-iteration", "kmeans-be-iter"}
+	want := []string{"run-grouped", "shuffle-accounting", "local-iteration", "sched-multitenant", "kmeans-be-iter"}
 	got := KernelNames()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("kernel set changed: %v (update BENCH_baseline.json and this test together)", got)

@@ -1,13 +1,9 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/mapred"
-	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/simtime"
-	"repro/internal/trace"
 )
 
 // ICOptions configure a conventional iterative-convergence run — the
@@ -70,66 +66,17 @@ type ICResult struct {
 // RunIC executes app's iterative-convergence computation on rt from the
 // initial model m0 until Converged or the iteration cap. It is both the
 // experimental baseline and the building block PIC reuses for local
-// iterations and the top-off phase.
+// iterations and the top-off phase. RunIC is ICStepper driven to
+// completion: a stepped run and a monolithic run are identical.
 func RunIC(rt *Runtime, app App, in *mapred.Input, m0 *model.Model, opts *ICOptions) (*ICResult, error) {
-	opt := opts.withDefaults()
-	startElapsed := rt.Elapsed()
-	startMetrics := rt.Metrics()
-	startModelBytes := rt.ModelUpdateBytes()
-
-	// The phase span encloses every job the loop runs: allocate its id
-	// up front so children parent under it, record the event at the end
-	// when the extent is known.
-	phaseID := rt.tracer.NextID()
-	prevSpan := rt.span
-	rt.span = phaseID
-	defer func() { rt.span = prevSpan }()
-
-	m := m0
-	res := &ICResult{}
-	for res.Iterations < opt.MaxIterations {
-		next, err := app.Iteration(rt, in, m)
+	s := NewICStepper(rt, app, in, m0, opts)
+	for {
+		done, err := s.Step()
 		if err != nil {
-			return nil, fmt.Errorf("core: %s iteration %d: %w", app.Name(), res.Iterations, err)
+			return nil, err
 		}
-		if next == nil {
-			return nil, fmt.Errorf("core: %s iteration %d returned a nil model", app.Name(), res.Iterations)
-		}
-		res.Iterations++
-		if !opt.DisableModelWrites {
-			rt.WriteModel(app.Name(), next)
-		}
-		if opt.Observer != nil {
-			opt.Observer(Sample{
-				Phase:     opt.Phase,
-				Iteration: res.Iterations,
-				Time:      opt.TimeOffset + simtime.Time(rt.Elapsed()-startElapsed),
-				Model:     next,
-			})
-		}
-		if rt.obs != nil && !rt.local {
-			delta := max(model.MaxVectorDelta(m, next), model.MaxFloatDelta(m, next))
-			rt.obs.Series("core.residual", metrics.L("phase", string(opt.Phase))...).
-				Sample(rt.now(), delta)
-		}
-		converged := app.Converged(m, next)
-		m = next
-		if converged {
-			res.Converged = true
-			break
+		if done {
+			return s.Result(), nil
 		}
 	}
-	res.Model = m
-	res.Duration = rt.Elapsed() - startElapsed
-	res.Metrics = rt.Metrics().Sub(startMetrics)
-	res.ModelUpdateBytes = rt.ModelUpdateBytes() - startModelBytes
-	rt.tracer.Record(trace.Event{
-		Kind:  trace.KindPhase,
-		Name:  app.Name() + "/" + string(opt.Phase),
-		Start: rt.now() - simtime.Time(res.Duration),
-		End:   rt.now(),
-		Lane:  rt.lane,
-		ID:    phaseID,
-	})
-	return res, nil
 }

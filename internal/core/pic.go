@@ -123,43 +123,142 @@ func (r *PICResult) MaxLocalIterationsPerBE() []int {
 // the initial model m0: the best-effort phase (partition, solve
 // sub-problems with in-memory local iterations on disjoint node groups,
 // merge, repeat until best-effort convergence) followed by the top-off
-// phase (the unmodified IC computation until true convergence).
+// phase (the unmodified IC computation until true convergence). RunPIC
+// is PICStepper driven to completion: a stepped run and a monolithic
+// run are identical.
 func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PICOptions) (*PICResult, error) {
+	s, err := NewPICStepper(rt, app, in, m0, opts)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		done, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return s.Result(), nil
+		}
+	}
+}
+
+// PICStepper is the resumable form of RunPIC: each Step executes one
+// best-effort iteration while that phase lasts, then one top-off
+// iteration, so a scheduler can suspend the run at any iteration
+// boundary. Create one with NewPICStepper, call Step until it reports
+// done, then read Result.
+type PICStepper struct {
+	rt      *Runtime
+	app     PICApp
+	in      *mapred.Input
+	opt     PICOptions
+	cluster *simcluster.Cluster
+	nGroups int
+	groups  []*simcluster.Cluster
+
+	beConverged func(prev, next *model.Model) bool
+
+	startElapsed    simtime.Duration
+	startMetrics    mapred.Metrics
+	startModelBytes int64
+	beSpan          int64
+
+	m             *model.Model
+	res           *PICResult
+	redistributed bool
+	topOff        *ICStepper // non-nil once the best-effort phase closed
+	done          bool
+}
+
+// NewPICStepper prepares a PIC run over rt without executing anything.
+func NewPICStepper(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PICOptions) (*PICStepper, error) {
 	opt := opts.withDefaults()
 	if opt.Partitions < 1 {
 		return nil, fmt.Errorf("core: RunPIC(%s): Partitions = %d, need ≥ 1", app.Name(), opt.Partitions)
 	}
 	cluster := rt.Cluster()
 	nGroups := min(opt.Partitions, cluster.Size())
-	groups := cluster.Groups(nGroups)
 
 	beConverged := app.Converged
 	if bc, ok := app.(BEConvergedApp); ok {
 		beConverged = bc.BEConverged
 	}
 
-	startElapsed := rt.Elapsed()
-	startMetrics := rt.Metrics()
-	startModelBytes := rt.ModelUpdateBytes()
-	res := &PICResult{}
-
+	s := &PICStepper{
+		rt:              rt,
+		app:             app,
+		in:              in,
+		opt:             opt,
+		cluster:         cluster,
+		nGroups:         nGroups,
+		groups:          cluster.Groups(nGroups),
+		beConverged:     beConverged,
+		startElapsed:    rt.Elapsed(),
+		startMetrics:    rt.Metrics(),
+		startModelBytes: rt.ModelUpdateBytes(),
+		m:               m0,
+		res:             &PICResult{},
+	}
 	// The best-effort phase span encloses scatter/gather transfers,
 	// merge jobs and model writes; group-local job spans parent under it
 	// too, via the forks' inherited span id.
-	beSpan := rt.tracer.NextID()
-	prevSpan := rt.span
-	rt.span = beSpan
+	s.beSpan = rt.tracer.NextID()
+	return s, nil
+}
 
-	m := m0
-	redistributed := false
-	for res.BEIterations < opt.MaxBEIterations {
-		mergeBytesBefore := res.MergeTrafficBytes
-		subs, err := app.Partition(in, m, opt.Partitions)
+// Step executes one iteration of whichever phase the run is in.
+func (s *PICStepper) Step() (bool, error) {
+	if s.done {
+		return true, nil
+	}
+	if s.topOff == nil {
+		beDone, err := s.beStep()
 		if err != nil {
-			return nil, fmt.Errorf("core: %s partition: %w", app.Name(), err)
+			return false, err
+		}
+		if beDone {
+			s.closeBE()
+		}
+		return false, nil
+	}
+	topDone, err := s.topOff.Step()
+	if err != nil {
+		return false, err
+	}
+	if topDone {
+		s.finish()
+		return true, nil
+	}
+	return false, nil
+}
+
+// Result returns the run's result once Step has reported done, nil
+// before that.
+func (s *PICStepper) Result() *PICResult {
+	if !s.done {
+		return nil
+	}
+	return s.res
+}
+
+// beStep runs one best-effort iteration: partition, solve sub-problems
+// on the node groups, merge. It reports whether the best-effort phase
+// is over (converged or iteration cap).
+func (s *PICStepper) beStep() (bool, error) {
+	rt, app, opt, res := s.rt, s.app, s.opt, s.res
+	cluster, nGroups, groups := s.cluster, s.nGroups, s.groups
+	m := s.m
+	prevSpan := rt.span
+	rt.span = s.beSpan
+	defer func() { rt.span = prevSpan }()
+	{
+		mergeBytesBefore := res.MergeTrafficBytes
+		subs, err := app.Partition(s.in, m, opt.Partitions)
+		if err != nil {
+			return false, fmt.Errorf("core: %s partition: %w", app.Name(), err)
 		}
 		if len(subs) != opt.Partitions {
-			return nil, fmt.Errorf("core: %s partition returned %d sub-problems, want %d",
+			return false, fmt.Errorf("core: %s partition returned %d sub-problems, want %d",
 				app.Name(), len(subs), opt.Partitions)
 		}
 
@@ -167,9 +266,9 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 		// Later best-effort iterations reuse the partition layout, so
 		// the data is already resident (§III-B: the partition function
 		// is fixed; only models move between iterations).
-		if !redistributed {
+		if !s.redistributed {
 			res.RepartitionBytes += rt.ChargeFlows(repartitionFlows(cluster.Nodes(), groups, subs))
-			redistributed = true
+			s.redistributed = true
 		}
 
 		// Group repair: refresh each group's live membership. A group
@@ -186,7 +285,7 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 			}
 		}
 		if usable == 0 {
-			return nil, fmt.Errorf("core: %s: no live nodes remain for the best-effort groups", app.Name())
+			return false, fmt.Errorf("core: %s: no live nodes remain for the best-effort groups", app.Name())
 		}
 		assign := make([]int, opt.Partitions)
 		leaders := make([]int, opt.Partitions)
@@ -199,8 +298,8 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 				}
 				res.GroupRepairs++
 				rt.tracer.Record(trace.Event{
-					Kind: trace.KindGroupRepair,
-					Name: fmt.Sprintf("%s: partition %d moved from dead group %d to group %d", app.Name(), i, from, g),
+					Kind:  trace.KindGroupRepair,
+					Name:  fmt.Sprintf("%s: partition %d moved from dead group %d to group %d", app.Name(), i, from, g),
 					Start: rt.now(), End: rt.now(), Lane: rt.lane,
 				})
 			} else if liveGroups[g].Size() < groups[g].Size() {
@@ -241,7 +340,7 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 				DisableModelWrites: true,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("core: %s sub-problem %d: %w", app.Name(), i, err)
+				return false, fmt.Errorf("core: %s sub-problem %d: %w", app.Name(), i, err)
 			}
 			parts[i] = local.Model
 			localIters[i] = local.Iterations
@@ -267,8 +366,8 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 					parts[i] = subs[i].Model
 					res.LostPartials++
 					rt.tracer.Record(trace.Event{
-						Kind: trace.KindGroupRepair,
-						Name: fmt.Sprintf("%s: partial %d lost to mid-iteration crash, merging its starting model", app.Name(), i),
+						Kind:  trace.KindGroupRepair,
+						Name:  fmt.Sprintf("%s: partial %d lost to mid-iteration crash, merging its starting model", app.Name(), i),
 						Start: rt.now(), End: rt.now(), Lane: rt.lane,
 					})
 				}
@@ -282,12 +381,12 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 		if opt.DistributedMerge {
 			km, ok := app.(KeyMerger)
 			if !ok {
-				return nil, fmt.Errorf("core: %s: DistributedMerge requires KeyMerger", app.Name())
+				return false, fmt.Errorf("core: %s: DistributedMerge requires KeyMerger", app.Name())
 			}
 			var mergeMetrics mapred.Metrics
 			merged, mergeMetrics, err = distributedMerge(rt, app.Name(), km, parts, leaders)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			res.MergeTrafficBytes += mergeMetrics.ShuffleNetworkBytes + mergeMetrics.NonLocalInputBytes
 		} else {
@@ -298,10 +397,10 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 			res.MergeTrafficBytes += rt.ChargeFlows(gather)
 			merged, err = app.Merge(parts, m)
 			if err != nil {
-				return nil, fmt.Errorf("core: %s merge: %w", app.Name(), err)
+				return false, fmt.Errorf("core: %s merge: %w", app.Name(), err)
 			}
 			if merged == nil {
-				return nil, fmt.Errorf("core: %s merge returned a nil model", app.Name())
+				return false, fmt.Errorf("core: %s merge returned a nil model", app.Name())
 			}
 			// The centralized merge still runs under the framework, so
 			// each best-effort iteration pays one job overhead on top
@@ -335,28 +434,30 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 			opt.Observer(Sample{
 				Phase:     PhaseBestEffort,
 				Iteration: res.BEIterations,
-				Time:      simtime.Time(rt.Elapsed() - startElapsed),
+				Time:      simtime.Time(rt.Elapsed() - s.startElapsed),
 				Model:     merged,
 			})
 		}
-		done := beConverged(m, merged)
-		m = merged
-		if done {
-			break
-		}
+		converged := s.beConverged(m, merged)
+		s.m = merged
+		return converged || res.BEIterations >= opt.MaxBEIterations, nil
 	}
+}
 
-	res.BestEffortModel = m
-	res.BEDuration = rt.Elapsed() - startElapsed
-	res.BEMetrics = rt.Metrics().Sub(startMetrics)
-	rt.span = prevSpan
+// closeBE closes the best-effort phase — result fields, phase span,
+// per-phase counters — and prepares the top-off stepper.
+func (s *PICStepper) closeBE() {
+	rt, res := s.rt, s.res
+	res.BestEffortModel = s.m
+	res.BEDuration = rt.Elapsed() - s.startElapsed
+	res.BEMetrics = rt.Metrics().Sub(s.startMetrics)
 	rt.tracer.Record(trace.Event{
 		Kind:  trace.KindPhase,
-		Name:  app.Name() + "/best-effort",
+		Name:  s.app.Name() + "/best-effort",
 		Start: rt.now() - simtime.Time(res.BEDuration),
 		End:   rt.now(),
 		Lane:  rt.lane,
-		ID:    beSpan,
+		ID:    s.beSpan,
 	})
 	if r := rt.obs; r != nil {
 		r.Counter("core.group_repairs").Add(float64(res.GroupRepairs))
@@ -365,24 +466,27 @@ func RunPIC(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, opts PIC
 	}
 
 	// Top-off: the unmodified IC computation from the best-effort model.
-	topOff, err := RunIC(rt, app, in, m, &ICOptions{
-		MaxIterations: opt.MaxTopOffIterations,
-		Observer:      opt.Observer,
+	s.topOff = NewICStepper(rt, s.app, s.in, s.m, &ICOptions{
+		MaxIterations: s.opt.MaxTopOffIterations,
+		Observer:      s.opt.Observer,
 		Phase:         PhaseTopOff,
 		TimeOffset:    simtime.Time(res.BEDuration),
 	})
-	if err != nil {
-		return nil, err
-	}
+}
+
+// finish folds the finished top-off stepper into the final result.
+func (s *PICStepper) finish() {
+	rt, res := s.rt, s.res
+	topOff := s.topOff.Result()
 	res.Model = topOff.Model
 	res.TopOffIterations = topOff.Iterations
 	res.TopOffConverged = topOff.Converged
 	res.TopOffDuration = topOff.Duration
 	res.TopOffMetrics = topOff.Metrics
-	res.Duration = rt.Elapsed() - startElapsed
-	res.Metrics = rt.Metrics().Sub(startMetrics)
-	res.ModelUpdateBytes = rt.ModelUpdateBytes() - startModelBytes
-	return res, nil
+	res.Duration = rt.Elapsed() - s.startElapsed
+	res.Metrics = rt.Metrics().Sub(s.startMetrics)
+	res.ModelUpdateBytes = rt.ModelUpdateBytes() - s.startModelBytes
+	s.done = true
 }
 
 // repartitionFlows approximates the one-time movement of sub-problem

@@ -130,6 +130,18 @@ func (rt *Runtime) Metrics() mapred.Metrics { return rt.metrics }
 // paper's "model updates" counter.
 func (rt *Runtime) ModelUpdateBytes() int64 { return rt.modelUpdateBytes }
 
+// SetTimeOrigin shifts the runtime's clock base so its current position
+// equals t on the global simulated clock. The multi-tenant scheduler
+// uses it when starting or resuming a job, so trace events from the
+// job's next step are stamped at the cluster-wide time it actually ran,
+// not at the job's private elapsed time.
+func (rt *Runtime) SetTimeOrigin(t simtime.Time) {
+	rt.base = t - simtime.Time(rt.elapsed)
+}
+
+// Now reports the runtime's position on the global simulated clock.
+func (rt *Runtime) Now() simtime.Time { return rt.now() }
+
 // AdvanceTime adds d to the runtime's clock, for costs computed outside
 // the engine (e.g. the parallel best-effort groups, whose wall time is
 // the maximum over groups).

@@ -1,0 +1,48 @@
+package mapred
+
+import "fmt"
+
+// ConfigError reports an Engine knob whose value (or combination with
+// other knobs) cannot produce a meaningful run. Run, RunAt and RunLocal
+// return it before touching the cluster, so a bad configuration fails
+// loudly at the first execution instead of being silently reinterpreted.
+type ConfigError struct {
+	Field  string // the offending Engine field
+	Reason string // why the value is rejected
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("mapred: invalid Engine.%s: %s", e.Field, e.Reason)
+}
+
+// validateConfig screens the engine's knobs at run time. Validation
+// happens per run rather than per assignment because the fields are set
+// directly (there are no setters to intercept) and because some checks
+// depend on the cluster view the run executes against.
+func (e *Engine) validateConfig() error {
+	if !e.cluster.Contains(e.ModelHome) {
+		return &ConfigError{"ModelHome",
+			fmt.Sprintf("node %d is not in the cluster view", e.ModelHome)}
+	}
+	if e.ModelSources < 1 {
+		return &ConfigError{"ModelSources",
+			fmt.Sprintf("%d; at least one replica node must serve model reads", e.ModelSources)}
+	}
+	if e.FailEveryNthMapTask < 0 {
+		return &ConfigError{"FailEveryNthMapTask",
+			fmt.Sprintf("%d; injection periods are positive (zero disables injection)", e.FailEveryNthMapTask)}
+	}
+	if e.StraggleEveryNthMapTask < 0 {
+		return &ConfigError{"StraggleEveryNthMapTask",
+			fmt.Sprintf("%d; injection periods are positive (zero disables injection)", e.StraggleEveryNthMapTask)}
+	}
+	if e.StragglerSlowdown < 0 || (e.StragglerSlowdown > 0 && e.StragglerSlowdown < 1) {
+		return &ConfigError{"StragglerSlowdown",
+			fmt.Sprintf("%g; stragglers run slower, not faster (zero selects the default)", e.StragglerSlowdown)}
+	}
+	if e.Workers < 0 {
+		return &ConfigError{"Workers",
+			fmt.Sprintf("%d; real parallelism cannot be negative (zero means GOMAXPROCS)", e.Workers)}
+	}
+	return nil
+}

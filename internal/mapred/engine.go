@@ -247,6 +247,9 @@ func (e *Engine) Run(job *Job, in *Input, m *model.Model) (*Output, Metrics, err
 // re-read from their surviving replicas, and the job fails only when
 // every replica of a needed split is gone or no live node remains.
 func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) (*Output, Metrics, error) {
+	if err := e.validateConfig(); err != nil {
+		return nil, Metrics{}, err
+	}
 	if err := job.validate(); err != nil {
 		return nil, Metrics{}, err
 	}
@@ -410,7 +413,7 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 		}
 		if e.StraggleEveryNthMapTask > 0 && (i+1)%e.StraggleEveryNthMapTask == 0 {
 			slowdown := e.StragglerSlowdown
-			if slowdown <= 1 {
+			if slowdown == 0 { // validateConfig guarantees 0 or >= 1
 				slowdown = 4
 			}
 			metrics.StragglerTasks++

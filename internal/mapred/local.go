@@ -23,6 +23,9 @@ import (
 // invisible to the cluster counters, just as it is invisible to
 // Hadoop's.
 func (e *Engine) RunLocal(job *Job, in *Input, m *model.Model) (*Output, Metrics, error) {
+	if err := e.validateConfig(); err != nil {
+		return nil, Metrics{}, err
+	}
 	if err := job.validate(); err != nil {
 		return nil, Metrics{}, err
 	}

@@ -1,0 +1,145 @@
+package sched_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// mixedWorkload submits a multi-tenant mix — IC jobs, a PIC job, a
+// background load, staggered arrivals, preemption pressure — to a fresh
+// scheduler, with every job's engine pinned to the given real
+// parallelism. It is the shared fixture of the determinism and chaos
+// tests: simulated outcomes must not depend on workers.
+func mixedWorkload(workers int) *sched.Scheduler {
+	s := sched.New(testCluster(8), sched.Config{
+		Policy:        sched.FairShare,
+		Preemption:    true,
+		TenantWeights: map[string]float64{"prod": 4, "batch": 1},
+	})
+	s.Submit(sched.JobSpec{Tenant: "batch", Name: "ic-long", Nodes: 6, Start: icJob(36, workers)})
+	s.Submit(sched.JobSpec{Tenant: "batch", Name: "pic", Nodes: 8, Submit: 0.2, Start: picJob(48, 4, workers)})
+	s.Submit(sched.JobSpec{Tenant: "prod", Name: "ic-hot", Priority: 10, Nodes: 4, Submit: 0.5,
+		Start: icJob(16, workers)})
+	s.Submit(sched.JobSpec{Tenant: "svc", Name: "noise", Nodes: 2, Submit: 0.1,
+		Load: &sched.Load{Duration: 30, Compute: 0.5, NodeUp: 0.4, NodeDown: 0.4, Core: 0.3}})
+	s.Submit(sched.JobSpec{Tenant: "prod", Name: "ic-tail", Priority: 10, Nodes: 3, Submit: 2,
+		Start: icJob(12, workers)})
+	return s
+}
+
+// runMixed executes the fixture and returns its comparable artifacts:
+// the job results, the metrics snapshot text, and the trace render.
+func runMixed(t *testing.T, workers int) ([]sched.JobResult, string, string) {
+	t.Helper()
+	s := mixedWorkload(workers)
+	reg := metrics.New()
+	tr := trace.New()
+	s.SetObservability(reg)
+	s.SetTracer(tr)
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, reg.Snapshot().Text(), tr.Render()
+}
+
+// TestSchedulerDeterministicAcrossWorkers mirrors the repo's standing
+// byte-identical guarantee: the same submissions produce identical
+// per-tenant outcomes, metrics and traces whether the engines execute
+// with 1 or 8 real workers (the simulated cluster is unchanged either
+// way). CI runs this under -race as well.
+func TestSchedulerDeterministicAcrossWorkers(t *testing.T) {
+	res1, snap1, trace1 := runMixed(t, 1)
+	res8, snap8, trace8 := runMixed(t, 8)
+	if !reflect.DeepEqual(res1, res8) {
+		t.Fatalf("job results differ across workers:\n1: %#v\n8: %#v", res1, res8)
+	}
+	if snap1 != snap8 {
+		t.Fatalf("metrics snapshots differ across workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", snap1, snap8)
+	}
+	if trace1 != trace8 {
+		t.Fatalf("traces differ across workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", trace1, trace8)
+	}
+}
+
+// TestSchedulerDeterministicAcrossRuns re-runs the identical workload
+// and demands byte-identical artifacts — no wall-clock time, map
+// iteration order or allocation address may leak into scheduling.
+func TestSchedulerDeterministicAcrossRuns(t *testing.T) {
+	resA, snapA, traceA := runMixed(t, 4)
+	resB, snapB, traceB := runMixed(t, 4)
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("job results differ across runs:\nA: %#v\nB: %#v", resA, resB)
+	}
+	if snapA != snapB || traceA != traceB {
+		t.Fatal("metrics or trace artifacts differ across identical runs")
+	}
+}
+
+// TestSchedulerChaos floods the scheduler with a larger adversarial mix
+// — every policy feature at once, capacity-scale contention, repeated
+// preemption — and requires that everything drains deterministically.
+// CI runs this (and the determinism tests) under the race detector.
+func TestSchedulerChaos(t *testing.T) {
+	run := func() ([]sched.JobResult, string) {
+		s := sched.New(testCluster(8), sched.Config{
+			Policy:        sched.FairShare,
+			Preemption:    true,
+			MaxRunning:    3,
+			MaxQueued:     12,
+			TenantWeights: map[string]float64{"t0": 1, "t1": 2, "t2": 3},
+		})
+		reg := metrics.New()
+		s.SetObservability(reg)
+		s.SetTracer(trace.New())
+		for i := 0; i < 12; i++ {
+			tenant := fmt.Sprintf("t%d", i%3)
+			switch i % 4 {
+			case 0:
+				s.Submit(sched.JobSpec{Tenant: tenant, Name: fmt.Sprintf("ic-%d", i),
+					Priority: i % 3, Nodes: 2 + i%3, Submit: simtime.Time(i) * 0.3,
+					Start: icJob(12+4*(i%3), 1+i%2)})
+			case 1:
+				s.Submit(sched.JobSpec{Tenant: tenant, Name: fmt.Sprintf("pic-%d", i),
+					Priority: i % 2, Nodes: 4, Submit: simtime.Time(i) * 0.3,
+					Start: picJob(24, 2, 1+i%2)})
+			case 2:
+				s.Submit(sched.JobSpec{Tenant: tenant, Name: fmt.Sprintf("load-%d", i),
+					Nodes: 1 + i%2, Submit: simtime.Time(i) * 0.3,
+					Load: &sched.Load{Duration: 5 + simtime.Duration(i), Compute: 0.3, NodeUp: 0.2,
+						NodeDown: 0.2, Core: 0.2}})
+			case 3:
+				s.Submit(sched.JobSpec{Tenant: tenant, Name: fmt.Sprintf("hot-%d", i),
+					Priority: 10, Nodes: 3, Submit: simtime.Time(i) * 0.3,
+					Start: icJob(8, 1)})
+			}
+		}
+		results, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, reg.Snapshot().Text()
+	}
+	resA, snapA := run()
+	resB, snapB := run()
+	for i, r := range resA {
+		if r.State != sched.StateDone && r.State != sched.StateRejected {
+			t.Fatalf("job %d (%s/%s) stuck in state %s", i, r.Tenant, r.Name, r.State)
+		}
+		if r.State == sched.StateDone && r.Err != nil {
+			t.Fatalf("job %d (%s/%s) failed: %v", i, r.Tenant, r.Name, r.Err)
+		}
+	}
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("chaos results differ across runs:\nA: %#v\nB: %#v", resA, resB)
+	}
+	if snapA != snapB {
+		t.Fatal("chaos metrics snapshots differ across runs")
+	}
+}

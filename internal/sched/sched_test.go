@@ -1,0 +1,363 @@
+package sched_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mapred"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simcluster"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/writable"
+)
+
+// meanSeeker is the drivers' standard miniature workload: the model is
+// one vector moving halfway to the mean of the input points each
+// iteration, so it converges geometrically. It implements core.PICApp.
+type meanSeeker struct{ eps float64 }
+
+func (a *meanSeeker) Name() string { return "mean-seeker" }
+
+func (a *meanSeeker) Iteration(rt *core.Runtime, in *mapred.Input, m *model.Model) (*model.Model, error) {
+	job := &mapred.Job{
+		Name: "mean",
+		Mapper: mapred.MapperFunc(func(_ string, v writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+			p := v.(writable.Vector)
+			withCount := append(p.Clone(), 1)
+			emit.Emit("mean", withCount)
+			return nil
+		}),
+		Combiner: sumReducer{},
+		Reducer:  sumReducer{},
+	}
+	out, err := rt.RunJob(job, in, m)
+	if err != nil {
+		return nil, err
+	}
+	cur, _ := m.Vector("mean")
+	next := model.New()
+	for _, rec := range out.Records {
+		acc := rec.Value.(writable.Vector)
+		n := acc[len(acc)-1]
+		moved := make(writable.Vector, len(acc)-1)
+		for i := range moved {
+			moved[i] = cur[i] + 0.5*(acc[i]/n-cur[i])
+		}
+		next.Set("mean", moved)
+	}
+	return next, nil
+}
+
+type sumReducer struct{}
+
+func (sumReducer) Reduce(key string, values []writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+	acc := values[0].(writable.Vector).Clone()
+	for _, v := range values[1:] {
+		vec := v.(writable.Vector)
+		for i := range acc {
+			acc[i] += vec[i]
+		}
+	}
+	emit.Emit(key, acc)
+	return nil
+}
+
+func (a *meanSeeker) Converged(prev, next *model.Model) bool {
+	return model.MaxVectorDelta(prev, next) < a.eps
+}
+
+func (a *meanSeeker) Partition(in *mapred.Input, m *model.Model, p int) ([]core.SubProblem, error) {
+	groups := core.DealRecords(in.Records(), p)
+	models := core.CopyModels(m, p)
+	subs := make([]core.SubProblem, p)
+	for i := range subs {
+		subs[i] = core.SubProblem{Records: groups[i], Model: models[i]}
+	}
+	return subs, nil
+}
+
+func (a *meanSeeker) Merge(parts []*model.Model, _ *model.Model) (*model.Model, error) {
+	return core.AverageModels(parts)
+}
+
+func testCluster(nodes int) *simcluster.Cluster {
+	return simcluster.New(simcluster.Config{
+		Nodes:              nodes,
+		RackSize:           2,
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+		ComputeRate:        1e6,
+		NodeBandwidth:      1e6,
+		RackBandwidth:      4e6,
+		CoreBandwidth:      4e6,
+	})
+}
+
+func points(n int) []mapred.Record {
+	recs := make([]mapred.Record, n)
+	for i := range recs {
+		recs[i] = mapred.Record{Key: fmt.Sprintf("p%d", i),
+			Value: writable.Vector{float64(i%7) - 3, float64(i%5) * 2}}
+	}
+	return recs
+}
+
+// icJob builds a Start callback running a conventional IC workload of n
+// points with the given engine parallelism.
+func icJob(n int, workers int) func(rt *core.Runtime) (core.Stepper, error) {
+	return func(rt *core.Runtime) (core.Stepper, error) {
+		rt.Engine().Workers = workers
+		in := mapred.NewInput(points(n), rt.Cluster(), rt.Cluster().MapSlots())
+		m0 := model.New()
+		m0.Set("mean", writable.Vector{100, -100})
+		return core.NewICStepper(rt, &meanSeeker{eps: 1e-3}, in, m0, nil), nil
+	}
+}
+
+// picJob builds a Start callback running a PIC workload.
+func picJob(n, partitions, workers int) func(rt *core.Runtime) (core.Stepper, error) {
+	return func(rt *core.Runtime) (core.Stepper, error) {
+		rt.Engine().Workers = workers
+		in := mapred.NewInput(points(n), rt.Cluster(), rt.Cluster().MapSlots())
+		m0 := model.New()
+		m0.Set("mean", writable.Vector{100, -100})
+		return core.NewPICStepper(rt, &meanSeeker{eps: 1e-3}, in, m0,
+			core.PICOptions{Partitions: partitions, MaxBEIterations: 3, MaxLocalIterations: 10})
+	}
+}
+
+func mustRun(t *testing.T, s *sched.Scheduler) []sched.JobResult {
+	t.Helper()
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestFIFOSerializesFullClusterJobs(t *testing.T) {
+	s := sched.New(testCluster(8), sched.Config{})
+	for i := 0; i < 3; i++ {
+		s.Submit(sched.JobSpec{Tenant: "t", Name: fmt.Sprintf("j%d", i), Nodes: 8, Start: icJob(24, 1)})
+	}
+	results := mustRun(t, s)
+	for i, r := range results {
+		if r.State != sched.StateDone || r.Err != nil {
+			t.Fatalf("job %d: state %s err %v", i, r.State, r.Err)
+		}
+		if r.Steps == 0 {
+			t.Fatalf("job %d ran no iterations", i)
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Start < results[i-1].End {
+			t.Fatalf("FIFO overlap: job %d started %.3f before job %d ended %.3f",
+				i, float64(results[i].Start), i-1, float64(results[i-1].End))
+		}
+		if results[i].Wait <= 0 {
+			t.Fatalf("job %d reported no queue wait", i)
+		}
+	}
+}
+
+func TestCoTenantLoadSlowsAJobDown(t *testing.T) {
+	run := func(withLoad bool) sched.JobResult {
+		s := sched.New(testCluster(8), sched.Config{})
+		s.Submit(sched.JobSpec{Tenant: "fg", Name: "job", Nodes: 4, Start: icJob(24, 1)})
+		if withLoad {
+			s.Submit(sched.JobSpec{Tenant: "bg", Name: "noise", Nodes: 4,
+				Load: &sched.Load{Duration: 1e6, Compute: 0.9, NodeUp: 0.9, NodeDown: 0.9,
+					RackUp: 0.9, RackDown: 0.9, Core: 0.9}})
+		}
+		return mustRun(t, s)[0]
+	}
+	alone := run(false)
+	contended := run(true)
+	if alone.State != sched.StateDone || contended.State != sched.StateDone {
+		t.Fatalf("unexpected states: %s / %s", alone.State, contended.State)
+	}
+	if contended.Busy <= alone.Busy {
+		t.Fatalf("co-tenant load did not slow the job: alone %.3f, contended %.3f",
+			float64(alone.Busy), float64(contended.Busy))
+	}
+	if alone.Steps != contended.Steps {
+		t.Fatalf("contention changed the iteration count: %d vs %d (timing must not leak into model math)",
+			alone.Steps, contended.Steps)
+	}
+}
+
+func TestFairSharePrefersLightTenant(t *testing.T) {
+	s := sched.New(testCluster(4), sched.Config{Policy: sched.FairShare})
+	s.Submit(sched.JobSpec{Tenant: "heavy", Name: "first", Nodes: 4, Start: icJob(24, 1)})
+	s.Submit(sched.JobSpec{Tenant: "heavy", Name: "second", Nodes: 4, Start: icJob(24, 1)})
+	s.Submit(sched.JobSpec{Tenant: "light", Name: "only", Nodes: 4, Start: icJob(24, 1)})
+	results := mustRun(t, s)
+	heavy2, light := results[1], results[2]
+	if light.Start >= heavy2.Start {
+		t.Fatalf("fair share should run light tenant (start %.3f) before heavy's second job (start %.3f)",
+			float64(light.Start), float64(heavy2.Start))
+	}
+}
+
+func TestCapacityCapsTenantNodes(t *testing.T) {
+	s := sched.New(testCluster(8), sched.Config{
+		Policy:        sched.Capacity,
+		TenantNodeCap: map[string]int{"capped": 4},
+	})
+	s.Submit(sched.JobSpec{Tenant: "capped", Name: "a", Nodes: 4, Start: icJob(24, 1)})
+	s.Submit(sched.JobSpec{Tenant: "capped", Name: "b", Nodes: 4, Start: icJob(24, 1)})
+	s.Submit(sched.JobSpec{Tenant: "free", Name: "c", Nodes: 4, Start: icJob(24, 1)})
+	results := mustRun(t, s)
+	a, b, c := results[0], results[1], results[2]
+	if b.Start < a.End {
+		t.Fatalf("capacity cap violated: capped/b started %.3f while capped/a held the cap until %.3f",
+			float64(b.Start), float64(a.End))
+	}
+	if c.Start != 0 {
+		t.Fatalf("free tenant should start immediately on the spare nodes, started %.3f", float64(c.Start))
+	}
+}
+
+func TestAdmissionQueueLimitRejects(t *testing.T) {
+	s := sched.New(testCluster(4), sched.Config{MaxQueued: 1})
+	s.Submit(sched.JobSpec{Tenant: "t", Name: "running", Nodes: 4, Start: icJob(24, 1)})
+	s.Submit(sched.JobSpec{Tenant: "t", Name: "queued", Nodes: 4, Submit: 1, Start: icJob(24, 1)})
+	s.Submit(sched.JobSpec{Tenant: "t", Name: "rejected", Nodes: 4, Submit: 2, Start: icJob(24, 1)})
+	results := mustRun(t, s)
+	if results[1].State != sched.StateDone {
+		t.Fatalf("queued job should run, got %s (%v)", results[1].State, results[1].Err)
+	}
+	r := results[2]
+	if r.State != sched.StateRejected {
+		t.Fatalf("third job should be rejected, got %s", r.State)
+	}
+	var adm *sched.AdmissionError
+	if !errors.As(r.Err, &adm) {
+		t.Fatalf("want AdmissionError, got %T: %v", r.Err, r.Err)
+	}
+}
+
+func TestOversizedJobRejected(t *testing.T) {
+	s := sched.New(testCluster(4), sched.Config{})
+	s.Submit(sched.JobSpec{Tenant: "t", Name: "huge", Nodes: 5, Start: icJob(24, 1)})
+	results := mustRun(t, s)
+	var adm *sched.AdmissionError
+	if results[0].State != sched.StateRejected || !errors.As(results[0].Err, &adm) {
+		t.Fatalf("oversized job: state %s err %v", results[0].State, results[0].Err)
+	}
+}
+
+func TestPreemptionYieldsAndResumes(t *testing.T) {
+	cluster := testCluster(8)
+	s := sched.New(cluster, sched.Config{Preemption: true})
+	reg := metrics.New()
+	tr := trace.New()
+	s.SetObservability(reg)
+	s.SetTracer(tr)
+	s.Submit(sched.JobSpec{Tenant: "batch", Name: "low", Priority: 0, Nodes: 8, Start: icJob(48, 1)})
+	s.Submit(sched.JobSpec{Tenant: "prod", Name: "high", Priority: 10, Nodes: 8, Submit: 0.5,
+		Start: icJob(24, 1)})
+	results := mustRun(t, s)
+	low, high := results[0], results[1]
+	if low.State != sched.StateDone || high.State != sched.StateDone {
+		t.Fatalf("states: low %s (%v), high %s (%v)", low.State, low.Err, high.State, high.Err)
+	}
+	if low.Preemptions == 0 {
+		t.Fatal("low-priority job was never preempted")
+	}
+	if high.End >= low.End {
+		t.Fatal("high-priority job should finish before the preempted job")
+	}
+	preempts := 0
+	for _, e := range tr.Events() {
+		if e.Kind == trace.KindSchedPreempt {
+			preempts++
+		}
+	}
+	if preempts != low.Preemptions {
+		t.Fatalf("trace records %d preemptions, result says %d", preempts, low.Preemptions)
+	}
+	if got := reg.Counter("sched.preemptions", metrics.L("tenant", "batch")...).Value(); got != float64(low.Preemptions) {
+		t.Fatalf("sched.preemptions{tenant=batch} = %g, want %d", got, low.Preemptions)
+	}
+}
+
+func TestPICJobUnderScheduler(t *testing.T) {
+	s := sched.New(testCluster(8), sched.Config{})
+	s.Submit(sched.JobSpec{Tenant: "t", Name: "pic", Nodes: 8, Start: picJob(48, 4, 1)})
+	results := mustRun(t, s)
+	if results[0].State != sched.StateDone || results[0].Err != nil {
+		t.Fatalf("PIC job: state %s err %v", results[0].State, results[0].Err)
+	}
+	if results[0].Steps < 4 {
+		t.Fatalf("PIC job took %d steps, want best-effort + top-off iterations", results[0].Steps)
+	}
+}
+
+func TestPerTenantMetricsAndSpans(t *testing.T) {
+	s := sched.New(testCluster(8), sched.Config{})
+	reg := metrics.New()
+	tr := trace.New()
+	s.SetObservability(reg)
+	s.SetTracer(tr)
+	s.Submit(sched.JobSpec{Tenant: "a", Name: "j", Nodes: 8, Start: icJob(24, 1)})
+	s.Submit(sched.JobSpec{Tenant: "b", Name: "j", Nodes: 8, Start: icJob(24, 1)})
+	results := mustRun(t, s)
+	for _, tenant := range []string{"a", "b"} {
+		if got := reg.Counter("sched.jobs_completed", metrics.L("tenant", tenant)...).Value(); got != 1 {
+			t.Fatalf("sched.jobs_completed{tenant=%s} = %g, want 1", tenant, got)
+		}
+	}
+	if got := reg.Counter("sched.wait_seconds", metrics.L("tenant", "b")...).Value(); got <= 0 {
+		t.Fatalf("tenant b waited %g seconds, want > 0", got)
+	}
+	jobSpans := 0
+	for _, e := range tr.Events() {
+		if e.Kind == trace.KindSchedJob {
+			jobSpans++
+			if e.ID == 0 {
+				t.Fatal("sched-job span has no id")
+			}
+		}
+	}
+	if jobSpans != 2 {
+		t.Fatalf("want 2 sched-job spans, got %d", jobSpans)
+	}
+	// The jobs' own phase spans must be stamped on the global clock:
+	// tenant b's phase events start at or after its scheduler start.
+	var bStart simtime.Time
+	for _, r := range results {
+		if r.Tenant == "b" {
+			bStart = r.Start
+		}
+	}
+	if bStart <= 0 {
+		t.Fatal("tenant b should start after tenant a's run")
+	}
+}
+
+func TestResumeReusesOriginalNodes(t *testing.T) {
+	s := sched.New(testCluster(8), sched.Config{Preemption: true})
+	s.Submit(sched.JobSpec{Tenant: "batch", Name: "low", Priority: 0, Nodes: 6, Start: icJob(36, 1)})
+	s.Submit(sched.JobSpec{Tenant: "prod", Name: "high", Priority: 5, Nodes: 4, Submit: 0.5,
+		Start: icJob(12, 1)})
+	results := mustRun(t, s)
+	low := results[0]
+	if low.State != sched.StateDone {
+		t.Fatalf("low job: %s (%v)", low.State, low.Err)
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(low.Nodes) != len(want) {
+		t.Fatalf("low job nodes = %v", low.Nodes)
+	}
+	for i, n := range want {
+		if low.Nodes[i] != n {
+			t.Fatalf("low job nodes = %v, want %v (resume must reuse the original subset)", low.Nodes, want)
+		}
+	}
+}

@@ -124,6 +124,15 @@ func (u Usage) TotalTasks() int {
 	return total
 }
 
+// computeLoad tracks the compute capacity co-tenants consume on each
+// node: registered per-tenant fractions and their per-node aggregate,
+// rebuilt in sorted-tenant order on every change so float summation is
+// deterministic. Shared by every view over one fabric, like Usage.
+type computeLoad struct {
+	tenants map[string]map[int]float64 // tenant id -> node -> fraction
+	agg     []float64                  // per-node aggregate, indexed by global id
+}
+
 // Cluster is a scheduling view over (a subset of) a fabric's nodes.
 type Cluster struct {
 	cfg    Config
@@ -132,6 +141,8 @@ type Cluster struct {
 	// usage accumulates slot occupancy; shared by all views over the
 	// same fabric (see Usage).
 	usage *Usage
+	// comp holds co-tenant compute occupancy; shared by derived views.
+	comp *computeLoad
 	// failplan, when set, scripts node crashes and recoveries against
 	// the simulated clock (see SetFailurePlan). Shared by derived views.
 	failplan *FailurePlan
@@ -148,7 +159,8 @@ func New(cfg Config) *Cluster {
 		nodes[i] = i
 	}
 	usage := &Usage{SlotBusy: make([]simtime.Duration, cfg.Nodes), Tasks: make([]int, cfg.Nodes)}
-	return &Cluster{cfg: cfg, fabric: simnet.New(cfg.NetConfig()), nodes: nodes, usage: usage}
+	comp := &computeLoad{tenants: map[string]map[int]float64{}, agg: make([]float64, cfg.Nodes)}
+	return &Cluster{cfg: cfg, fabric: simnet.New(cfg.NetConfig()), nodes: nodes, usage: usage, comp: comp}
 }
 
 // Config returns the cluster's configuration.
@@ -193,7 +205,7 @@ func (c *Cluster) Subset(nodes []int) *Cluster {
 			panic(fmt.Sprintf("simcluster: duplicate node %d in subset", n))
 		}
 	}
-	return &Cluster{cfg: c.cfg, fabric: c.fabric, nodes: sorted, usage: c.usage, failplan: c.failplan}
+	return &Cluster{cfg: c.cfg, fabric: c.fabric, nodes: sorted, usage: c.usage, comp: c.comp, failplan: c.failplan}
 }
 
 // Usage returns a snapshot of the slot-occupancy accumulator shared by
@@ -320,11 +332,86 @@ func (c *Cluster) Schedule(tasks []Task, slotsPerNode int) ([]Placement, simtime
 }
 
 // nodeRate is the compute rate of global node n, after any
-// heterogeneous rate factor.
+// heterogeneous rate factor and the residual left by registered
+// co-tenant compute loads.
 func (c *Cluster) nodeRate(n int) float64 {
 	rate := c.cfg.ComputeRate
 	if len(c.cfg.NodeRateFactors) > 0 {
 		rate *= c.cfg.NodeRateFactors[n]
 	}
+	if share := c.comp.agg[n]; share > 0 {
+		if left := 1 - share; left > minComputeResidual {
+			rate *= left
+		} else {
+			rate *= minComputeResidual
+		}
+	}
 	return rate
+}
+
+// minComputeResidual bounds how far co-tenants can squeeze a node: even
+// a fully loaded node retires foreground work at 5% speed, mirroring
+// simnet's residual-capacity floor.
+const minComputeResidual = 0.05
+
+// SetTenantCompute registers (or replaces) the compute occupancy of the
+// co-tenant identified by id: for each listed global node, the fraction
+// of that node's compute capacity the tenant consumes while its work
+// overlaps other jobs'. Fractions must lie in [0, 1]. The registration
+// is shared by every view over this cluster's fabric.
+func (c *Cluster) SetTenantCompute(id string, perNode map[int]float64) {
+	for n, v := range perNode {
+		if n < 0 || n >= c.cfg.Nodes {
+			panic(fmt.Sprintf("simcluster: node %d out of range", n))
+		}
+		if v != v || v < 0 || v > 1 {
+			panic(fmt.Sprintf("simcluster: tenant compute share %g on node %d outside [0, 1]", v, n))
+		}
+	}
+	copied := make(map[int]float64, len(perNode))
+	for n, v := range perNode {
+		copied[n] = v
+	}
+	c.comp.tenants[id] = copied
+	c.comp.recompute()
+}
+
+// ClearTenantCompute removes a registered compute occupancy. Clearing
+// an unknown id is a no-op.
+func (c *Cluster) ClearTenantCompute(id string) {
+	if _, ok := c.comp.tenants[id]; !ok {
+		return
+	}
+	delete(c.comp.tenants, id)
+	c.comp.recompute()
+}
+
+// ClearAllTenantCompute removes every registered compute occupancy.
+func (c *Cluster) ClearAllTenantCompute() {
+	if len(c.comp.tenants) == 0 {
+		return
+	}
+	c.comp.tenants = map[string]map[int]float64{}
+	c.comp.recompute()
+}
+
+// NodeComputeLoad reports the aggregate co-tenant compute share on
+// global node n.
+func (c *Cluster) NodeComputeLoad(n int) float64 { return c.comp.agg[n] }
+
+// recompute rebuilds the per-node aggregate in sorted-tenant order.
+func (l *computeLoad) recompute() {
+	for i := range l.agg {
+		l.agg[i] = 0
+	}
+	ids := make([]string, 0, len(l.tenants))
+	for id := range l.tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for n, v := range l.tenants[id] {
+			l.agg[n] += v
+		}
+	}
 }

@@ -43,16 +43,18 @@ func (f *Fabric) MaxMinTransferTime(flows []Flow) simtime.Duration {
 		}
 		remaining[i] = float64(fl.Bytes)
 		active++
+		// Capacities are the residual left by registered co-tenant
+		// loads, like TransferTime's.
 		links := []string{
-			addLink(fmt.Sprintf("up/%d", fl.Src), f.cfg.NodeBandwidth),
-			addLink(fmt.Sprintf("down/%d", fl.Dst), f.cfg.NodeBandwidth),
+			addLink(fmt.Sprintf("up/%d", fl.Src), f.cfg.NodeBandwidth*residual(f.bgNodeUp[fl.Src])),
+			addLink(fmt.Sprintf("down/%d", fl.Dst), f.cfg.NodeBandwidth*residual(f.bgNodeDown[fl.Dst])),
 		}
 		sr, dr := f.Rack(fl.Src), f.Rack(fl.Dst)
 		if sr != dr {
 			links = append(links,
-				addLink(fmt.Sprintf("rackup/%d", sr), f.cfg.RackBandwidth),
-				addLink(fmt.Sprintf("rackdown/%d", dr), f.cfg.RackBandwidth),
-				addLink("core", f.cfg.CoreBandwidth),
+				addLink(fmt.Sprintf("rackup/%d", sr), f.cfg.RackBandwidth*residual(f.bgRackUp[sr])),
+				addLink(fmt.Sprintf("rackdown/%d", dr), f.cfg.RackBandwidth*residual(f.bgRackDown[dr])),
+				addLink("core", f.cfg.CoreBandwidth*residual(f.bgCore)),
 			)
 		}
 		flowLinks[i] = links

@@ -14,6 +14,7 @@ package simnet
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/simtime"
 )
@@ -130,11 +131,50 @@ func (u Utilization) MaxRack() simtime.Duration {
 	return worst
 }
 
+// TenantLoad is the sustained background utilization one co-tenant
+// imposes on the fabric while its traffic overlaps other jobs', as
+// fractions of each capacity class in [0, 1]. Missing map entries mean
+// zero. Registered loads reduce the capacity the transfer-time models
+// see: this is how concurrent jobs on one shared cluster slow each
+// other down on the links they share.
+type TenantLoad struct {
+	// NodeUp and NodeDown are per-node NIC fractions (egress and
+	// ingress), keyed by global node id.
+	NodeUp, NodeDown map[int]float64
+	// RackUp and RackDown are per-rack uplink fractions, keyed by rack.
+	RackUp, RackDown map[int]float64
+	// Core is the fraction of the core bisection bandwidth consumed.
+	Core float64
+}
+
+// minResidualCapacity bounds how far background load can squeeze a
+// link: even a saturated co-tenant leaves 5% of the capacity, the way
+// fair queueing guarantees a throttled flow forward progress.
+const minResidualCapacity = 0.05
+
+// residual converts an aggregate background share into the capacity
+// fraction left for a foreground transfer.
+func residual(share float64) float64 {
+	if r := 1 - share; r > minResidualCapacity {
+		return r
+	}
+	return minResidualCapacity
+}
+
 // Fabric is an instantiated interconnect with traffic counters.
 type Fabric struct {
 	cfg      Config
 	counters Counters
 	util     Utilization
+
+	// tenants holds registered background loads; the bg* fields are the
+	// per-resource aggregates, recomputed in sorted-tenant order on
+	// every change so summation order (and therefore float rounding) is
+	// deterministic.
+	tenants              map[string]TenantLoad
+	bgNodeUp, bgNodeDown []float64
+	bgRackUp, bgRackDown []float64
+	bgCore               float64
 }
 
 // New builds a fabric from cfg. It panics if cfg is invalid; topology
@@ -148,7 +188,114 @@ func New(cfg Config) *Fabric {
 		NodeDown: make([]simtime.Duration, cfg.Nodes),
 		RackUp:   make([]simtime.Duration, cfg.Racks()),
 		RackDown: make([]simtime.Duration, cfg.Racks()),
-	}}
+	},
+		tenants:    map[string]TenantLoad{},
+		bgNodeUp:   make([]float64, cfg.Nodes),
+		bgNodeDown: make([]float64, cfg.Nodes),
+		bgRackUp:   make([]float64, cfg.Racks()),
+		bgRackDown: make([]float64, cfg.Racks()),
+	}
+}
+
+// validateShare panics on an unusable load fraction; loads come from
+// scheduler code, not user input.
+func (f *Fabric) validateShare(v float64, what string) {
+	if v != v || v < 0 || v > 1 {
+		panic(fmt.Sprintf("simnet: tenant load %s = %g outside [0, 1]", what, v))
+	}
+}
+
+// SetTenantLoad registers (or replaces) the background load of the
+// co-tenant identified by id. Fractions must lie in [0, 1]; per-node and
+// per-rack indices must exist in the topology.
+func (f *Fabric) SetTenantLoad(id string, load TenantLoad) {
+	f.validateShare(load.Core, "Core")
+	for n, v := range load.NodeUp {
+		f.Rack(n) // bounds check
+		f.validateShare(v, fmt.Sprintf("NodeUp[%d]", n))
+	}
+	for n, v := range load.NodeDown {
+		f.Rack(n)
+		f.validateShare(v, fmt.Sprintf("NodeDown[%d]", n))
+	}
+	racks := f.cfg.Racks()
+	for r, v := range load.RackUp {
+		if r < 0 || r >= racks {
+			panic(fmt.Sprintf("simnet: rack %d out of range [0,%d)", r, racks))
+		}
+		f.validateShare(v, fmt.Sprintf("RackUp[%d]", r))
+	}
+	for r, v := range load.RackDown {
+		if r < 0 || r >= racks {
+			panic(fmt.Sprintf("simnet: rack %d out of range [0,%d)", r, racks))
+		}
+		f.validateShare(v, fmt.Sprintf("RackDown[%d]", r))
+	}
+	f.tenants[id] = load
+	f.recomputeBackground()
+}
+
+// ClearTenantLoad removes a registered background load. Clearing an
+// unknown id is a no-op.
+func (f *Fabric) ClearTenantLoad(id string) {
+	if _, ok := f.tenants[id]; !ok {
+		return
+	}
+	delete(f.tenants, id)
+	f.recomputeBackground()
+}
+
+// ClearAllTenantLoads removes every registered background load.
+func (f *Fabric) ClearAllTenantLoads() {
+	if len(f.tenants) == 0 {
+		return
+	}
+	f.tenants = map[string]TenantLoad{}
+	f.recomputeBackground()
+}
+
+// TenantLoads reports the registered co-tenant ids, sorted.
+func (f *Fabric) TenantLoads() []string {
+	out := make([]string, 0, len(f.tenants))
+	for id := range f.tenants {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoreLoad reports the aggregate background share of the core bisection.
+func (f *Fabric) CoreLoad() float64 { return f.bgCore }
+
+// recomputeBackground rebuilds the per-resource aggregates from scratch
+// in sorted-tenant order.
+func (f *Fabric) recomputeBackground() {
+	clear(f.bgNodeUp)
+	clear(f.bgNodeDown)
+	clear(f.bgRackUp)
+	clear(f.bgRackDown)
+	f.bgCore = 0
+	for _, id := range f.TenantLoads() {
+		load := f.tenants[id]
+		for n, v := range load.NodeUp {
+			f.bgNodeUp[n] += v
+		}
+		for n, v := range load.NodeDown {
+			f.bgNodeDown[n] += v
+		}
+		for r, v := range load.RackUp {
+			f.bgRackUp[r] += v
+		}
+		for r, v := range load.RackDown {
+			f.bgRackDown[r] += v
+		}
+		f.bgCore += load.Core
+	}
+	// Map iteration order inside one tenant's load is the remaining
+	// nondeterminism; summing each map into its slot independently is
+	// order-sensitive only across tenants, which the sorted loop fixes.
+	// Within one map the additions target distinct slots, so order does
+	// not matter.
 }
 
 // Config returns the fabric's configuration.
@@ -207,20 +354,22 @@ func (f *Fabric) TransferTime(flows []Flow) simtime.Duration {
 			rackDown[dr] += fl.Bytes
 		}
 	}
+	// Each resource serves the transfer with whatever capacity the
+	// registered co-tenant loads leave it.
 	var worst simtime.Duration
-	for _, b := range up {
-		worst = max(worst, simtime.Duration(float64(b)/f.cfg.NodeBandwidth))
+	for n, b := range up {
+		worst = max(worst, simtime.Duration(float64(b)/(f.cfg.NodeBandwidth*residual(f.bgNodeUp[n]))))
 	}
-	for _, b := range down {
-		worst = max(worst, simtime.Duration(float64(b)/f.cfg.NodeBandwidth))
+	for n, b := range down {
+		worst = max(worst, simtime.Duration(float64(b)/(f.cfg.NodeBandwidth*residual(f.bgNodeDown[n]))))
 	}
-	for _, b := range rackUp {
-		worst = max(worst, simtime.Duration(float64(b)/f.cfg.RackBandwidth))
+	for r, b := range rackUp {
+		worst = max(worst, simtime.Duration(float64(b)/(f.cfg.RackBandwidth*residual(f.bgRackUp[r]))))
 	}
-	for _, b := range rackDown {
-		worst = max(worst, simtime.Duration(float64(b)/f.cfg.RackBandwidth))
+	for r, b := range rackDown {
+		worst = max(worst, simtime.Duration(float64(b)/(f.cfg.RackBandwidth*residual(f.bgRackDown[r]))))
 	}
-	worst = max(worst, simtime.Duration(float64(core)/f.cfg.CoreBandwidth))
+	worst = max(worst, simtime.Duration(float64(core)/(f.cfg.CoreBandwidth*residual(f.bgCore))))
 	return worst
 }
 

@@ -38,6 +38,12 @@ const (
 	KindNodeRecover   Kind = "node-recover"
 	KindReReplication Kind = "re-replicate"
 	KindGroupRepair   Kind = "group-repair"
+	// Multi-tenant scheduler events: a job's residency on the cluster
+	// (start to completion), its wait in the admission queue, and a
+	// preemption point where a lower-priority job yielded its nodes.
+	KindSchedJob     Kind = "sched-job"
+	KindSchedWait    Kind = "sched-wait"
+	KindSchedPreempt Kind = "sched-preempt"
 )
 
 // Layer reports the runtime layer that produces events of the given
@@ -55,6 +61,8 @@ func Layer(k Kind) string {
 		return "simcluster"
 	case KindPhase, KindGroupRepair:
 		return "core"
+	case KindSchedJob, KindSchedWait, KindSchedPreempt:
+		return "sched"
 	default:
 		return "other"
 	}
