@@ -4,7 +4,14 @@
 //	picbench fig2 fig9 fig10 fig11 fig12a fig12b fig12c \
 //	         table1 table2 table3 \
 //	         abl-parts abl-coupling abl-localfactor abl-degenerate \
-//	         abl-tenancy
+//	         abl-faults abl-netfaults abl-tenancy
+//
+// Two fault ablations exist: abl-faults crashes a node (machine and
+// disk die; DFS re-replicates, tasks reschedule, PIC groups repair),
+// while abl-netfaults leaves every node alive and severs the network
+// between them (periodic core outages; transfers retry, IC blocks,
+// PIC merges on a quorum). Run `picbench -list` for one-line
+// descriptions of every experiment.
 //
 // The report subcommand runs one fully-instrumented PIC execution and
 // emits its run-inspector artifacts (Chrome trace JSON and a
@@ -40,6 +47,7 @@ type renderer interface{ Render() string }
 
 type experiment struct {
 	name string
+	desc string
 	run  func() (renderer, error)
 }
 
@@ -48,27 +56,28 @@ func wrap[T renderer](fn func() (T, error)) func() (renderer, error) {
 }
 
 var experiments = []experiment{
-	{"fig2", wrap(bench.Fig2)},
-	{"fig9", wrap(bench.Fig9)},
-	{"fig10", wrap(bench.Fig10)},
-	{"fig11", wrap(bench.Fig11)},
-	{"fig12a", wrap(bench.Fig12a)},
-	{"fig12b", wrap(bench.Fig12b)},
-	{"fig12c", wrap(bench.Fig12c)},
-	{"table1", wrap(bench.Table1)},
-	{"table2", wrap(bench.Table2)},
-	{"table3", wrap(bench.Table3)},
-	{"abl-parts", wrap(bench.AblationPartitionCount)},
-	{"abl-coupling", wrap(bench.AblationGraphCoupling)},
-	{"abl-partitioner", wrap(bench.AblationPartitioner)},
-	{"abl-localfactor", wrap(bench.AblationLocalFactor)},
-	{"abl-network", wrap(bench.AblationNetworkModel)},
-	{"abl-async", wrap(bench.AblationAsync)},
-	{"abl-seeding", wrap(bench.AblationSeeding)},
-	{"abl-rate", wrap(bench.AblationConvergenceRate)},
-	{"abl-degenerate", wrap(bench.AblationDegenerate)},
-	{"abl-faults", wrap(bench.AblationNodeFailure)},
-	{"abl-tenancy", wrap(bench.AblationMultiTenant)},
+	{"fig2", "IC vs PIC wall time per application", wrap(bench.Fig2)},
+	{"fig9", "convergence trajectory over time", wrap(bench.Fig9)},
+	{"fig10", "BE/top-off phase breakdown", wrap(bench.Fig10)},
+	{"fig11", "speedup vs cluster size", wrap(bench.Fig11)},
+	{"fig12a", "K-means sensitivity sweep", wrap(bench.Fig12a)},
+	{"fig12b", "PageRank sensitivity sweep", wrap(bench.Fig12b)},
+	{"fig12c", "matrix-factorization sensitivity sweep", wrap(bench.Fig12c)},
+	{"table1", "workload and cluster inventory", wrap(bench.Table1)},
+	{"table2", "end-to-end results table", wrap(bench.Table2)},
+	{"table3", "network traffic accounting", wrap(bench.Table3)},
+	{"abl-parts", "partition-count sweep", wrap(bench.AblationPartitionCount)},
+	{"abl-coupling", "graph coupling strength sweep", wrap(bench.AblationGraphCoupling)},
+	{"abl-partitioner", "partitioner quality comparison", wrap(bench.AblationPartitioner)},
+	{"abl-localfactor", "local-iteration budget sweep", wrap(bench.AblationLocalFactor)},
+	{"abl-network", "network cost-model comparison", wrap(bench.AblationNetworkModel)},
+	{"abl-async", "synchronous vs asynchronous merge", wrap(bench.AblationAsync)},
+	{"abl-seeding", "BE-phase seeding quality", wrap(bench.AblationSeeding)},
+	{"abl-rate", "convergence-rate comparison", wrap(bench.AblationConvergenceRate)},
+	{"abl-degenerate", "pathological partitioning stress", wrap(bench.AblationDegenerate)},
+	{"abl-faults", "node-failure ablation: a machine crashes (disk dies, DFS re-replicates, groups repair)", wrap(bench.AblationNodeFailure)},
+	{"abl-netfaults", "network-fault ablation: nodes stay up but core links fail (retries, quorum merges)", wrap(bench.AblationNetworkFault)},
+	{"abl-tenancy", "multi-tenant contention ablation", wrap(bench.AblationMultiTenant)},
 }
 
 func main() {
@@ -85,7 +94,7 @@ func main() {
 	flag.Parse()
 	if *list {
 		for _, e := range experiments {
-			fmt.Println(e.name)
+			fmt.Printf("%-16s %s\n", e.name, e.desc)
 		}
 		for _, w := range bench.ReportWorkloads() {
 			fmt.Printf("report %s\n", w)

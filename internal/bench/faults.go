@@ -29,9 +29,12 @@ type FaultRow struct {
 // best-effort groups repair around the hole. Both schemes must still
 // converge; the interesting question is what the crash costs each.
 type FaultSweepResult struct {
-	CrashNode    int
-	CrashTime    float64
-	RecoverTime  float64
+	CrashNode   int
+	CrashTime   float64
+	RecoverTime float64
+	// Schedule lists the injected fault events, one line each, so the
+	// run report records exactly what the numbers were measured under.
+	Schedule     []string
 	Rows         []FaultRow
 	SpeedupFault float64 // PIC-vs-IC speedup with the crash injected
 }
@@ -111,6 +114,13 @@ func AblationNodeFailure() (*FaultSweepResult, error) {
 		RecoverTime:  float64(recoverAt),
 		SpeedupFault: float64(icFault.Duration) / float64(picFault.Duration),
 	}
+	for _, ev := range plan.Events {
+		what := "crashes"
+		if ev.Recover {
+			what = "recovers (empty)"
+		}
+		res.Schedule = append(res.Schedule, fmt.Sprintf("t=%.1f s: node %d %s", float64(ev.Time), ev.Node, what))
+	}
 	res.Rows = append(res.Rows,
 		FaultRow{Scheme: "IC", Condition: "healthy", Time: float64(icHealthy.Duration), Slowdown: 1,
 			ConvergedLikeSame: icHealthy.Converged},
@@ -123,7 +133,7 @@ func AblationNodeFailure() (*FaultSweepResult, error) {
 		FaultRow{Scheme: "PIC", Condition: "node crash", Time: float64(picFault.Duration),
 			Slowdown:         float64(picFault.Duration) / float64(picHealthy.Duration),
 			RescheduledTasks: picFault.Metrics.RescheduledTasks, ReReplicationB: picFault.Metrics.ReReplicationBytes,
-			GroupRepairs:     picFault.GroupRepairs, LostPartials: picFault.LostPartials,
+			GroupRepairs: picFault.GroupRepairs, LostPartials: picFault.LostPartials,
 			ConvergedLikeSame: picFault.TopOffConverged},
 	)
 	return res, nil
@@ -146,5 +156,8 @@ func (r *FaultSweepResult) Render() string {
 			fmt.Sprintf("%d (+%d lost)", row.GroupRepairs, row.LostPartials), conv)
 	}
 	t.row("PIC speedup under failure", fmt.Sprintf("%.2fx", r.SpeedupFault))
+	for _, line := range r.Schedule {
+		t.row("fault schedule", line)
+	}
 	return t.String()
 }

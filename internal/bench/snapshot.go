@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/mapred"
 	"repro/internal/model"
 	"repro/internal/simcluster"
+	"repro/internal/simnet"
 	"repro/internal/writable"
 )
 
@@ -150,6 +152,28 @@ func kernels() []kernel {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := w.RunPIC(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"degraded-merge", func(b *testing.B) {
+			// One best-effort PIC round through the degraded network
+			// path: a rack uplink is down for the whole run, so every
+			// transfer is priced under the fault overlay and the merge
+			// settles for a quorum with the cut groups' partials stale.
+			w, _ := KMeansWorkload("snapshot-degraded", netFaultCluster(), 50_000, 25, 3, 6, 3)
+			w.PICOpts.MaxBEIterations = 1
+			w.PICOpts.MaxLocalIterations = 10
+			w.PICOpts.MaxTopOffIterations = 1
+			w.PICOpts.MergeQuorum = 4
+			w.PICOpts.MergeTimeout = 5
+			plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+				{Kind: simnet.FaultRackUplink, Rack: 2, Start: 0, End: 1e9, Factor: 0},
+			}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt := netFaultRuntime(w, plan, 60)
+				if _, err := core.RunPIC(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), w.MakeModel(), w.PICOpts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,7 +6,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/simcluster"
+	"repro/internal/simnet"
 )
 
 // BenchmarkKMeansBEIter measures one best-effort PIC round of K-means —
@@ -34,6 +36,29 @@ func BenchmarkSchedMultiTenant(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := runTenancyCell(w, "pic", 0.5, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDegradedMerge measures one best-effort PIC round through the
+// degraded network path — fault-overlay transfer pricing and a quorum
+// merge around a cut rack — mirroring the degraded-merge snapshot
+// kernel for CI's single-pass bench smoke.
+func BenchmarkDegradedMerge(b *testing.B) {
+	w, _ := KMeansWorkload("bench-degraded", netFaultCluster(), 50_000, 25, 3, 6, 3)
+	w.PICOpts.MaxBEIterations = 1
+	w.PICOpts.MaxLocalIterations = 10
+	w.PICOpts.MaxTopOffIterations = 1
+	w.PICOpts.MergeQuorum = 4
+	w.PICOpts.MergeTimeout = 5
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultRackUplink, Rack: 2, Start: 0, End: 1e9, Factor: 0},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := netFaultRuntime(w, plan, 60)
+		if _, err := core.RunPIC(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), w.MakeModel(), w.PICOpts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -89,7 +114,7 @@ func TestCheckSnapshotRejectsBadInputs(t *testing.T) {
 }
 
 func TestKernelNamesStable(t *testing.T) {
-	want := []string{"run-grouped", "shuffle-accounting", "local-iteration", "sched-multitenant", "kmeans-be-iter"}
+	want := []string{"run-grouped", "shuffle-accounting", "local-iteration", "sched-multitenant", "kmeans-be-iter", "degraded-merge"}
 	got := KernelNames()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("kernel set changed: %v (update BENCH_baseline.json and this test together)", got)

@@ -27,48 +27,42 @@ func newFailureTracker(plan *simcluster.FailurePlan) *failureTracker {
 	return &failureTracker{events: plan.Sorted(), dead: map[int]bool{}}
 }
 
-// syncFailures processes every failure event the clock has passed:
-// crashes destroy the node's DFS replicas and trigger a re-replication
-// pass (charged as traffic, in metrics and on the trace; the copies run
-// in the background, so the driver clock does not block on them), and
-// recoveries return the node to service with empty disks. Runtimes call
-// it after every clock advance.
-func (rt *Runtime) syncFailures() {
+// processNodeEvent applies one failure event (the next one on the
+// plan): a crash destroys the node's DFS replicas and triggers a
+// re-replication pass (charged as traffic, in metrics and on the trace;
+// the copies run in the background, so the driver clock does not block
+// on them), and a recovery returns the node to service with empty
+// disks. syncFaults orders these against network-fault onsets.
+func (rt *Runtime) processNodeEvent() {
 	ft := rt.fails
-	if ft == nil {
-		return
-	}
-	now := rt.now()
-	for ft.next < len(ft.events) && ft.events[ft.next].Time <= now {
-		ev := ft.events[ft.next]
-		ft.next++
-		if ev.Recover {
-			if !ft.dead[ev.Node] {
-				continue
-			}
-			delete(ft.dead, ev.Node)
-			rt.fs.MarkAlive(ev.Node)
-			rt.tracer.Record(trace.Event{
-				Kind: trace.KindNodeRecover, Name: fmt.Sprintf("node %d", ev.Node),
-				Start: ev.Time, End: ev.Time, Lane: rt.lane,
-			})
-			// A returning node may let blocks stuck below full
-			// replication (too few live nodes) top back up.
-			rt.repairDFS(ev.Time)
-			continue
+	ev := ft.events[ft.next]
+	ft.next++
+	if ev.Recover {
+		if !ft.dead[ev.Node] {
+			return
 		}
-		if ft.dead[ev.Node] {
-			continue
-		}
-		ft.dead[ev.Node] = true
-		rt.metrics.NodeCrashes++
-		rt.fs.MarkDead(ev.Node)
+		delete(ft.dead, ev.Node)
+		rt.fs.MarkAlive(ev.Node)
 		rt.tracer.Record(trace.Event{
-			Kind: trace.KindNodeCrash, Name: fmt.Sprintf("node %d", ev.Node),
+			Kind: trace.KindNodeRecover, Name: fmt.Sprintf("node %d", ev.Node),
 			Start: ev.Time, End: ev.Time, Lane: rt.lane,
 		})
+		// A returning node may let blocks stuck below full
+		// replication (too few live nodes) top back up.
 		rt.repairDFS(ev.Time)
+		return
 	}
+	if ft.dead[ev.Node] {
+		return
+	}
+	ft.dead[ev.Node] = true
+	rt.metrics.NodeCrashes++
+	rt.fs.MarkDead(ev.Node)
+	rt.tracer.Record(trace.Event{
+		Kind: trace.KindNodeCrash, Name: fmt.Sprintf("node %d", ev.Node),
+		Start: ev.Time, End: ev.Time, Lane: rt.lane,
+	})
+	rt.repairDFS(ev.Time)
 }
 
 // repairDFS runs one DFS re-replication pass and records its traffic.

@@ -57,6 +57,15 @@ type ICResult struct {
 	Converged bool
 	// Duration is the simulated time of the run.
 	Duration simtime.Duration
+	// Blocked is the part of Duration spent stalled on network faults:
+	// when an iteration's transfers find their path severed, the
+	// conventional driver can only wait for the fault window to move
+	// and re-run the iteration (the paper's turbulence argument — IC
+	// genuinely needs the full network every iteration).
+	Blocked simtime.Duration
+	// BlockedIterations counts iteration attempts abandoned to a
+	// severed network and re-run after the stall.
+	BlockedIterations int
 	// Metrics aggregates the run's job metrics.
 	Metrics mapred.Metrics
 	// ModelUpdateBytes is replication traffic from persisting models.

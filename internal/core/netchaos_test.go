@@ -1,0 +1,324 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/model"
+	"repro/internal/simcluster"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// netChaosRuntime builds the standard 4-node test runtime with a
+// network plan (and optionally a failure plan) registered on the
+// cluster before the runtime snapshots it.
+func netChaosRuntime(netplan *simnet.NetworkPlan, failplan *simcluster.FailurePlan) *Runtime {
+	cluster := simcluster.New(simcluster.Config{
+		Nodes:              4,
+		RackSize:           2,
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+		ComputeRate:        1e6,
+		NodeBandwidth:      1e6,
+		RackBandwidth:      4e6,
+		CoreBandwidth:      4e6,
+	})
+	cluster.SetNetworkPlan(netplan)
+	cluster.SetFailurePlan(failplan)
+	return NewRuntime(cluster, dfs.Config{Replication: 3, BlockSize: 64 << 10})
+}
+
+// runNetChaosPIC executes the shared mean-seeker PIC workload under a
+// network plan, with degraded-transfer knobs and a 3-of-4 merge quorum.
+func runNetChaosPIC(t *testing.T, netplan *simnet.NetworkPlan, failplan *simcluster.FailurePlan) (*PICResult, *Runtime, *trace.Tracer) {
+	t.Helper()
+	rt := netChaosRuntime(netplan, failplan)
+	tr := trace.New()
+	rt.SetTracer(tr)
+	rt.Engine().TransferTimeout = 1
+	rt.Engine().TransferRetries = 2
+	rt.FS().CreateWithData("input/points", make([]byte, 200<<10), 0)
+	in, _ := pointsInput(rt, 40)
+	opts := chaosPICOpts
+	opts.MergeQuorum = 3
+	opts.MergeTimeout = 0.5
+	res, err := RunPIC(rt, &meanSeeker{eps: 1e-9}, in, startModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rt, tr
+}
+
+// TestNetChaosIdlePlanIsNoOp is the zero-fault no-op guarantee end to
+// end: a registered plan whose windows never cover the run must leave
+// the timeline, metrics and final model byte-identical to no plan.
+func TestNetChaosIdlePlanIsNoOp(t *testing.T) {
+	bare, _, bareTr := runNetChaosPIC(t, nil, nil)
+	idle := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultCore, Start: 1e8, End: 1e8 + 10},
+		{Kind: simnet.FaultPartition, Nodes: []int{0}, Start: 1e8 + 20, End: 1e8 + 30},
+	}}
+	planned, _, plannedTr := runNetChaosPIC(t, idle, nil)
+	if bareTr.Render() != plannedTr.Render() {
+		t.Fatalf("idle plan perturbed the timeline:\n--- no plan ---\n%s--- idle plan ---\n%s",
+			bareTr.Render(), plannedTr.Render())
+	}
+	if bare.Metrics != planned.Metrics || bare.Duration != planned.Duration {
+		t.Fatalf("idle plan perturbed metrics or duration:\n%+v\n%+v", bare.Metrics, planned.Metrics)
+	}
+	if !reflect.DeepEqual(bare.Model.Encode(nil), planned.Model.Encode(nil)) {
+		t.Fatal("idle plan perturbed the final model")
+	}
+}
+
+// TestNetChaosICBlocksThroughOutage isolates the model home mid-run
+// with no retry budget: the IC stepper must wait the window out, count
+// the stall, and still converge to the healthy answer.
+func TestNetChaosICBlocksThroughOutage(t *testing.T) {
+	run := func(plan *simnet.NetworkPlan) *ICResult {
+		rt := netChaosRuntime(plan, nil)
+		in, _ := pointsInput(rt, 40)
+		res, err := RunIC(rt, &meanSeeker{eps: 1e-9}, in, startModel(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	healthy := run(nil)
+	if !healthy.Converged {
+		t.Fatal("healthy run did not converge")
+	}
+	cutAt := simtime.Time(healthy.Duration) / 3
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultPartition, Nodes: []int{0}, Start: cutAt, End: cutAt + 5},
+	}}
+	res := run(plan)
+	if !res.Converged {
+		t.Fatal("blocked run did not converge")
+	}
+	if res.Blocked <= 0 || res.BlockedIterations == 0 {
+		t.Fatalf("outage cost no stall: Blocked = %v, BlockedIterations = %d", res.Blocked, res.BlockedIterations)
+	}
+	if res.Duration <= healthy.Duration {
+		t.Fatalf("waiting out a 5 s outage cost no time: %v vs %v", res.Duration, healthy.Duration)
+	}
+	if d := model.MaxVectorDelta(healthy.Model, res.Model); d > 1e-6 {
+		t.Fatalf("blocked run converged %g away from the healthy solution", d)
+	}
+}
+
+// TestNetChaosPersistentFailureSurfacesTyped drives the stepper's
+// give-up path: a deadline no healthy transfer can meet fails every
+// attempt, the stepper waits out what transitions the plan has, and
+// once none lie ahead the typed transfer error surfaces instead of an
+// infinite wait.
+func TestNetChaosPersistentFailureSurfacesTyped(t *testing.T) {
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultCore, Start: 0.1, End: 0.2, Factor: 0.5},
+	}}
+	rt := netChaosRuntime(plan, nil)
+	rt.Engine().TransferTimeout = 1e-12
+	in, _ := pointsInput(rt, 40)
+	_, err := RunIC(rt, &meanSeeker{eps: 1e-9}, in, startModel(), nil)
+	if err == nil {
+		t.Fatal("run with an impossible transfer deadline converged")
+	}
+	var te *simnet.TransferError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *simnet.TransferError", err)
+	}
+	if te.Kind != simnet.TransferTimeout {
+		t.Fatalf("TransferError.Kind = %q, want timeout", te.Kind)
+	}
+}
+
+// TestNetChaosQuorumMergeConverges is the degraded-merge acceptance
+// test: a partition cuts one group's leader mid-best-effort, the merge
+// proceeds on a 3-of-4 quorum with the cut partition's partial stale,
+// and the run still converges to the fault-free model.
+func TestNetChaosQuorumMergeConverges(t *testing.T) {
+	healthy, _, _ := runNetChaosPIC(t, nil, nil)
+	if !healthy.TopOffConverged {
+		t.Fatal("healthy run did not converge")
+	}
+	cutAt := simtime.Time(healthy.BEDuration) / 3
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultPartition, Nodes: []int{3}, Start: cutAt, End: cutAt + 3},
+	}}
+	res, _, tr := runNetChaosPIC(t, plan, nil)
+
+	if !res.TopOffConverged {
+		t.Fatal("degraded run did not converge")
+	}
+	if d := model.MaxVectorDelta(healthy.Model, res.Model); d > 1e-6 {
+		t.Fatalf("degraded run converged %g away from the fault-free model", d)
+	}
+	if len(res.DegradedMerges) == 0 {
+		t.Fatal("no merge went degraded while a group was cut")
+	}
+	for _, dm := range res.DegradedMerges {
+		if dm.Arrived < 3 || dm.Arrived >= 4 {
+			t.Fatalf("degraded merge arrived = %d, want quorum 3", dm.Arrived)
+		}
+		if len(dm.Stale) == 0 {
+			t.Fatalf("degraded merge reports no stale partitions: %+v", dm)
+		}
+	}
+	if res.Blocked <= 0 {
+		t.Fatal("degraded merges waited no time")
+	}
+	if countKind(tr, trace.KindDegradedMerge) != len(res.DegradedMerges) {
+		t.Fatalf("trace has %d degraded-merge events, result reports %d",
+			countKind(tr, trace.KindDegradedMerge), len(res.DegradedMerges))
+	}
+	if countKind(tr, trace.KindNetFault) == 0 {
+		t.Fatal("trace has no net-fault events")
+	}
+}
+
+// TestNetChaosCheckpointResume converges a run, then starts a second
+// driver on the same runtime with ResumeFromCheckpoint: it must pick up
+// the "-be" checkpoint (and say so), and a fresh runtime without one
+// must silently start from scratch.
+func TestNetChaosCheckpointResume(t *testing.T) {
+	first, rt, tr := runNetChaosPIC(t, nil, nil)
+	if !first.TopOffConverged {
+		t.Fatal("first run did not converge")
+	}
+	opts := chaosPICOpts
+	opts.ResumeFromCheckpoint = true
+	in, _ := pointsInput(rt, 40)
+	stepper, err := NewPICStepper(rt, &meanSeeker{eps: 1e-9}, in, startModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		done, err := stepper.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	res := stepper.Result()
+	if !res.ResumedFromCheckpoint {
+		t.Fatal("second driver did not resume from the checkpoint")
+	}
+	if !res.TopOffConverged {
+		t.Fatal("resumed run did not converge")
+	}
+	if d := model.MaxVectorDelta(first.Model, res.Model); d > 1e-6 {
+		t.Fatalf("resumed run converged %g away", d)
+	}
+	if countKind(tr, trace.KindCheckpoint) == 0 {
+		t.Fatal("trace has no checkpoint event for the resume")
+	}
+
+	// No checkpoint in the DFS: ResumeFromCheckpoint is a fresh start,
+	// not an error.
+	fresh := netChaosRuntime(nil, nil)
+	fresh.FS().CreateWithData("input/points", make([]byte, 200<<10), 0)
+	in2, _ := pointsInput(fresh, 40)
+	stepper2, err := NewPICStepper(fresh, &meanSeeker{eps: 1e-9}, in2, startModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, err := stepper2.Step(); err != nil || done {
+		t.Fatalf("fresh resume step: done=%v err=%v", done, err)
+	}
+}
+
+// TestNetChaosCrashPlusOutageDeterminism is the combined-fault ordering
+// guarantee: a node crash and a network fault scripted at the same
+// instant (on the same node) replay identically, with the node event
+// processed first.
+func TestNetChaosCrashPlusOutageDeterminism(t *testing.T) {
+	const at = simtime.Time(0.4)
+	netplan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultNodeLink, Node: 1, Start: at, End: at + 2},
+		{Kind: simnet.FaultCore, Start: at + 3, End: at + 4, Factor: 0.25},
+	}}
+	failplan := &simcluster.FailurePlan{Events: []simcluster.NodeEvent{
+		{Node: 1, Time: at},
+	}}
+	run := func() (*PICResult, string) {
+		res, _, tr := runNetChaosPIC(t, netplan, failplan)
+		return res, tr.Render()
+	}
+	res1, tl1 := run()
+	res2, tl2 := run()
+	if tl1 != tl2 {
+		t.Fatalf("timelines differ between identical runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", tl1, tl2)
+	}
+	if res1.Metrics != res2.Metrics || res1.Duration != res2.Duration {
+		t.Fatalf("results differ:\n%+v\n%+v", res1, res2)
+	}
+	if !res1.TopOffConverged {
+		t.Fatal("combined-fault run did not converge")
+	}
+	if res1.Metrics.NodeCrashes != 1 {
+		t.Fatalf("NodeCrashes = %d, want 1", res1.Metrics.NodeCrashes)
+	}
+	// The crash and the fault onset share a timestamp; the node event
+	// must precede the net-fault event in the recorded timeline.
+	var crashIdx, faultIdx = -1, -1
+	tr := func() *trace.Tracer { _, _, tr := runNetChaosPIC(t, netplan, failplan); return tr }()
+	for i, e := range tr.Events() {
+		if e.Kind == trace.KindNodeCrash && crashIdx < 0 {
+			crashIdx = i
+		}
+		if e.Kind == trace.KindNetFault && faultIdx < 0 {
+			faultIdx = i
+		}
+	}
+	if crashIdx < 0 || faultIdx < 0 {
+		t.Fatalf("missing events: crash %d, net fault %d", crashIdx, faultIdx)
+	}
+	if crashIdx > faultIdx {
+		t.Fatalf("net fault recorded before the simultaneous node crash (%d vs %d)", faultIdx, crashIdx)
+	}
+}
+
+// TestNetChaosWorkerCountByteIdentical is the engine half of the
+// determinism guard under a partition-heavy plan: real execution
+// parallelism must not leak into the simulated timeline.
+func TestNetChaosWorkerCountByteIdentical(t *testing.T) {
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultPartition, Nodes: []int{3}, Start: 0.3, End: 2.3},
+		{Kind: simnet.FaultCore, Start: 3, End: 4, Factor: 0.1},
+	}}
+	run := func(workers int) (*PICResult, string) {
+		rt := netChaosRuntime(plan, nil)
+		tr := trace.New()
+		rt.SetTracer(tr)
+		rt.Engine().TransferTimeout = 1
+		rt.Engine().TransferRetries = 2
+		rt.Engine().Workers = workers
+		rt.FS().CreateWithData("input/points", make([]byte, 200<<10), 0)
+		in, _ := pointsInput(rt, 40)
+		opts := chaosPICOpts
+		opts.MergeQuorum = 3
+		opts.MergeTimeout = 0.5
+		res, err := RunPIC(rt, &meanSeeker{eps: 1e-9}, in, startModel(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tr.Render()
+	}
+	one, tl1 := run(1)
+	eight, tl8 := run(8)
+	if tl1 != tl8 {
+		t.Fatalf("timelines differ across worker counts:\n--- 1 worker ---\n%s--- 8 workers ---\n%s", tl1, tl8)
+	}
+	if one.Metrics != eight.Metrics || one.Duration != eight.Duration {
+		t.Fatalf("results differ across worker counts:\n%+v\n%+v", one, eight)
+	}
+	if !reflect.DeepEqual(one.Model.Encode(nil), eight.Model.Encode(nil)) {
+		t.Fatal("final models differ across worker counts")
+	}
+}

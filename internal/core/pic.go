@@ -34,6 +34,26 @@ type PICOptions struct {
 	// job over the partial models (§III-C) instead of gathering them
 	// to the driver. Requires the application to implement KeyMerger.
 	DistributedMerge bool
+
+	// MergeQuorum is the minimum number Q of fresh partial models a
+	// best-effort merge may proceed with when a network fault cuts some
+	// node groups off from the driver; the cut partitions merge their
+	// starting model instead (same graceful degradation as a lost
+	// partial, §VII). Zero requires all Partitions — today's strict
+	// behavior — so faults without a quorum surface as errors. Only
+	// consulted when the cluster carries a simnet.NetworkPlan.
+	MergeQuorum int
+	// MergeTimeout is how long the merge waits for cut groups to come
+	// back before settling for a quorum. Zero merges a quorum
+	// immediately; with fewer than MergeQuorum fresh partials the wait
+	// continues regardless, since merging below quorum is never allowed.
+	MergeTimeout simtime.Duration
+	// ResumeFromCheckpoint starts the best-effort phase from the last
+	// "<app>-be" model checkpoint when one exists in the DFS — the
+	// driver-restart story: a run interrupted mid-phase (say, by a
+	// partition it could not tolerate) resumes from its last merged
+	// model instead of from scratch.
+	ResumeFromCheckpoint bool
 }
 
 func (o PICOptions) withDefaults() PICOptions {
@@ -67,6 +87,18 @@ type PICResult struct {
 	// TopOffIterations and TopOffConverged report the top-off phase.
 	TopOffIterations int
 	TopOffConverged  bool
+
+	// DegradedMerges describes every best-effort merge that proceeded
+	// on a quorum of partials because a network fault cut groups off
+	// (empty for fault-free runs). ResumedFromCheckpoint reports that
+	// the best-effort phase started from a restored "<app>-be"
+	// checkpoint rather than the caller's initial model.
+	DegradedMerges        []DegradedMergeInfo
+	ResumedFromCheckpoint bool
+	// Blocked is simulated time stalled on network faults: best-effort
+	// dispatch/gather waits for reachable groups plus top-off
+	// iterations stalled on severed transfers (see ICResult.Blocked).
+	Blocked simtime.Duration
 
 	// GroupRepairs counts sub-problem dispatches that ran on a repaired
 	// node group — one shrunk around dead nodes, or a sibling standing
@@ -102,6 +134,23 @@ type PICResult struct {
 	// appear in Metrics.ShuffleNetworkBytes — sum the two only for
 	// centralized merges.
 	MergeTrafficBytes int64
+}
+
+// DegradedMergeInfo describes one best-effort merge that proceeded
+// without a full complement of fresh partials.
+type DegradedMergeInfo struct {
+	// Iteration is the 1-based best-effort iteration.
+	Iteration int
+	// Arrived is how many fresh partial models made it to the merge.
+	Arrived int
+	// Stale lists the partition indices whose starting model stood in:
+	// groups unreachable at dispatch (which never ran) and groups cut
+	// off between dispatch and gather.
+	Stale []int
+	// Waited is the iteration's total network stall: the dispatch-side
+	// wait for a quorum of reachable leaders plus the gather-side wait
+	// hoping cut groups would come back before settling for the quorum.
+	Waited simtime.Duration
 }
 
 // MaxLocalIterationsPerBE returns, for each best-effort iteration, the
@@ -176,6 +225,14 @@ func NewPICStepper(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, o
 	if opt.Partitions < 1 {
 		return nil, fmt.Errorf("core: RunPIC(%s): Partitions = %d, need ≥ 1", app.Name(), opt.Partitions)
 	}
+	if opt.MergeQuorum < 0 || opt.MergeQuorum > opt.Partitions {
+		return nil, fmt.Errorf("core: RunPIC(%s): MergeQuorum = %d, need 0 ≤ Q ≤ Partitions (%d)",
+			app.Name(), opt.MergeQuorum, opt.Partitions)
+	}
+	if opt.MergeTimeout < 0 {
+		return nil, fmt.Errorf("core: RunPIC(%s): MergeTimeout = %g, cannot be negative",
+			app.Name(), float64(opt.MergeTimeout))
+	}
 	cluster := rt.Cluster()
 	nGroups := min(opt.Partitions, cluster.Size())
 
@@ -198,6 +255,22 @@ func NewPICStepper(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, o
 		startModelBytes: rt.ModelUpdateBytes(),
 		m:               m0,
 		res:             &PICResult{},
+	}
+	// Driver restart: resume the best-effort phase from its last merged
+	// model when one was checkpointed. A missing checkpoint is a fresh
+	// start, not an error — the flag can be set unconditionally.
+	if opt.ResumeFromCheckpoint {
+		if m, err := rt.RestoreModel(app.Name() + "-be"); err == nil {
+			s.m = m
+			s.res.ResumedFromCheckpoint = true
+			rt.tracer.Record(trace.Event{
+				Kind: trace.KindCheckpoint, Name: app.Name() + "-be: resumed from checkpoint",
+				Start: rt.now(), End: rt.now(), Lane: rt.lane,
+			})
+			if r := rt.obs; r != nil {
+				r.Counter("core.checkpoint_resumes").Add(1)
+			}
+		}
 	}
 	// The best-effort phase span encloses scatter/gather transfers,
 	// merge jobs and model writes; group-local job spans parent under it
@@ -315,10 +388,56 @@ func (s *PICStepper) beStep() (bool, error) {
 			leaders[i] = liveGroups[g].Nodes()[0]
 		}
 
+		// Network-fault probe: a group whose leader has no fabric path
+		// from the model home at dispatch time can receive neither its
+		// model nor its records, so its partitions sit this iteration
+		// out and merge a stale partial (their starting model) — the
+		// same graceful degradation as a lost partial. The local solves
+		// themselves need no cross-group traffic, which is exactly why
+		// the best-effort phase tolerates network turbulence (§VII).
+		// Dispatching below quorum would be pointless, so while fewer
+		// than MergeQuorum leaders are reachable the driver waits out
+		// fault transitions before scattering at all.
+		home := rt.LiveModelHome()
+		fabric := cluster.Fabric()
+		plan := cluster.NetworkPlan()
+		quorum := opt.MergeQuorum
+		if quorum == 0 {
+			quorum = opt.Partitions
+		}
+		var waited simtime.Duration
+		stale := make([]bool, opt.Partitions)
+		if plan != nil {
+			for {
+				reachable := 0
+				for i := range stale {
+					stale[i] = !fabric.ReachableAt(home, leaders[i], rt.now())
+					if !stale[i] {
+						reachable++
+					}
+				}
+				if reachable >= quorum {
+					break
+				}
+				next, ok := plan.NextTransition(rt.now())
+				if !ok {
+					return false, fmt.Errorf("core: %s best-effort iteration %d: only %d of %d group leaders reachable (quorum %d) and no network transition ahead",
+						app.Name(), res.BEIterations+1, reachable, opt.Partitions, quorum)
+				}
+				d := simtime.Duration(next - rt.now())
+				rt.AdvanceTime(d)
+				waited += d
+				home = rt.LiveModelHome()
+			}
+		}
+
 		// Scatter each sub-problem's starting model to its group.
 		var scatter []simnet.Flow
 		for i, sub := range subs {
-			scatter = append(scatter, simnet.Flow{Src: rt.LiveModelHome(), Dst: leaders[i], Bytes: sub.Model.Size()})
+			if stale[i] {
+				continue
+			}
+			scatter = append(scatter, simnet.Flow{Src: home, Dst: leaders[i], Bytes: sub.Model.Size()})
 		}
 		res.MergeTrafficBytes += rt.ChargeFlows(scatter)
 
@@ -331,6 +450,10 @@ func (s *PICStepper) beStep() (bool, error) {
 		localIters := make([]int, opt.Partitions)
 		groupBusy := make([]simtime.Duration, nGroups)
 		for i, sub := range subs {
+			if stale[i] {
+				parts[i] = sub.Model
+				continue
+			}
 			g := assign[i]
 			subRT := rt.Fork(liveGroups[g], true)
 			subRT.SetLane(g + 1)
@@ -362,7 +485,7 @@ func (s *PICStepper) beStep() (bool, error) {
 		// progress there this iteration, but nothing else is lost.
 		if crashed := newlyDead(rt, deadBefore); len(crashed) > 0 {
 			for i := range parts {
-				if viewTouches(liveGroups[assign[i]], crashed) {
+				if !stale[i] && viewTouches(liveGroups[assign[i]], crashed) {
 					parts[i] = subs[i].Model
 					res.LostPartials++
 					rt.tracer.Record(trace.Event{
@@ -374,10 +497,95 @@ func (s *PICStepper) beStep() (bool, error) {
 			}
 		}
 
+		// Degraded gather: a group cut off between dispatch and gather
+		// cannot deliver its partial. While cut groups exist, wait out
+		// fault transitions — unconditionally while below the merge
+		// quorum, and within MergeTimeout in the hope the cut heals —
+		// then merge what arrived, stale partials standing in for the
+		// rest. A cut that can never heal (no transition ahead) with
+		// less than a quorum of partials is fatal.
+		gatherStart := rt.now()
+		if plan != nil {
+			var gatherWaited simtime.Duration
+			for {
+				home = rt.LiveModelHome()
+				arrived := 0
+				for i := range leaders {
+					if !stale[i] && fabric.ReachableAt(home, leaders[i], rt.now()) {
+						arrived++
+					}
+				}
+				if arrived == opt.Partitions {
+					break // nothing cut: the fault-free common case
+				}
+				if arrived >= quorum && gatherWaited >= opt.MergeTimeout {
+					break
+				}
+				next, ok := plan.NextTransition(rt.now())
+				if !ok {
+					if arrived >= quorum {
+						break
+					}
+					return false, fmt.Errorf("core: %s best-effort iteration %d: only %d of %d partials reachable (quorum %d) and no network transition ahead",
+						app.Name(), res.BEIterations+1, arrived, opt.Partitions, quorum)
+				}
+				d := simtime.Duration(next - rt.now())
+				// With a quorum already in hand the wait is bounded by the
+				// merge deadline, not the (possibly distant) transition.
+				if rem := opt.MergeTimeout - gatherWaited; arrived >= quorum && d > rem {
+					d = rem
+				}
+				rt.AdvanceTime(d)
+				waited += d
+				gatherWaited += d
+			}
+			// Groups still cut at merge time join the stale set.
+			for i := range leaders {
+				if !stale[i] && !fabric.ReachableAt(home, leaders[i], rt.now()) {
+					stale[i] = true
+					parts[i] = subs[i].Model
+				}
+			}
+		}
+		res.Blocked += waited
+		var staleIdx []int
+		for i, s := range stale {
+			if s {
+				staleIdx = append(staleIdx, i)
+			}
+		}
+		if len(staleIdx) > 0 {
+			info := DegradedMergeInfo{
+				Iteration: res.BEIterations + 1,
+				Arrived:   opt.Partitions - len(staleIdx),
+				Stale:     staleIdx,
+				Waited:    waited,
+			}
+			res.DegradedMerges = append(res.DegradedMerges, info)
+			rt.tracer.Record(trace.Event{
+				Kind: trace.KindDegradedMerge,
+				Name: fmt.Sprintf("%s: merged %d/%d partials, stale %v",
+					app.Name(), info.Arrived, opt.Partitions, info.Stale),
+				Start: gatherStart, End: rt.now(), Lane: rt.lane,
+			})
+			if r := rt.obs; r != nil {
+				r.Counter("core.degraded_merges").Add(1)
+			}
+		}
+
 		// Merge the partial models: either as a real MapReduce job over
 		// their key/value entries (§III-C), or by gathering them to the
-		// driver and applying the application's merge function.
+		// driver and applying the application's merge function. Stale
+		// partials already sit at the driver (they never left), so they
+		// contribute no gather traffic and their merge-job splits are
+		// homed on the driver, not the severed leader.
 		var merged *model.Model
+		if len(staleIdx) > 0 {
+			leaders = append([]int(nil), leaders...)
+			for _, i := range staleIdx {
+				leaders[i] = rt.LiveModelHome()
+			}
+		}
 		if opt.DistributedMerge {
 			km, ok := app.(KeyMerger)
 			if !ok {
@@ -482,6 +690,7 @@ func (s *PICStepper) finish() {
 	res.TopOffIterations = topOff.Iterations
 	res.TopOffConverged = topOff.Converged
 	res.TopOffDuration = topOff.Duration
+	res.Blocked += topOff.Blocked
 	res.TopOffMetrics = topOff.Metrics
 	res.Duration = rt.Elapsed() - s.startElapsed
 	res.Metrics = rt.Metrics().Sub(s.startMetrics)

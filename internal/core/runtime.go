@@ -45,22 +45,27 @@ type Runtime struct {
 	// the per-phase counters the engine records. Shared by forks.
 	obs *metrics.Registry
 
-	// fails replays the cluster's FailurePlan (nil when none is
-	// registered); shared by all forks of a runtime.
+	// fails replays the cluster's FailurePlan and net replays its
+	// NetworkPlan (nil when none is registered); both are shared by all
+	// forks of a runtime, and syncFaults drains them in global time
+	// order after every clock advance.
 	fails *failureTracker
+	net   *netTracker
 }
 
 // NewRuntime creates a runtime over a full cluster view with a fresh
-// DFS using the given configuration. Register any FailurePlan on the
-// cluster before calling: the runtime snapshots it here and processes
-// its events as the simulated clock advances.
+// DFS using the given configuration. Register any FailurePlan or
+// NetworkPlan on the cluster before calling: the runtime snapshots
+// them here and processes their events as the simulated clock
+// advances.
 func NewRuntime(cluster *simcluster.Cluster, fsCfg dfs.Config) *Runtime {
 	rt := &Runtime{
 		engine: mapred.NewEngine(cluster),
 		fs:     dfs.New(cluster, fsCfg),
 		fails:  newFailureTracker(cluster.FailurePlan()),
+		net:    newNetTracker(cluster.NetworkPlan()),
 	}
-	rt.syncFailures() // apply any events scripted at time zero
+	rt.syncFaults() // apply any events scripted at time zero
 	return rt
 }
 
@@ -150,7 +155,7 @@ func (rt *Runtime) AdvanceTime(d simtime.Duration) {
 		panic("core: negative time advance")
 	}
 	rt.elapsed += d
-	rt.syncFailures()
+	rt.syncFaults()
 }
 
 // AddMetrics folds externally measured metrics (e.g. a sub-runtime's)
@@ -179,7 +184,7 @@ func (rt *Runtime) RunJob(job *mapred.Job, in *mapred.Input, m *model.Model) (*m
 	}
 	rt.metrics.Add(metrics)
 	rt.elapsed += metrics.Duration
-	rt.syncFailures()
+	rt.syncFaults()
 	id := rt.tracer.NextID()
 	rt.tracer.Record(trace.Event{
 		Kind: kind, Name: job.Name, Start: start, End: rt.now(),
@@ -218,6 +223,14 @@ func (rt *Runtime) recordJobSpans(job int64, name string, start simtime.Time, m 
 	sub(trace.KindMap, "map", m.MapPhase, m.NonLocalInputBytes)
 	sub(trace.KindShuffle, "shuffle", m.ShufflePhase, m.ShuffleNetworkBytes)
 	sub(trace.KindReduce, "reduce", m.ReducePhase, 0)
+	if m.TransferRetries > 0 {
+		// The retries themselves are interleaved inside the phases
+		// above, so this is a point annotation on the job, not a span.
+		rt.tracer.Record(trace.Event{
+			Kind: trace.KindTransferRetry, Name: fmt.Sprintf("%s: %d transfer retries", name, m.TransferRetries),
+			Start: start, End: start, Bytes: m.RetryBytes, Lane: rt.lane, Parent: job,
+		})
+	}
 }
 
 // WriteModel persists a model version (its real encoded bytes) to the
@@ -233,7 +246,7 @@ func (rt *Runtime) WriteModel(name string, m *model.Model) {
 	rt.fs.CreateWithData(latestPointer(name), []byte(checkpointName(name, rt.modelWrites)), home)
 	rt.modelWrites++
 	rt.elapsed += d
-	rt.syncFailures()
+	rt.syncFaults()
 	delta := rt.fs.Counters().WritePipeline - before
 	rt.modelUpdateBytes += delta
 	rt.tracer.Record(trace.Event{
@@ -270,7 +283,7 @@ func (rt *Runtime) RestoreModel(name string) (*model.Model, error) {
 	}
 	data, d := rt.fs.ReadData(f, home)
 	rt.elapsed += d
-	rt.syncFailures()
+	rt.syncFaults()
 	m, err := model.Decode(data)
 	if err != nil {
 		return nil, fmt.Errorf("core: corrupt checkpoint %q: %w", target, err)
@@ -290,12 +303,42 @@ func latestPointer(name string) string {
 // advances the clock by their bottleneck transfer time, returning the
 // total bytes that crossed node boundaries. The PIC driver uses it for
 // partition-scatter and merge-gather traffic.
+//
+// Under a registered NetworkPlan the flows are priced by the overlay
+// active at the charge time, and flows whose path is severed by an
+// outage or partition are dropped rather than charged — bulk placement
+// is best-effort, and the PIC driver routes around cut groups anyway
+// (their sub-problems merge a stale partial). Dropped flows are
+// visible as the shortfall in the returned byte count and on the
+// net.dropped_flows counter.
 func (rt *Runtime) ChargeFlows(flows []simnet.Flow) int64 {
 	start := rt.now()
 	fabric := rt.Cluster().Fabric()
+	if fabric.NetworkPlan() != nil {
+		deliverable := make([]simnet.Flow, 0, len(flows))
+		dropped := 0
+		for _, fl := range flows {
+			if fabric.ReachableAt(fl.Src, fl.Dst, start) {
+				deliverable = append(deliverable, fl)
+			} else {
+				dropped++
+			}
+		}
+		if dropped > 0 && rt.obs != nil {
+			rt.obs.Counter("net.dropped_flows").Add(float64(dropped))
+		}
+		flows = deliverable
+	}
 	before := fabric.Counters().Total
-	rt.elapsed += fabric.Transfer(flows)
-	rt.syncFailures()
+	tt, err := fabric.TransferTimeAt(flows, start)
+	if err != nil {
+		// Severed flows were filtered above and the overlay is constant
+		// at an instant, so a typed failure here cannot happen.
+		panic("core: ChargeFlows: " + err.Error())
+	}
+	fabric.Record(flows)
+	rt.elapsed += tt
+	rt.syncFaults()
 	moved := fabric.Counters().Total - before
 	if moved > 0 {
 		rt.tracer.Record(trace.Event{
@@ -321,10 +364,13 @@ func (rt *Runtime) Fork(view *simcluster.Cluster, local bool) *Runtime {
 	e.FairSharingNetwork = rt.engine.FairSharingNetwork
 	e.Workers = rt.engine.Workers
 	e.ModelSources = rt.engine.ModelSources
+	e.TransferTimeout = rt.engine.TransferTimeout
+	e.TransferRetries = rt.engine.TransferRetries
+	e.RetryBackoff = rt.engine.RetryBackoff
 	// Local forks run in-memory iterations whose registry traffic is
 	// counter-only (observeLocal); framework forks share the full
 	// registry wiring.
 	e.Obs = rt.engine.Obs
 	return &Runtime{engine: e, fs: rt.fs, local: local, tracer: rt.tracer, base: rt.now(),
-		fails: rt.fails, span: rt.span, obs: rt.obs}
+		fails: rt.fails, net: rt.net, span: rt.span, obs: rt.obs}
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/simnet"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 )
@@ -74,6 +76,19 @@ func (s *ICStepper) Step() (bool, error) {
 
 	next, err := s.app.Iteration(rt, s.in, s.m)
 	if err != nil {
+		// A transfer severed by an outage or partition is not fatal:
+		// stall until the network plan's next fault transition and
+		// re-run the iteration against the changed overlay. Only when
+		// no transition lies ahead (the cut is permanent) does the
+		// typed error surface.
+		var te *simnet.TransferError
+		if errors.As(err, &te) {
+			if wait, ok := rt.blockUntilNetTransition(); ok {
+				s.res.Blocked += wait
+				s.res.BlockedIterations++
+				return false, nil
+			}
+		}
 		return false, fmt.Errorf("core: %s iteration %d: %w", s.app.Name(), s.res.Iterations, err)
 	}
 	if next == nil {

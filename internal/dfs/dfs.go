@@ -296,6 +296,84 @@ func (fs *FS) Read(f *File, reader int) simtime.Duration {
 	return fabric.Transfer(flows)
 }
 
+// ReadAt charges the traffic for node reader consuming the whole file
+// like Read, but honoring the fabric's registered NetworkPlan at time
+// at: each block is served by the cheapest replica still reachable
+// from the reader (reads fail over around outages and partitions), and
+// the read fails with a typed *simnet.TransferError when some block
+// has no reachable replica. With no plan registered it is exactly
+// Read. Brownouts on the surviving path stretch the returned duration.
+func (fs *FS) ReadAt(f *File, reader int, at simtime.Time) (simtime.Duration, error) {
+	fabric := fs.cluster.Fabric()
+	if fabric.NetworkPlan() == nil {
+		return fs.Read(f, reader), nil
+	}
+	var flows []simnet.Flow
+	var local, remote int64
+	for _, b := range f.Blocks {
+		src, ok := fs.closestReachableReplica(b, reader, at)
+		if !ok {
+			return 0, &simnet.TransferError{Kind: simnet.TransferUnreachable,
+				Src: b.Replicas[0], Dst: reader, At: at}
+		}
+		if src == reader {
+			local += b.Size
+			continue
+		}
+		remote += b.Size
+		flows = append(flows, simnet.Flow{Src: src, Dst: reader, Bytes: b.Size})
+	}
+	// Counters commit only once every block has a reachable source, so
+	// a failed read charges nothing.
+	fs.counters.LocalRead += local
+	fs.counters.RemoteRead += remote
+	fabric.Record(flows)
+	tt, err := fabric.TransferTimeAt(flows, at)
+	if err != nil {
+		// Unreachable flows were filtered above; the fabric cannot
+		// disagree.
+		panic(err)
+	}
+	return tt, nil
+}
+
+// ReadDataAt charges a full read like ReadAt and returns the stored
+// contents (nil for size-only files).
+func (fs *FS) ReadDataAt(f *File, reader int, at simtime.Time) ([]byte, simtime.Duration, error) {
+	d, err := fs.ReadAt(f, reader, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f.data, d, nil
+}
+
+// closestReachableReplica picks the cheapest replica of b the reader
+// can reach at time at, reporting false when the registered network
+// plan severs every one.
+func (fs *FS) closestReachableReplica(b Block, reader int, at simtime.Time) (int, bool) {
+	if len(b.Replicas) == 0 {
+		panic("dfs: block has no live replicas (lost to node failures); check Lost before reading")
+	}
+	fabric := fs.cluster.Fabric()
+	best, bestCost := -1, 3
+	for _, r := range b.Replicas {
+		if !fabric.ReachableAt(r, reader, at) {
+			continue
+		}
+		cost := 2
+		switch {
+		case r == reader:
+			cost = 0
+		case fabric.Rack(r) == fabric.Rack(reader):
+			cost = 1
+		}
+		if cost < bestCost {
+			best, bestCost = r, cost
+		}
+	}
+	return best, best >= 0
+}
+
 // closestReplica picks the cheapest replica of b for the reader.
 func (fs *FS) closestReplica(b Block, reader int) int {
 	if len(b.Replicas) == 0 {
@@ -402,6 +480,10 @@ type RepairReport struct {
 	// LostBlocks counts blocks with no surviving replica, which cannot
 	// be repaired.
 	LostBlocks int
+	// UnreachableBlocks counts blocks a RepairReachable pass skipped
+	// because an active network fault severed every replica from the
+	// repairing side; they are left for the post-heal repair.
+	UnreachableBlocks int
 }
 
 // Repair scans every file for under-replicated blocks — fewer live
@@ -455,6 +537,86 @@ func (fs *FS) Repair() (RepairReport, simtime.Duration) {
 		}
 	}
 	return report, fs.cluster.Fabric().Transfer(flows)
+}
+
+// RepairReachable is Repair as a namenode on node from's side of an
+// active network fault can run it at time at: only nodes alive and
+// reachable from `from` serve as copy sources or targets, so the
+// reachable side re-replicates around the fault while far-side
+// replicas are merely uncounted, not destroyed. A block ends the pass
+// with min(Replication, reachable live nodes) reachable copies; once
+// the fault heals it may briefly hold more replicas than Replication,
+// which later passes leave alone (extra copies are harmless). Blocks
+// with no reachable replica are reported as UnreachableBlocks and
+// skipped. Copy traffic is priced under the plan's overlay at `at`, so
+// a concurrent brownout stretches the returned duration.
+func (fs *FS) RepairReachable(from int, at simtime.Time) (RepairReport, simtime.Duration) {
+	fabric := fs.cluster.Fabric()
+	var report RepairReport
+	reachable := make([]int, 0, len(fs.cluster.Nodes()))
+	inReach := map[int]bool{}
+	for _, n := range fs.cluster.Nodes() {
+		if !fs.dead[n] && fabric.ReachableAt(from, n, at) {
+			reachable = append(reachable, n)
+			inReach[n] = true
+		}
+	}
+	if len(reachable) == 0 {
+		return report, 0
+	}
+	target := min(fs.cfg.Replication, len(reachable))
+
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var flows []simnet.Flow
+	for _, name := range names {
+		f := fs.files[name]
+		for bi := range f.Blocks {
+			b := &f.Blocks[bi]
+			if len(b.Replicas) == 0 {
+				report.LostBlocks++
+				continue
+			}
+			holders := make([]int, 0, len(b.Replicas))
+			for _, r := range b.Replicas {
+				if inReach[r] {
+					holders = append(holders, r)
+				}
+			}
+			if len(holders) == 0 {
+				report.UnreachableBlocks++
+				continue
+			}
+			for len(holders) < target {
+				dst, ok := fs.repairTarget(b.Replicas, reachable)
+				if !ok {
+					break
+				}
+				src := holders[0]
+				if b.Size > 0 {
+					flows = append(flows, simnet.Flow{Src: src, Dst: dst, Bytes: b.Size})
+					fs.counters.ReReplication += b.Size
+					fs.reReplTo[dst] += b.Size
+					report.ReplicatedBytes += b.Size
+				}
+				report.ReplicatedBlocks++
+				b.Replicas = append(b.Replicas, dst)
+				holders = append(holders, dst)
+			}
+		}
+	}
+	fabric.Record(flows)
+	d, err := fabric.TransferTimeAt(flows, at)
+	if err != nil {
+		// Sources and targets are all reachable from `from`, which the
+		// tree topology makes mutually reachable.
+		panic(err)
+	}
+	return report, d
 }
 
 // repairTarget picks the next live node to receive a block copy: the

@@ -44,5 +44,25 @@ func (e *Engine) validateConfig() error {
 		return &ConfigError{"Workers",
 			fmt.Sprintf("%d; real parallelism cannot be negative (zero means GOMAXPROCS)", e.Workers)}
 	}
+	if e.TransferTimeout < 0 {
+		return &ConfigError{"TransferTimeout",
+			fmt.Sprintf("%g; deadlines are positive (zero disables the deadline)", float64(e.TransferTimeout))}
+	}
+	if e.TransferRetries < 0 {
+		return &ConfigError{"TransferRetries",
+			fmt.Sprintf("%d; retry caps cannot be negative (zero disables retries)", e.TransferRetries)}
+	}
+	if e.TransferRetries > 0 && e.TransferTimeout == 0 {
+		return &ConfigError{"TransferRetries",
+			fmt.Sprintf("%d retries with no TransferTimeout; without a deadline an attempt never fails over", e.TransferRetries)}
+	}
+	if e.RetryBackoff < 0 {
+		return &ConfigError{"RetryBackoff",
+			fmt.Sprintf("%g; backoff cannot be negative (zero selects the default)", float64(e.RetryBackoff))}
+	}
+	if e.FairSharingNetwork && e.cluster.NetworkPlan() != nil {
+		return &ConfigError{"FairSharingNetwork",
+			"incompatible with a registered NetworkPlan; degraded transfers are priced by the bottleneck model"}
+	}
 	return nil
 }

@@ -56,8 +56,25 @@ type Engine struct {
 	// FairSharingNetwork charges transfers under progressive max-min
 	// fair sharing (simnet.MaxMinTransferTime) instead of the
 	// optimally-scheduled bottleneck bound — the skeptical network
-	// model for robustness checks.
+	// model for robustness checks. Incompatible with a registered
+	// NetworkPlan (degraded transfers are priced by the bottleneck
+	// model only).
 	FairSharingNetwork bool
+
+	// TransferTimeout is the deadline one transfer attempt may take
+	// before the engine abandons it (shuffle stall detection). Zero
+	// disables the deadline: an unreachable transfer then fails
+	// immediately and a slow one is waited out. Only consulted when
+	// the cluster carries a NetworkPlan.
+	TransferTimeout simtime.Duration
+	// TransferRetries is how many times a failed transfer attempt is
+	// retried with capped exponential backoff before the job surfaces
+	// a typed *simnet.TransferError. Requires TransferTimeout > 0.
+	TransferRetries int
+	// RetryBackoff is the base backoff charged between transfer
+	// attempts; attempt k waits RetryBackoff·2^k, capped at
+	// retryBackoffCap times the base. Zero selects 1s.
+	RetryBackoff simtime.Duration
 
 	// Workers bounds real (not simulated) execution parallelism of
 	// user code. Zero means GOMAXPROCS.
@@ -120,6 +137,16 @@ type Metrics struct {
 	RescheduledTasks   int
 	ReReplicationBytes int64
 
+	// TransferRetries counts transfer attempts that failed (timed out
+	// or found their path severed) and were retried under the
+	// registered NetworkPlan; RetryBytes is the network traffic those
+	// failed attempts carried before being abandoned. Retry traffic is
+	// also folded into the byte counter of the phase that paid it
+	// (shuffle, model or input), so no byte the fabric carried goes
+	// unaccounted.
+	TransferRetries int
+	RetryBytes      int64
+
 	// LocalJobs and LocalRecords count in-memory executions
 	// (Engine.RunLocal) — PIC's best-effort local iterations.
 	LocalJobs    int
@@ -168,6 +195,8 @@ func (m *Metrics) Add(o Metrics) {
 	m.NodeCrashes += o.NodeCrashes
 	m.RescheduledTasks += o.RescheduledTasks
 	m.ReReplicationBytes += o.ReReplicationBytes
+	m.TransferRetries += o.TransferRetries
+	m.RetryBytes += o.RetryBytes
 	m.LocalJobs += o.LocalJobs
 	m.LocalRecords += o.LocalRecords
 	m.InputRecords += o.InputRecords
@@ -203,6 +232,8 @@ func (m Metrics) Sub(o Metrics) Metrics {
 	m.NodeCrashes -= o.NodeCrashes
 	m.RescheduledTasks -= o.RescheduledTasks
 	m.ReReplicationBytes -= o.ReReplicationBytes
+	m.TransferRetries -= o.TransferRetries
+	m.RetryBytes -= o.RetryBytes
 	m.LocalJobs -= o.LocalJobs
 	m.LocalRecords -= o.LocalRecords
 	m.InputRecords -= o.InputRecords
@@ -281,6 +312,7 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 	// view nodes are dead at the job start and re-home splits whose
 	// home node has crashed onto a surviving replica.
 	plan := e.cluster.FailurePlan()
+	fabric := e.cluster.Fabric()
 	var dead map[int]bool
 	if plan != nil {
 		dead = plan.DeadAt(start)
@@ -292,6 +324,32 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 		}
 		if live == 0 {
 			return nil, Metrics{}, fmt.Errorf("job %q: no live nodes in view at t=%.3fs", job.Name, float64(start))
+		}
+	}
+	// ---- Network reachability: with a NetworkPlan registered, view
+	// nodes an active outage or partition severs from the model home
+	// cannot receive the model or report results, so task attempts are
+	// re-homed off them like off dead nodes. Reachability is probed
+	// once, at the time the first wave dispatches.
+	var cut map[int]bool
+	if fabric.NetworkPlan() != nil {
+		severed := fabric.UnreachableFrom(e.ModelHome, start+cost.JobOverhead)
+		reachable := 0
+		for _, n := range e.cluster.Nodes() {
+			switch {
+			case dead[n]:
+			case severed[n]:
+				if cut == nil {
+					cut = map[int]bool{}
+				}
+				cut[n] = true
+			default:
+				reachable++
+			}
+		}
+		if reachable == 0 {
+			return nil, Metrics{}, &simnet.TransferError{Kind: simnet.TransferUnreachable,
+				Src: e.ModelHome, Dst: -1, At: start + cost.JobOverhead}
 		}
 	}
 	homes := make([]int, len(in.Splits))
@@ -310,6 +368,18 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 				}
 				if !found {
 					return nil, Metrics{}, fmt.Errorf("job %q: split %d: all replicas lost to node failures", job.Name, i)
+				}
+			}
+		}
+		if homes[i] >= 0 && cut[homes[i]] {
+			// Prefer a replica on the reachable side. When every
+			// replica is severed the home stands: the input fetch then
+			// crosses the cut and the transfer layer retries or fails
+			// typed.
+			for _, r := range split.Replicas {
+				if !dead[r] && !cut[r] {
+					homes[i] = r
+					break
 				}
 			}
 		}
@@ -429,10 +499,10 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 	}
 	var placements []simcluster.Placement
 	var mapMakespan simtime.Duration
-	if plan != nil {
+	if plan != nil || len(cut) > 0 {
 		var killed int
 		var err error
-		placements, mapMakespan, killed, err = e.cluster.ScheduleFailureAware(tasks, e.cluster.Config().MapSlotsPerNode, start+cost.JobOverhead)
+		placements, mapMakespan, killed, err = e.cluster.ScheduleFailureAware(tasks, e.cluster.Config().MapSlotsPerNode, start+cost.JobOverhead, cut)
 		if err != nil {
 			return nil, Metrics{}, fmt.Errorf("job %q map wave: %w", job.Name, err)
 		}
@@ -443,7 +513,6 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 	metrics.MapTasks = nSplits
 
 	// Non-local tasks pull their split from its home node.
-	fabric := e.cluster.Fabric()
 	var inputFlows []simnet.Flow
 	// splitNode records where each split's map task ran; shuffle flows
 	// originate there.
@@ -455,8 +524,12 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 			metrics.NonLocalInputBytes += in.Splits[i].Bytes
 		}
 	}
-	inputTime := e.transfer(inputFlows)
-	metrics.MapPhase = max(mapMakespan, inputTime)
+	inputRes, err := e.transferAt(inputFlows, start+cost.JobOverhead)
+	if err != nil {
+		return nil, Metrics{}, fmt.Errorf("job %q input fetch: %w", job.Name, err)
+	}
+	chargeRetries(&metrics, inputRes, &metrics.NonLocalInputBytes)
+	metrics.MapPhase = max(mapMakespan, inputRes.elapsed)
 
 	// ---- Model distribution: every node running a task needs the
 	// current model (Hadoop distributed cache: one copy per node).
@@ -468,7 +541,10 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 		// Reduce nodes are chosen below, but every node in the view is
 		// a potential reduce node; distribute wherever map tasks run
 		// now and charge reduce-node distribution after placement.
-		metrics.ModelPhase = e.distributeModel(m, nodesNeeding, job.PartitionedModel, dead, &metrics)
+		metrics.ModelPhase, err = e.distributeModel(m, nodesNeeding, job.PartitionedModel, dead, cut, start+cost.JobOverhead, &metrics)
+		if err != nil {
+			return nil, Metrics{}, fmt.Errorf("job %q model distribution: %w", job.Name, err)
+		}
 	}
 
 	// ---- Map-only jobs stop here.
@@ -540,13 +616,13 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 	}
 	var rPlacements []simcluster.Placement
 	var reduceMakespan simtime.Duration
-	if plan != nil {
+	rStart := start + metrics.OverheadPhase + metrics.ModelPhase + metrics.MapPhase
+	if plan != nil || len(cut) > 0 {
 		// The reduce wave starts once map output and the model are in
 		// place; crashes inside the wave reschedule reduce attempts.
-		rStart := start + metrics.OverheadPhase + metrics.ModelPhase + metrics.MapPhase
 		var killed int
 		var err error
-		rPlacements, reduceMakespan, killed, err = e.cluster.ScheduleFailureAware(rTasks, e.cluster.Config().ReduceSlotsPerNode, rStart)
+		rPlacements, reduceMakespan, killed, err = e.cluster.ScheduleFailureAware(rTasks, e.cluster.Config().ReduceSlotsPerNode, rStart, cut)
 		if err != nil {
 			return nil, Metrics{}, fmt.Errorf("job %q reduce wave: %w", job.Name, err)
 		}
@@ -572,7 +648,11 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 				extra[p.Node] = true
 			}
 		}
-		metrics.ModelPhase += e.distributeModel(m, extra, job.PartitionedModel, dead, &metrics)
+		extraModel, err := e.distributeModel(m, extra, job.PartitionedModel, dead, cut, rStart, &metrics)
+		if err != nil {
+			return nil, Metrics{}, fmt.Errorf("job %q model distribution: %w", job.Name, err)
+		}
+		metrics.ModelPhase += extraModel
 	}
 
 	// ---- Shuffle: post-combine partitions travel from the node each
@@ -594,8 +674,13 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 			shuffleFlows = append(shuffleFlows, simnet.Flow{Src: src, Dst: dst, Bytes: sz})
 		}
 	}
-	shuffleTime := e.transfer(shuffleFlows)
-	metrics.ShufflePhase = shuffleTime * simtime.Duration(1-cost.ShuffleOverlap)
+	shuffleRes, err := e.transferAt(shuffleFlows, rStart)
+	if err != nil {
+		return nil, Metrics{}, fmt.Errorf("job %q shuffle: %w", job.Name, err)
+	}
+	chargeRetries(&metrics, shuffleRes, &metrics.ShuffleNetworkBytes)
+	metrics.ShuffleCrossRackBytes += shuffleRes.retryCrossRack
+	metrics.ShufflePhase = shuffleRes.elapsed * simtime.Duration(1-cost.ShuffleOverlap)
 
 	nOut := 0
 	for p := range reduceOut {
@@ -638,6 +723,10 @@ func (e *Engine) observe(m Metrics, start simtime.Time) {
 	e.Obs.Counter("mapred.shuffle_network_bytes").Add(float64(m.ShuffleNetworkBytes))
 	e.Obs.Counter("mapred.shuffle_cross_rack_bytes").Add(float64(m.ShuffleCrossRackBytes))
 	e.Obs.Counter("mapred.model_bytes").Add(float64(m.ModelBytes))
+	if m.TransferRetries > 0 || m.RetryBytes > 0 {
+		e.Obs.Counter("retry.transfers").Add(float64(m.TransferRetries))
+		e.Obs.Counter("retry.bytes").Add(float64(m.RetryBytes))
+	}
 	e.Obs.Series("mapred.job_seconds").Sample(end, float64(m.Duration))
 	e.Obs.Series("mapred.shuffle_seconds").Sample(end, float64(m.ShufflePhase))
 }
@@ -658,18 +747,19 @@ func (e *Engine) observeLocal(m Metrics) {
 }
 
 // distributeModel charges delivery of m to the given nodes (map values
-// that are false are skipped) from the model's replica nodes and
-// returns the transfer time. When partitioned is true, each node pulls
-// only its share of the model; otherwise every node receives a full
-// copy. Dead nodes (nil when no failures are scripted) never serve as
+// that are false are skipped) from the model's replica nodes at
+// simulated time at, and returns the transfer time. When partitioned
+// is true, each node pulls only its share of the model; otherwise
+// every node receives a full copy. Dead nodes and nodes cut off by a
+// network fault (both nil when nothing is scripted) never serve as
 // sources.
-func (e *Engine) distributeModel(m *model.Model, nodes map[int]bool, partitioned bool, dead map[int]bool, metrics *Metrics) simtime.Duration {
+func (e *Engine) distributeModel(m *model.Model, nodes map[int]bool, partitioned bool, dead, cut map[int]bool, at simtime.Time, metrics *Metrics) (simtime.Duration, error) {
 	size := m.Size()
 	view := e.cluster.Nodes()
-	if len(dead) > 0 {
+	if len(dead) > 0 || len(cut) > 0 {
 		live := make([]int, 0, len(view))
 		for _, n := range view {
-			if !dead[n] {
+			if !dead[n] && !cut[n] {
 				live = append(live, n)
 			}
 		}
@@ -718,7 +808,12 @@ func (e *Engine) distributeModel(m *model.Model, nodes map[int]bool, partitioned
 		flows = append(flows, simnet.Flow{Src: sources[i%nSources], Dst: n, Bytes: perNode})
 		metrics.ModelBytes += perNode
 	}
-	return e.transfer(flows)
+	res, err := e.transferAt(flows, at)
+	if err != nil {
+		return 0, err
+	}
+	chargeRetries(metrics, res, &metrics.ModelBytes)
+	return res.elapsed, nil
 }
 
 // transfer records flows on the fabric and charges their time under the
@@ -970,6 +1065,10 @@ func (m Metrics) String() string {
 	if m.NodeCrashes > 0 || m.RescheduledTasks > 0 || m.ReReplicationBytes > 0 {
 		fmt.Fprintf(&sb, "faults: %d node crashes, %d rescheduled tasks, %d re-replication bytes\n",
 			m.NodeCrashes, m.RescheduledTasks, m.ReReplicationBytes)
+	}
+	if m.TransferRetries > 0 || m.RetryBytes > 0 {
+		fmt.Fprintf(&sb, "network faults: %d transfer retries, %d retry bytes\n",
+			m.TransferRetries, m.RetryBytes)
 	}
 	return sb.String()
 }

@@ -1,0 +1,156 @@
+package mapred
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/simcluster"
+	"repro/internal/simnet"
+)
+
+// netChaosCluster builds the standard 4-node test cluster with a
+// network plan registered before the engine snapshots it.
+func netChaosCluster(plan *simnet.NetworkPlan) *simcluster.Cluster {
+	c := testCluster()
+	c.SetNetworkPlan(plan)
+	return c
+}
+
+// netChaosRun executes one wordcount with degraded-transfer knobs set
+// and returns the output counts, the metrics, and the fabric's byte
+// counters after the run.
+func netChaosRun(t *testing.T, plan *simnet.NetworkPlan) (map[string]int64, Metrics, simnet.Counters) {
+	t.Helper()
+	c := netChaosCluster(plan)
+	e := NewEngine(c)
+	e.TransferTimeout = 0.05
+	e.TransferRetries = 3
+	out, m, err := e.Run(wordCountJob(false), textInput(c, "a b a", "c b", "d d d"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return countsFromOutput(out), m, c.Fabric().Counters()
+}
+
+// TestNetChaosRetryBridgesBrownout runs a job whose shuffle starts
+// inside a deep core brownout: attempts exceed the engine's deadline,
+// are abandoned, and a backoff later the window has closed and the
+// retry succeeds. The output must match the clean run exactly, and the
+// retried attempts' traffic must be conserved: the faulted run's fabric
+// total equals the clean total plus exactly Metrics.RetryBytes.
+func TestNetChaosRetryBridgesBrownout(t *testing.T) {
+	cleanCounts, clean, cleanNet := netChaosRun(t, nil)
+	if clean.TransferRetries != 0 || clean.RetryBytes != 0 {
+		t.Fatalf("clean run charged retries: %+v", clean)
+	}
+
+	// Core capacity at one millionth for the first two seconds — wide
+	// enough to cover the job's overhead and map phases, so the shuffle
+	// attempt starts inside it and blows the 0.05 s deadline; a backoff
+	// or two later the window has closed.
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultCore, Start: 0, End: 2, Factor: 1e-6},
+	}}
+	faultCounts, faulted, faultedNet := netChaosRun(t, plan)
+
+	if !reflect.DeepEqual(faultCounts, cleanCounts) {
+		t.Fatalf("degraded run changed the answer: %v vs %v", faultCounts, cleanCounts)
+	}
+	if faulted.TransferRetries == 0 {
+		t.Fatal("no transfer was retried through the brownout")
+	}
+	if faulted.RetryBytes == 0 {
+		t.Fatal("retries carried no re-sent bytes")
+	}
+	if got, want := faultedNet.Total, cleanNet.Total+faulted.RetryBytes; got != want {
+		t.Fatalf("retry bytes not conserved: fabric total %d, want clean %d + retry %d = %d",
+			got, cleanNet.Total, faulted.RetryBytes, want)
+	}
+}
+
+// TestNetChaosRehomesAroundPartition isolates one node for the whole
+// run: the scheduler re-homes its task attempts onto the reachable
+// side, and the job completes with the clean answer.
+func TestNetChaosRehomesAroundPartition(t *testing.T) {
+	cleanCounts, _, _ := netChaosRun(t, nil)
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultPartition, Nodes: []int{3}, Start: 0, End: 1e6},
+	}}
+	faultCounts, _, _ := netChaosRun(t, plan)
+	if !reflect.DeepEqual(faultCounts, cleanCounts) {
+		t.Fatalf("partitioned run changed the answer: %v vs %v", faultCounts, cleanCounts)
+	}
+}
+
+// TestNetChaosModelHomeCutFailsTyped severs the model home from every
+// other node with no retry budget: the run must fail with the typed
+// transfer error, not hang or panic.
+func TestNetChaosModelHomeCutFailsTyped(t *testing.T) {
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultPartition, Nodes: []int{0}, Start: 0, End: 1e6},
+	}}
+	c := netChaosCluster(plan)
+	e := NewEngine(c)
+	_, _, err := e.Run(wordCountJob(false), textInput(c, "a b", "c"), nil)
+	var te *simnet.TransferError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *simnet.TransferError", err)
+	}
+	if te.Kind != simnet.TransferUnreachable {
+		t.Fatalf("TransferError.Kind = %q, want unreachable", te.Kind)
+	}
+}
+
+// TestNetChaosDeterminism replays an identical degraded run twice and
+// requires exactly equal outputs, metrics and traffic counters.
+func TestNetChaosDeterminism(t *testing.T) {
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultCore, Start: 0, End: 0.3, Factor: 1e-4},
+		{Kind: simnet.FaultNodeLink, Node: 2, Start: 0.4, End: 0.6, Factor: 0.1},
+	}}
+	counts1, m1, net1 := netChaosRun(t, plan)
+	counts2, m2, net2 := netChaosRun(t, plan)
+	if !reflect.DeepEqual(counts1, counts2) || m1 != m2 || net1 != net2 {
+		t.Fatalf("identical degraded runs diverged:\n%v %+v %+v\n%v %+v %+v",
+			counts1, m1, net1, counts2, m2, net2)
+	}
+}
+
+// TestNetChaosConfigValidation drives the degraded-transfer knobs'
+// rejected values through validateConfig.
+func TestNetChaosConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		field  string
+		plan   *simnet.NetworkPlan
+		mutate func(e *Engine)
+	}{
+		{"negative transfer timeout", "TransferTimeout", nil,
+			func(e *Engine) { e.TransferTimeout = -1 }},
+		{"negative retry cap", "TransferRetries", nil,
+			func(e *Engine) { e.TransferRetries = -1 }},
+		{"retries without a deadline", "TransferRetries", nil,
+			func(e *Engine) { e.TransferRetries = 2; e.TransferTimeout = 0 }},
+		{"negative retry backoff", "RetryBackoff", nil,
+			func(e *Engine) { e.RetryBackoff = -0.5 }},
+		{"fair sharing under a network plan", "FairSharingNetwork",
+			&simnet.NetworkPlan{Faults: []simnet.NetFault{{Kind: simnet.FaultCore, Start: 0, End: 1}}},
+			func(e *Engine) { e.FairSharingNetwork = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := netChaosCluster(tc.plan)
+			e := NewEngine(c)
+			tc.mutate(e)
+			_, _, err := e.Run(wordCountJob(false), textInput(c, "a b", "c"), nil)
+			var cfgErr *ConfigError
+			if !errors.As(err, &cfgErr) {
+				t.Fatalf("err = %v, want *ConfigError", err)
+			}
+			if cfgErr.Field != tc.field {
+				t.Fatalf("ConfigError.Field = %q, want %q (%v)", cfgErr.Field, tc.field, err)
+			}
+		})
+	}
+}

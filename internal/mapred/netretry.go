@@ -1,0 +1,123 @@
+package mapred
+
+import (
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+// Degraded transfers. When the cluster's fabric carries a
+// simnet.NetworkPlan, every framework transfer is priced at its start
+// time under the plan's active overlay and may fail typed: too slow
+// for the engine's TransferTimeout, or with its path severed by an
+// outage or partition. The engine reacts like a Hadoop shuffle client:
+// abandon the attempt, back off exponentially (capped), and re-price
+// at the advanced clock — a fault window that has closed by then no
+// longer hurts. With no plan registered, none of this code runs and
+// transfers are charged exactly as before.
+
+// defaultRetryBackoff is the base backoff when Engine.RetryBackoff is
+// zero: one simulated second, Hadoop's fetch-retry starting delay.
+const defaultRetryBackoff = simtime.Duration(1.0)
+
+// retryBackoffCap bounds the exponential backoff at this multiple of
+// the base, so a long fault window is polled rather than escaped.
+const retryBackoffCap = 8
+
+// backoffDelay is the capped exponential wait before retry attempt
+// k (0-based).
+func backoffDelay(base simtime.Duration, attempt int) simtime.Duration {
+	d := base
+	for i := 0; i < attempt; i++ {
+		if d >= base*retryBackoffCap {
+			return base * retryBackoffCap
+		}
+		d *= 2
+	}
+	return d
+}
+
+// transferResult describes one possibly-degraded transfer: the total
+// elapsed time (failed attempts, backoff waits and the successful
+// attempt), how many attempts failed and were retried, and the network
+// traffic the retried attempts carried before being abandoned.
+type transferResult struct {
+	elapsed        simtime.Duration
+	retries        int
+	retryBytes     int64
+	retryCrossRack int64
+}
+
+// transferAt records flows on the fabric and charges their time, like
+// transfer, but honoring the registered NetworkPlan from the given
+// start time. An attempt that would outlive TransferTimeout is
+// abandoned at the deadline — its bytes crossed the fabric before the
+// abort and are recorded, then re-sent — while an attempt whose path
+// is severed records nothing. Failed attempts are retried up to
+// TransferRetries times with capped exponential backoff; when retries
+// are exhausted (or disabled) the typed *simnet.TransferError of the
+// last attempt is returned, with nothing recorded for that final
+// attempt.
+func (e *Engine) transferAt(flows []simnet.Flow, at simtime.Time) (transferResult, error) {
+	fabric := e.cluster.Fabric()
+	if fabric.NetworkPlan() == nil {
+		return transferResult{elapsed: e.transfer(flows)}, nil
+	}
+	var netBytes, crossRack int64
+	firstSrc, firstDst := -1, -1
+	for _, fl := range flows {
+		if fl.Src != fl.Dst && fl.Bytes > 0 {
+			if firstSrc < 0 {
+				firstSrc, firstDst = fl.Src, fl.Dst
+			}
+			netBytes += fl.Bytes
+			if fabric.Rack(fl.Src) != fabric.Rack(fl.Dst) {
+				crossRack += fl.Bytes
+			}
+		}
+	}
+	timeout := e.TransferTimeout
+	backoff := e.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	var res transferResult
+	for attempt := 0; ; attempt++ {
+		now := at + res.elapsed
+		tt, err := fabric.TransferTimeAt(flows, now)
+		if err == nil && (timeout == 0 || tt <= timeout) {
+			fabric.Record(flows)
+			res.elapsed += tt
+			return res, nil
+		}
+		// With no deadline there is nothing to bound a retry loop, so
+		// an unreachable path fails immediately; validateConfig
+		// guarantees TransferRetries > 0 implies a deadline.
+		abandon := timeout == 0 || attempt >= e.TransferRetries
+		if err == nil {
+			err = &simnet.TransferError{Kind: simnet.TransferTimeout, Src: firstSrc, Dst: firstDst, At: now}
+			if !abandon {
+				// The attempt ran to its deadline: the payload crossed
+				// the fabric once and will cross again on the retry.
+				fabric.Record(flows)
+				res.retryBytes += netBytes
+				res.retryCrossRack += crossRack
+			}
+		}
+		if abandon {
+			return res, err
+		}
+		res.retries++
+		res.elapsed += timeout + backoffDelay(backoff, attempt)
+	}
+}
+
+// chargeRetries folds one transfer's retry accounting into the job
+// metrics: the global retry counters plus the byte counter of the
+// phase that paid for the re-sent traffic.
+func chargeRetries(m *Metrics, res transferResult, phaseBytes *int64) {
+	m.TransferRetries += res.retries
+	m.RetryBytes += res.retryBytes
+	if phaseBytes != nil {
+		*phaseBytes += res.retryBytes
+	}
+}

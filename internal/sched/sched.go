@@ -91,6 +91,13 @@ type JobSpec struct {
 	// subset. The callback may configure the engine (cost model, knobs)
 	// before building the stepper.
 	Start func(rt *core.Runtime) (core.Stepper, error)
+	// Restarts is how many times a failed step is answered by
+	// re-invoking Start over the job's existing runtime (same nodes,
+	// same DFS — so a PIC stepper built with ResumeFromCheckpoint picks
+	// up its last "-be" checkpoint) instead of retiring the job. The
+	// driver-restart half of the fault story: a run a network partition
+	// killed resumes from its last merged model once the fault passes.
+	Restarts int
 	// Load describes a synthetic background occupancy instead.
 	Load *Load
 }
@@ -148,9 +155,11 @@ type JobResult struct {
 	// Busy is simulated time spent executing iterations (or resident,
 	// for loads).
 	Busy simtime.Duration
-	// Steps counts executed iterations; Preemptions counts yields.
+	// Steps counts executed iterations; Preemptions counts yields;
+	// Restarts counts error-triggered driver restarts actually used.
 	Steps       int
 	Preemptions int
+	Restarts    int
 	// Nodes is the node subset the job ran on.
 	Nodes []int
 }
@@ -186,6 +195,7 @@ type job struct {
 	busy        simtime.Duration
 	steps       int
 	preemptions int
+	restarts    int
 	err         error
 	span        int64
 }
@@ -305,7 +315,7 @@ func (s *Scheduler) Run() ([]JobResult, error) {
 			Tenant: j.spec.Tenant, Name: j.spec.Name, State: j.state, Err: j.err,
 			Submit: j.spec.Submit, Start: j.start, End: j.end,
 			Wait: j.wait, Busy: j.busy, Steps: j.steps, Preemptions: j.preemptions,
-			Nodes: j.nodes,
+			Restarts: j.restarts, Nodes: j.nodes,
 		}
 	}
 	return results, nil
@@ -432,6 +442,26 @@ func (s *Scheduler) step(j *job, t simtime.Time) error {
 	s.tenantUsage[j.spec.Tenant] += float64(d) * float64(len(j.nodes))
 	j.readyAt = t + simtime.Time(d)
 	if err != nil {
+		// Driver restart: rebuild the stepper over the same runtime —
+		// same nodes, same DFS, same clock — so checkpointed state
+		// survives. The rebuilt stepper re-enters the event loop at the
+		// failed step's boundary time.
+		if j.restarts < j.spec.Restarts {
+			j.restarts++
+			stepper, rerr := j.spec.Start(j.rt)
+			if rerr == nil {
+				j.stepper = stepper
+				if s.obs != nil {
+					s.tenantCounter("sched.restarts", j.spec.Tenant).Add(1)
+				}
+				s.tracer.Record(trace.Event{
+					Kind: trace.KindCheckpoint, Name: j.key() + ": driver restarted",
+					Start: j.readyAt, End: j.readyAt,
+				})
+				return nil
+			}
+			err = fmt.Errorf("sched: %s restart: %w", j.key(), rerr)
+		}
 		j.err = err
 		j.finished = true
 		return nil

@@ -361,3 +361,62 @@ func TestResumeReusesOriginalNodes(t *testing.T) {
 		}
 	}
 }
+
+// brokenStepper stands in for a driver a mid-run fault killed: every
+// step fails.
+type brokenStepper struct{ err error }
+
+func (b brokenStepper) Step() (bool, error) { return false, b.err }
+
+// TestDriverRestartResumesJob answers a failed step with a driver
+// restart: the scheduler re-invokes Start over the job's existing
+// runtime and the rebuilt stepper finishes the run cleanly.
+func TestDriverRestartResumesJob(t *testing.T) {
+	s := sched.New(testCluster(4), sched.Config{})
+	builds := 0
+	start := func(rt *core.Runtime) (core.Stepper, error) {
+		builds++
+		if builds == 1 {
+			return brokenStepper{err: errors.New("driver lost")}, nil
+		}
+		return picJob(24, 2, 1)(rt)
+	}
+	s.Submit(sched.JobSpec{Tenant: "t", Name: "flaky", Nodes: 4, Start: start, Restarts: 1})
+	res := mustRun(t, s)[0]
+	if res.State != sched.StateDone || res.Err != nil {
+		t.Fatalf("job = %s (%v), want done without error", res.State, res.Err)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", res.Restarts)
+	}
+	if builds != 2 {
+		t.Fatalf("Start invoked %d times, want 2", builds)
+	}
+	if res.Steps < 2 {
+		t.Fatalf("Steps = %d, want the failed step plus real iterations", res.Steps)
+	}
+}
+
+// TestDriverRestartBudgetExhausted keeps failing past the restart
+// budget: the job retires with the step error after using every
+// restart.
+func TestDriverRestartBudgetExhausted(t *testing.T) {
+	s := sched.New(testCluster(4), sched.Config{})
+	builds := 0
+	boom := errors.New("driver keeps dying")
+	start := func(rt *core.Runtime) (core.Stepper, error) {
+		builds++
+		return brokenStepper{err: boom}, nil
+	}
+	s.Submit(sched.JobSpec{Tenant: "t", Name: "doomed", Nodes: 4, Start: start, Restarts: 2})
+	res := mustRun(t, s)[0]
+	if res.State != sched.StateDone || !errors.Is(res.Err, boom) {
+		t.Fatalf("job = %s (%v), want done with the step error", res.State, res.Err)
+	}
+	if res.Restarts != 2 {
+		t.Fatalf("Restarts = %d, want the full budget of 2", res.Restarts)
+	}
+	if builds != 3 {
+		t.Fatalf("Start invoked %d times, want 3 (initial + 2 restarts)", builds)
+	}
+}

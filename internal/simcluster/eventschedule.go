@@ -91,10 +91,13 @@ func (c *Cluster) EventSchedule(tasks []Task, slotsPerNode int) ([]Placement, si
 // failed attempt's work is lost, as in Hadoop), and a node that recovers
 // mid-wave rejoins with empty slots. Placements are relative to the wave
 // start, like Schedule's. killed reports how many in-flight attempts
-// node crashes destroyed. It returns an error when tasks remain
-// unrunnable because every node in the view is dead with no recovery
-// scheduled.
-func (c *Cluster) ScheduleFailureAware(tasks []Task, slotsPerNode int, start simtime.Time) (pl []Placement, makespan simtime.Duration, killed int, err error) {
+// node crashes destroyed. exclude optionally names nodes whose slots
+// must not dispatch at all for this wave even though they are alive —
+// the engine passes nodes a network partition has made unreachable, so
+// task attempts are re-homed off them. It returns an error when tasks
+// remain unrunnable because every node in the view is dead or excluded
+// with no recovery scheduled.
+func (c *Cluster) ScheduleFailureAware(tasks []Task, slotsPerNode int, start simtime.Time, exclude map[int]bool) (pl []Placement, makespan simtime.Duration, killed int, err error) {
 	if slotsPerNode <= 0 {
 		panic("simcluster: slotsPerNode must be positive")
 	}
@@ -161,7 +164,7 @@ func (c *Cluster) ScheduleFailureAware(tasks []Task, slotsPerNode int, start sim
 	}
 	dispatch = func(si int, at simtime.Time) {
 		s := slots[si]
-		if dead[s.node] || s.running >= 0 || len(pending) == 0 {
+		if dead[s.node] || exclude[s.node] || s.running >= 0 || len(pending) == 0 {
 			return
 		}
 		// Same tie-breaking as EventSchedule: the earliest pending task
@@ -225,7 +228,7 @@ func (c *Cluster) ScheduleFailureAware(tasks []Task, slotsPerNode int, start sim
 	}
 	eng.Run()
 	if completed < len(tasks) {
-		return nil, 0, killed, fmt.Errorf("simcluster: %d of %d tasks stranded: no live nodes in view and no recovery scheduled",
+		return nil, 0, killed, fmt.Errorf("simcluster: %d of %d tasks stranded: no live reachable nodes in view and no recovery scheduled",
 			len(tasks)-completed, len(tasks))
 	}
 	c.chargeUsage(placements)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/simnet"
 	"repro/internal/simtime"
 )
 
@@ -88,6 +89,20 @@ func (c *Cluster) SetFailurePlan(p *FailurePlan) {
 
 // FailurePlan returns the registered failure script (nil when none).
 func (c *Cluster) FailurePlan() *FailurePlan { return c.failplan }
+
+// SetNetworkPlan registers a network fault script on the shared
+// fabric, after validating it against this cluster's topology. Unlike
+// a FailurePlan, the plan lives on the fabric itself, so every view
+// over the same physical cluster — including views derived before the
+// call — sees it. It panics on an invalid plan; use
+// simnet.NetworkPlan.Validate for the typed error.
+func (c *Cluster) SetNetworkPlan(p *simnet.NetworkPlan) {
+	c.fabric.SetNetworkPlan(p)
+}
+
+// NetworkPlan returns the network fault script registered on the
+// shared fabric (nil when none).
+func (c *Cluster) NetworkPlan() *simnet.NetworkPlan { return c.fabric.NetworkPlan() }
 
 // LiveNodesAt returns the view's nodes alive at time t under the
 // registered plan (all nodes when no plan is registered).

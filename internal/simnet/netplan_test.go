@@ -1,0 +1,259 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestNetworkPlanValidation drives every rejected fault shape through
+// Validate and checks that the typed *PlanError points at the offending
+// fault.
+func TestNetworkPlanValidation(t *testing.T) {
+	cfg := testConfig() // 8 nodes, 2 racks
+	cases := []struct {
+		name  string
+		fault NetFault
+	}{
+		{"node out of range", NetFault{Kind: FaultNodeLink, Node: 8, Start: 0, End: 1}},
+		{"negative node", NetFault{Kind: FaultNodeLink, Node: -1, Start: 0, End: 1}},
+		{"rack out of range", NetFault{Kind: FaultRackUplink, Rack: 2, Start: 0, End: 1}},
+		{"empty partition side", NetFault{Kind: FaultPartition, Start: 0, End: 1}},
+		{"partition node out of range", NetFault{Kind: FaultPartition, Nodes: []int{9}, Start: 0, End: 1}},
+		{"partition node listed twice", NetFault{Kind: FaultPartition, Nodes: []int{1, 1}, Start: 0, End: 1}},
+		{"partition covers everything", NetFault{Kind: FaultPartition, Nodes: []int{0, 1, 2, 3, 4, 5, 6, 7}, Start: 0, End: 1}},
+		{"partition with nonzero factor", NetFault{Kind: FaultPartition, Nodes: []int{0}, Start: 0, End: 1, Factor: 0.5}},
+		{"unknown kind", NetFault{Kind: "wat", Start: 0, End: 1}},
+		{"negative start", NetFault{Kind: FaultCore, Start: -1, End: 1}},
+		{"empty window", NetFault{Kind: FaultCore, Start: 2, End: 2}},
+		{"inverted window", NetFault{Kind: FaultCore, Start: 3, End: 2}},
+		{"negative factor", NetFault{Kind: FaultCore, Start: 0, End: 1, Factor: -0.1}},
+		{"factor one", NetFault{Kind: FaultCore, Start: 0, End: 1, Factor: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &NetworkPlan{Faults: []NetFault{
+				{Kind: FaultCore, Start: 100, End: 101}, // a valid decoy at index 0
+				tc.fault,
+			}}
+			err := p.Validate(cfg)
+			var pe *PlanError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *PlanError", err)
+			}
+			if pe.Index != 1 {
+				t.Fatalf("PlanError.Index = %d, want 1 (%v)", pe.Index, err)
+			}
+		})
+	}
+}
+
+func TestNetworkPlanValidationOverlap(t *testing.T) {
+	cfg := testConfig()
+	p := &NetworkPlan{Faults: []NetFault{
+		{Kind: FaultRackUplink, Rack: 0, Start: 0, End: 5},
+		{Kind: FaultRackUplink, Rack: 1, Start: 2, End: 3}, // different target: fine
+		{Kind: FaultRackUplink, Rack: 0, Start: 4, End: 6}, // overlaps fault 0
+	}}
+	err := p.Validate(cfg)
+	var pe *PlanError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v, want *PlanError at index 2", err)
+	}
+	// Back-to-back windows on one target are legal: [0,5) then [5,8).
+	p.Faults[2] = NetFault{Kind: FaultRackUplink, Rack: 0, Start: 5, End: 8}
+	if err := p.Validate(cfg); err != nil {
+		t.Fatalf("abutting windows rejected: %v", err)
+	}
+	// Two partitions always share the "partition" target.
+	p = &NetworkPlan{Faults: []NetFault{
+		{Kind: FaultPartition, Nodes: []int{0}, Start: 0, End: 5},
+		{Kind: FaultPartition, Nodes: []int{7}, Start: 3, End: 4},
+	}}
+	if err := p.Validate(cfg); err == nil {
+		t.Fatal("overlapping partitions accepted")
+	}
+	if p := (*NetworkPlan)(nil); p.Validate(cfg) != nil {
+		t.Fatal("nil plan rejected")
+	}
+}
+
+// TestSetNetworkPlanPanicsOnInvalid pins registration-time enforcement:
+// a plan naming a nonexistent resource never reaches the fabric.
+func TestSetNetworkPlanPanicsOnInvalid(t *testing.T) {
+	f := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("SetNetworkPlan accepted an invalid plan")
+		}
+	}()
+	f.SetNetworkPlan(&NetworkPlan{Faults: []NetFault{{Kind: FaultNodeLink, Node: 99, Start: 0, End: 1}}})
+}
+
+// TestTransferTimeAtDelegatesOutsideWindows is the zero-fault no-op
+// guarantee: with no window covering the start time — idle plan or no
+// plan — TransferTimeAt must be float-identical to TransferTime.
+func TestTransferTimeAtDelegatesOutsideWindows(t *testing.T) {
+	flows := []Flow{
+		{Src: 0, Dst: 4, Bytes: 1234},
+		{Src: 1, Dst: 5, Bytes: 999},
+		{Src: 2, Dst: 3, Bytes: 777},
+	}
+	clean := New(testConfig())
+	want := clean.TransferTime(flows)
+
+	planned := New(testConfig())
+	planned.SetNetworkPlan(&NetworkPlan{Faults: []NetFault{
+		{Kind: FaultCore, Start: 50, End: 60},
+		{Kind: FaultNodeLink, Node: 0, Start: 70, End: 80},
+	}})
+	for _, at := range []simtime.Time{0, 49.999, 60, 65, 1000} {
+		got, err := planned.TransferTimeAt(flows, at)
+		if err != nil {
+			t.Fatalf("t=%g: %v", float64(at), err)
+		}
+		if got != want {
+			t.Fatalf("t=%g: TransferTimeAt = %v, TransferTime = %v (must be identical)", float64(at), got, want)
+		}
+	}
+	none := New(testConfig())
+	if got, err := none.TransferTimeAt(flows, 55); err != nil || got != want {
+		t.Fatalf("nil plan: got %v, %v; want %v, nil", got, err, want)
+	}
+}
+
+// TestTransferTimeAtBrownout prices a transfer under a half-capacity
+// core window: cross-rack slows down exactly by the factor, intra-rack
+// is untouched.
+func TestTransferTimeAtBrownout(t *testing.T) {
+	cfg := testConfig()
+	cfg.RackBandwidth = 10000 // uplinks out of the way: core is the cross-rack bottleneck
+	f := New(cfg)
+	f.SetNetworkPlan(&NetworkPlan{Faults: []NetFault{
+		{Kind: FaultCore, Start: 10, End: 20, Factor: 0.5},
+	}})
+	cross := []Flow{
+		{Src: 0, Dst: 4, Bytes: 1000},
+		{Src: 1, Dst: 5, Bytes: 1000},
+		{Src: 2, Dst: 6, Bytes: 1000},
+		{Src: 3, Dst: 7, Bytes: 1000},
+	}
+	healthy, err := f.TransferTimeAt(cross, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	browned, err := f.TransferTimeAt(cross, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy: core carries 4000 B at 200 B/s = 20 s. At factor 0.5 the
+	// core runs at 100 B/s = 40 s.
+	if healthy != simtime.Duration(20) || browned != simtime.Duration(40) {
+		t.Fatalf("healthy = %v, browned = %v; want 20, 40", healthy, browned)
+	}
+	intra := []Flow{{Src: 0, Dst: 1, Bytes: 1000}}
+	same, err := f.TransferTimeAt(intra, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := f.TransferTime(intra); same != want {
+		t.Fatalf("intra-rack transfer repriced under a core brownout: %v vs %v", same, want)
+	}
+}
+
+// TestTransferTimeAtSevered covers each outage kind's reachability cut
+// and the typed error it produces.
+func TestTransferTimeAtSevered(t *testing.T) {
+	cases := []struct {
+		name     string
+		fault    NetFault
+		src, dst int
+		cut      bool
+	}{
+		{"node NIC out cuts the node", NetFault{Kind: FaultNodeLink, Node: 1, Start: 0, End: 10}, 0, 1, true},
+		{"node NIC out spares others", NetFault{Kind: FaultNodeLink, Node: 1, Start: 0, End: 10}, 0, 2, false},
+		{"rack uplink out cuts cross-rack", NetFault{Kind: FaultRackUplink, Rack: 0, Start: 0, End: 10}, 0, 4, true},
+		{"rack uplink out spares intra-rack", NetFault{Kind: FaultRackUplink, Rack: 0, Start: 0, End: 10}, 0, 1, false},
+		{"core out cuts cross-rack", NetFault{Kind: FaultCore, Start: 0, End: 10}, 0, 4, true},
+		{"core out spares intra-rack", NetFault{Kind: FaultCore, Start: 0, End: 10}, 0, 1, false},
+		{"partition cuts across the side", NetFault{Kind: FaultPartition, Nodes: []int{0, 1}, Start: 0, End: 10}, 1, 2, true},
+		{"partition spares within the side", NetFault{Kind: FaultPartition, Nodes: []int{0, 1}, Start: 0, End: 10}, 0, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := New(testConfig())
+			f.SetNetworkPlan(&NetworkPlan{Faults: []NetFault{tc.fault}})
+			_, err := f.TransferTimeAt([]Flow{{Src: tc.src, Dst: tc.dst, Bytes: 100}}, 5)
+			if got := f.ReachableAt(tc.src, tc.dst, 5); got != !tc.cut {
+				t.Fatalf("ReachableAt = %v, want %v", got, !tc.cut)
+			}
+			if !tc.cut {
+				if err != nil {
+					t.Fatalf("uncut path errored: %v", err)
+				}
+				return
+			}
+			var te *TransferError
+			if !errors.As(err, &te) {
+				t.Fatalf("err = %v, want *TransferError", err)
+			}
+			if te.Kind != TransferUnreachable || te.Src != tc.src || te.Dst != tc.dst || te.At != 5 {
+				t.Fatalf("TransferError = %+v", te)
+			}
+			// Outside the window the same path flows freely.
+			if _, err := f.TransferTimeAt([]Flow{{Src: tc.src, Dst: tc.dst, Bytes: 100}}, 10); err != nil {
+				t.Fatalf("path still cut after window end: %v", err)
+			}
+		})
+	}
+}
+
+func TestUnreachableFrom(t *testing.T) {
+	f := New(testConfig())
+	f.SetNetworkPlan(&NetworkPlan{Faults: []NetFault{
+		{Kind: FaultPartition, Nodes: []int{0, 1, 2}, Start: 0, End: 10},
+	}})
+	cut := f.UnreachableFrom(0, 5)
+	if len(cut) != 5 {
+		t.Fatalf("UnreachableFrom(0) = %v, want the 5 far-side nodes", cut)
+	}
+	for n := 3; n < 8; n++ {
+		if !cut[n] {
+			t.Fatalf("node %d missing from cut set %v", n, cut)
+		}
+	}
+	if f.UnreachableFrom(0, 20) != nil {
+		t.Fatal("cut set nonempty outside the window")
+	}
+	if !f.ReachableAt(3, 3, 5) {
+		t.Fatal("src == dst must always be reachable")
+	}
+}
+
+func TestNextTransition(t *testing.T) {
+	p := &NetworkPlan{Faults: []NetFault{
+		{Kind: FaultCore, Start: 10, End: 20},
+		{Kind: FaultNodeLink, Node: 0, Start: 15, End: 30},
+	}}
+	cases := []struct {
+		at   simtime.Time
+		want simtime.Time
+		ok   bool
+	}{
+		{0, 10, true},
+		{10, 15, true}, // strictly after t
+		{15, 20, true},
+		{20, 30, true},
+		{30, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := p.NextTransition(tc.at)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Fatalf("NextTransition(%g) = %g, %v; want %g, %v", float64(tc.at), float64(got), ok, float64(tc.want), tc.ok)
+		}
+	}
+	if _, ok := (*NetworkPlan)(nil).NextTransition(0); ok {
+		t.Fatal("nil plan has a transition")
+	}
+}

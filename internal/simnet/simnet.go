@@ -175,6 +175,10 @@ type Fabric struct {
 	bgNodeUp, bgNodeDown []float64
 	bgRackUp, bgRackDown []float64
 	bgCore               float64
+
+	// netplan is the registered network fault script (nil when none);
+	// see netplan.go.
+	netplan *NetworkPlan
 }
 
 // New builds a fabric from cfg. It panics if cfg is invalid; topology

@@ -44,6 +44,14 @@ const (
 	KindSchedJob     Kind = "sched-job"
 	KindSchedWait    Kind = "sched-wait"
 	KindSchedPreempt Kind = "sched-preempt"
+	// Network-fault events: a scripted fault window on the fabric, a
+	// transfer that needed retries to get through, a best-effort merge
+	// that proceeded degraded on a quorum of partials, and a model
+	// checkpoint written or restored.
+	KindNetFault      Kind = "net-fault"
+	KindTransferRetry Kind = "transfer-retry"
+	KindDegradedMerge Kind = "degraded-merge"
+	KindCheckpoint    Kind = "checkpoint"
 )
 
 // Layer reports the runtime layer that produces events of the given
@@ -51,15 +59,15 @@ const (
 // filter spans per subsystem.
 func Layer(k Kind) string {
 	switch k {
-	case KindJob, KindLocalJob, KindOverhead, KindModelDist, KindMap, KindShuffle, KindReduce:
+	case KindJob, KindLocalJob, KindOverhead, KindModelDist, KindMap, KindShuffle, KindReduce, KindTransferRetry:
 		return "mapred"
-	case KindTransfer:
+	case KindTransfer, KindNetFault:
 		return "simnet"
 	case KindModelWrite, KindReReplication:
 		return "dfs"
 	case KindNodeCrash, KindNodeRecover:
 		return "simcluster"
-	case KindPhase, KindGroupRepair:
+	case KindPhase, KindGroupRepair, KindDegradedMerge, KindCheckpoint:
 		return "core"
 	case KindSchedJob, KindSchedWait, KindSchedPreempt:
 		return "sched"
