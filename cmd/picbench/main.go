@@ -4,7 +4,7 @@
 //	picbench fig2 fig9 fig10 fig11 fig12a fig12b fig12c \
 //	         table1 table2 table3 \
 //	         abl-parts abl-coupling abl-localfactor abl-degenerate \
-//	         abl-faults abl-netfaults abl-tenancy
+//	         abl-faults abl-netfaults abl-tenancy abl-loopaware
 //
 // Two fault ablations exist: abl-faults crashes a node (machine and
 // disk die; DFS re-replicates, tasks reschedule, PIC groups repair),
@@ -78,6 +78,7 @@ var experiments = []experiment{
 	{"abl-faults", "node-failure ablation: a machine crashes (disk dies, DFS re-replicates, groups repair)", wrap(bench.AblationNodeFailure)},
 	{"abl-netfaults", "network-fault ablation: nodes stay up but core links fail (retries, quorum merges)", wrap(bench.AblationNetworkFault)},
 	{"abl-tenancy", "multi-tenant contention ablation", wrap(bench.AblationMultiTenant)},
+	{"abl-loopaware", "loop-aware runtime ablation: cold vs warm invariant-input cache (wall time drops, simulated results byte-identical)", wrap(bench.AblationLoopAware)},
 }
 
 func main() {

@@ -130,6 +130,16 @@ func centroidsOf(m *model.Model) *centroidSet {
 // the argmin — and every byte downstream of it — is identical whichever
 // path runs.
 func (cs *centroidSet) nearestKey(p writable.Vector) string {
+	best := cs.nearestIndex(p)
+	if best < 0 {
+		return ""
+	}
+	return cs.keys[best]
+}
+
+// nearestIndex is nearestKey returning the centroid's index (-1 when
+// the model has no centroids or every distance is NaN).
+func (cs *centroidSet) nearestIndex(p writable.Vector) int {
 	best := -1
 	bestDist := math.Inf(1)
 	switch {
@@ -176,10 +186,7 @@ func (cs *centroidSet) nearestKey(p writable.Vector) string {
 			}
 		}
 	}
-	if best < 0 {
-		return ""
-	}
-	return cs.keys[best]
+	return best
 }
 
 // sumReducer aggregates (point..., count) accumulators component-wise;
@@ -228,26 +235,208 @@ type sumCollector struct{ acc writable.Vector }
 
 func (c *sumCollector) Emit(_ string, v writable.Writable) { c.acc = v.(writable.Vector) }
 
+// iterMapper assigns each point to its nearest centroid. Beyond the
+// record-at-a-time Map, it implements the loop-aware capabilities
+// mapred.FusedMapper and mapred.LocalFuser: points are parsed once into
+// a packed array cached in the job family, and each iteration's
+// map+combine (or map+reduce) runs fused over it. Every fused path
+// accumulates in the exact floating-point order of the cold pipeline,
+// so outputs are byte-identical.
+type iterMapper struct{ cs *centroidSet }
+
+// Map implements mapred.Mapper — the cold path.
+func (mp *iterMapper) Map(_ string, v writable.Writable, _ *model.Model, emit mapred.Emitter) error {
+	p := v.(writable.Vector)
+	key := mp.cs.nearestKey(p)
+	if key == "" {
+		return fmt.Errorf("kmeans: model has no centroids")
+	}
+	// Build the (point..., count) accumulator in one exact-size
+	// allocation; Clone+append would allocate twice per point.
+	acc := make(writable.Vector, len(p)+1)
+	copy(acc, p)
+	acc[len(p)] = 1
+	emit.Emit(key, acc)
+	return nil
+}
+
+// packedPoints is the cacheable derived form of one split: its points
+// packed into a contiguous array, parsed out of the record encoding
+// once per job family instead of once per iteration.
+type packedPoints struct {
+	flat    []float64 // n × dims
+	n, dims int
+}
+
+// SizeBytes implements mapred.SplitDerived.
+func (d *packedPoints) SizeBytes() int64 { return int64(8 * len(d.flat)) }
+
+// NewDerived implements mapred.FusedMapper/LocalFuser. Splits that are
+// not uniform-dimension vectors decline fusion (nil): the cold path
+// handles them with its per-record shape checks.
+func (mp *iterMapper) NewDerived(recs []mapred.Record) mapred.SplitDerived {
+	if len(recs) == 0 {
+		return nil
+	}
+	first, ok := recs[0].Value.(writable.Vector)
+	if !ok || len(first) == 0 {
+		return nil
+	}
+	dims := len(first)
+	flat := make([]float64, 0, len(recs)*dims)
+	for _, r := range recs {
+		p, ok := r.Value.(writable.Vector)
+		if !ok || len(p) != dims {
+			return nil
+		}
+		flat = append(flat, p...)
+	}
+	return &packedPoints{flat: flat, n: len(recs), dims: dims}
+}
+
+// MapSplit implements mapred.FusedMapper: map+combine over one split.
+// Per-key sums start from a copy of the first arriving accumulator and
+// add subsequent points in arrival order — exactly sumReducer's
+// values[0].Clone()-then-add sequence — and emissions walk cs.keys in
+// ascending (model) order, matching the sorted order the cold combiner
+// emits in.
+func (mp *iterMapper) MapSplit(d mapred.SplitDerived, _ *model.Model, emit mapred.Emitter) (int64, int64, error) {
+	pp := d.(*packedPoints)
+	cs := mp.cs
+	k := len(cs.keys)
+	if k == 0 {
+		return 0, 0, fmt.Errorf("kmeans: model has no centroids")
+	}
+	width := pp.dims + 1
+	sums := make([]float64, k*width)
+	counts := make([]int64, k)
+	for i := 0; i < pp.n; i++ {
+		p := writable.Vector(pp.flat[i*pp.dims : (i+1)*pp.dims])
+		j := cs.nearestIndex(p)
+		if j < 0 {
+			return 0, 0, fmt.Errorf("kmeans: model has no centroids")
+		}
+		acc := sums[j*width : (j+1)*width]
+		if counts[j] == 0 {
+			copy(acc, p)
+			acc[pp.dims] = 1
+		} else {
+			for c, x := range p {
+				acc[c] += x
+			}
+			acc[pp.dims]++
+		}
+		counts[j]++
+	}
+	// Pre-combine accounting: the cold path emits one (key, point+count)
+	// record per point, so its intermediate bytes are Σ count_j·size_j.
+	scratch := make(writable.Vector, width)
+	var preBytes int64
+	for j, c := range counts {
+		if c == 0 {
+			continue
+		}
+		preBytes += c * mapred.Record{Key: cs.keys[j], Value: scratch}.Size()
+		emit.Emit(cs.keys[j], writable.Vector(sums[j*width:(j+1)*width]))
+	}
+	return int64(pp.n), preBytes, nil
+}
+
+// FuseLocal implements mapred.LocalFuser: the in-memory map+reduce of a
+// best-effort local iteration. Assignment (stage 1) is pure reads and
+// runs parallel; accumulation (stage 2) is serial in global arrival
+// order — the exact floating-point order the cold reducer sums in after
+// its stable sort. Shapes the cold path reports errors for (ragged
+// dimensions, NaN distances, empty model) decline fusion instead, so
+// the cold run produces its byte-identical diagnostics.
+func (mp *iterMapper) FuseLocal(ds []mapred.SplitDerived, _ *model.Model, par func(int, func(int)), emit mapred.Emitter) (int64, error) {
+	cs := mp.cs
+	k := len(cs.keys)
+	if k == 0 {
+		return 0, mapred.ErrFusedUnsupported
+	}
+	pps := make([]*packedPoints, len(ds))
+	dims := -1
+	var total int64
+	for i, d := range ds {
+		pp := d.(*packedPoints)
+		pps[i] = pp
+		if pp.n == 0 {
+			continue
+		}
+		if dims == -1 {
+			dims = pp.dims
+		} else if pp.dims != dims {
+			return 0, mapred.ErrFusedUnsupported
+		}
+		total += int64(pp.n)
+	}
+	if dims < 0 {
+		return 0, nil
+	}
+	assign := make([][]int32, len(pps))
+	bad := make([]bool, len(pps))
+	par(len(pps), func(i int) {
+		pp := pps[i]
+		idx := make([]int32, pp.n)
+		for r := 0; r < pp.n; r++ {
+			p := writable.Vector(pp.flat[r*pp.dims : (r+1)*pp.dims])
+			j := cs.nearestIndex(p)
+			if j < 0 {
+				bad[i] = true
+				return
+			}
+			idx[r] = int32(j)
+		}
+		assign[i] = idx
+	})
+	for _, b := range bad {
+		if b {
+			return 0, mapred.ErrFusedUnsupported
+		}
+	}
+	width := dims + 1
+	sums := make([]float64, k*width)
+	counts := make([]int64, k)
+	for i, pp := range pps {
+		idx := assign[i]
+		for r := 0; r < pp.n; r++ {
+			j := int(idx[r])
+			acc := sums[j*width : (j+1)*width]
+			p := pp.flat[r*dims : (r+1)*dims]
+			if counts[j] == 0 {
+				copy(acc, p)
+				acc[dims] = 1
+			} else {
+				for c, x := range p {
+					acc[c] += x
+				}
+				acc[dims]++
+			}
+			counts[j]++
+		}
+	}
+	for j, c := range counts {
+		if c == 0 {
+			continue
+		}
+		centroid := make(writable.Vector, dims)
+		n := sums[j*width+dims]
+		for i := range centroid {
+			centroid[i] = sums[j*width+i] / n
+		}
+		emit.Emit(cs.keys[j], centroid)
+	}
+	return total, nil
+}
+
 // Iteration implements core.App: one MapReduce job assigning points to
 // centroids and recomputing them.
 func (a *App) Iteration(rt *core.Runtime, in *mapred.Input, m *model.Model) (*model.Model, error) {
 	cs := centroidsOf(m)
 	job := &mapred.Job{
-		Name: "kmeans-iter",
-		Mapper: mapred.MapperFunc(func(_ string, v writable.Writable, _ *model.Model, emit mapred.Emitter) error {
-			p := v.(writable.Vector)
-			key := cs.nearestKey(p)
-			if key == "" {
-				return fmt.Errorf("kmeans: model has no centroids")
-			}
-			// Build the (point..., count) accumulator in one exact-size
-			// allocation; Clone+append would allocate twice per point.
-			acc := make(writable.Vector, len(p)+1)
-			copy(acc, p)
-			acc[len(p)] = 1
-			emit.Emit(key, acc)
-			return nil
-		}),
+		Name:     "kmeans-iter",
+		Mapper:   &iterMapper{cs: cs},
 		Combiner: sumReducer{},
 		Reducer:  centroidReducer{},
 	}
@@ -289,6 +478,15 @@ func (a *App) Partition(in *mapred.Input, m *model.Model, p int) ([]core.SubProb
 		subs[i] = core.SubProblem{Records: groups[i], Model: models[i]}
 	}
 	return subs, nil
+}
+
+// PartitionModels implements core.LoopPartitioner: Partition's record
+// deal is deterministic and model-independent, so the PIC stepper may
+// keep the first best-effort iteration's record layout and refresh only
+// the per-partition model copies — the loop-invariant half of the
+// sub-problems stays cached on the node groups.
+func (a *App) PartitionModels(m *model.Model, p int) []*model.Model {
+	return core.CopyModels(m, p)
 }
 
 // Merge implements core.PICApp: average corresponding centroids from

@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mapred"
@@ -38,9 +39,11 @@ type Snapshot struct {
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	Scale      float64        `json:"scale"`
 	Kernels    []KernelResult `json:"kernels"`
-	// SuiteWallSeconds is the wall time of one full serial experiment
-	// suite at Scale, when the snapshot was taken with -suite; zero
-	// when only the kernels were measured.
+	// SuiteWallSeconds is a wall-clock total: the kernel measurements
+	// themselves, or one full serial experiment suite at Scale when the
+	// snapshot was taken with -suite. It is always positive; a zero
+	// value marks a snapshot from before the wall total was recorded,
+	// and CheckSnapshot rejects it.
 	SuiteWallSeconds float64 `json:"suite_wall_seconds"`
 }
 
@@ -156,6 +159,28 @@ func kernels() []kernel {
 				}
 			}
 		}},
+		{"per-iter-overhead", func(b *testing.B) {
+			// Fixed per-iteration overhead with a warm loop cache: a
+			// deliberately tiny K-means problem, so the measurement is
+			// dominated by the per-iteration bookkeeping (job assembly,
+			// accounting, model handling) rather than per-point compute —
+			// the quantity the loop-aware runtime drives toward zero. One
+			// untimed iteration stages the caches first.
+			w, _ := KMeansWorkload("snapshot-per-iter", simcluster.Small(), 2_000, 25, 3, 6, 3)
+			rt := w.NewRuntime()
+			app := w.MakeApp()
+			in := w.MakeInput(rt.Cluster())
+			m := w.MakeModel()
+			if _, err := app.Iteration(rt, in, m); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Iteration(rt, in, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"degraded-merge", func(b *testing.B) {
 			// One best-effort PIC round through the degraded network
 			// path: a rack uplink is down for the whole run, so every
@@ -192,14 +217,18 @@ func KernelNames() []string {
 }
 
 // TakeSnapshot measures every kernel and returns the populated
-// snapshot (SuiteWallSeconds left zero; the caller fills it when it
-// also times a suite run).
+// snapshot. SuiteWallSeconds is the wall time of the kernel
+// measurements themselves; a caller that also times a full experiment
+// suite overwrites it with that (longer) figure. Either way it is
+// non-zero — a snapshot claiming a zero wall total is malformed, and
+// CheckSnapshot rejects it.
 func TakeSnapshot() *Snapshot {
 	s := &Snapshot{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      scale,
 	}
+	start := time.Now()
 	for _, k := range kernels() {
 		r := testing.Benchmark(k.fn)
 		s.Kernels = append(s.Kernels, KernelResult{
@@ -208,6 +237,7 @@ func TakeSnapshot() *Snapshot {
 			NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
 		})
 	}
+	s.SuiteWallSeconds = time.Since(start).Seconds()
 	return s
 }
 
@@ -232,6 +262,9 @@ func CheckSnapshot(data []byte) (*Snapshot, error) {
 	}
 	if s.Scale <= 0 || s.Scale > 1 {
 		return nil, fmt.Errorf("bench: snapshot scale %v outside (0, 1]", s.Scale)
+	}
+	if s.SuiteWallSeconds <= 0 {
+		return nil, fmt.Errorf("bench: snapshot suite_wall_seconds %v must be positive (re-take the snapshot; TakeSnapshot records the kernel-suite wall time)", s.SuiteWallSeconds)
 	}
 	have := map[string]KernelResult{}
 	for _, k := range s.Kernels {

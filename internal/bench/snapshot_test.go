@@ -65,7 +65,7 @@ func BenchmarkDegradedMerge(b *testing.B) {
 }
 
 func validSnapshot() *Snapshot {
-	s := &Snapshot{GoVersion: "go1.24.0", GOMAXPROCS: 1, Scale: 1}
+	s := &Snapshot{GoVersion: "go1.24.0", GOMAXPROCS: 1, Scale: 1, SuiteWallSeconds: 42}
 	for _, name := range KernelNames() {
 		s.Kernels = append(s.Kernels, KernelResult{Name: name, Iters: 3, NsPerOp: 1e6})
 	}
@@ -105,6 +105,10 @@ func TestCheckSnapshotRejectsBadInputs(t *testing.T) {
 		{"bad scale", marshal(func() *Snapshot { s := validSnapshot(); s.Scale = 0; return s }())},
 		{"missing kernel", marshal(func() *Snapshot { s := validSnapshot(); s.Kernels = s.Kernels[1:]; return s }())},
 		{"zero timing", marshal(func() *Snapshot { s := validSnapshot(); s.Kernels[0].NsPerOp = 0; return s }())},
+		// The suite wall total must be positive: a zero marks the
+		// pre-fix bug where baselines recorded suite_wall_seconds 0.
+		{"zero wall total", marshal(func() *Snapshot { s := validSnapshot(); s.SuiteWallSeconds = 0; return s }())},
+		{"negative wall total", marshal(func() *Snapshot { s := validSnapshot(); s.SuiteWallSeconds = -1; return s }())},
 	}
 	for _, tc := range cases {
 		if _, err := CheckSnapshot(tc.data); err == nil {
@@ -114,7 +118,7 @@ func TestCheckSnapshotRejectsBadInputs(t *testing.T) {
 }
 
 func TestKernelNamesStable(t *testing.T) {
-	want := []string{"run-grouped", "shuffle-accounting", "local-iteration", "sched-multitenant", "kmeans-be-iter", "degraded-merge"}
+	want := []string{"run-grouped", "shuffle-accounting", "local-iteration", "sched-multitenant", "kmeans-be-iter", "per-iter-overhead", "degraded-merge"}
 	got := KernelNames()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("kernel set changed: %v (update BENCH_baseline.json and this test together)", got)

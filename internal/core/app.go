@@ -61,6 +61,19 @@ type PICApp interface {
 	Merge(parts []*model.Model, prev *model.Model) (*model.Model, error)
 }
 
+// LoopPartitioner is optionally implemented by a PICApp whose Partition
+// deals records deterministically and independently of the model. The
+// PIC stepper then computes the record layout once per run and calls
+// PartitionModels for the per-iteration model refresh, so the
+// loop-invariant half of every sub-problem keeps the same backing
+// arrays across best-effort iterations — which is what lets the
+// job-family caches stay warm between them. Partition is still the
+// source of truth: implementations must guarantee PartitionModels(m, p)
+// yields exactly the models Partition(in, m, p) would.
+type LoopPartitioner interface {
+	PartitionModels(m *model.Model, p int) []*model.Model
+}
+
 // KeyMerger is optionally implemented by a PICApp whose merge combines
 // partial models key by key (averaging centroids, summing gradients).
 // With PICOptions.DistributedMerge, the driver then executes the merge

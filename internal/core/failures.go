@@ -62,6 +62,13 @@ func (rt *Runtime) processNodeEvent() {
 		Kind: trace.KindNodeCrash, Name: fmt.Sprintf("node %d", ev.Node),
 		Start: ev.Time, End: ev.Time, Lane: rt.lane,
 	})
+	// A crash takes the node's persistent worker — and its invariant-
+	// input cache — with it. Splits re-homed onto surviving replicas
+	// re-stage cold there on the next iteration.
+	if rt.family != nil {
+		rt.family.EvictNode(ev.Node)
+		rt.observeCache(ev.Time)
+	}
 	rt.repairDFS(ev.Time)
 }
 

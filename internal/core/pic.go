@@ -217,6 +217,17 @@ type PICStepper struct {
 	redistributed bool
 	topOff        *ICStepper // non-nil once the best-effort phase closed
 	done          bool
+
+	// Loop-aware partition-layout reuse (apps implementing
+	// LoopPartitioner): the record layout from the first Partition call,
+	// reused verbatim on later best-effort iterations so each
+	// sub-problem keeps the same backing arrays — and therefore its warm
+	// job-family cache entries — across iterations. subIns/subInViews
+	// cache each partition's Input per live group view; a partition is
+	// rebuilt when group repair hands it a different view.
+	layout     [][]mapred.Record
+	subIns     []*mapred.Input
+	subInViews []*simcluster.Cluster
 }
 
 // NewPICStepper prepares a PIC run over rt without executing anything.
@@ -326,13 +337,41 @@ func (s *PICStepper) beStep() (bool, error) {
 	defer func() { rt.span = prevSpan }()
 	{
 		mergeBytesBefore := res.MergeTrafficBytes
-		subs, err := app.Partition(s.in, m, opt.Partitions)
-		if err != nil {
-			return false, fmt.Errorf("core: %s partition: %w", app.Name(), err)
+		// Partition the problem. Apps implementing LoopPartitioner deal
+		// records deterministically and model-independently, so after
+		// the first iteration only the per-partition models are
+		// refreshed and the record layout — with its backing arrays and
+		// warm caches — is reused; Partition itself re-deals into fresh
+		// arrays, which would turn every cached split cold.
+		var subs []SubProblem
+		var err error
+		if s.layout != nil {
+			if lp, ok := app.(LoopPartitioner); ok {
+				if models := lp.PartitionModels(m, opt.Partitions); len(models) == opt.Partitions {
+					subs = make([]SubProblem, opt.Partitions)
+					for i := range subs {
+						subs[i] = SubProblem{Records: s.layout[i], Model: models[i]}
+					}
+				}
+			}
 		}
-		if len(subs) != opt.Partitions {
-			return false, fmt.Errorf("core: %s partition returned %d sub-problems, want %d",
-				app.Name(), len(subs), opt.Partitions)
+		if subs == nil {
+			subs, err = app.Partition(s.in, m, opt.Partitions)
+			if err != nil {
+				return false, fmt.Errorf("core: %s partition: %w", app.Name(), err)
+			}
+			if len(subs) != opt.Partitions {
+				return false, fmt.Errorf("core: %s partition returned %d sub-problems, want %d",
+					app.Name(), len(subs), opt.Partitions)
+			}
+			if _, ok := app.(LoopPartitioner); ok {
+				s.layout = make([][]mapred.Record, len(subs))
+				for i := range subs {
+					s.layout[i] = subs[i].Records
+				}
+				s.subIns = make([]*mapred.Input, len(subs))
+				s.subInViews = make([]*simcluster.Cluster, len(subs))
+			}
 		}
 
 		// One-time charge: deal the partitioned data onto the groups.
@@ -457,7 +496,20 @@ func (s *PICStepper) beStep() (bool, error) {
 			g := assign[i]
 			subRT := rt.Fork(liveGroups[g], true)
 			subRT.SetLane(g + 1)
-			subIn := mapred.NewInput(sub.Records, liveGroups[g], liveGroups[g].MapSlots())
+			// Reuse the partition's Input while its live group view is
+			// unchanged (liveView returns the identical view pointer when
+			// nothing died); after a repair the input is rebuilt against
+			// the new view, and its splits re-stage cold there.
+			var subIn *mapred.Input
+			if s.subIns != nil && s.subIns[i] != nil && s.subInViews[i] == liveGroups[g] {
+				subIn = s.subIns[i]
+			} else {
+				subIn = mapred.NewInput(sub.Records, liveGroups[g], liveGroups[g].MapSlots())
+				if s.subIns != nil {
+					s.subIns[i] = subIn
+					s.subInViews[i] = liveGroups[g]
+				}
+			}
 			local, err := RunIC(subRT, app, subIn, sub.Model, &ICOptions{
 				MaxIterations:      opt.MaxLocalIterations,
 				DisableModelWrites: true,

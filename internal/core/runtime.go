@@ -51,6 +51,14 @@ type Runtime struct {
 	// order after every clock advance.
 	fails *failureTracker
 	net   *netTracker
+
+	// family is the loop-aware job family: persistent per-node workers
+	// whose caches keep each split's loop-invariant bytes and derived
+	// structures warm across IC/PIC iterations. Attached by default;
+	// SetLoopCache(false) detaches it for cold (conformance) runs. Nil
+	// never changes simulated outcomes — only real wall-clock and the
+	// cache.* observability counters.
+	family *mapred.JobFamily
 }
 
 // NewRuntime creates a runtime over a full cluster view with a fresh
@@ -64,9 +72,54 @@ func NewRuntime(cluster *simcluster.Cluster, fsCfg dfs.Config) *Runtime {
 		fs:     dfs.New(cluster, fsCfg),
 		fails:  newFailureTracker(cluster.FailurePlan()),
 		net:    newNetTracker(cluster.NetworkPlan()),
+		family: mapred.NewJobFamily("runtime", mapred.DefaultNodeCacheBytes),
 	}
+	rt.engine.Family = rt.family
 	rt.syncFaults() // apply any events scripted at time zero
 	return rt
+}
+
+// SetLoopCache attaches (the default) or detaches the loop-aware job
+// family. Detached, every job runs cold: derived structures are rebuilt
+// from the raw records each iteration. Outputs, Metrics and traced
+// spans are byte-identical either way — the cache-conformance suite
+// runs both and compares.
+func (rt *Runtime) SetLoopCache(enabled bool) {
+	if enabled {
+		if rt.family == nil {
+			rt.family = mapred.NewJobFamily("runtime", mapred.DefaultNodeCacheBytes)
+		}
+		rt.engine.Family = rt.family
+		return
+	}
+	rt.family = nil
+	rt.engine.Family = nil
+}
+
+// LoopCacheStats snapshots the job family's cache counters (zero when
+// the cache is detached).
+func (rt *Runtime) LoopCacheStats() mapred.FamilyStats {
+	if rt.family == nil {
+		return mapred.FamilyStats{}
+	}
+	return rt.family.Stats()
+}
+
+// LoopFamily exposes the attached job family (nil when detached) for
+// the fault layers and tests.
+func (rt *Runtime) LoopFamily() *mapred.JobFamily { return rt.family }
+
+// ReleaseLoopCache drops every cached entry on every node, returning
+// the persistent workers' memory — the scheduler calls this when a job
+// is preempted or restarted; the caches re-warm on first touch after
+// resume. The release is recorded as cache-evict activity at the
+// runtime's current time.
+func (rt *Runtime) ReleaseLoopCache() {
+	if rt.family == nil {
+		return
+	}
+	rt.family.Release()
+	rt.observeCache(rt.now())
 }
 
 // Engine exposes the underlying MapReduce engine (to set cost models or
@@ -194,8 +247,59 @@ func (rt *Runtime) RunJob(job *mapred.Job, in *mapred.Input, m *model.Model) (*m
 	if kind == trace.KindJob {
 		rt.recordJobSpans(id, job.Name, start, metrics)
 	}
+	rt.observeCache(start)
 	rt.observeNow()
 	return out, nil
+}
+
+// observeCache drains the job family's cache activity into the
+// timeline and registry: one cache-warm/cache-evict point annotation
+// per staging or eviction, stamped at the triggering event's time, plus
+// the cache.* counter family. Cache annotations never take tracer IDs
+// and never parent other events, so a cold run and a warm run assign
+// identical IDs to every remaining event — the conformance suite
+// filters the cache kinds and counters and compares the rest
+// byte-for-byte.
+func (rt *Runtime) observeCache(at simtime.Time) {
+	f := rt.family
+	if f == nil {
+		return
+	}
+	if rt.tracer != nil {
+		for _, ev := range f.DrainEvents() {
+			kind := trace.KindCacheWarm
+			name := fmt.Sprintf("node %d: %d records staged", ev.Node, ev.Records)
+			if ev.Kind == mapred.CacheEvict {
+				kind = trace.KindCacheEvict
+				name = fmt.Sprintf("node %d: entry released", ev.Node)
+			}
+			rt.tracer.Record(trace.Event{
+				Kind: kind, Name: name, Start: at, End: at,
+				Bytes: ev.Bytes, Lane: rt.lane, Parent: rt.span,
+			})
+		}
+	} else {
+		f.DrainEvents()
+	}
+	if rt.obs != nil {
+		d := f.DrainStatsDelta()
+		if d.Hits != 0 {
+			rt.obs.Counter("cache.hits").Add(float64(d.Hits))
+		}
+		if d.Misses != 0 {
+			rt.obs.Counter("cache.misses").Add(float64(d.Misses))
+		}
+		if d.Evictions != 0 {
+			rt.obs.Counter("cache.evictions").Add(float64(d.Evictions))
+		}
+		if d.DeltaBytes != 0 {
+			rt.obs.Counter("cache.delta_bytes").Add(float64(d.DeltaBytes))
+		}
+		if d.FullBytes != 0 {
+			rt.obs.Counter("cache.full_bytes").Add(float64(d.FullBytes))
+		}
+		rt.obs.Gauge("cache.resident_bytes").Set(float64(d.ResidentBytes))
+	}
 }
 
 // recordJobSpans decomposes a framework job's extent into its phase
@@ -371,6 +475,9 @@ func (rt *Runtime) Fork(view *simcluster.Cluster, local bool) *Runtime {
 	// counter-only (observeLocal); framework forks share the full
 	// registry wiring.
 	e.Obs = rt.engine.Obs
+	// The job family is shared: a PIC run's best-effort sub-runtimes and
+	// top-off all keep the same per-node caches warm.
+	e.Family = rt.engine.Family
 	return &Runtime{engine: e, fs: rt.fs, local: local, tracer: rt.tracer, base: rt.now(),
-		fails: rt.fails, net: rt.net, span: rt.span, obs: rt.obs}
+		fails: rt.fails, net: rt.net, span: rt.span, obs: rt.obs, family: rt.family}
 }

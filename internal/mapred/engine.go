@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -79,6 +80,15 @@ type Engine struct {
 	// Workers bounds real (not simulated) execution parallelism of
 	// user code. Zero means GOMAXPROCS.
 	Workers int
+
+	// Family, when set, attaches the engine to a loop-aware job family:
+	// persistent per-node workers whose caches hold each split's
+	// loop-invariant bytes and derived structures across iterations, so
+	// mappers implementing FusedMapper/LocalFuser run over pre-parsed
+	// input and only the model delta ships per iteration. Nil runs every
+	// job cold. The cache never changes simulated outcomes — outputs,
+	// Metrics and traced spans are byte-identical either way.
+	Family *JobFamily
 
 	// Obs, when set, receives per-job observability metrics: phase-time
 	// counters and per-job time series stamped on the simulated clock at
@@ -262,6 +272,49 @@ type Output struct {
 	ReducerNodes []int
 }
 
+// fusedMapTask runs one map task over its cached derived structure:
+// the fused kernel emits post-combine records in key order and reports
+// the pre-combine count/bytes the cold pipeline would have charged, so
+// costs and counters come out identical. Returns true when the task was
+// handled (success or hard error); false on ErrFusedUnsupported, which
+// sends the caller down the cold body.
+func (e *Engine) fusedMapTask(fm FusedMapper, d SplitDerived, i int, split Split, job *Job, m *model.Model,
+	cost CostModel, numReducers int, partition Partitioner,
+	mapCosts []float64, mapOutBytes, mapOutRecords []int64, mapParts [][][]Record, partSizes [][]int64,
+	errs []error) bool {
+	em := getEmitter()
+	preRecs, preBytes, err := fm.MapSplit(d, m, em)
+	if err != nil {
+		putEmitter(em)
+		if errors.Is(err, ErrFusedUnsupported) {
+			return false
+		}
+		errs[i] = fmt.Errorf("job %q map task %d: %w", job.Name, i, err)
+		return true
+	}
+	mapOutBytes[i] = preBytes
+	mapOutRecords[i] = preRecs
+	mapCosts[i] = cost.MapCostPerRecord*float64(len(split.Records)) +
+		cost.MapCostPerByte*float64(split.Bytes) +
+		cost.EmitCostPerByte*float64(preBytes)
+	// Partition the (few) combined records. Key order within each
+	// partition stays ascending — a filtered subsequence of the kernel's
+	// sorted emission — exactly as the cold combiner leaves it.
+	parts := make([][]Record, numReducers)
+	for _, r := range em.records {
+		p := partition(r.Key, numReducers)
+		parts[p] = append(parts[p], r)
+	}
+	putEmitter(em)
+	sizes := make([]int64, numReducers)
+	for p := range parts {
+		sizes[p] = RecordsSize(parts[p])
+	}
+	partSizes[i] = sizes
+	mapParts[i] = parts
+	return true
+}
+
 // Run executes one job over the input with the given read-only model
 // (nil for model-free jobs) and returns its output and metrics. The job
 // is placed at simulated time zero; use RunAt to align it with a
@@ -385,6 +438,43 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 		}
 	}
 
+	// ---- Loop-aware fusion: with a JobFamily attached and a mapper
+	// implementing FusedMapper, stage each split's derived structure in
+	// the family's per-node cache and run map+combine fused over it.
+	// Staging is serial, in split order, so cache counters and eviction
+	// are deterministic at any Workers setting; splits re-homed off a
+	// crashed node stage cold on the surviving replica (homes[i] keys
+	// the node bucket). The fused kernel's output is byte-identical to
+	// the record-at-a-time path by contract; splits whose derived form
+	// is unavailable or whose shape the kernel rejects fall back to the
+	// cold body below.
+	var fused FusedMapper
+	var deriveds []SplitDerived
+	if e.Family != nil && numReducers > 0 && job.Combiner != nil {
+		if fm, ok := job.Mapper.(FusedMapper); ok {
+			fused = fm
+			deriveds = make([]SplitDerived, len(in.Splits))
+			var warmBytes int64
+			for i, split := range in.Splits {
+				d, hit := e.Family.acquire(homes[i], split.Records, split.Bytes, fm.NewDerived)
+				deriveds[i] = d
+				if hit {
+					warmBytes += split.Bytes
+				}
+			}
+			if warmBytes > 0 {
+				// A warm iteration ships only the model delta to its
+				// workers; the hit splits' bytes are what it did not
+				// have to re-stage.
+				var deltaBytes int64
+				if m != nil {
+					deltaBytes = m.Size()
+				}
+				e.Family.noteIteration(deltaBytes, warmBytes)
+			}
+		}
+	}
+
 	// ---- Map phase: execute user code per split, partition and
 	// combine the output.
 	nSplits := len(in.Splits)
@@ -398,6 +488,11 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 
 	e.parallelFor(nSplits, func(i int) {
 		split := in.Splits[i]
+		if fused != nil && deriveds[i] != nil &&
+			e.fusedMapTask(fused, deriveds[i], i, split, job, m, cost, numReducers, partition,
+				mapCosts, mapOutBytes, mapOutRecords, mapParts, partSizes, errs) {
+			return
+		}
 		em := getEmitter()
 		for _, rec := range split.Records {
 			if err := job.Mapper.Map(rec.Key, rec.Value, m, em); err != nil {

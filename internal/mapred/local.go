@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/model"
@@ -42,6 +43,21 @@ func (e *Engine) RunLocal(job *Job, in *Input, m *model.Model) (*Output, Metrics
 	metrics.LocalJobs = 1
 	metrics.InputRecords = in.NumRecords()
 	metrics.LocalRecords = in.NumRecords()
+
+	// Loop-aware fusion: with a JobFamily attached and a mapper
+	// implementing LocalFuser, run map+reduce fused over the cached
+	// derived structures. The kernel confines cross-split floating-point
+	// accumulation to a serial pass in arrival order, so its output is
+	// byte-identical to the cold map → group → reduce pipeline at any
+	// worker count; any split the kernel cannot derive, or a shape it
+	// rejects, sends the whole job down the cold path below.
+	if e.Family != nil && job.Reducer != nil {
+		if lf, ok := job.Mapper.(LocalFuser); ok {
+			if out, met, handled, err := e.runLocalFused(lf, job, in, m, cost, metrics); handled {
+				return out, met, err
+			}
+		}
+	}
 
 	nSplits := len(in.Splits)
 	mapOut := make([]*listEmitter, nSplits)
@@ -110,4 +126,64 @@ func (e *Engine) RunLocal(job *Job, in *Input, m *model.Model) (*Output, Metrics
 	metrics.Duration = metrics.MapPhase + metrics.ReducePhase
 	e.observeLocal(metrics)
 	return out, metrics, nil
+}
+
+// runLocalFused executes RunLocal's map+reduce through a LocalFuser
+// kernel over cached derived structures. handled=false means the job
+// must run cold (a split's derived form is unavailable or the kernel
+// rejected the shape); the metrics and costs it produces when handled
+// are identical to the cold pipeline's.
+func (e *Engine) runLocalFused(lf LocalFuser, job *Job, in *Input, m *model.Model,
+	cost CostModel, metrics Metrics) (*Output, Metrics, bool, error) {
+	factor := cost.LocalComputeFactor
+	nSplits := len(in.Splits)
+	deriveds := make([]SplitDerived, nSplits)
+	var warmBytes int64
+	for i, split := range in.Splits {
+		d, hit := e.Family.acquire(split.Home, split.Records, split.Bytes, lf.NewDerived)
+		if d == nil {
+			return nil, Metrics{}, false, nil
+		}
+		deriveds[i] = d
+		if hit {
+			warmBytes += split.Bytes
+		}
+	}
+
+	em := &listEmitter{}
+	mapEmits, err := lf.FuseLocal(deriveds, m, e.parallelFor, em)
+	if err != nil {
+		if errors.Is(err, ErrFusedUnsupported) {
+			return nil, Metrics{}, false, nil
+		}
+		return nil, Metrics{}, true, fmt.Errorf("job %q local fused: %w", job.Name, err)
+	}
+	if warmBytes > 0 {
+		var deltaBytes int64
+		if m != nil {
+			deltaBytes = m.Size()
+		}
+		e.Family.noteIteration(deltaBytes, warmBytes)
+	}
+
+	tasks := make([]simcluster.Task, nSplits)
+	for i := range tasks {
+		tasks[i] = simcluster.Task{
+			Cost:      factor * cost.MapCostPerRecord * float64(len(in.Splits[i].Records)),
+			Preferred: in.Splits[i].Home,
+		}
+	}
+	_, mapMakespan := e.cluster.Schedule(tasks, e.cluster.Config().MapSlotsPerNode)
+	metrics.MapPhase = mapMakespan
+
+	reduceCost := factor * cost.ReduceCostPerValue * float64(mapEmits)
+	slots := float64(e.cluster.MapSlots())
+	metrics.ReducePhase = simtime.Duration(reduceCost / (e.cluster.Config().ComputeRate * slots))
+	metrics.ReduceInputValues = mapEmits
+
+	out := &Output{Records: em.records}
+	metrics.OutputRecords = int64(len(em.records))
+	metrics.Duration = metrics.MapPhase + metrics.ReducePhase
+	e.observeLocal(metrics)
+	return out, metrics, true, nil
 }

@@ -448,6 +448,10 @@ func (s *Scheduler) step(j *job, t simtime.Time) error {
 		// failed step's boundary time.
 		if j.restarts < j.spec.Restarts {
 			j.restarts++
+			// The restarted driver must not trust caches warmed by the
+			// failed run: release them so the rebuilt stepper re-stages
+			// from the (checkpointed) source of truth.
+			j.rt.ReleaseLoopCache()
 			stepper, rerr := j.spec.Start(j.rt)
 			if rerr == nil {
 				j.stepper = stepper
@@ -826,13 +830,17 @@ func (s *Scheduler) chargeWait(j *job, t simtime.Time) {
 }
 
 // suspend parks a running job at an iteration boundary, freeing its
-// nodes for the preemptor.
+// nodes for the preemptor. The job's loop-aware caches are released
+// with the nodes — a preemptor gets the workers' memory too — and
+// re-warm on first touch after resume (resume itself reattaches the
+// family without re-staging anything).
 func (s *Scheduler) suspend(j *job, t simtime.Time) {
 	j.state = StateSuspended
 	j.preemptReq = false
 	j.preemptions++
 	j.waitFrom = t
 	j.foot = nil
+	j.rt.ReleaseLoopCache()
 	s.release(j.nodes)
 	if s.obs != nil {
 		s.tenantCounter("sched.preemptions", j.spec.Tenant).Add(1)

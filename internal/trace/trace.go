@@ -52,6 +52,15 @@ const (
 	KindTransferRetry Kind = "transfer-retry"
 	KindDegradedMerge Kind = "degraded-merge"
 	KindCheckpoint    Kind = "checkpoint"
+	// Loop-aware runtime events: a split's derived structures staged into
+	// a node's job-family cache (cache-warm) and cache entries dropped —
+	// by capacity pressure, a node crash, or a scheduler preemption
+	// releasing the family (cache-evict). Both are point annotations
+	// (Start == End) with Bytes carrying the resident bytes staged or
+	// released; they never take tracer IDs, so cold and warm runs assign
+	// identical IDs to every other event.
+	KindCacheWarm  Kind = "cache-warm"
+	KindCacheEvict Kind = "cache-evict"
 )
 
 // Layer reports the runtime layer that produces events of the given
@@ -59,7 +68,8 @@ const (
 // filter spans per subsystem.
 func Layer(k Kind) string {
 	switch k {
-	case KindJob, KindLocalJob, KindOverhead, KindModelDist, KindMap, KindShuffle, KindReduce, KindTransferRetry:
+	case KindJob, KindLocalJob, KindOverhead, KindModelDist, KindMap, KindShuffle, KindReduce, KindTransferRetry,
+		KindCacheWarm, KindCacheEvict:
 		return "mapred"
 	case KindTransfer, KindNetFault:
 		return "simnet"
