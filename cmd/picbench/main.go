@@ -35,12 +35,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 type renderer interface{ Render() string }
@@ -94,11 +100,17 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and report workloads, then exit")
 	flag.Parse()
 	if *list {
-		for _, e := range experiments {
+		sorted := append([]experiment(nil), experiments...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+		for _, e := range sorted {
 			fmt.Printf("%-16s %s\n", e.name, e.desc)
 		}
+		fmt.Printf("%-16s %s\n", "bench-snapshot", "measure the hot-path microbenchmark kernels (-out, -check, -suite, -history; see BENCH_baseline.json)")
 		for _, w := range bench.ReportWorkloads() {
-			fmt.Printf("report %s\n", w)
+			fmt.Printf("%-16s %s\n", "report "+w, "instrumented PIC run with inspector report (-out writes trace JSON, convergence CSV, telemetry JSONL, OpenMetrics)")
+		}
+		for _, w := range bench.ReportWorkloads() {
+			fmt.Printf("%-16s %s\n", "watch "+w, "live run inspector: tails the run, prints health frames (-interval, -window, -out, -openmetrics)")
 		}
 		return
 	}
@@ -112,6 +124,9 @@ func main() {
 	}
 	if args := flag.Args(); len(args) > 0 && args[0] == "bench-snapshot" {
 		os.Exit(runSnapshot(args[1:]))
+	}
+	if args := flag.Args(); len(args) > 0 && args[0] == "watch" {
+		os.Exit(runWatch(args[1:]))
 	}
 	selected := map[string]bool{}
 	for _, arg := range flag.Args() {
@@ -188,6 +203,7 @@ func runSnapshot(args []string) int {
 	outPath := fs.String("out", "", "write the snapshot JSON to this file (default stdout)")
 	checkPath := fs.String("check", "", "validate an existing snapshot file instead of measuring")
 	suite := fs.Bool("suite", false, "also run the full experiment suite once and record its wall time")
+	historyPath := fs.String("history", "", "append a dated trajectory entry (see BENCH_history.jsonl) to this file")
 	fs.Parse(args)
 	if *checkPath != "" {
 		data, err := os.ReadFile(*checkPath)
@@ -229,7 +245,162 @@ func runSnapshot(args []string) int {
 		fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
 		return 1
 	}
+	if *historyPath != "" {
+		f, err := os.OpenFile(*historyPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
+			return 1
+		}
+		err = snap.AppendHistory(f, time.Now().Format("2006-01-02"))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: history: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench-snapshot: appended trajectory entry to %s\n", *historyPath)
+	}
 	return 0
+}
+
+// runWatch executes the watch subcommand: launch one report workload
+// in the background and tail it live — periodic health frames built
+// from the event stream and a mid-run registry snapshot — then print
+// the final telemetry product and optionally write its JSONL event log
+// and an OpenMetrics snapshot.
+func runWatch(args []string) int {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	interval := fs.Duration("interval", 500*time.Millisecond, "wall-clock refresh interval between live frames")
+	window := fs.Float64("window", 10, "tumbling-window width in simulated seconds")
+	outPath := fs.String("out", "", "write the final JSONL telemetry event log to this file")
+	omPath := fs.String("openmetrics", "", "write a final OpenMetrics snapshot to this file")
+	fs.Parse(args)
+	names := fs.Args()
+	if len(names) == 0 {
+		names = bench.ReportWorkloads()
+	}
+	if len(names) > 1 && (*outPath != "" || *omPath != "") {
+		fmt.Fprintln(os.Stderr, "watch: -out/-openmetrics need exactly one workload")
+		return 2
+	}
+	for _, name := range names {
+		if code := watchOne(name, *interval, simtime.Duration(*window), *outPath, *omPath); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// lastSeries returns the final sample value of the first named series
+// present in the snapshot.
+func lastSeries(snap metrics.Snapshot, ids ...string) (float64, bool) {
+	for _, id := range ids {
+		if m, ok := snap.Get(id); ok && len(m.Samples) > 0 {
+			return m.Samples[len(m.Samples)-1].Value, true
+		}
+	}
+	return 0, false
+}
+
+func watchOne(name string, interval time.Duration, window simtime.Duration, outPath, omPath string) int {
+	live, err := bench.StartReport(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "watch %s: %v\n", name, err)
+		return 1
+	}
+	start := time.Now()
+	opts := obs.Options{Window: window}
+	var events []trace.Event
+	lastPhase := "starting"
+	drain := func() {
+		for {
+			select {
+			case e, ok := <-live.Events:
+				if !ok {
+					return
+				}
+				events = append(events, e)
+				if e.Kind == trace.KindPhase {
+					lastPhase = e.Name
+				}
+			default:
+				return
+			}
+		}
+	}
+	frame := func() {
+		drain()
+		snap := live.Registry.Snapshot()
+		p := obs.CollectEvents(name, events, snap, opts)
+		jobs := 0.0
+		if m, ok := snap.Get("mapred.jobs"); ok {
+			jobs = m.Value
+		}
+		conv := "delta=-"
+		if v, ok := lastSeries(snap, "core.be_delta", "core.residual{phase=top-off}", "core.residual{phase=ic}"); ok {
+			conv = fmt.Sprintf("delta=%.6g", v)
+		}
+		fmt.Printf("watch %s +%5.1fs  sim=%9.2fs  phase=%-12s spans=%-6d jobs=%-5.0f %s  anomalies=%d\n",
+			name, time.Since(start).Seconds(), float64(p.End), lastPhase, len(p.Events), jobs, conv, len(p.Anomalies))
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	running := true
+	for running {
+		select {
+		case <-live.Done():
+			running = false
+		case <-ticker.C:
+			frame()
+		}
+	}
+	rep, err := live.Wait()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "watch %s: %v\n", name, err)
+		return 1
+	}
+	// The final product derives from the finished tracer and registry —
+	// deterministic regardless of how the live tail interleaved.
+	finalOpts := rep.ObsOpts
+	finalOpts.Window = window
+	p := obs.Collect(rep.Name, rep.Trace, rep.Registry, finalOpts)
+	fmt.Println(p.Render())
+	fmt.Println(p.Flight.Render())
+	fmt.Printf("[watch %s completed in %.1fs wall time]\n\n", name, time.Since(start).Seconds())
+	if outPath != "" {
+		if err := writeFileWith(outPath, p.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "watch %s: write event log: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "watch %s: wrote %s\n", name, outPath)
+	}
+	if omPath != "" {
+		if err := writeFileWith(omPath, p.WriteOpenMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "watch %s: write openmetrics: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "watch %s: wrote %s\n", name, omPath)
+	}
+	return 0
+}
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // runReport executes the report subcommand: one instrumented PIC run
@@ -279,7 +450,17 @@ func runReport(args []string) int {
 			fmt.Fprintf(os.Stderr, "report %s: write csv: %v\n", name, err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "report %s: wrote %s and %s\n", name, tracePath, csvPath)
+		logPath := filepath.Join(*outDir, name+"-events.jsonl")
+		if err := writeFileWith(logPath, rep.WriteEventLog); err != nil {
+			fmt.Fprintf(os.Stderr, "report %s: write event log: %v\n", name, err)
+			return 1
+		}
+		omPath := filepath.Join(*outDir, name+"-metrics.om")
+		if err := writeFileWith(omPath, rep.WriteOpenMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "report %s: write openmetrics: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "report %s: wrote %s, %s, %s and %s\n", name, tracePath, csvPath, logPath, omPath)
 	}
 	return 0
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/simcluster"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
@@ -41,7 +42,27 @@ type Report struct {
 	SlotUsage simcluster.Usage
 	Stored    []int64
 	ReRepl    []int64
+
+	// ObsOpts configures the telemetry derivation for this run: the
+	// tumbling-window width, the cost-model sentinel bounds derived
+	// from the workload, and (for fault-injected runs) the network
+	// plan used for anomaly attribution.
+	ObsOpts obs.Options
 }
+
+// Telemetry derives the run's streaming-telemetry product — windowed
+// series, latency histograms, anomalies, flight recorder — from the
+// finished tracer and registry. It is a pure function of the run, so
+// repeated calls (and repeated runs) yield byte-identical artifacts.
+func (r *Report) Telemetry() *obs.Product {
+	return obs.Collect(r.Name, r.Trace, r.Registry, r.ObsOpts)
+}
+
+// WriteEventLog emits the versioned JSONL telemetry event log.
+func (r *Report) WriteEventLog(w io.Writer) error { return r.Telemetry().WriteJSONL(w) }
+
+// WriteOpenMetrics emits an OpenMetrics snapshot of the run.
+func (r *Report) WriteOpenMetrics(w io.Writer) error { return r.Telemetry().WriteOpenMetrics(w) }
 
 // ReportWorkloads names the workloads RunReport can execute.
 func ReportWorkloads() []string { return []string{"kmeans", "pagerank", "linsolve"} }
@@ -68,12 +89,21 @@ func reportWorkload(name string) (*Workload, error) {
 // and metrics registry attached, collecting everything the inspector
 // renders.
 func RunReport(name string) (*Report, error) {
+	return runReportHooked(name, metrics.New(), nil)
+}
+
+// runReportHooked is RunReport with an optional live event hook: every
+// trace record is forwarded to hook as it happens, and the registry is
+// caller-supplied so a live inspector can snapshot it mid-run (the
+// registry is mutex-protected; the tracer is tailed only through the
+// hook).
+func runReportHooked(name string, reg *metrics.Registry, hook func(trace.Event)) (*Report, error) {
 	w, err := reportWorkload(name)
 	if err != nil {
 		return nil, err
 	}
 	tr := trace.New()
-	reg := metrics.New()
+	tr.OnRecord = hook
 	rt := w.NewRuntime()
 	rt.SetTracer(tr)
 	rt.SetObservability(reg)
@@ -87,7 +117,20 @@ func RunReport(name string) (*Report, error) {
 		rep.Curve = append(rep.Curve, CurvePoint{Phase: s.Phase, Iteration: s.Iteration, Time: s.Time, Delta: delta})
 		prev = s.Model
 	}
-	res, err := core.RunPIC(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), m0, opts)
+	in := w.MakeInput(rt.Cluster())
+	// Sentinel bounds from the workload itself: each best-effort merge
+	// and each top-off iteration is one synchronized framework round,
+	// and a healthy round moves O(input) bytes. The slack factor keeps
+	// the sentinel quiet for healthy runs; a run that escapes these
+	// bounds has genuinely left the cost model.
+	rep.ObsOpts = obs.Options{
+		Sentinel: obs.Sentinel{
+			Factor:         4,
+			ExpectedRounds: opts.MaxBEIterations + opts.MaxTopOffIterations + 4,
+			BytesPerRound:  in.TotalBytes(),
+		},
+	}
+	res, err := core.RunPIC(rt, w.MakeApp(), in, m0, opts)
 	if err != nil {
 		return nil, fmt.Errorf("bench: report %s: %w", name, err)
 	}
@@ -97,6 +140,58 @@ func RunReport(name string) (*Report, error) {
 	rep.Stored = rt.FS().StoredBytes()
 	rep.ReRepl = rt.FS().ReReplicationReceived()
 	return rep, nil
+}
+
+// LiveReport is a report workload running in the background with the
+// handles a live inspector tails while it executes: a mutex-protected
+// registry safe to snapshot at any moment, and a buffered event stream
+// fed from the tracer's record hook. If the consumer falls behind the
+// stream drops events rather than stalling the run — the final
+// artifacts always come from the finished report, so dropped live
+// events cost a stale frame, never telemetry.
+type LiveReport struct {
+	Name     string
+	Registry *metrics.Registry
+	Events   <-chan trace.Event
+
+	done chan struct{}
+	rep  *Report
+	err  error
+}
+
+// StartReport launches the named report workload in the background and
+// returns its live handles. Wait blocks for completion.
+func StartReport(name string) (*LiveReport, error) {
+	if _, err := reportWorkload(name); err != nil {
+		return nil, err
+	}
+	ch := make(chan trace.Event, 4096)
+	l := &LiveReport{
+		Name:     name,
+		Registry: metrics.New(),
+		Events:   ch,
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(l.done)
+		l.rep, l.err = runReportHooked(name, l.Registry, func(e trace.Event) {
+			select {
+			case ch <- e:
+			default:
+			}
+		})
+		close(ch)
+	}()
+	return l, nil
+}
+
+// Done is closed when the run finishes.
+func (l *LiveReport) Done() <-chan struct{} { return l.done }
+
+// Wait blocks until the run finishes and returns its report.
+func (l *LiveReport) Wait() (*Report, error) {
+	<-l.done
+	return l.rep, l.err
 }
 
 // WriteTrace emits the run's Chrome trace-event JSON (load it in

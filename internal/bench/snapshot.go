@@ -248,6 +248,41 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// HistoryEntry is one line of the BENCH_history.jsonl performance
+// trajectory: a dated condensation of a snapshot — the suite wall time
+// plus each kernel's mean ns/op. Kernels marshal as a JSON object,
+// which Go emits with sorted keys, so a given snapshot always
+// serializes to the same line.
+type HistoryEntry struct {
+	Date             string             `json:"date"` // YYYY-MM-DD
+	GoVersion        string             `json:"go_version"`
+	Scale            float64            `json:"scale"`
+	SuiteWallSeconds float64            `json:"suite_wall_seconds"`
+	Kernels          map[string]float64 `json:"kernels"` // name -> ns_per_op
+}
+
+// History condenses the snapshot into a trajectory entry under the
+// given date.
+func (s *Snapshot) History(date string) HistoryEntry {
+	e := HistoryEntry{
+		Date:             date,
+		GoVersion:        s.GoVersion,
+		Scale:            s.Scale,
+		SuiteWallSeconds: s.SuiteWallSeconds,
+		Kernels:          map[string]float64{},
+	}
+	for _, k := range s.Kernels {
+		e.Kernels[k.Name] = k.NsPerOp
+	}
+	return e
+}
+
+// AppendHistory writes the snapshot's trajectory entry as one JSONL
+// line (the caller opens the history file in append mode).
+func (s *Snapshot) AppendHistory(w io.Writer, date string) error {
+	return json.NewEncoder(w).Encode(s.History(date))
+}
+
 // CheckSnapshot validates a serialized snapshot: it must parse, carry
 // a plausible header, and name every current kernel with positive
 // timings. It is the CI guard against a stale or hand-mangled

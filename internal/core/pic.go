@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/simcluster"
 	"repro/internal/simnet"
@@ -689,6 +691,19 @@ func (s *PICStepper) beStep() (bool, error) {
 				skew = float64(busiest) * float64(used) / float64(total)
 			}
 			r.Series("core.be_skew").Sample(now, skew)
+			// Straggler-attribution signals: every group's busy time
+			// this iteration and every partition's record count under
+			// its current group assignment, all stamped at the same
+			// instant so the detector aligns iterations by sample time
+			// even across group repairs.
+			for g, b := range groupBusy {
+				r.Series("core.be_group_seconds",
+					metrics.L("group", strconv.Itoa(g))...).Sample(now, float64(b))
+			}
+			for i := range subs {
+				r.Series("core.partition_records",
+					metrics.L("group", strconv.Itoa(assign[i]), "partition", strconv.Itoa(i))...).Sample(now, float64(len(subs[i].Records)))
+			}
 		}
 		if opt.Observer != nil {
 			opt.Observer(Sample{

@@ -166,6 +166,12 @@ func (rt *Runtime) observeNow() {
 	c := fabric.Counters()
 	rt.obs.Series("simnet.cross_rack_bytes").Sample(now, float64(c.CrossRack))
 	rt.obs.Series("dfs.re_replication_bytes").Sample(now, float64(rt.fs.Counters().ReReplication))
+	// Co-tenant compute pressure, for straggler attribution. Sampled
+	// only while someone is actually squeezing the nodes, so untenanted
+	// runs carry no empty series.
+	if load := rt.Cluster().MaxComputeLoad(); load > 0 {
+		rt.obs.Series("simcluster.tenant_load").Sample(now, load)
+	}
 }
 
 // now is the runtime's position on the global simulated clock.
@@ -312,20 +318,30 @@ func (rt *Runtime) recordJobSpans(job int64, name string, start simtime.Time, m 
 		return
 	}
 	t := start
-	sub := func(kind trace.Kind, suffix string, d simtime.Duration, bytes int64) {
+	sub := func(kind trace.Kind, suffix string, d simtime.Duration, bytes int64, attrs ...trace.Attr) {
 		if d <= 0 {
 			return
 		}
 		rt.tracer.Record(trace.Event{
 			Kind: kind, Name: name + "/" + suffix, Start: t, End: t + simtime.Time(d),
-			Bytes: bytes, Lane: rt.lane, Parent: job,
+			Bytes: bytes, Lane: rt.lane, Parent: job, Attrs: attrs,
 		})
 		t += simtime.Time(d)
 	}
 	sub(trace.KindOverhead, "overhead", m.OverheadPhase, 0)
 	sub(trace.KindModelDist, "model", m.ModelPhase, m.ModelBytes)
 	sub(trace.KindMap, "map", m.MapPhase, m.NonLocalInputBytes)
-	sub(trace.KindShuffle, "shuffle", m.ShufflePhase, m.ShuffleNetworkBytes)
+	// The shuffle span carries its dominant link class, so the
+	// telemetry layer can bucket shuffle latency per class.
+	if m.ShuffleNetworkBytes > 0 {
+		class := "intra-rack"
+		if 2*m.ShuffleCrossRackBytes >= m.ShuffleNetworkBytes {
+			class = "cross-rack"
+		}
+		sub(trace.KindShuffle, "shuffle", m.ShufflePhase, m.ShuffleNetworkBytes, trace.Attr{Key: "class", Value: class})
+	} else {
+		sub(trace.KindShuffle, "shuffle", m.ShufflePhase, m.ShuffleNetworkBytes)
+	}
 	sub(trace.KindReduce, "reduce", m.ReducePhase, 0)
 	if m.TransferRetries > 0 {
 		// The retries themselves are interleaved inside the phases
@@ -445,13 +461,42 @@ func (rt *Runtime) ChargeFlows(flows []simnet.Flow) int64 {
 	rt.syncFaults()
 	moved := fabric.Counters().Total - before
 	if moved > 0 {
+		var attrs []trace.Attr
+		if rt.tracer != nil {
+			attrs = []trace.Attr{{Key: "class", Value: dominantClass(fabric, flows)}}
+		}
 		rt.tracer.Record(trace.Event{
 			Kind: trace.KindTransfer, Name: "flows", Start: start, End: rt.now(),
-			Bytes: moved, Lane: rt.lane, Parent: rt.span,
+			Bytes: moved, Lane: rt.lane, Parent: rt.span, Attrs: attrs,
 		})
 	}
 	rt.observeNow()
 	return moved
+}
+
+// dominantClass reports the link class that carried the most bytes in
+// the flow set — the transfer span's class attribute for per-class
+// latency telemetry. Ties break toward the more expensive class.
+func dominantClass(fabric *simnet.Fabric, flows []simnet.Flow) string {
+	var local, intra, cross int64
+	for _, fl := range flows {
+		switch {
+		case fl.Src == fl.Dst:
+			local += fl.Bytes
+		case fabric.Rack(fl.Src) == fabric.Rack(fl.Dst):
+			intra += fl.Bytes
+		default:
+			cross += fl.Bytes
+		}
+	}
+	switch {
+	case cross >= intra && cross >= local:
+		return "cross-rack"
+	case intra >= local:
+		return "intra-rack"
+	default:
+		return "node-local"
+	}
 }
 
 // Fork creates a runtime over a sub-cluster view, sharing the file

@@ -52,7 +52,8 @@ func L(kv ...string) []Label {
 }
 
 // id renders the canonical identity of a metric: name{k=v,k=v} with
-// labels sorted by key.
+// labels sorted by key, or the bare name when there are no labels —
+// lookups of unlabeled metrics must use the name alone, not "name{}".
 func id(name string, labels []Label) string {
 	if len(labels) == 0 {
 		return name

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Straggler and anomaly detection.
+//
+// The detector consumes only deterministic inputs (the start-sorted
+// timeline, the metrics snapshot, the scripted network plan) and
+// attributes each anomaly to a cause by checking the run's own
+// signals, most specific first: a skewed partition explains a slow
+// best-effort group better than a co-tenant does, and a scripted
+// brownout window overlapping a slow transfer explains it better than
+// "unknown". Attribution is best-effort by design — the simulator
+// knows the ground truth, which is exactly what makes the heuristics
+// testable.
+
+// Cause is the attributed root cause of an anomaly.
+type Cause string
+
+const (
+	CauseSkewedPartition Cause = "skewed-partition"
+	CauseLinkBrownout    Cause = "link-brownout"
+	CauseComputeShare    Cause = "node-compute-share"
+	CauseCacheCold       Cause = "cache-cold"
+	CauseCostModel       Cause = "cost-model-bound"
+	CauseUnknown         Cause = "unknown"
+)
+
+// Anomaly is one detected deviation with its attributed cause.
+type Anomaly struct {
+	// Kind classifies the detector that fired: "straggler-group",
+	// "slow-transfer" or "cost-model-bound".
+	Kind    string       `json:"kind"`
+	Subject string       `json:"subject"` // what deviated, e.g. "group 2"
+	Cause   Cause        `json:"cause"`
+	Start   simtime.Time `json:"start_s"`
+	End     simtime.Time `json:"end_s"`
+	// Severity is the deviation ratio against the peer baseline
+	// (observed / expected, or expected/observed for rates); 1.0 is
+	// "not anomalous at all".
+	Severity float64  `json:"severity"`
+	Evidence []string `json:"evidence,omitempty"`
+}
+
+// Render prints the anomaly on one line.
+func (a Anomaly) Render() string {
+	s := fmt.Sprintf("%s %s cause=%s [%.6gs,%.6gs] sev=%.3g",
+		a.Kind, a.Subject, a.Cause, float64(a.Start), float64(a.End), a.Severity)
+	if len(a.Evidence) > 0 {
+		s += ": " + strings.Join(a.Evidence, "; ")
+	}
+	return s
+}
+
+// detect runs every detector over the product's inputs.
+func detect(p *Product) []Anomaly {
+	var out []Anomaly
+	out = append(out, slowTransfers(p)...)
+	out = append(out, slowGroups(p)...)
+	return out
+}
+
+// transferKinds are the byte-moving span kinds the slow-transfer
+// detector baselines against each other.
+var transferKinds = map[trace.Kind]bool{
+	trace.KindShuffle:   true,
+	trace.KindModelDist: true,
+	trace.KindTransfer:  true,
+}
+
+// slowTransfers flags byte-moving spans whose achieved rate falls
+// below SlowTransferFactor of the median rate of their peers (same
+// kind and link class), and attributes them to a scripted fault window
+// they overlap, if the plan has one.
+func slowTransfers(p *Product) []Anomaly {
+	type cand struct {
+		e    trace.Event
+		rate float64
+	}
+	groups := map[string][]cand{}
+	var keys []string
+	for _, e := range p.Events {
+		if !transferKinds[e.Kind] || e.Bytes <= 0 || e.Duration() <= 0 {
+			continue
+		}
+		key := string(e.Kind)
+		if class := attr(e, "class"); class != "" {
+			key += "/" + class
+		}
+		if _, ok := groups[key]; !ok {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], cand{e, float64(e.Bytes) / float64(e.Duration())})
+	}
+	sort.Strings(keys)
+	var out []Anomaly
+	for _, key := range keys {
+		cs := groups[key]
+		// A median needs peers: with fewer than four spans there is no
+		// baseline to deviate from.
+		if len(cs) < 4 {
+			continue
+		}
+		rates := make([]float64, len(cs))
+		for i, c := range cs {
+			rates[i] = c.rate
+		}
+		sort.Float64s(rates)
+		median := rates[len(rates)/2]
+		if median <= 0 {
+			continue
+		}
+		for _, c := range cs {
+			if c.rate >= p.Opts.SlowTransferFactor*median {
+				continue
+			}
+			a := Anomaly{
+				Kind:     "slow-transfer",
+				Subject:  fmt.Sprintf("%s %q", key, c.e.Name),
+				Cause:    CauseUnknown,
+				Start:    c.e.Start,
+				End:      c.e.End,
+				Severity: median / c.rate,
+				Evidence: []string{fmt.Sprintf("rate %.6g B/s vs peer median %.6g B/s over %d peers", c.rate, median, len(cs))},
+			}
+			if p.Opts.Plan != nil {
+				for _, f := range p.Opts.Plan.Faults {
+					if f.Start < c.e.End && c.e.Start < f.End {
+						a.Cause = CauseLinkBrownout
+						a.Evidence = append(a.Evidence, "overlaps fault "+f.Describe())
+					}
+				}
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// groupSeries holds one best-effort group's busy-time samples keyed by
+// the shared sample instant (every group is sampled at the same
+// simulated time each iteration, so equal times align iterations
+// across groups exactly).
+type iterGroup struct {
+	group string
+	busy  float64
+}
+
+// slowGroups flags best-effort groups whose per-iteration busy time
+// exceeds SlowGroupFactor of the iteration mean, and attributes each
+// straggler: a skewed partition if the group holds an outsized share
+// of the records, a co-tenant if compute shares were registered, a
+// cold cache if it is the first iteration and misses were staged,
+// unknown otherwise.
+func slowGroups(p *Product) []Anomaly {
+	byTime := map[simtime.Time][]iterGroup{}
+	var times []simtime.Time
+	for _, m := range p.Snapshot.Metrics {
+		if m.Kind != metrics.KindSeries || m.Name != "core.be_group_seconds" {
+			continue
+		}
+		group := labelValue(m, "group")
+		for _, s := range m.Samples {
+			if _, ok := byTime[s.Time]; !ok {
+				times = append(times, s.Time)
+			}
+			byTime[s.Time] = append(byTime[s.Time], iterGroup{group, s.Value})
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	parts := partitionRecords(p.Snapshot)
+	tenantLoad := maxSeriesValue(p.Snapshot, "simcluster.tenant_load")
+	cacheMisses := counterValue(p.Snapshot, "cache.misses")
+
+	var out []Anomaly
+	for iter, t := range times {
+		gs := byTime[t]
+		sort.Slice(gs, func(i, j int) bool { return gs[i].group < gs[j].group })
+		var sum, busiest float64
+		var n int
+		for _, g := range gs {
+			if g.busy > 0 {
+				sum += g.busy
+				n++
+			}
+			if g.busy > busiest {
+				busiest = g.busy
+			}
+		}
+		if n < 2 {
+			continue
+		}
+		mean := sum / float64(n)
+		if mean <= 0 {
+			continue
+		}
+		for _, g := range gs {
+			if g.busy <= p.Opts.SlowGroupFactor*mean {
+				continue
+			}
+			a := Anomaly{
+				Kind:     "straggler-group",
+				Subject:  "group " + g.group,
+				Cause:    CauseUnknown,
+				Start:    t - simtime.Time(g.busy),
+				End:      t,
+				Severity: g.busy / mean,
+				Evidence: []string{fmt.Sprintf("iteration %d: busy %.6gs vs group mean %.6gs over %d active groups", iter+1, g.busy, mean, n)},
+			}
+			if ev, ok := skewEvidence(parts, t, g.group); ok {
+				a.Cause = CauseSkewedPartition
+				a.Evidence = append(a.Evidence, ev)
+			} else if tenantLoad > 0 {
+				a.Cause = CauseComputeShare
+				a.Evidence = append(a.Evidence, fmt.Sprintf("co-tenant compute load up to %.6g registered on the cluster", tenantLoad))
+			} else if iter == 0 && cacheMisses > 0 {
+				a.Cause = CauseCacheCold
+				a.Evidence = append(a.Evidence, fmt.Sprintf("first best-effort iteration with %.6g loop-cache misses staged", cacheMisses))
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// partRecord is one partition's record count at one sample instant.
+type partRecord struct {
+	group     string
+	partition string
+	records   float64
+}
+
+// partitionRecords indexes the core.partition_records series by sample
+// instant.
+func partitionRecords(snap metrics.Snapshot) map[simtime.Time][]partRecord {
+	out := map[simtime.Time][]partRecord{}
+	for _, m := range snap.Metrics {
+		if m.Kind != metrics.KindSeries || m.Name != "core.partition_records" {
+			continue
+		}
+		group := labelValue(m, "group")
+		part := labelValue(m, "partition")
+		for _, s := range m.Samples {
+			out[s.Time] = append(out[s.Time], partRecord{group, part, s.Value})
+		}
+	}
+	for _, ps := range out {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].group != ps[j].group {
+				return ps[i].group < ps[j].group
+			}
+			return ps[i].partition < ps[j].partition
+		})
+	}
+	return out
+}
+
+// skewEvidence reports whether the straggling group held a partition
+// with an outsized record count at the given instant: its largest
+// partition carries more than 1.5x the mean partition size and is the
+// run's largest overall.
+func skewEvidence(parts map[simtime.Time][]partRecord, t simtime.Time, group string) (string, bool) {
+	ps := parts[t]
+	if len(ps) < 2 {
+		return "", false
+	}
+	var total, max float64
+	var maxPart, maxGroup string
+	for _, pr := range ps {
+		total += pr.records
+		if pr.records > max {
+			max, maxPart, maxGroup = pr.records, pr.partition, pr.group
+		}
+	}
+	mean := total / float64(len(ps))
+	if maxGroup != group || mean <= 0 || max <= 1.5*mean {
+		return "", false
+	}
+	return fmt.Sprintf("partition %s holds %.6g of %.6g records (mean %.6g across %d partitions)",
+		maxPart, max, total, mean, len(ps)), true
+}
+
+// labelValue returns the metric's named label value, or "".
+func labelValue(m metrics.Metric, key string) string {
+	for _, l := range m.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// counterValue returns the value of the unlabeled counter, or 0. An
+// unlabeled metric's canonical identity is its bare name.
+func counterValue(snap metrics.Snapshot, name string) float64 {
+	if m, ok := snap.Get(name); ok {
+		return m.Value
+	}
+	return 0
+}
+
+// maxSeriesValue returns the largest sample of the unlabeled series,
+// or 0.
+func maxSeriesValue(snap metrics.Snapshot, name string) float64 {
+	m, ok := snap.Get(name)
+	if !ok {
+		return 0
+	}
+	var max float64
+	for _, s := range m.Samples {
+		if s.Value > max {
+			max = s.Value
+		}
+	}
+	return max
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Latency histograms.
+//
+// Every histogram in the telemetry layer shares one fixed bucket
+// layout: log2-spaced boundaries over simulated seconds, from 2^-14
+// (~61 µs, far below any single job phase) to 2^14 (~4.5 h, far above
+// any experiment). Fixed buckets are what makes the telemetry
+// mergeable and byte-identical across runs: there is no data-dependent
+// bucket fitting, so two runs that observe the same durations render
+// the same counts, and quantile estimates depend only on the counts.
+
+// histBounds are the inclusive upper bounds of the finite buckets, in
+// simulated seconds. Observations above the last bound land in the
+// +Inf overflow bucket.
+var histBounds = func() []float64 {
+	const lo, hi = -14, 14
+	b := make([]float64, 0, hi-lo+1)
+	for e := lo; e <= hi; e++ {
+		b = append(b, math.Pow(2, float64(e)))
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency distribution. The zero value is
+// unusable; use NewHistogram. Key is the histogram's canonical
+// identity (metrics-style, e.g. "obs.latency{phase=map}") and fixes
+// its position in every rendered artifact.
+type Histogram struct {
+	Key    string
+	counts []int64 // len(histBounds)+1; last is the +Inf overflow bucket
+	sum    float64
+	n      int64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns an empty histogram under the given canonical
+// key.
+func NewHistogram(key string) *Histogram {
+	return &Histogram{Key: key, counts: make([]int64, len(histBounds)+1)}
+}
+
+// Observe records one duration, in simulated seconds. Negative
+// observations clamp to zero (they cannot occur on the simulated
+// clock, but the histogram must not corrupt its counts if they did).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(histBounds, v)
+	h.counts[i]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum reports the total of all observations, in simulated seconds.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation within the bucket that holds the target rank, clamped
+// to the observed min/max so a wide bucket cannot report a value
+// outside the data. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := 0.0
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			hi := h.max
+			if i < len(histBounds) {
+				hi = histBounds[i]
+			}
+			v := lo + (hi-lo)*(rank-cum)/float64(c)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Buckets returns the non-empty buckets as (upper-bound, count) pairs
+// in bound order; the overflow bucket reports +Inf. Counts are
+// per-bucket, not cumulative.
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if i < len(histBounds) {
+			le = histBounds[i]
+		}
+		out = append(out, BucketCount{LE: le, Count: c})
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// CumulativeBuckets returns every finite bucket plus +Inf with
+// cumulative counts — the OpenMetrics wire shape.
+func (h *Histogram) CumulativeBuckets() []BucketCount {
+	out := make([]BucketCount, 0, len(h.counts))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		le := math.Inf(1)
+		if i < len(histBounds) {
+			le = histBounds[i]
+		}
+		out = append(out, BucketCount{LE: le, Count: cum})
+	}
+	return out
+}
+
+// Render prints the histogram as one summary line:
+// key, count and the p50/p95/p99 estimates.
+func (h *Histogram) Render() string {
+	return fmt.Sprintf("%s n=%d p50=%.6gs p95=%.6gs p99=%.6gs",
+		h.Key, h.n, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}
+
+// histSet accumulates histograms keyed by canonical identity and
+// returns them in sorted-key order, so every artifact renders them
+// identically regardless of observation order.
+type histSet struct {
+	byKey map[string]*Histogram
+}
+
+func newHistSet() *histSet { return &histSet{byKey: map[string]*Histogram{}} }
+
+func (s *histSet) observe(key string, v float64) {
+	h, ok := s.byKey[key]
+	if !ok {
+		h = NewHistogram(key)
+		s.byKey[key] = h
+	}
+	h.Observe(v)
+}
+
+func (s *histSet) sorted() []*Histogram {
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}
+
+// histKey builds a metrics-style canonical histogram identity:
+// name{k=v} with the single label pre-sorted by construction.
+func histKey(name, labelKey, labelValue string) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	sb.WriteString(labelKey)
+	sb.WriteByte('=')
+	sb.WriteString(labelValue)
+	sb.WriteByte('}')
+	return sb.String()
+}

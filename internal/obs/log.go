@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Structured JSONL event log.
+//
+// The log is the machine-readable form of a telemetry product: one
+// JSON object per line, first a header, then every span, window row,
+// histogram and anomaly, then a footer with totals. The schema is
+// versioned (SchemaVersion) and the field order is fixed by the record
+// structs below, so the log is byte-stable: the same product always
+// serializes to the same bytes, and a reader can hard-fail on an
+// unknown schema instead of misparsing it.
+
+// SchemaVersion identifies the event-log wire format. Bump it when a
+// record type changes incompatibly.
+const SchemaVersion = "pic.obs/v1"
+
+// Record kinds, in the order they appear in a log.
+const (
+	RecHeader    = "header"
+	RecSpan      = "span"
+	RecWindow    = "window"
+	RecHistogram = "histogram"
+	RecAnomaly   = "anomaly"
+	RecFooter    = "footer"
+)
+
+type logHeader struct {
+	Schema  string  `json:"schema"`
+	Kind    string  `json:"kind"`
+	Run     string  `json:"run"`
+	WindowS float64 `json:"window_s"`
+	StartS  float64 `json:"start_s"`
+	EndS    float64 `json:"end_s"`
+}
+
+type logSpan struct {
+	Kind   string   `json:"kind"`
+	Seq    int      `json:"seq"`
+	Layer  string   `json:"layer"`
+	Span   string   `json:"span"`
+	Name   string   `json:"name"`
+	StartS float64  `json:"start_s"`
+	EndS   float64  `json:"end_s"`
+	Bytes  int64    `json:"bytes,omitempty"`
+	Lane   int      `json:"lane,omitempty"`
+	ID     int64    `json:"id,omitempty"`
+	Parent int64    `json:"parent,omitempty"`
+	Attrs  []string `json:"attrs,omitempty"`
+}
+
+type logWindow struct {
+	Kind   string  `json:"kind"`
+	Seq    int     `json:"seq"`
+	Series string  `json:"series"`
+	Index  int64   `json:"index"`
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Last   float64 `json:"last"`
+}
+
+// logBucket renders a histogram bucket with its upper bound as a
+// string, so the +Inf overflow bucket survives JSON (which has no
+// infinity literal).
+type logBucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+type logHist struct {
+	Kind    string      `json:"kind"`
+	Seq     int         `json:"seq"`
+	Hist    string      `json:"hist"`
+	Count   int64       `json:"count"`
+	SumS    float64     `json:"sum_s"`
+	P50S    float64     `json:"p50_s"`
+	P95S    float64     `json:"p95_s"`
+	P99S    float64     `json:"p99_s"`
+	Buckets []logBucket `json:"buckets"`
+}
+
+type logAnomaly struct {
+	Kind     string   `json:"kind"`
+	Seq      int      `json:"seq"`
+	Anomaly  string   `json:"anomaly"`
+	Subject  string   `json:"subject"`
+	Cause    string   `json:"cause"`
+	StartS   float64  `json:"start_s"`
+	EndS     float64  `json:"end_s"`
+	Severity float64  `json:"severity"`
+	Evidence []string `json:"evidence,omitempty"`
+}
+
+type logFooter struct {
+	Schema     string `json:"schema"`
+	Kind       string `json:"kind"`
+	Seq        int    `json:"seq"`
+	Spans      int    `json:"spans"`
+	Windows    int    `json:"windows"`
+	Histograms int    `json:"histograms"`
+	Anomalies  int    `json:"anomalies"`
+}
+
+// formatLE renders a bucket upper bound; the overflow bucket renders
+// as "+Inf" (the OpenMetrics spelling).
+func formatLE(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// WriteJSONL serializes the product as the versioned JSONL event log.
+func (p *Product) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline JSONL needs
+	seq := 0
+	next := func() int { seq++; return seq }
+	if err := enc.Encode(logHeader{
+		Schema:  SchemaVersion,
+		Kind:    RecHeader,
+		Run:     p.Name,
+		WindowS: float64(p.Opts.Window),
+		StartS:  float64(p.Start),
+		EndS:    float64(p.End),
+	}); err != nil {
+		return err
+	}
+	for _, e := range p.Events {
+		var attrs []string
+		for _, a := range e.Attrs {
+			attrs = append(attrs, a.Key+"="+a.Value)
+		}
+		if err := enc.Encode(logSpan{
+			Kind: RecSpan, Seq: next(), Layer: trace.Layer(e.Kind), Span: string(e.Kind),
+			Name: e.Name, StartS: float64(e.Start), EndS: float64(e.End),
+			Bytes: e.Bytes, Lane: e.Lane, ID: e.ID, Parent: e.Parent, Attrs: attrs,
+		}); err != nil {
+			return err
+		}
+	}
+	windows := 0
+	for _, ws := range p.Windowed {
+		for _, row := range ws.Windows {
+			windows++
+			if err := enc.Encode(logWindow{
+				Kind: RecWindow, Seq: next(), Series: ws.Series, Index: row.Index,
+				StartS: float64(row.Start), EndS: float64(row.End),
+				Count: row.Count, Sum: row.Sum, Min: row.Min, Max: row.Max, Last: row.Last,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, h := range p.Histograms {
+		var buckets []logBucket
+		for _, b := range h.Buckets() {
+			buckets = append(buckets, logBucket{LE: formatLE(b.LE), Count: b.Count})
+		}
+		if err := enc.Encode(logHist{
+			Kind: RecHistogram, Seq: next(), Hist: h.Key, Count: h.Count(), SumS: h.Sum(),
+			P50S: h.Quantile(0.50), P95S: h.Quantile(0.95), P99S: h.Quantile(0.99),
+			Buckets: buckets,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, a := range p.Anomalies {
+		if err := enc.Encode(logAnomaly{
+			Kind: RecAnomaly, Seq: next(), Anomaly: a.Kind, Subject: a.Subject,
+			Cause: string(a.Cause), StartS: float64(a.Start), EndS: float64(a.End),
+			Severity: a.Severity, Evidence: a.Evidence,
+		}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(logFooter{
+		Schema: SchemaVersion, Kind: RecFooter, Seq: next(),
+		Spans: len(p.Events), Windows: windows,
+		Histograms: len(p.Histograms), Anomalies: len(p.Anomalies),
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ValidateJSONL checks an event log against the golden schema: the
+// header leads and names the current schema version, every record kind
+// is known with its required fields present, span/window times are
+// well-formed, seq numbers are contiguous, and the footer's totals
+// match the records that preceded it.
+func ValidateJSONL(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	counts := map[string]int{}
+	sawHeader, sawFooter := false, false
+	wantSeq := 1
+	for sc.Scan() {
+		line++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("obs: log line %d: not JSON: %w", line, err)
+		}
+		kind, _ := rec["kind"].(string)
+		if line == 1 {
+			if kind != RecHeader {
+				return fmt.Errorf("obs: log line 1: expected header, got %q", kind)
+			}
+			if schema, _ := rec["schema"].(string); schema != SchemaVersion {
+				return fmt.Errorf("obs: log schema %q, want %q", rec["schema"], SchemaVersion)
+			}
+			sawHeader = true
+			continue
+		}
+		if sawFooter {
+			return fmt.Errorf("obs: log line %d: record after footer", line)
+		}
+		if kind != RecFooter {
+			seq, ok := rec["seq"].(float64)
+			if !ok || int(seq) != wantSeq {
+				return fmt.Errorf("obs: log line %d: seq %v, want %d", line, rec["seq"], wantSeq)
+			}
+			wantSeq++
+		}
+		switch kind {
+		case RecSpan:
+			for _, f := range []string{"layer", "span", "name", "start_s", "end_s"} {
+				if _, ok := rec[f]; !ok {
+					return fmt.Errorf("obs: log line %d: span missing %q", line, f)
+				}
+			}
+			if rec["end_s"].(float64) < rec["start_s"].(float64) {
+				return fmt.Errorf("obs: log line %d: span ends before it starts", line)
+			}
+		case RecWindow:
+			for _, f := range []string{"series", "index", "start_s", "end_s", "count"} {
+				if _, ok := rec[f]; !ok {
+					return fmt.Errorf("obs: log line %d: window missing %q", line, f)
+				}
+			}
+		case RecHistogram:
+			for _, f := range []string{"hist", "count", "p50_s", "p95_s", "p99_s", "buckets"} {
+				if _, ok := rec[f]; !ok {
+					return fmt.Errorf("obs: log line %d: histogram missing %q", line, f)
+				}
+			}
+		case RecAnomaly:
+			for _, f := range []string{"anomaly", "subject", "cause", "severity"} {
+				if _, ok := rec[f]; !ok {
+					return fmt.Errorf("obs: log line %d: anomaly missing %q", line, f)
+				}
+			}
+		case RecFooter:
+			if schema, _ := rec["schema"].(string); schema != SchemaVersion {
+				return fmt.Errorf("obs: footer schema %q, want %q", rec["schema"], SchemaVersion)
+			}
+			for _, f := range []string{"spans", "windows", "histograms", "anomalies"} {
+				n, ok := rec[f].(float64)
+				if !ok {
+					return fmt.Errorf("obs: footer missing %q", f)
+				}
+				if int(n) != counts[f] {
+					return fmt.Errorf("obs: footer claims %d %s, log has %d", int(n), f, counts[f])
+				}
+			}
+			sawFooter = true
+			continue
+		default:
+			return fmt.Errorf("obs: log line %d: unknown record kind %q", line, kind)
+		}
+		counts[map[string]string{
+			RecSpan: "spans", RecWindow: "windows",
+			RecHistogram: "histograms", RecAnomaly: "anomalies",
+		}[kind]]++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: reading log: %w", err)
+	}
+	if !sawHeader {
+		return fmt.Errorf("obs: log has no header")
+	}
+	if !sawFooter {
+		return fmt.Errorf("obs: log has no footer")
+	}
+	return nil
+}
+
+// Flight-recorder ring.
+//
+// The ring keeps the tail of the span stream — the most recent
+// FlightSize spans, each tagged with its layer and lane — so the live
+// inspector (and a post-mortem) can show "what the run was doing right
+// before now/the failure" without replaying the whole log.
+
+// FlightEntry is one ring slot.
+type FlightEntry struct {
+	Layer string
+	Kind  trace.Kind
+	Name  string
+	Start simtime.Time
+	End   simtime.Time
+	Bytes int64
+	Lane  int
+}
+
+// Ring is a fixed-capacity flight recorder over span records.
+type Ring struct {
+	cap     int
+	entries []FlightEntry
+	dropped int
+}
+
+// NewRing returns an empty ring with the given capacity (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{cap: capacity}
+}
+
+// Push appends an entry, evicting the oldest when full.
+func (r *Ring) Push(e FlightEntry) {
+	if len(r.entries) == r.cap {
+		copy(r.entries, r.entries[1:])
+		r.entries[len(r.entries)-1] = e
+		r.dropped++
+		return
+	}
+	r.entries = append(r.entries, e)
+}
+
+// Entries returns the retained entries, oldest first.
+func (r *Ring) Entries() []FlightEntry { return r.entries }
+
+// Dropped reports how many entries were evicted.
+func (r *Ring) Dropped() int { return r.dropped }
+
+// Render prints the ring newest-last, one line per entry.
+func (r *Ring) Render() string {
+	var sb strings.Builder
+	if r.dropped > 0 {
+		fmt.Fprintf(&sb, "flight recorder (last %d spans, %d older dropped):\n", len(r.entries), r.dropped)
+	} else {
+		fmt.Fprintf(&sb, "flight recorder (%d spans):\n", len(r.entries))
+	}
+	for _, e := range r.entries {
+		fmt.Fprintf(&sb, "  %9.3fs %9.3fs lane %-3d %-10s %-13s %s\n",
+			float64(e.Start), float64(e.End), e.Lane, e.Layer, e.Kind, e.Name)
+	}
+	return sb.String()
+}
+
+// buildFlight fills a ring from the start-sorted timeline.
+func buildFlight(events []trace.Event, size int) *Ring {
+	r := NewRing(size)
+	for _, e := range events {
+		r.Push(FlightEntry{
+			Layer: trace.Layer(e.Kind), Kind: e.Kind, Name: e.Name,
+			Start: e.Start, End: e.End, Bytes: e.Bytes, Lane: e.Lane,
+		})
+	}
+	return r
+}

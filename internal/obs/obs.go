@@ -1,0 +1,225 @@
+// Package obs is the streaming-telemetry layer of the simulator: it
+// turns the raw signals the runtime already emits — trace spans and
+// registry metrics, all on the simulated clock — into derived
+// telemetry products: tumbling-window series, fixed-bucket latency
+// histograms with p50/p95/p99 per phase, per link class and per
+// tenant, a straggler/anomaly detector that attributes slow groups and
+// transfers to a cause, a Goodrich-style cost-model sentinel, a
+// versioned JSONL event log with a flight-recorder ring, and an
+// OpenMetrics export.
+//
+// Everything here is a pure function of (events, snapshot, options):
+// obs never consults wall time, never samples the live run, and holds
+// no locks of its own. That is the determinism contract — the same
+// simulated execution yields byte-identical telemetry regardless of
+// worker count, harness parallelism or repetition, because the inputs
+// are already byte-identical and the derivations are order-free. With
+// no registry attached the runtime skips every obs-feeding sample, so
+// a disabled run pays nothing.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Options configures a telemetry collection.
+type Options struct {
+	// Window is the tumbling-window width on the simulated clock.
+	// Zero selects the default (10 simulated seconds); negative
+	// disables windowing.
+	Window simtime.Duration
+	// Plan is the scripted network-fault plan of the run, if any; the
+	// anomaly detector uses it to attribute slow transfers to brownout
+	// or outage windows.
+	Plan *simnet.NetworkPlan
+	// Sentinel configures the Goodrich-style cost-model bound check;
+	// the zero value disables it.
+	Sentinel Sentinel
+	// SlowGroupFactor flags a best-effort group as a straggler when its
+	// per-iteration busy time exceeds this multiple of the iteration's
+	// mean across groups. Zero selects the default 1.5.
+	SlowGroupFactor float64
+	// SlowTransferFactor flags a transfer-like span when its byte rate
+	// falls below this fraction of the median rate of its peers (same
+	// kind and link class). Zero selects the default 0.4.
+	SlowTransferFactor float64
+	// FlightSize caps the flight-recorder ring. Zero selects the
+	// default 64.
+	FlightSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window == 0 {
+		o.Window = 10
+	}
+	if o.SlowGroupFactor == 0 {
+		o.SlowGroupFactor = 1.5
+	}
+	if o.SlowTransferFactor == 0 {
+		o.SlowTransferFactor = 0.4
+	}
+	if o.FlightSize == 0 {
+		o.FlightSize = 64
+	}
+	return o
+}
+
+// Product is the derived telemetry of one run (or one live prefix of a
+// run): the inputs it was computed from plus every derived artifact,
+// each in a canonical order.
+type Product struct {
+	Name       string
+	Opts       Options
+	Events     []trace.Event // start-sorted
+	Snapshot   metrics.Snapshot
+	Histograms []*Histogram     // sorted by Key
+	Windowed   []WindowedSeries // snapshot order
+	Anomalies  []Anomaly        // detection order (deterministic)
+	Flight     *Ring            // last FlightSize span records
+	Start, End simtime.Time
+}
+
+// Collect derives the telemetry product of a finished (or suspended)
+// run from its tracer and registry.
+func Collect(name string, tr *trace.Tracer, reg *metrics.Registry, opts Options) *Product {
+	return CollectEvents(name, tr.Events(), reg.Snapshot(), opts)
+}
+
+// CollectEvents is Collect on raw inputs: an event list (any order; a
+// stable start-sort is applied to a copy) and a metrics snapshot. The
+// live inspector uses it on its incrementally forwarded event copy;
+// the post-run path uses it on the tracer's own view. Both produce
+// identical bytes for identical inputs.
+func CollectEvents(name string, events []trace.Event, snap metrics.Snapshot, opts Options) *Product {
+	opts = opts.withDefaults()
+	sorted := append([]trace.Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	p := &Product{
+		Name:     name,
+		Opts:     opts,
+		Events:   sorted,
+		Snapshot: snap,
+	}
+	for _, e := range sorted {
+		if e.End > p.End {
+			p.End = e.End
+		}
+	}
+	if len(sorted) > 0 {
+		p.Start = sorted[0].Start
+	}
+	p.Histograms = buildHistograms(sorted)
+	if opts.Window > 0 {
+		p.Windowed = windowSnapshot(snap, opts.Window)
+	}
+	p.Anomalies = detect(p)
+	p.Anomalies = append(p.Anomalies, sentinelCheck(p)...)
+	p.Flight = buildFlight(sorted, opts.FlightSize)
+	return p
+}
+
+// phaseKinds are the span kinds that feed the per-phase latency
+// histograms: the job phases plus the job totals and the byte-moving
+// spans around them.
+var phaseKinds = map[trace.Kind]bool{
+	trace.KindJob:        true,
+	trace.KindLocalJob:   true,
+	trace.KindOverhead:   true,
+	trace.KindModelDist:  true,
+	trace.KindMap:        true,
+	trace.KindShuffle:    true,
+	trace.KindReduce:     true,
+	trace.KindModelWrite: true,
+	trace.KindTransfer:   true,
+}
+
+// buildHistograms folds the timeline into the fixed-bucket latency
+// histograms: per phase (span kind), per link class (spans carrying a
+// class attribute) and per tenant (scheduler spans carrying a tenant
+// attribute).
+func buildHistograms(events []trace.Event) []*Histogram {
+	set := newHistSet()
+	for _, e := range events {
+		d := float64(e.Duration())
+		if phaseKinds[e.Kind] {
+			set.observe(histKey("obs.latency", "phase", string(e.Kind)), d)
+		}
+		if class := attr(e, "class"); class != "" {
+			set.observe(histKey("obs.latency", "link", class), d)
+		}
+		if tenant := attr(e, "tenant"); tenant != "" {
+			switch e.Kind {
+			case trace.KindSchedJob:
+				set.observe(histKey("obs.latency", "tenant", tenant), d)
+			case trace.KindSchedWait:
+				set.observe(histKey("obs.sched_wait", "tenant", tenant), d)
+			}
+		}
+	}
+	return set.sorted()
+}
+
+// attr returns the value of the event's named attribute, or "".
+func attr(e trace.Event, key string) string {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Hist returns the histogram under the given canonical key, if
+// present.
+func (p *Product) Hist(key string) (*Histogram, bool) {
+	for _, h := range p.Histograms {
+		if h.Key == key {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// Render prints the product's health rollup: timeline extent, span
+// counts per layer, the latency histograms, and any anomalies — the
+// summary the live inspector repaints and the report appends.
+func (p *Product) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== telemetry: %s ==\n", p.Name)
+	fmt.Fprintf(&sb, "extent: [%.6gs, %.6gs]  spans: %d  window: %.6gs\n",
+		float64(p.Start), float64(p.End), len(p.Events), float64(p.Opts.Window))
+	byLayer := map[string]int{}
+	for _, e := range p.Events {
+		byLayer[trace.Layer(e.Kind)]++
+	}
+	layers := make([]string, 0, len(byLayer))
+	for l := range byLayer {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+	for _, l := range layers {
+		fmt.Fprintf(&sb, "  layer %-10s %d spans\n", l, byLayer[l])
+	}
+	if len(p.Histograms) > 0 {
+		sb.WriteString("latency:\n")
+		for _, h := range p.Histograms {
+			fmt.Fprintf(&sb, "  %s\n", h.Render())
+		}
+	}
+	if len(p.Anomalies) == 0 {
+		sb.WriteString("anomalies: none\n")
+	} else {
+		fmt.Fprintf(&sb, "anomalies: %d\n", len(p.Anomalies))
+		for _, a := range p.Anomalies {
+			fmt.Fprintf(&sb, "  %s\n", a.Render())
+		}
+	}
+	return sb.String()
+}

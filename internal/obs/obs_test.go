@@ -1,0 +1,484 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("obs.latency{phase=map}")
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 108 {
+		t.Fatalf("Sum = %g", h.Sum())
+	}
+	// Quantile extremes clamp to the observed min/max, never to bucket
+	// bounds.
+	if got := h.Quantile(0); got != 0.5 {
+		t.Fatalf("p0 = %g, want observed min 0.5", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %g, want observed max 100", got)
+	}
+	// Quantiles are monotone in q and stay inside [min, max].
+	prev := -1.0
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: p%g = %g < %g", q*100, v, prev)
+		}
+		if v < 0.5 || v > 100 {
+			t.Fatalf("p%g = %g escapes [0.5, 100]", q*100, v)
+		}
+		prev = v
+	}
+	// Negative observations clamp to zero instead of corrupting counts.
+	h.Observe(-3)
+	if h.Count() != 6 || h.Quantile(0) != 0 {
+		t.Fatalf("negative observe: count %d min %g", h.Count(), h.Quantile(0))
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("k")
+	h.Observe(0.7)     // lands in the le=1 bucket
+	h.Observe(0.9)     // same bucket
+	h.Observe(3)       // le=4
+	h.Observe(1 << 20) // beyond the last bound: +Inf overflow
+
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("non-empty buckets = %d: %+v", len(bs), bs)
+	}
+	if bs[0].LE != 1 || bs[0].Count != 2 {
+		t.Fatalf("first bucket = %+v", bs[0])
+	}
+	if bs[1].LE != 4 || bs[1].Count != 1 {
+		t.Fatalf("second bucket = %+v", bs[1])
+	}
+	if !math.IsInf(bs[2].LE, 1) || bs[2].Count != 1 {
+		t.Fatalf("overflow bucket = %+v", bs[2])
+	}
+
+	// The cumulative view is monotone, covers every bound, and ends at
+	// +Inf with the total count — the OpenMetrics contract.
+	cum := h.CumulativeBuckets()
+	var last int64 = -1
+	for _, b := range cum {
+		if b.Count < last {
+			t.Fatalf("cumulative counts not monotone: %+v", cum)
+		}
+		last = b.Count
+	}
+	tail := cum[len(cum)-1]
+	if !math.IsInf(tail.LE, 1) || tail.Count != h.Count() {
+		t.Fatalf("cumulative tail = %+v, want +Inf/%d", tail, h.Count())
+	}
+}
+
+func TestWindows(t *testing.T) {
+	samples := []metrics.Sample{
+		{Time: 1, Value: 5},
+		{Time: 9.5, Value: 7},
+		{Time: 10, Value: 1}, // exactly on the boundary: belongs to window 1
+		{Time: 35, Value: 2},
+	}
+	rows := Windows(samples, 10)
+	if len(rows) != 3 {
+		t.Fatalf("windows = %d: %+v", len(rows), rows)
+	}
+	w0 := rows[0]
+	if w0.Index != 0 || w0.Start != 0 || w0.End != 10 || w0.Count != 2 || w0.Sum != 12 ||
+		w0.Min != 5 || w0.Max != 7 || w0.Last != 7 || w0.Mean() != 6 {
+		t.Fatalf("window 0 = %+v", w0)
+	}
+	if rows[1].Index != 1 || rows[1].Count != 1 || rows[1].Last != 1 {
+		t.Fatalf("boundary sample landed wrong: %+v", rows[1])
+	}
+	if rows[2].Index != 3 || rows[2].Start != 30 {
+		t.Fatalf("sparse window = %+v", rows[2])
+	}
+	if Windows(samples, 0) != nil || Windows(nil, 10) != nil {
+		t.Fatal("degenerate inputs should window to nil")
+	}
+}
+
+// testProduct builds a small synthetic product exercising every record
+// kind: spans with attributes, windowed series, histograms, and an
+// anomaly (via the sentinel).
+func testProduct() *Product {
+	tr := trace.New()
+	jobID := tr.NextID()
+	tr.Record(trace.Event{Kind: trace.KindJob, Name: "iter-0", Start: 0, End: 4, ID: jobID})
+	tr.Record(trace.Event{Kind: trace.KindMap, Name: "iter-0/map", Start: 0, End: 2, Parent: jobID})
+	tr.Record(trace.Event{Kind: trace.KindShuffle, Name: "iter-0/shuffle", Start: 2, End: 3, Bytes: 1 << 20,
+		Parent: jobID, Attrs: []trace.Attr{{Key: "class", Value: "cross-rack"}}})
+	tr.Record(trace.Event{Kind: trace.KindSchedJob, Name: "job a", Start: 0, End: 4,
+		Attrs: []trace.Attr{{Key: "tenant", Value: "batch"}}})
+
+	reg := metrics.New()
+	reg.Counter("mapred.jobs").Add(9)
+	reg.Series("core.be_delta").Sample(3, 0.5)
+	reg.Series("core.be_delta").Sample(14, 0.25)
+
+	return Collect("synthetic", tr, reg, Options{
+		Window: 10,
+		// ExpectedRounds 2 at factor 1 means the 9 recorded jobs breach
+		// the bound, so the product carries a sentinel anomaly.
+		Sentinel: Sentinel{Factor: 1, ExpectedRounds: 2},
+	})
+}
+
+func TestCollectBuildsLabeledHistograms(t *testing.T) {
+	p := testProduct()
+	for _, key := range []string{
+		"obs.latency{phase=job}",
+		"obs.latency{phase=map}",
+		"obs.latency{phase=shuffle}",
+		"obs.latency{link=cross-rack}",
+		"obs.latency{tenant=batch}",
+	} {
+		if _, ok := p.Hist(key); !ok {
+			t.Fatalf("missing histogram %q (have %d)", key, len(p.Histograms))
+		}
+	}
+	if p.Start != 0 || p.End != 4 {
+		t.Fatalf("extent = [%g, %g]", float64(p.Start), float64(p.End))
+	}
+	if len(p.Windowed) == 0 || p.Windowed[0].Series != "core.be_delta" {
+		t.Fatalf("windowed = %+v", p.Windowed)
+	}
+}
+
+func TestCollectEventsOrderInvariance(t *testing.T) {
+	// Distinct start times (the stable sort keeps ties in arrival order
+	// by design — the runtime's arrival order is itself deterministic).
+	events := []trace.Event{
+		{Kind: trace.KindJob, Name: "iter-0", Start: 0, End: 4, ID: 1},
+		{Kind: trace.KindMap, Name: "iter-0/map", Start: 0.5, End: 2, Parent: 1},
+		{Kind: trace.KindShuffle, Name: "iter-0/shuffle", Start: 2, End: 3, Bytes: 1 << 20,
+			Parent: 1, Attrs: []trace.Attr{{Key: "class", Value: "cross-rack"}}},
+		{Kind: trace.KindModelWrite, Name: "model", Start: 3, End: 4, Bytes: 4096},
+	}
+	snap := metrics.Snapshot{}
+	p := CollectEvents("order", events, snap, Options{Window: 10})
+	// Feed the same events reversed: the live inspector sees arrival
+	// order, the post-run path sees start order; bytes must not differ.
+	rev := make([]trace.Event, len(events))
+	for i, e := range events {
+		rev[len(rev)-1-i] = e
+	}
+	q := CollectEvents("order", rev, snap, Options{Window: 10})
+
+	var a, b bytes.Buffer
+	if err := p.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("JSONL differs across event arrival orders")
+	}
+	a.Reset()
+	b.Reset()
+	if err := p.WriteOpenMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("OpenMetrics differs across event arrival orders")
+	}
+	if p.Render() != q.Render() {
+		t.Fatal("render differs across event arrival orders")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	p := testProduct()
+	var buf bytes.Buffer
+	if err := p.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("own log fails validation: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	corrupt := func(name string, mutate func([]string) []string) {
+		t.Helper()
+		mutated := mutate(append([]string(nil), lines...))
+		err := ValidateJSONL(strings.NewReader(strings.Join(mutated, "\n") + "\n"))
+		if err == nil {
+			t.Fatalf("%s: validator accepted a corrupt log", name)
+		}
+	}
+	corrupt("wrong schema", func(ls []string) []string {
+		ls[0] = strings.Replace(ls[0], SchemaVersion, "pic.obs/v999", 1)
+		return ls
+	})
+	corrupt("seq gap", func(ls []string) []string {
+		return append(ls[:1], ls[2:]...) // drop the first span: seq starts at 2
+	})
+	corrupt("missing footer", func(ls []string) []string {
+		return ls[:len(ls)-1]
+	})
+	corrupt("record after footer", func(ls []string) []string {
+		return append(ls, ls[1])
+	})
+	corrupt("footer totals drift", func(ls []string) []string {
+		ls[len(ls)-1] = strings.Replace(ls[len(ls)-1], `"spans":`, `"spans":9`, 1)
+		return ls
+	})
+	corrupt("not JSON", func(ls []string) []string {
+		ls[1] = "{broken"
+		return ls
+	})
+	if err := ValidateJSONL(strings.NewReader("")); err == nil {
+		t.Fatal("empty log validated")
+	}
+}
+
+func TestOpenMetricsShape(t *testing.T) {
+	p := testProduct()
+	var buf bytes.Buffer
+	if err := p.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("output does not end with # EOF:\n%s", out)
+	}
+	// Exactly one TYPE line per family, and every sample line belongs to
+	// the family most recently declared — the OpenMetrics grouping rule.
+	types := map[string]bool{}
+	current := ""
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fam := strings.Fields(line)[2]
+			if types[fam] {
+				t.Fatalf("family %s declared twice", fam)
+			}
+			types[fam] = true
+			current = fam
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, current) {
+			t.Fatalf("sample %q outside its family block (%s)", line, current)
+		}
+	}
+	if !strings.Contains(out, "pic_mapred_jobs_total 9") {
+		t.Fatalf("counter missing _total sample:\n%s", out)
+	}
+	if !strings.Contains(out, "# UNIT pic_obs_latency_seconds seconds") {
+		t.Fatalf("histogram missing UNIT line:\n%s", out)
+	}
+	if !strings.Contains(out, `pic_obs_latency_seconds_bucket{phase="map",le="+Inf"}`) {
+		t.Fatalf("histogram missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "pic_core_be_delta_last 0.25") {
+		t.Fatalf("series missing _last gauge:\n%s", out)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Push(FlightEntry{Name: string(rune('a' + i)), Start: simtime.Time(i)})
+	}
+	es := r.Entries()
+	if len(es) != 3 || r.Dropped() != 2 {
+		t.Fatalf("entries = %d dropped = %d", len(es), r.Dropped())
+	}
+	if es[0].Name != "c" || es[2].Name != "e" {
+		t.Fatalf("ring kept wrong tail: %+v", es)
+	}
+	if !strings.Contains(r.Render(), "2 older dropped") {
+		t.Fatalf("render: %s", r.Render())
+	}
+}
+
+func TestSentinelBounds(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("mapred.jobs").Add(30)
+	reg.Counter("mapred.shuffle_network_bytes").Add(5e9)
+	reg.Counter("mapred.model_bytes").Add(1e9)
+	snap := reg.Snapshot()
+
+	collect := func(s Sentinel) []Anomaly {
+		p := CollectEvents("s", nil, snap, Options{Sentinel: s})
+		return p.Anomalies
+	}
+	// Healthy bounds: quiet.
+	if as := collect(Sentinel{Factor: 4, ExpectedRounds: 10, BytesPerRound: 1e9}); len(as) != 0 {
+		t.Fatalf("healthy run flagged: %+v", as)
+	}
+	// Round bound breached: 30 rounds > 2 × 10.
+	as := collect(Sentinel{Factor: 2, ExpectedRounds: 10})
+	if len(as) != 1 || as[0].Subject != "rounds" || as[0].Cause != CauseCostModel {
+		t.Fatalf("round breach = %+v", as)
+	}
+	if as[0].Severity != 1.5 {
+		t.Fatalf("round severity = %g", as[0].Severity)
+	}
+	// Communication bound breached: 6e9 bytes > 2 × 30 rounds × 1e7.
+	as = collect(Sentinel{Factor: 2, BytesPerRound: 1e7})
+	if len(as) != 1 || as[0].Subject != "communication" || as[0].Cause != CauseCostModel {
+		t.Fatalf("communication breach = %+v", as)
+	}
+	// Factor 0 disables everything.
+	if as := collect(Sentinel{ExpectedRounds: 1, BytesPerRound: 1}); len(as) != 0 {
+		t.Fatalf("disabled sentinel fired: %+v", as)
+	}
+}
+
+func TestSlowTransferAttribution(t *testing.T) {
+	// Five shuffles of the same link class: four at 1 MB/s, one at a
+	// tenth of that. The slow one overlaps a scripted brownout window.
+	events := []trace.Event{
+		{Kind: trace.KindShuffle, Name: "s0", Start: 0, End: 1, Bytes: 1 << 20, Attrs: []trace.Attr{{Key: "class", Value: "cross-rack"}}},
+		{Kind: trace.KindShuffle, Name: "s1", Start: 1, End: 2, Bytes: 1 << 20, Attrs: []trace.Attr{{Key: "class", Value: "cross-rack"}}},
+		{Kind: trace.KindShuffle, Name: "s2", Start: 2, End: 3, Bytes: 1 << 20, Attrs: []trace.Attr{{Key: "class", Value: "cross-rack"}}},
+		{Kind: trace.KindShuffle, Name: "s3", Start: 3, End: 4, Bytes: 1 << 20, Attrs: []trace.Attr{{Key: "class", Value: "cross-rack"}}},
+		{Kind: trace.KindShuffle, Name: "slow", Start: 4, End: 14, Bytes: 1 << 20, Attrs: []trace.Attr{{Key: "class", Value: "cross-rack"}}},
+	}
+	plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
+		{Kind: simnet.FaultCore, Start: 5, End: 9, Factor: 0.05},
+	}}
+	p := CollectEvents("t", events, metrics.Snapshot{}, Options{Plan: plan})
+	if len(p.Anomalies) != 1 {
+		t.Fatalf("anomalies = %+v", p.Anomalies)
+	}
+	a := p.Anomalies[0]
+	if a.Kind != "slow-transfer" || a.Cause != CauseLinkBrownout {
+		t.Fatalf("anomaly = %+v", a)
+	}
+	if !strings.Contains(strings.Join(a.Evidence, ";"), "overlaps fault") {
+		t.Fatalf("evidence lacks fault overlap: %+v", a.Evidence)
+	}
+	if a.Severity < 9 || a.Severity > 11 { // 10× below the peer median
+		t.Fatalf("severity = %g", a.Severity)
+	}
+
+	// Without a plan (or with a non-overlapping window) the cause stays
+	// unknown — attribution never invents a fault.
+	p = CollectEvents("t", events, metrics.Snapshot{}, Options{
+		Plan: &simnet.NetworkPlan{Faults: []simnet.NetFault{{Kind: simnet.FaultCore, Start: 100, End: 200}}},
+	})
+	if len(p.Anomalies) != 1 || p.Anomalies[0].Cause != CauseUnknown {
+		t.Fatalf("non-overlapping plan: %+v", p.Anomalies)
+	}
+
+	// Three peers are too few for a baseline: no anomaly at all.
+	p = CollectEvents("t", events[2:], metrics.Snapshot{}, Options{Plan: plan})
+	if len(p.Anomalies) != 0 {
+		t.Fatalf("flagged without enough peers: %+v", p.Anomalies)
+	}
+}
+
+// sampleGroups records one best-effort iteration's busy seconds for
+// groups 0..n-1 at the shared instant t.
+func sampleGroups(reg *metrics.Registry, t simtime.Time, busy ...float64) {
+	for g, b := range busy {
+		reg.Series("core.be_group_seconds", metrics.L("group", string(rune('0'+g)))...).Sample(t, b)
+	}
+}
+
+func TestStragglerSkewAttribution(t *testing.T) {
+	reg := metrics.New()
+	// Iteration at t=10: group 0 is three times busier than its peers,
+	// and it owns partition 0, which holds 80% of the records.
+	sampleGroups(reg, 10, 6, 2, 2)
+	for part, rec := range map[string]float64{"0": 8000, "1": 1000, "2": 1000} {
+		group := "0"
+		if part != "0" {
+			group = part
+		}
+		reg.Series("core.partition_records", metrics.L("group", group, "partition", part)...).Sample(10, rec)
+	}
+	p := CollectEvents("skew", nil, reg.Snapshot(), Options{})
+	if len(p.Anomalies) != 1 {
+		t.Fatalf("anomalies = %+v", p.Anomalies)
+	}
+	a := p.Anomalies[0]
+	if a.Kind != "straggler-group" || a.Subject != "group 0" || a.Cause != CauseSkewedPartition {
+		t.Fatalf("anomaly = %+v", a)
+	}
+	if math.Abs(a.Severity-1.8) > 1e-9 { // 6 / mean(6,2,2)
+		t.Fatalf("severity = %g", a.Severity)
+	}
+	if !strings.Contains(strings.Join(a.Evidence, ";"), "partition 0 holds 8000") {
+		t.Fatalf("evidence = %+v", a.Evidence)
+	}
+}
+
+func TestStragglerTenantAndCacheAttribution(t *testing.T) {
+	// A straggler with co-tenant load registered attributes to the
+	// compute share.
+	reg := metrics.New()
+	sampleGroups(reg, 10, 9, 3, 3)
+	reg.Series("simcluster.tenant_load").Sample(5, 0.75)
+	p := CollectEvents("tenant", nil, reg.Snapshot(), Options{})
+	if len(p.Anomalies) != 1 || p.Anomalies[0].Cause != CauseComputeShare {
+		t.Fatalf("tenant attribution = %+v", p.Anomalies)
+	}
+
+	// First-iteration straggler with loop-cache misses staged: cold
+	// cache. On a later iteration the same signal no longer applies.
+	reg = metrics.New()
+	sampleGroups(reg, 10, 9, 3, 3)
+	sampleGroups(reg, 20, 3, 9, 3)
+	reg.Counter("cache.misses").Add(12)
+	p = CollectEvents("cold", nil, reg.Snapshot(), Options{})
+	if len(p.Anomalies) != 2 {
+		t.Fatalf("anomalies = %+v", p.Anomalies)
+	}
+	if p.Anomalies[0].Cause != CauseCacheCold {
+		t.Fatalf("first iteration = %+v", p.Anomalies[0])
+	}
+	if p.Anomalies[1].Cause != CauseUnknown {
+		t.Fatalf("second iteration = %+v", p.Anomalies[1])
+	}
+
+	// A single active group has no peers to deviate from.
+	reg = metrics.New()
+	sampleGroups(reg, 10, 9)
+	if p := CollectEvents("solo", nil, reg.Snapshot(), Options{}); len(p.Anomalies) != 0 {
+		t.Fatalf("solo group flagged: %+v", p.Anomalies)
+	}
+}
+
+func TestFlightRecorderTail(t *testing.T) {
+	p := testProduct()
+	if got := len(p.Flight.Entries()); got != len(p.Events) {
+		t.Fatalf("flight entries = %d, events = %d", got, len(p.Events))
+	}
+	small := CollectEvents(p.Name, p.Events, p.Snapshot, Options{FlightSize: 2})
+	es := small.Flight.Entries()
+	if len(es) != 2 || small.Flight.Dropped() != len(p.Events)-2 {
+		t.Fatalf("capped flight = %d entries, %d dropped", len(es), small.Flight.Dropped())
+	}
+	// The ring keeps the *latest* spans of the start-sorted timeline.
+	if es[len(es)-1].Name != p.Events[len(p.Events)-1].Name {
+		t.Fatalf("ring tail = %+v", es)
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// OpenMetrics export.
+//
+// WriteOpenMetrics renders a product snapshot in the OpenMetrics text
+// format, so standard tooling (promtool, scrapers, dashboards) can
+// ingest a simulated run. Every family is prefixed "pic_" with dots
+// mapped to underscores; counters gain the mandated "_total" sample
+// suffix, series export their final value (gauge) plus their sample
+// count (counter), and the latency histograms export cumulative
+// buckets with the canonical le label, _count and _sum. The render is
+// a pure function of the product, in sorted family order, terminated
+// by "# EOF" — byte-stable like every other obs artifact.
+
+// sanitizeName maps a registry metric name onto the OpenMetrics
+// charset.
+func sanitizeName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("pic_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the OpenMetrics ABNF.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// renderLabels renders {k="v",...} (or "" when empty), preserving the
+// registry's sorted label order.
+func renderLabels(labels []metrics.Label, extra ...metrics.Label) string {
+	all := append(append([]metrics.Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// omFamily is one OpenMetrics metric family: its metadata lines and
+// its samples, accumulated before writing so a family with many label
+// sets still carries exactly one TYPE line.
+type omFamily struct {
+	meta    []string
+	samples []string
+}
+
+// omFamilies accumulates families in first-touch order (the snapshot
+// and histogram orders are canonical, so first-touch is deterministic).
+type omFamilies struct {
+	byName map[string]*omFamily
+	order  []string
+}
+
+func (f *omFamilies) family(name string, meta ...string) *omFamily {
+	if f.byName == nil {
+		f.byName = map[string]*omFamily{}
+	}
+	fam, ok := f.byName[name]
+	if !ok {
+		fam = &omFamily{meta: meta}
+		f.byName[name] = fam
+		f.order = append(f.order, name)
+	}
+	return fam
+}
+
+func (f *omFamily) add(format string, args ...any) {
+	f.samples = append(f.samples, fmt.Sprintf(format, args...))
+}
+
+// WriteOpenMetrics renders the product in OpenMetrics text format.
+func (p *Product) WriteOpenMetrics(w io.Writer) error {
+	var fams omFamilies
+	for _, m := range p.Snapshot.Metrics {
+		switch m.Kind {
+		case metrics.KindCounter:
+			name := sanitizeName(m.Name)
+			fams.family(name, "# TYPE "+name+" counter").
+				add("%s_total%s %s", name, renderLabels(m.Labels), formatValue(m.Value))
+		case metrics.KindGauge:
+			name := sanitizeName(m.Name)
+			fams.family(name, "# TYPE "+name+" gauge").
+				add("%s%s %s", name, renderLabels(m.Labels), formatValue(m.Value))
+		case metrics.KindSeries:
+			// A series flattens to its final value plus its sample
+			// count; the full resolution lives in the JSONL log's
+			// window records.
+			last := sanitizeName(m.Name) + "_last"
+			var v float64
+			if n := len(m.Samples); n > 0 {
+				v = m.Samples[n-1].Value
+			}
+			fams.family(last, "# TYPE "+last+" gauge").
+				add("%s%s %s", last, renderLabels(m.Labels), formatValue(v))
+			count := sanitizeName(m.Name) + "_samples"
+			fams.family(count, "# TYPE "+count+" counter").
+				add("%s_total%s %d", count, renderLabels(m.Labels), len(m.Samples))
+		}
+	}
+	for _, h := range p.Histograms {
+		name, labels := parseHistKey(h.Key)
+		famName := sanitizeName(name) + "_seconds"
+		fam := fams.family(famName,
+			"# TYPE "+famName+" histogram",
+			"# UNIT "+famName+" seconds")
+		for _, b := range h.CumulativeBuckets() {
+			le := metrics.Label{Key: "le", Value: formatLE(b.LE)}
+			fam.add("%s_bucket%s %d", famName, renderLabels(labels, le), b.Count)
+		}
+		fam.add("%s_count%s %d", famName, renderLabels(labels), h.Count())
+		fam.add("%s_sum%s %s", famName, renderLabels(labels), formatValue(h.Sum()))
+	}
+	bw := bufio.NewWriter(w)
+	for _, name := range fams.order {
+		fam := fams.byName[name]
+		for _, line := range fam.meta {
+			fmt.Fprintln(bw, line)
+		}
+		for _, line := range fam.samples {
+			fmt.Fprintln(bw, line)
+		}
+	}
+	fmt.Fprint(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+// parseHistKey splits a canonical histogram key back into name and
+// labels.
+func parseHistKey(key string) (string, []metrics.Label) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name := key[:open]
+	body := key[open+1 : len(key)-1]
+	if body == "" {
+		return name, nil
+	}
+	var labels []metrics.Label
+	for _, kv := range strings.Split(body, ",") {
+		if eq := strings.IndexByte(kv, '='); eq >= 0 {
+			labels = append(labels, metrics.Label{Key: kv[:eq], Value: kv[eq+1:]})
+		}
+	}
+	return name, labels
+}

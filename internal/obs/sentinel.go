@@ -1,0 +1,78 @@
+package obs
+
+import "fmt"
+
+// Cost-model sentinel.
+//
+// Goodrich et al. (PAPERS.md) bound a MapReduce-style computation by
+// its round count and its per-round communication: a simulation of a
+// bulk-synchronous algorithm should finish in O(expected) rounds and
+// move O(N) bytes per round. The sentinel checks the measured run
+// against those bounds scaled by a configurable slack factor, and
+// flags a cost-model anomaly when the run escapes them — continuously,
+// on every collection, instead of only in ablation tables.
+
+// Sentinel configures the Goodrich-style bound check. The zero value
+// disables it.
+type Sentinel struct {
+	// Factor is the slack multiplier on both bounds; values <= 0
+	// disable the sentinel. A run is flagged only when it exceeds
+	// Factor times the expected figure, so 1.0 is the tight bound and
+	// ~3 a forgiving one.
+	Factor float64 `json:"factor"`
+	// ExpectedRounds is the round budget the driver planned (e.g.
+	// best-effort + top-off iteration caps times jobs per iteration);
+	// zero skips the round check.
+	ExpectedRounds int `json:"expected_rounds"`
+	// BytesPerRound is the O(N) per-round communication constant —
+	// callers derive it from the workload's input size; zero skips the
+	// communication check.
+	BytesPerRound int64 `json:"bytes_per_round"`
+}
+
+// sentinelCheck evaluates the bounds against the snapshot's mapred
+// counters: framework jobs are the measured rounds, and shuffle
+// network bytes plus model bytes are the measured communication.
+func sentinelCheck(p *Product) []Anomaly {
+	s := p.Opts.Sentinel
+	if s.Factor <= 0 {
+		return nil
+	}
+	// Rounds are synchronized framework jobs — the Goodrich model's
+	// unit of progress. Best-effort local iterations run unsynchronized
+	// inside a round, so they do not count against the bound.
+	rounds := counterValue(p.Snapshot, "mapred.jobs")
+	var out []Anomaly
+	if s.ExpectedRounds > 0 {
+		bound := s.Factor * float64(s.ExpectedRounds)
+		if rounds > bound {
+			out = append(out, Anomaly{
+				Kind:     "cost-model-bound",
+				Subject:  "rounds",
+				Cause:    CauseCostModel,
+				Start:    p.Start,
+				End:      p.End,
+				Severity: rounds / bound,
+				Evidence: []string{fmt.Sprintf("measured %.6g rounds > %.6g (factor %.6g x expected %d)",
+					rounds, bound, s.Factor, s.ExpectedRounds)},
+			})
+		}
+	}
+	if s.BytesPerRound > 0 && rounds > 0 {
+		comm := counterValue(p.Snapshot, "mapred.shuffle_network_bytes") + counterValue(p.Snapshot, "mapred.model_bytes")
+		bound := s.Factor * rounds * float64(s.BytesPerRound)
+		if comm > bound {
+			out = append(out, Anomaly{
+				Kind:     "cost-model-bound",
+				Subject:  "communication",
+				Cause:    CauseCostModel,
+				Start:    p.Start,
+				End:      p.End,
+				Severity: comm / bound,
+				Evidence: []string{fmt.Sprintf("measured %.6g communication bytes > %.6g (factor %.6g x %.6g rounds x %d B/round)",
+					comm, bound, s.Factor, rounds, s.BytesPerRound)},
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+// Tumbling-window aggregation.
+//
+// Every series in the metrics registry is re-keyed onto a fixed grid
+// of tumbling windows on the simulated clock: window k covers
+// [k*W, (k+1)*W). The grid is anchored at simtime zero, so two runs
+// that sample the same (time, value) points produce identical windows
+// no matter how the samples interleaved with real time — windowing is
+// a pure function of the snapshot.
+
+// WindowRow is the aggregate of one series over one tumbling window.
+type WindowRow struct {
+	Index int64        `json:"index"` // window ordinal: Start == Index*W
+	Start simtime.Time `json:"start_s"`
+	End   simtime.Time `json:"end_s"`
+	Count int64        `json:"count"`
+	Sum   float64      `json:"sum"`
+	Min   float64      `json:"min"`
+	Max   float64      `json:"max"`
+	Last  float64      `json:"last"` // final sample in arrival order
+}
+
+// Mean reports the window's average sample value.
+func (w WindowRow) Mean() float64 {
+	if w.Count == 0 {
+		return 0
+	}
+	return w.Sum / float64(w.Count)
+}
+
+// WindowedSeries is one registry series reduced to its non-empty
+// tumbling windows, in window order.
+type WindowedSeries struct {
+	Series  string      `json:"series"` // canonical metric identity
+	Windows []WindowRow `json:"windows"`
+}
+
+// Windows folds a series' samples onto the tumbling grid of the given
+// width. Windows with no samples are omitted; rows come out in window
+// order. A non-positive width returns nil (windowing disabled).
+func Windows(samples []metrics.Sample, width simtime.Duration) []WindowRow {
+	if width <= 0 || len(samples) == 0 {
+		return nil
+	}
+	byIndex := map[int64]*WindowRow{}
+	order := make([]int64, 0, 8)
+	for _, s := range samples {
+		idx := int64(s.Time / width)
+		// Guard the right edge: float division can land exactly on the
+		// boundary; the grid is half-open so t == (k+1)*W belongs to k+1.
+		if simtime.Time(idx+1)*width <= s.Time {
+			idx++
+		}
+		row, ok := byIndex[idx]
+		if !ok {
+			row = &WindowRow{
+				Index: idx,
+				Start: simtime.Time(idx) * width,
+				End:   simtime.Time(idx+1) * width,
+				Min:   s.Value,
+				Max:   s.Value,
+			}
+			byIndex[idx] = row
+			order = append(order, idx)
+		}
+		row.Count++
+		row.Sum += s.Value
+		if s.Value < row.Min {
+			row.Min = s.Value
+		}
+		if s.Value > row.Max {
+			row.Max = s.Value
+		}
+		row.Last = s.Value
+	}
+	// Series samples are appended in simulated-time order per series,
+	// but be defensive: emit in window order regardless of arrival.
+	sortInt64s(order)
+	out := make([]WindowRow, 0, len(order))
+	for _, idx := range order {
+		out = append(out, *byIndex[idx])
+	}
+	return out
+}
+
+// windowSnapshot windows every series in the snapshot, in snapshot
+// (canonical-identity) order.
+func windowSnapshot(snap metrics.Snapshot, width simtime.Duration) []WindowedSeries {
+	var out []WindowedSeries
+	for _, m := range snap.Metrics {
+		if m.Kind != metrics.KindSeries {
+			continue
+		}
+		rows := Windows(m.Samples, width)
+		if len(rows) == 0 {
+			continue
+		}
+		out = append(out, WindowedSeries{Series: m.ID(), Windows: rows})
+	}
+	return out
+}
+
+// Render prints the windowed series one row per window.
+func (ws WindowedSeries) Render() string {
+	var sb strings.Builder
+	for _, w := range ws.Windows {
+		fmt.Fprintf(&sb, "%s [%.6g,%.6g) n=%d mean=%.6g min=%.6g max=%.6g last=%.6g\n",
+			ws.Series, float64(w.Start), float64(w.End), w.Count, w.Mean(), w.Min, w.Max, w.Last)
+	}
+	return sb.String()
+}
+
+func sortInt64s(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

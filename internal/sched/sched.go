@@ -825,6 +825,7 @@ func (s *Scheduler) chargeWait(j *job, t simtime.Time) {
 		s.tracer.Record(trace.Event{
 			Kind: trace.KindSchedWait, Name: j.key(),
 			Start: j.waitFrom, End: t,
+			Attrs: []trace.Attr{{Key: "tenant", Value: j.spec.Tenant}},
 		})
 	}
 }
@@ -848,6 +849,7 @@ func (s *Scheduler) suspend(j *job, t simtime.Time) {
 	s.tracer.Record(trace.Event{
 		Kind: trace.KindSchedPreempt, Name: j.key(),
 		Start: t, End: t,
+		Attrs: []trace.Attr{{Key: "tenant", Value: j.spec.Tenant}},
 	})
 }
 
@@ -864,6 +866,7 @@ func (s *Scheduler) complete(j *job, t simtime.Time) {
 	s.tracer.Record(trace.Event{
 		Kind: trace.KindSchedJob, Name: j.key(),
 		Start: j.start, End: t, ID: j.span,
+		Attrs: []trace.Attr{{Key: "tenant", Value: j.spec.Tenant}},
 	})
 }
 

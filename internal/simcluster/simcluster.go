@@ -399,6 +399,19 @@ func (c *Cluster) ClearAllTenantCompute() {
 // global node n.
 func (c *Cluster) NodeComputeLoad(n int) float64 { return c.comp.agg[n] }
 
+// MaxComputeLoad reports the largest aggregate co-tenant compute share
+// across all nodes — the telemetry layer's one-number summary of how
+// contended the cluster's compute is right now.
+func (c *Cluster) MaxComputeLoad() float64 {
+	var max float64
+	for _, v := range c.comp.agg {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
 // recompute rebuilds the per-node aggregate in sorted-tenant order.
 func (l *computeLoad) recompute() {
 	for i := range l.agg {

@@ -176,6 +176,87 @@ func TestChromeTraceGolden(t *testing.T) {
 	}
 }
 
+// TestChromeTraceFaultAndCacheKinds round-trips the network-fault,
+// degraded-mode and loop-cache event kinds through the exporter: the
+// JSON must stay valid, every kind must land in its layer's category,
+// point annotations must export as instants, and the serialized order
+// must be stable (start-sorted) and byte-identical across identical
+// timelines.
+func TestChromeTraceFaultAndCacheKinds(t *testing.T) {
+	build := func() *Tracer {
+		tr := New()
+		// Recorded deliberately out of start order: the exporter must
+		// emit the start-sorted view.
+		tr.Record(Event{Kind: KindDegradedMerge, Name: "merge iter 2", Start: 5, End: 5,
+			Attrs: []Attr{{Key: "partials", Value: "4/6"}}})
+		tr.Record(Event{Kind: KindNetFault, Name: "rack 1 uplink", Start: 1, End: 3, Lane: 0,
+			Attrs: []Attr{{Key: "factor", Value: "0"}}})
+		tr.Record(Event{Kind: KindCacheWarm, Name: "family kmeans", Start: 2, End: 2, Bytes: 4096, Lane: 1})
+		tr.Record(Event{Kind: KindCacheEvict, Name: "family kmeans", Start: 6, End: 6, Bytes: 4096, Lane: 1})
+		tr.Record(Event{Kind: KindTransferRetry, Name: "retry shuffle", Start: 2, End: 2.5, Lane: 1})
+		tr.Record(Event{Kind: KindCheckpoint, Name: "model@iter2", Start: 4, End: 4.5, Bytes: 1 << 16})
+		return tr
+	}
+
+	var a, b bytes.Buffer
+	if err := build().ChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().ChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("export not byte-identical across identical timelines")
+	}
+
+	out := decodeChrome(t, a.Bytes())
+	wantCat := map[string]string{
+		"rack 1 uplink": "simnet",
+		"merge iter 2":  "core",
+		"model@iter2":   "core",
+		"family kmeans": "mapred",
+		"retry shuffle": "mapred",
+	}
+	instants := 0
+	lastTs := -1.0
+	for _, e := range out.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if cat, ok := wantCat[e.Name]; ok && e.Cat != cat {
+			t.Fatalf("%s category = %q, want %q", e.Name, e.Cat, cat)
+		}
+		if e.Ph == "i" {
+			instants++
+		}
+		if e.Ts < lastTs {
+			t.Fatalf("events not start-sorted: ts %g after %g", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+	}
+	// net-fault window and checkpoint/retry spans are durable; the two
+	// cache annotations and the zero-width degraded merge are instants.
+	if instants != 3 {
+		t.Fatalf("instant events = %d, want 3", instants)
+	}
+	// Attributes survive the round trip on the new kinds.
+	for _, e := range out.TraceEvents {
+		if e.Name == "rack 1 uplink" {
+			if e.Args == nil || len(e.Args.Attrs) != 1 || e.Args.Attrs[0] != "factor=0" {
+				t.Fatalf("net-fault args = %+v", e.Args)
+			}
+		}
+		if e.Name == "merge iter 2" {
+			if e.Args == nil || len(e.Args.Attrs) != 1 || e.Args.Attrs[0] != "partials=4/6" {
+				t.Fatalf("degraded-merge args = %+v", e.Args)
+			}
+		}
+		if e.Name == "family kmeans" && e.Args.Bytes != 4096 {
+			t.Fatalf("cache event lost bytes: %+v", e.Args)
+		}
+	}
+}
+
 func TestCriticalPathAttribution(t *testing.T) {
 	tr := New()
 	jobID := tr.NextID()

@@ -127,6 +127,12 @@ type Tracer struct {
 	// per call.
 	sorted []Event
 	nextID int64
+	// OnRecord, when set, observes every event synchronously as Record
+	// appends it. The live run inspector uses it to forward events off
+	// the driver goroutine (the hook typically writes to a buffered
+	// channel); the tracer itself stays single-goroutine. A nil hook
+	// costs one predictable branch.
+	OnRecord func(Event)
 }
 
 // New returns an empty tracer.
@@ -152,6 +158,9 @@ func (t *Tracer) Record(e Event) {
 	}
 	t.events = append(t.events, e)
 	t.sorted = nil
+	if t.OnRecord != nil {
+		t.OnRecord(e)
+	}
 }
 
 // Events returns the recorded events sorted by start time (ties by
