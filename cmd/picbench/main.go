@@ -4,7 +4,7 @@
 //	picbench fig2 fig9 fig10 fig11 fig12a fig12b fig12c \
 //	         table1 table2 table3 \
 //	         abl-parts abl-coupling abl-localfactor abl-degenerate \
-//	         abl-faults abl-netfaults abl-tenancy abl-loopaware
+//	         abl-faults abl-netfaults abl-tenancy abl-loopaware abl-scale
 //
 // Two fault ablations exist: abl-faults crashes a node (machine and
 // disk die; DFS re-replicates, tasks reschedule, PIC groups repair),
@@ -20,11 +20,18 @@
 //	picbench [-scale S] report [-out DIR] [workload ...]
 //
 // The bench-snapshot subcommand measures the hot-path microbenchmark
-// kernels and emits a machine-readable performance snapshot (see
-// BENCH_baseline.json); -check validates an existing snapshot instead:
+// kernels (timings plus allocs/op and bytes/op) and emits a
+// machine-readable performance snapshot (see BENCH_baseline.json);
+// -check validates an existing snapshot instead, and refuses to compare
+// across scale tiers:
 //
 //	picbench [-scale S] bench-snapshot [-out FILE] [-suite]
-//	picbench bench-snapshot -check BENCH_baseline.json
+//	picbench [-scale S] bench-snapshot -check BENCH_baseline.json
+//
+// -scale doubles as the scale-ladder control: values above 1 grow the
+// tiered kernels and the abl-scale ablation (records linearly, simulated
+// nodes with the square root), up to ~10⁷ records on 1,000+ simulated
+// nodes at combined tier 1000.
 //
 // Independent experiment cells (figure rows, sweep points) can run
 // concurrently with -parallel N; outputs are byte-identical at any
@@ -85,6 +92,7 @@ var experiments = []experiment{
 	{"abl-netfaults", "network-fault ablation: nodes stay up but core links fail (retries, quorum merges)", wrap(bench.AblationNetworkFault)},
 	{"abl-tenancy", "multi-tenant contention ablation", wrap(bench.AblationMultiTenant)},
 	{"abl-loopaware", "loop-aware runtime ablation: cold vs warm invariant-input cache (wall time drops, simulated results byte-identical)", wrap(bench.AblationLoopAware)},
+	{"abl-scale", "scale-ladder ablation: streamed splits, delta checkpoints, flat vs hierarchical merge across tiers (core bytes drop, outputs byte-identical)", wrap(bench.AblationScale)},
 }
 
 func main() {
@@ -95,7 +103,7 @@ func main() {
 		debug.SetGCPercent(400)
 	}
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of rendered tables")
-	scaleArg := flag.Float64("scale", 1.0, "dataset-size multiplier in (0,1] for quick smoke runs")
+	scaleArg := flag.Float64("scale", 1.0, "dataset-size multiplier: values in (0,1) shrink for smoke runs, 1 is the paper shape, values above 1 climb the scale ladder")
 	parallel := flag.Int("parallel", 1, "experiment cells run concurrently (outputs are identical at any setting)")
 	list := flag.Bool("list", false, "list experiments and report workloads, then exit")
 	flag.Parse()
@@ -214,6 +222,15 @@ func runSnapshot(args []string) int {
 		snap, err := bench.CheckSnapshot(data)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
+			return 1
+		}
+		// Tier like-for-like: a snapshot is only comparable to runs at
+		// its own scale, so refuse to validate one against a different
+		// current tier instead of silently blessing an apples-to-oranges
+		// baseline.
+		if snap.Scale != bench.Scale() {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: %s was taken at scale %g but the current scale is %g; re-run with -scale %g to compare like for like\n",
+				*checkPath, snap.Scale, bench.Scale(), snap.Scale)
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "bench-snapshot: %s ok (%s, %d kernels, scale %g, suite %.1fs)\n",

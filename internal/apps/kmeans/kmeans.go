@@ -575,6 +575,35 @@ func (a *App) MergeKey(key string, values []writable.Writable) (writable.Writabl
 	return acc, nil
 }
 
+// MergeKeyWeighted implements core.WeightedKeyMerger: the
+// weights-weighted mean of the partial centroids, so rack-level
+// pre-averages combine without biasing toward small racks.
+func (a *App) MergeKeyWeighted(key string, values []writable.Writable, weights []int) (writable.Writable, error) {
+	if len(values) == 0 || len(values) != len(weights) {
+		return nil, fmt.Errorf("kmeans: bad weighted merge for %q: %d values, %d weights", key, len(values), len(weights))
+	}
+	acc := make(writable.Vector, len(values[0].(writable.Vector)))
+	total := 0
+	for vi, v := range values {
+		vec, ok := v.(writable.Vector)
+		if !ok || len(vec) != len(acc) {
+			return nil, fmt.Errorf("kmeans: incompatible centroids at %q", key)
+		}
+		w := weights[vi]
+		if w < 1 {
+			return nil, fmt.Errorf("kmeans: weight %d for %q", w, key)
+		}
+		total += w
+		for i := range acc {
+			acc[i] += float64(w) * vec[i]
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(total)
+	}
+	return acc, nil
+}
+
 // InitialModelPlusPlus builds a starting model with the k-means++
 // seeding strategy (deterministic in the seed): the first centroid is a
 // uniformly random point and each subsequent centroid is drawn with

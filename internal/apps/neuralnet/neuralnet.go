@@ -343,3 +343,32 @@ func (a *App) MergeKey(key string, values []writable.Writable) (writable.Writabl
 	}
 	return acc, nil
 }
+
+// MergeKeyWeighted implements core.WeightedKeyMerger: the
+// weights-weighted mean of the partial weight blocks, so rack-level
+// pre-averages combine without bias.
+func (a *App) MergeKeyWeighted(key string, values []writable.Writable, weights []int) (writable.Writable, error) {
+	if len(values) == 0 || len(values) != len(weights) {
+		return nil, fmt.Errorf("neuralnet: bad weighted merge for %q: %d values, %d weights", key, len(values), len(weights))
+	}
+	acc := make(writable.Vector, len(values[0].(writable.Vector)))
+	total := 0
+	for vi, v := range values {
+		vec, ok := v.(writable.Vector)
+		if !ok || len(vec) != len(acc) {
+			return nil, fmt.Errorf("neuralnet: incompatible weight blocks at %q", key)
+		}
+		w := weights[vi]
+		if w < 1 {
+			return nil, fmt.Errorf("neuralnet: weight %d for %q", w, key)
+		}
+		total += w
+		for i := range acc {
+			acc[i] += float64(w) * vec[i]
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(total)
+	}
+	return acc, nil
+}

@@ -163,7 +163,7 @@ func TestExperimentsSmoke(t *testing.T) {
 }
 
 func TestSetScaleValidation(t *testing.T) {
-	for _, s := range []float64{0, -1, 1.5} {
+	for _, s := range []float64{0, -1} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -172,6 +172,11 @@ func TestSetScaleValidation(t *testing.T) {
 			}()
 			SetScale(s)
 		}()
+	}
+	// Ladder tiers above 1 are valid: scaled() grows with them.
+	SetScale(10)
+	if scaled(100, 1) != 1000 {
+		t.Fatalf("scaled(100) = %d at scale 10", scaled(100, 1))
 	}
 	SetScale(0.5)
 	if scaled(100, 1) != 50 {

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mapred"
+	"repro/internal/simcluster"
+	"repro/internal/writable"
+)
+
+func TestTierShape(t *testing.T) {
+	// Clamps at the bottom of the ladder.
+	nodes, racks, parts, records := tierShape(0.01)
+	if nodes != 8 || racks != 1 || parts != 4 || records != 5_000 {
+		t.Fatalf("tier 0.01 shape = %d/%d/%d/%d", nodes, racks, parts, records)
+	}
+	// Monotone growth up the ladder, and the documented top-end claim:
+	// combined tier 1000 reaches 10⁷+ records on 1,000+ nodes.
+	prevNodes, prevRecords := 0, 0
+	for _, tier := range []float64{1, 10, 100, 1000} {
+		nodes, racks, parts, records := tierShape(tier)
+		if nodes <= prevNodes || records <= prevRecords {
+			t.Fatalf("tier %g did not grow: %d nodes, %d records", tier, nodes, records)
+		}
+		if parts != 4*racks {
+			t.Fatalf("tier %g: %d partitions for %d racks", tier, parts, racks)
+		}
+		prevNodes, prevRecords = nodes, records
+	}
+	nodes, _, _, records = tierShape(1000)
+	if nodes < 1_000 || records < 10_000_000 {
+		t.Fatalf("tier 1000 = %d nodes, %d records; documented as 1k+ nodes, 10⁷+ records", nodes, records)
+	}
+}
+
+// TestScaleWorkloadMatchesResident pins the streamed workload's input
+// to the resident dealing it replaces: same keys, same order, same
+// split homes, same encoded bytes.
+func TestScaleWorkloadMatchesResident(t *testing.T) {
+	const n, k, dims = 3_000, 5, 3
+	w, stream := scaleWorkload("scale-equiv", 8, n, k, dims, 4, 3)
+	cluster := simcluster.New(w.Cluster)
+	in := w.MakeInput(cluster)
+
+	ps := stream.Materialize()
+	src := &mixtureSource{stream: stream, splits: 1}
+	recs := src.Records(0, nil)
+	if len(recs) != n {
+		t.Fatalf("source dealt %d records for n=%d", len(recs), n)
+	}
+	for i, rec := range recs {
+		vec := rec.Value.(writable.Vector)
+		if len(vec) != dims {
+			t.Fatalf("record %d has %d dims", i, len(vec))
+		}
+		for d := range vec {
+			if vec[d] != ps.Points[i][d] {
+				t.Fatalf("record %d dim %d: streamed %v, materialized %v", i, d, vec[d], ps.Points[i][d])
+			}
+		}
+	}
+	if got, want := in.TotalBytes(), mapred.RecordsSize(recs); got != want {
+		t.Fatalf("streamed input totals %d bytes, resident records total %d", got, want)
+	}
+}
+
+func TestAblationScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale ablation smoke skipped in -short mode")
+	}
+	SetScale(0.05)
+	defer SetScale(1.0)
+	res, err := AblationScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("expected 2 tiers x 2 strategies, got %d cells", len(res.Cells))
+	}
+	if !res.Identical() {
+		t.Fatal("workers 1 vs 8 outputs differ")
+	}
+	if !res.SentinelsQuiet() {
+		t.Fatal("cost-model sentinel tripped on a healthy run")
+	}
+	if !res.CoreReduced() {
+		t.Fatal("hierarchical merge did not reduce core-crossing bytes on a multi-rack rung")
+	}
+	for tier, st := range res.Stream {
+		if st.Records == 0 || st.Bytes == 0 {
+			t.Fatalf("tier %g stream stats empty: %+v", tier, st)
+		}
+		if st.PeakResidentBytes >= st.Bytes/2 {
+			t.Fatalf("tier %g streaming held %d of %d bytes resident — not out-of-core", tier, st.PeakResidentBytes, st.Bytes)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"scale ladder", "core-byte reduction", "byte-identical", "sentinel"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -25,11 +25,15 @@ import (
 // every current kernel, and a developer chasing a slowdown re-runs
 // `picbench bench-snapshot` to diff against it.
 
-// KernelResult is one microbenchmark measurement.
+// KernelResult is one microbenchmark measurement. Besides the timing,
+// it carries the allocator profile of the measured op — the arena and
+// pool work on the hot paths is held to account here, not just by eye.
 type KernelResult struct {
-	Name    string  `json:"name"`
-	Iters   int     `json:"iters"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
 // Snapshot is the machine-readable performance record emitted by
@@ -99,6 +103,7 @@ func kernels() []kernel {
 			// In-memory path: sort-based grouping + sharded reduce
 			// (Engine.RunLocal), the best-effort-phase hot loop.
 			e, job, in := groupedFixture()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := e.RunLocal(job, in, nil); err != nil {
@@ -110,6 +115,7 @@ func kernels() []kernel {
 			// Framework path: partitioning, encoded-size caching and
 			// shuffle byte accounting (Engine.Run).
 			e, job, in := groupedFixture()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := e.Run(job, in, nil); err != nil {
@@ -125,6 +131,7 @@ func kernels() []kernel {
 			app := w.MakeApp()
 			in := w.MakeInput(rt.Cluster())
 			m := w.MakeModel()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := app.Iteration(rt, in, m); err != nil {
@@ -138,6 +145,7 @@ func kernels() []kernel {
 			// event loop, footprint measurement and residual-capacity
 			// accounting end to end.
 			w, _ := PageRankWorkload("snapshot-sched", tenancyCluster(), 2_000, 5, 0.02, 7)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := runTenancyCell(w, "pic", 0.5, nil, nil); err != nil {
@@ -152,6 +160,7 @@ func kernels() []kernel {
 			w.PICOpts.MaxBEIterations = 1
 			w.PICOpts.MaxLocalIterations = 10
 			w.PICOpts.MaxTopOffIterations = 1
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := w.RunPIC(nil); err != nil {
@@ -174,6 +183,7 @@ func kernels() []kernel {
 			if _, err := app.Iteration(rt, in, m); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := app.Iteration(rt, in, m); err != nil {
@@ -195,10 +205,76 @@ func kernels() []kernel {
 			plan := &simnet.NetworkPlan{Faults: []simnet.NetFault{
 				{Kind: simnet.FaultRackUplink, Rack: 2, Start: 0, End: 1e9, Factor: 0},
 			}}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rt := netFaultRuntime(w, plan, 60)
 				if _, err := core.RunPIC(rt, w.MakeApp(), w.MakeInput(rt.Cluster()), w.MakeModel(), w.PICOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream-split-gen", func(b *testing.B) {
+			// Out-of-core split generation: deal one tier's worth of
+			// streamed mixture records into splits through the chunked
+			// driver. The source is arena-backed, so a full pass keeps
+			// exactly one split resident — the allocs column is the
+			// point of the measurement.
+			n := scaled(100_000, 10_000)
+			cluster := simcluster.New(simcluster.Small())
+			src := newMixtureSource(3, n, 25, 3, max(n/2_000, 1), true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapred.StreamSplits(src, cluster, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sparse-delta", func(b *testing.B) {
+			// Sparse model-delta round trip: encode the ~1%-changed
+			// delta between two model versions into a reused buffer and
+			// apply it back — the bytes loop-aware delta shipping and
+			// delta checkpoints move per iteration.
+			n := scaled(2_000, 200)
+			prev := model.NewWithCapacity(n)
+			next := model.NewWithCapacity(n)
+			for i := 0; i < n; i++ {
+				v := writable.Vector{float64(i), 1, 2, 3}
+				key := fmt.Sprintf("w%06d", i)
+				prev.Set(key, v)
+				if i%100 == 0 {
+					next.Set(key, writable.Vector{float64(i), 1, 2, 4})
+				} else {
+					next.Set(key, v)
+				}
+			}
+			var buf []byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = model.EncodeDelta(prev, next, buf[:0])
+				if _, err := model.ApplyDeltaBytes(prev, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"hier-merge", func(b *testing.B) {
+			// One best-effort round merged through the rack-local tree
+			// on a ladder-sized cluster: rack pre-combines on rack
+			// links, one combined model per rack over the core, and the
+			// weighted final combine at the model home.
+			nodes := scaled(64, 8)
+			racks := (nodes + 15) / 16
+			w, _ := scaleWorkload("snapshot-hier-merge", nodes, scaled(50_000, 10_000), 25, 3, 4*racks, 3)
+			w.PICOpts.MaxBEIterations = 1
+			w.PICOpts.MaxLocalIterations = 5
+			w.PICOpts.MaxTopOffIterations = 1
+			w.PICOpts.HierarchicalMerge = true
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunPIC(nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -232,9 +308,11 @@ func TakeSnapshot() *Snapshot {
 	for _, k := range kernels() {
 		r := testing.Benchmark(k.fn)
 		s.Kernels = append(s.Kernels, KernelResult{
-			Name:    k.name,
-			Iters:   r.N,
-			NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+			Name:        k.name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
 	s.SuiteWallSeconds = time.Since(start).Seconds()
@@ -248,17 +326,27 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// HistoryKernel is one kernel's condensed measurement in a trajectory
+// entry: mean timing plus the allocator profile of the op.
+type HistoryKernel struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
 // HistoryEntry is one line of the BENCH_history.jsonl performance
 // trajectory: a dated condensation of a snapshot — the suite wall time
-// plus each kernel's mean ns/op. Kernels marshal as a JSON object,
-// which Go emits with sorted keys, so a given snapshot always
-// serializes to the same line.
+// plus each kernel's timing and allocation profile. Kernels marshal as
+// a JSON object, which Go emits with sorted keys, so a given snapshot
+// always serializes to the same line. (Entries from before the
+// allocation columns record each kernel as a bare ns/op number; history
+// is append-only, so both shapes coexist in the file.)
 type HistoryEntry struct {
-	Date             string             `json:"date"` // YYYY-MM-DD
-	GoVersion        string             `json:"go_version"`
-	Scale            float64            `json:"scale"`
-	SuiteWallSeconds float64            `json:"suite_wall_seconds"`
-	Kernels          map[string]float64 `json:"kernels"` // name -> ns_per_op
+	Date             string                   `json:"date"` // YYYY-MM-DD
+	GoVersion        string                   `json:"go_version"`
+	Scale            float64                  `json:"scale"`
+	SuiteWallSeconds float64                  `json:"suite_wall_seconds"`
+	Kernels          map[string]HistoryKernel `json:"kernels"`
 }
 
 // History condenses the snapshot into a trajectory entry under the
@@ -269,10 +357,14 @@ func (s *Snapshot) History(date string) HistoryEntry {
 		GoVersion:        s.GoVersion,
 		Scale:            s.Scale,
 		SuiteWallSeconds: s.SuiteWallSeconds,
-		Kernels:          map[string]float64{},
+		Kernels:          map[string]HistoryKernel{},
 	}
 	for _, k := range s.Kernels {
-		e.Kernels[k.Name] = k.NsPerOp
+		e.Kernels[k.Name] = HistoryKernel{
+			NsPerOp:     k.NsPerOp,
+			AllocsPerOp: k.AllocsPerOp,
+			BytesPerOp:  k.BytesPerOp,
+		}
 	}
 	return e
 }
@@ -295,8 +387,13 @@ func CheckSnapshot(data []byte) (*Snapshot, error) {
 	if s.GoVersion == "" || s.GOMAXPROCS < 1 {
 		return nil, fmt.Errorf("bench: snapshot header incomplete (go_version %q, gomaxprocs %d)", s.GoVersion, s.GOMAXPROCS)
 	}
-	if s.Scale <= 0 || s.Scale > 1 {
-		return nil, fmt.Errorf("bench: snapshot scale %v outside (0, 1]", s.Scale)
+	// Any positive scale is a valid tier: sub-1 smoke snapshots, the
+	// scale-1 paper shape, and the ladder rungs above it. (An earlier
+	// version rejected Scale > 1, which made tier snapshots uncheckable;
+	// cross-tier comparison is the caller's job — runSnapshot refuses to
+	// -check a snapshot taken at a different tier than the current one.)
+	if s.Scale <= 0 {
+		return nil, fmt.Errorf("bench: snapshot scale %v must be positive", s.Scale)
 	}
 	if s.SuiteWallSeconds <= 0 {
 		return nil, fmt.Errorf("bench: snapshot suite_wall_seconds %v must be positive (re-take the snapshot; TakeSnapshot records the kernel-suite wall time)", s.SuiteWallSeconds)

@@ -102,7 +102,8 @@ func TestCheckSnapshotRejectsBadInputs(t *testing.T) {
 	}{
 		{"not json", []byte("nope{")},
 		{"empty header", marshal(&Snapshot{Scale: 1})},
-		{"bad scale", marshal(func() *Snapshot { s := validSnapshot(); s.Scale = 0; return s }())},
+		{"zero scale", marshal(func() *Snapshot { s := validSnapshot(); s.Scale = 0; return s }())},
+		{"negative scale", marshal(func() *Snapshot { s := validSnapshot(); s.Scale = -2; return s }())},
 		{"missing kernel", marshal(func() *Snapshot { s := validSnapshot(); s.Kernels = s.Kernels[1:]; return s }())},
 		{"zero timing", marshal(func() *Snapshot { s := validSnapshot(); s.Kernels[0].NsPerOp = 0; return s }())},
 		// The suite wall total must be positive: a zero marks the
@@ -115,10 +116,17 @@ func TestCheckSnapshotRejectsBadInputs(t *testing.T) {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}
+	// Ladder tiers above 1 are valid snapshots now (the old (0,1]
+	// bound made tier snapshots uncheckable).
+	tier := validSnapshot()
+	tier.Scale = 10
+	if _, err := CheckSnapshot(marshal(tier)); err != nil {
+		t.Errorf("tier snapshot rejected: %v", err)
+	}
 }
 
 func TestKernelNamesStable(t *testing.T) {
-	want := []string{"run-grouped", "shuffle-accounting", "local-iteration", "sched-multitenant", "kmeans-be-iter", "per-iter-overhead", "degraded-merge"}
+	want := []string{"run-grouped", "shuffle-accounting", "local-iteration", "sched-multitenant", "kmeans-be-iter", "per-iter-overhead", "degraded-merge", "stream-split-gen", "sparse-delta", "hier-merge"}
 	got := KernelNames()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("kernel set changed: %v (update BENCH_baseline.json and this test together)", got)

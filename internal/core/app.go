@@ -87,6 +87,21 @@ type KeyMerger interface {
 	MergeKey(key string, values []writable.Writable) (writable.Writable, error)
 }
 
+// WeightedKeyMerger extends KeyMerger for merge strategies that combine
+// pre-combined partials: values[i] already summarizes weights[i]
+// partial models, and MergeKeyWeighted must produce the same logical
+// result as MergeKey over the underlying partials (an averaging merger,
+// for instance, computes the weights-weighted mean). It is what lets
+// PICOptions.HierarchicalMerge pre-combine partials inside each rack
+// without biasing the final model toward small racks.
+type WeightedKeyMerger interface {
+	KeyMerger
+	// MergeKeyWeighted combines partial values under one key, where
+	// values[i] stands for weights[i] original partials (weights[i] ≥ 1,
+	// len(weights) == len(values)).
+	MergeKeyWeighted(key string, values []writable.Writable, weights []int) (writable.Writable, error)
+}
+
 // BEConvergedApp is optionally implemented by a PICApp to terminate the
 // best-effort phase with a looser criterion than Converged. When absent,
 // the paper's default applies: the ordinary convergence criterion is

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/writable"
+)
+
+// weightedSeeker extends keyMergingSeeker with the weighted merge the
+// hierarchical tree needs.
+type weightedSeeker struct{ keyMergingSeeker }
+
+func (w *weightedSeeker) MergeKeyWeighted(_ string, values []writable.Writable, weights []int) (writable.Writable, error) {
+	acc := make(writable.Vector, len(values[0].(writable.Vector)))
+	total := 0
+	for vi, v := range values {
+		vec := v.(writable.Vector)
+		total += weights[vi]
+		for i := range acc {
+			acc[i] += float64(weights[vi]) * vec[i]
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(total)
+	}
+	return acc, nil
+}
+
+func TestHierarchicalMergeValidation(t *testing.T) {
+	rt := testRuntime()
+	in, _ := pointsInput(rt, 12)
+	if _, err := RunPIC(rt, &weightedSeeker{}, in, startModel(), PICOptions{
+		Partitions: 2, HierarchicalMerge: true, DistributedMerge: true,
+	}); err == nil {
+		t.Fatal("HierarchicalMerge+DistributedMerge accepted")
+	}
+	// meanSeeker has no WeightedKeyMerger.
+	if _, err := RunPIC(rt, &meanSeeker{eps: 1e-6}, in, startModel(), PICOptions{
+		Partitions: 2, HierarchicalMerge: true,
+	}); err == nil {
+		t.Fatal("HierarchicalMerge without WeightedKeyMerger accepted")
+	}
+}
+
+// The point of the tree: with several partitions per rack, both scatter
+// (dedup) and gather (rack pre-combine) move fewer bytes across the
+// core switch than the flat strategy, while the model still converges
+// to the same place up to floating-point reassociation.
+func TestHierarchicalMergeReducesCoreBytes(t *testing.T) {
+	run := func(hier bool) *PICResult {
+		rt := testRuntime() // 4 nodes in 2 racks → 2 partitions per rack
+		in, _ := pointsInput(rt, 24)
+		app := &weightedSeeker{keyMergingSeeker{meanSeeker{eps: 1e-9}}}
+		res, err := RunPIC(rt, app, in, startModel(), PICOptions{
+			Partitions:        4,
+			HierarchicalMerge: hier,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat := run(false)
+	hier := run(true)
+	if hier.MergeCrossRackBytes >= flat.MergeCrossRackBytes {
+		t.Fatalf("hierarchical merge did not reduce core-link bytes: %d >= %d",
+			hier.MergeCrossRackBytes, flat.MergeCrossRackBytes)
+	}
+	if flat.MergeCrossRackBytes == 0 || hier.MergeTrafficBytes == 0 {
+		t.Fatalf("missing traffic accounting: flat cross-rack %d, hier total %d",
+			flat.MergeCrossRackBytes, hier.MergeTrafficBytes)
+	}
+	// Same logical reduction: the final models agree to FP tolerance.
+	fv, _ := flat.Model.Vector("mean")
+	hv, _ := hier.Model.Vector("mean")
+	if len(fv) != len(hv) {
+		t.Fatalf("model shapes differ: %v vs %v", fv, hv)
+	}
+	for i := range fv {
+		if math.Abs(fv[i]-hv[i]) > 1e-9 {
+			t.Fatalf("models diverged at dim %d: flat %v, hier %v", i, fv, hv)
+		}
+	}
+}
+
+// Each strategy must be individually deterministic: byte-identical
+// models and identical metrics across repeated runs and worker counts.
+func TestHierarchicalMergeDeterministic(t *testing.T) {
+	run := func(workers int) ([]byte, string) {
+		rt := testRuntime()
+		rt.Engine().Workers = workers
+		reg := metrics.New()
+		rt.SetObservability(reg)
+		in, _ := pointsInput(rt, 24)
+		app := &weightedSeeker{keyMergingSeeker{meanSeeker{eps: 1e-9}}}
+		res, err := RunPIC(rt, app, in, startModel(), PICOptions{
+			Partitions:        4,
+			HierarchicalMerge: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Model.Encode(nil), fmt.Sprintf("%+v %v", res.Metrics, res.Duration)
+	}
+	m1, s1 := run(1)
+	m8, s8 := run(8)
+	m1b, s1b := run(1)
+	if !bytes.Equal(m1, m8) || s1 != s8 {
+		t.Fatal("hierarchical merge differs across worker counts")
+	}
+	if !bytes.Equal(m1, m1b) || s1 != s1b {
+		t.Fatal("hierarchical merge differs across repeated runs")
+	}
+}
+
+// Rack planning must skip stale partitions and keep deterministic
+// ascending order; scatter must dedup a rack's shared model down to one
+// core crossing.
+func TestPlanRacksAndScatterDedup(t *testing.T) {
+	rt := testRuntime()
+	fabric := rt.Cluster().Fabric()
+	leaders := []int{0, 2, 1, 3} // racks: {0,1} and {2,3}
+	stale := []bool{false, false, false, true}
+	racks := planRacks(fabric, leaders, stale)
+	if len(racks) != 2 {
+		t.Fatalf("got %d racks, want 2", len(racks))
+	}
+	if racks[0].rack != 0 || racks[0].agg != 0 || len(racks[0].members) != 2 {
+		t.Fatalf("rack 0 plan wrong: %+v", racks[0])
+	}
+	if racks[1].rack != 1 || racks[1].agg != 2 || len(racks[1].members) != 1 {
+		t.Fatalf("rack 1 plan wrong: %+v", racks[1])
+	}
+
+	shared := model.New()
+	shared.Set("mean", writable.Vector{1, 2})
+	subs := make([]SubProblem, 4)
+	for i := range subs {
+		subs[i] = SubProblem{Model: shared.Clone()}
+	}
+	flows := hierarchicalScatterFlows(0, leaders, subs, racks)
+	// Rack 0 (agg=0, members partitions 0 and 2 on nodes 0 and 1): one
+	// home→agg copy (src==dst, free) plus one agg→node1 fan-out. Rack 1
+	// is a singleton: one direct home→node2 flow.
+	core := 0
+	for _, f := range flows {
+		if fabric.Rack(f.Src) != fabric.Rack(f.Dst) {
+			core++
+		}
+	}
+	if core != 1 {
+		t.Fatalf("scatter crossed the core %d times, want 1 (flows %+v)", core, flows)
+	}
+	// Divergent models disable the dedup.
+	subs[2].Model.Set("mean", writable.Vector{9, 9})
+	direct := hierarchicalScatterFlows(0, leaders, subs, racks)
+	core = 0
+	for _, f := range direct {
+		if fabric.Rack(f.Src) != fabric.Rack(f.Dst) {
+			core++
+		}
+	}
+	if core != 1 { // partition 2's leader is node 1 (rack 0): only rack-1 singleton crosses
+		t.Fatalf("mixed-model scatter crossed the core %d times, want 1 (flows %+v)", core, direct)
+	}
+}
+
+// The weighted combine of rack pre-averages must equal the flat average
+// of the underlying partials when the arithmetic is exact.
+func TestWeightedMergeUnbiased(t *testing.T) {
+	app := &weightedSeeker{}
+	a := writable.Vector{1, 8}
+	b := writable.Vector{3, 16}
+	c := writable.Vector{5, 4}
+	d := writable.Vector{7, 12}
+	rack1, _ := app.MergeKey("k", []writable.Writable{a, b})
+	rack2, _ := app.MergeKey("k", []writable.Writable{c, d})
+	got, err := app.MergeKeyWeighted("k", []writable.Writable{rack1, rack2}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _ := app.MergeKey("k", []writable.Writable{a, b, c, d})
+	gv, fv := got.(writable.Vector), flat.(writable.Vector)
+	for i := range gv {
+		if gv[i] != fv[i] {
+			t.Fatalf("weighted combine biased: got %v, flat %v", gv, fv)
+		}
+	}
+}
+
+// The core.be_merge_core_bytes series must land one sample per
+// best-effort iteration for both strategies.
+func TestMergeCoreBytesSeries(t *testing.T) {
+	for _, hier := range []bool{false, true} {
+		rt := testRuntime()
+		reg := metrics.New()
+		rt.SetObservability(reg)
+		in, _ := pointsInput(rt, 24)
+		app := &weightedSeeker{keyMergingSeeker{meanSeeker{eps: 1e-9}}}
+		res, err := RunPIC(rt, app, in, startModel(), PICOptions{
+			Partitions:        4,
+			HierarchicalMerge: hier,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := reg.Snapshot().Get("core.be_merge_core_bytes")
+		if !ok || len(s.Samples) != res.BEIterations {
+			t.Fatalf("hier=%v: core-bytes series has %d samples, want %d",
+				hier, len(s.Samples), res.BEIterations)
+		}
+	}
+}

@@ -36,6 +36,17 @@ type PICOptions struct {
 	// job over the partial models (§III-C) instead of gathering them
 	// to the driver. Requires the application to implement KeyMerger.
 	DistributedMerge bool
+	// HierarchicalMerge executes each best-effort merge as a two-level
+	// rack tree: partials pre-combine on a per-rack aggregator over
+	// intra-rack links and only one combined model per rack crosses the
+	// core switch, with the scatter deduplicated symmetrically when a
+	// rack's partitions share a starting model. Requires the application
+	// to implement WeightedKeyMerger; mutually exclusive with
+	// DistributedMerge. The tree reduction equals the flat one up to
+	// floating-point summation order (each strategy is individually
+	// deterministic), so flat and hierarchical runs are compared by
+	// quality and traffic, not by byte identity.
+	HierarchicalMerge bool
 
 	// MergeQuorum is the minimum number Q of fresh partial models a
 	// best-effort merge may proceed with when a network fault cuts some
@@ -136,6 +147,12 @@ type PICResult struct {
 	// appear in Metrics.ShuffleNetworkBytes — sum the two only for
 	// centralized merges.
 	MergeTrafficBytes int64
+	// MergeCrossRackBytes is the subset of the scatter/gather traffic
+	// that crossed the core switch — the bytes HierarchicalMerge exists
+	// to reduce. Tracked for every merge strategy from the fabric's
+	// cross-rack counter, so flat and hierarchical runs compare
+	// like-for-like.
+	MergeCrossRackBytes int64
 }
 
 // DegradedMergeInfo describes one best-effort merge that proceeded
@@ -246,6 +263,14 @@ func NewPICStepper(rt *Runtime, app PICApp, in *mapred.Input, m0 *model.Model, o
 		return nil, fmt.Errorf("core: RunPIC(%s): MergeTimeout = %g, cannot be negative",
 			app.Name(), float64(opt.MergeTimeout))
 	}
+	if opt.HierarchicalMerge {
+		if opt.DistributedMerge {
+			return nil, fmt.Errorf("core: RunPIC(%s): HierarchicalMerge and DistributedMerge are mutually exclusive", app.Name())
+		}
+		if _, ok := app.(WeightedKeyMerger); !ok {
+			return nil, fmt.Errorf("core: RunPIC(%s): HierarchicalMerge requires WeightedKeyMerger", app.Name())
+		}
+	}
 	cluster := rt.Cluster()
 	nGroups := min(opt.Partitions, cluster.Size())
 
@@ -339,6 +364,7 @@ func (s *PICStepper) beStep() (bool, error) {
 	defer func() { rt.span = prevSpan }()
 	{
 		mergeBytesBefore := res.MergeTrafficBytes
+		mergeCrossBefore := res.MergeCrossRackBytes
 		// Partition the problem. Apps implementing LoopPartitioner deal
 		// records deterministically and model-independently, so after
 		// the first iteration only the per-partition models are
@@ -472,15 +498,23 @@ func (s *PICStepper) beStep() (bool, error) {
 			}
 		}
 
-		// Scatter each sub-problem's starting model to its group.
+		// Scatter each sub-problem's starting model to its group —
+		// directly from the model home, or through the rack aggregators
+		// (deduplicated on the core links) under HierarchicalMerge.
 		var scatter []simnet.Flow
-		for i, sub := range subs {
-			if stale[i] {
-				continue
+		if opt.HierarchicalMerge {
+			scatter = hierarchicalScatterFlows(home, leaders, subs, planRacks(fabric, leaders, stale))
+		} else {
+			for i, sub := range subs {
+				if stale[i] {
+					continue
+				}
+				scatter = append(scatter, simnet.Flow{Src: home, Dst: leaders[i], Bytes: sub.Model.Size()})
 			}
-			scatter = append(scatter, simnet.Flow{Src: home, Dst: leaders[i], Bytes: sub.Model.Size()})
 		}
+		crossBefore := fabric.Counters().CrossRack
 		res.MergeTrafficBytes += rt.ChargeFlows(scatter)
+		res.MergeCrossRackBytes += fabric.Counters().CrossRack - crossBefore
 
 		// Solve the sub-problems independently — no synchronization or
 		// communication between them. Groups run in parallel in
@@ -640,6 +674,7 @@ func (s *PICStepper) beStep() (bool, error) {
 				leaders[i] = rt.LiveModelHome()
 			}
 		}
+		crossBefore = fabric.Counters().CrossRack
 		if opt.DistributedMerge {
 			km, ok := app.(KeyMerger)
 			if !ok {
@@ -651,6 +686,20 @@ func (s *PICStepper) beStep() (bool, error) {
 				return false, err
 			}
 			res.MergeTrafficBytes += mergeMetrics.ShuffleNetworkBytes + mergeMetrics.NonLocalInputBytes
+		} else if opt.HierarchicalMerge {
+			var traffic int64
+			merged, traffic, err = hierarchicalMerge(rt, app.Name(), app.(WeightedKeyMerger),
+				parts, leaders, stale, planRacks(fabric, leaders, stale))
+			res.MergeTrafficBytes += traffic
+			if err != nil {
+				return false, err
+			}
+			if merged == nil {
+				return false, fmt.Errorf("core: %s hierarchical merge returned a nil model", app.Name())
+			}
+			// Like the flat centralized merge, the tree merge still runs
+			// under the framework: one job overhead per iteration.
+			rt.AdvanceTime(rt.Engine().CostModelValue().JobOverhead)
 		} else {
 			var gather []simnet.Flow
 			for i, part := range parts {
@@ -669,6 +718,7 @@ func (s *PICStepper) beStep() (bool, error) {
 			// of the gather/scatter flows charged above.
 			rt.AdvanceTime(rt.Engine().CostModelValue().JobOverhead)
 		}
+		res.MergeCrossRackBytes += fabric.Counters().CrossRack - crossBefore
 		rt.WriteModel(app.Name()+"-be", merged)
 		res.BEIterations++
 		if r := rt.obs; r != nil {
@@ -676,6 +726,7 @@ func (s *PICStepper) beStep() (bool, error) {
 			delta := max(model.MaxVectorDelta(m, merged), model.MaxFloatDelta(m, merged))
 			r.Series("core.be_delta").Sample(now, delta)
 			r.Series("core.be_merge_bytes").Sample(now, float64(res.MergeTrafficBytes-mergeBytesBefore))
+			r.Series("core.be_merge_core_bytes").Sample(now, float64(res.MergeCrossRackBytes-mergeCrossBefore))
 			// Partition skew: the busiest group's solve time over the
 			// mean across groups that did work — 1.0 is perfect balance.
 			var total simtime.Duration

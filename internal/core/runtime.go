@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"strings"
 
 	"repro/internal/dfs"
 	"repro/internal/mapred"
@@ -30,6 +32,18 @@ type Runtime struct {
 	metrics          mapred.Metrics
 	modelUpdateBytes int64
 	modelWrites      int64
+
+	// deltaCkpt enables sparse delta checkpoints: WriteModel persists
+	// only the changed keys against the last full checkpoint when that
+	// encoding is smaller, cutting the replication traffic every
+	// best-effort merge pays. Off by default — delta checkpoints change
+	// simulated model-update traffic, so the golden experiment numbers
+	// keep the full-checkpoint behavior unless a run opts in. ckptBase
+	// tracks the last full checkpoint per model name; encBuf is the
+	// reused encode scratch (the DFS copies data it stores).
+	deltaCkpt bool
+	ckptBase  map[string]*ckptBase
+	encBuf    []byte
 
 	// tracer, lane and base implement the optional execution timeline:
 	// forked runtimes inherit the tracer, carry their own lane, and
@@ -353,17 +367,59 @@ func (rt *Runtime) recordJobSpans(job int64, name string, start simtime.Time, m 
 	}
 }
 
+// ckptBase is the delta-checkpoint anchor for one model name: the last
+// full checkpoint's sequence number and content, plus how many deltas
+// have chained off it since.
+type ckptBase struct {
+	seq    int64
+	m      *model.Model
+	deltas int
+}
+
+// maxDeltaChain bounds how many delta checkpoints may follow a full one
+// before the next write is forced full again, so a restore is always at
+// most one full read plus one delta read, and drift from the anchor
+// cannot grow without bound.
+const maxDeltaChain = 8
+
+// SetDeltaCheckpoints opts this runtime's WriteModel into sparse delta
+// checkpoints (see the deltaCkpt field). Enable before the first write;
+// restores transparently handle both formats either way.
+func (rt *Runtime) SetDeltaCheckpoints(enabled bool) {
+	rt.deltaCkpt = enabled
+	if enabled && rt.ckptBase == nil {
+		rt.ckptBase = map[string]*ckptBase{}
+	}
+}
+
 // WriteModel persists a model version (its real encoded bytes) to the
 // DFS with replication, charging the pipeline traffic and time — one
 // "model update" in the paper's terminology. The checkpoint can be
-// recovered with RestoreModel after a driver restart.
+// recovered with RestoreModel after a driver restart. With
+// SetDeltaCheckpoints enabled the version is stored as a sparse delta
+// against the last full checkpoint whenever that encoding is smaller.
 func (rt *Runtime) WriteModel(name string, m *model.Model) {
 	start := rt.now()
 	home := rt.LiveModelHome()
 	before := rt.fs.Counters().WritePipeline
-	_, d := rt.fs.CreateWithData(checkpointName(name, rt.modelWrites), m.Encode(nil), home)
+	file := checkpointName(name, rt.modelWrites)
+	rt.encBuf = rt.encBuf[:0]
+	base := rt.ckptBase[name]
+	if rt.deltaCkpt && base != nil && base.deltas < maxDeltaChain &&
+		int64(uvarintLen(uint64(base.seq)))+model.DeltaSize(base.m, m) < m.Size() {
+		file += deltaSuffix
+		rt.encBuf = binary.AppendUvarint(rt.encBuf, uint64(base.seq))
+		rt.encBuf = model.EncodeDelta(base.m, m, rt.encBuf)
+		base.deltas++
+	} else {
+		rt.encBuf = m.Encode(rt.encBuf)
+		if rt.deltaCkpt {
+			rt.ckptBase[name] = &ckptBase{seq: rt.modelWrites, m: m.Clone()}
+		}
+	}
+	_, d := rt.fs.CreateWithData(file, rt.encBuf, home)
 	rt.fs.Delete(latestPointer(name))
-	rt.fs.CreateWithData(latestPointer(name), []byte(checkpointName(name, rt.modelWrites)), home)
+	rt.fs.CreateWithData(latestPointer(name), []byte(file), home)
 	rt.modelWrites++
 	rt.elapsed += d
 	rt.syncFaults()
@@ -404,12 +460,45 @@ func (rt *Runtime) RestoreModel(name string) (*model.Model, error) {
 	data, d := rt.fs.ReadData(f, home)
 	rt.elapsed += d
 	rt.syncFaults()
-	m, err := model.Decode(data)
+	if !strings.HasSuffix(string(target), deltaSuffix) {
+		m, err := model.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt checkpoint %q: %w", target, err)
+		}
+		return m, nil
+	}
+	// Delta checkpoint: a varint anchor sequence number followed by the
+	// sparse delta against that full checkpoint. Read the anchor (one
+	// more charged read) and patch it.
+	baseSeq, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("core: corrupt delta checkpoint %q: bad base sequence", target)
+	}
+	baseFile := checkpointName(name, int64(baseSeq))
+	bf, ok := rt.fs.Open(baseFile)
+	if !ok {
+		return nil, fmt.Errorf("core: delta checkpoint %q references missing base %q", target, baseFile)
+	}
+	if rt.fs.Lost(bf) {
+		return nil, fmt.Errorf("core: checkpoint base %q lost to node failures", baseFile)
+	}
+	baseData, d := rt.fs.ReadData(bf, home)
+	rt.elapsed += d
+	rt.syncFaults()
+	baseModel, err := model.Decode(baseData)
 	if err != nil {
-		return nil, fmt.Errorf("core: corrupt checkpoint %q: %w", target, err)
+		return nil, fmt.Errorf("core: corrupt checkpoint base %q: %w", baseFile, err)
+	}
+	m, err := model.ApplyDeltaBytes(baseModel, data[n:])
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt delta checkpoint %q: %w", target, err)
 	}
 	return m, nil
 }
+
+// deltaSuffix marks a checkpoint file holding a sparse delta rather
+// than a full model encoding.
+const deltaSuffix = ".delta"
 
 func checkpointName(name string, seq int64) string {
 	return fmt.Sprintf("models/%s/%d", name, seq)
@@ -417,6 +506,15 @@ func checkpointName(name string, seq int64) string {
 
 func latestPointer(name string) string {
 	return fmt.Sprintf("models/%s/latest", name)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // ChargeFlows records the given transfers on the cluster fabric and

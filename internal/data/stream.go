@@ -1,0 +1,347 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Out-of-core dataset streams.
+//
+// The legacy generators in this package materialize a whole dataset
+// before anything can consume it; at the scale ladder's upper rungs
+// (10⁷–10⁸ records) that O(dataset) buffer is exactly what must never
+// exist. Each stream below is the out-of-core counterpart of one legacy
+// generator: every record is seeded individually from (seed, index)
+// through a splitmix64-derived PRNG, so record i can be generated alone,
+// in any order, into a caller-reused buffer — no global shuffle, no
+// shared generator state, no dependence on how consumers chunk the
+// index space. Materialize() walks the index space once and builds the
+// legacy-shaped resident dataset; the streamed-vs-resident equivalence
+// tests pin record-level random access to that reference.
+//
+// The streams intentionally do not reproduce the legacy generators'
+// exact bytes: those draw from one sequential math/rand stream and end
+// with a global Fisher-Yates shuffle, which cannot be replayed one
+// record at a time without O(n) state. Balanced interleaving (component
+// i%k, digit i%10) gives streams the same statistical role the shuffle
+// gave the legacy sets: dealing records round-robin yields an unbiased
+// partition.
+
+// prng is a tiny deterministic per-record generator: splitmix64 over a
+// 64-bit state. It exists so streams can afford one generator per
+// record — math/rand's source carries ~5 KiB of state, this carries 8
+// bytes and allocates nothing.
+type prng struct{ state uint64 }
+
+// recordSeed derives the PRNG state for one record (or row, or stream
+// component) of a seeded dataset. stream 0 is reserved for dataset-wide
+// draws (mixture centers, image blobs); records use index+1.
+func recordSeed(seed int64, stream uint64) prng {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15*(stream+0x632be59bd9b4e019)
+	return prng{state: z}
+}
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in (0, 1).
+func (p *prng) Float64() float64 {
+	return (float64(p.next()>>11) + 0.5) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal draw (Box–Muller).
+func (p *prng) NormFloat64() float64 {
+	u1 := p.Float64()
+	u2 := p.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// MixtureStream is the out-of-core counterpart of GaussianMixture:
+// n points from k spherical Gaussian components, one point per call.
+type MixtureStream struct {
+	seed       int64
+	n, k, dims int
+	sigma      float64
+	centers    []linalg.Vector
+}
+
+// NewMixtureStream prepares a stream of n points from k components in
+// dims dimensions; only the k component centers (drawn uniformly in
+// [-spread, spread]^dims) are resident.
+func NewMixtureStream(seed int64, n, k, dims int, spread, sigma float64) *MixtureStream {
+	if n <= 0 || k <= 0 || dims <= 0 {
+		panic(fmt.Sprintf("data: bad mixture shape n=%d k=%d dims=%d", n, k, dims))
+	}
+	rng := recordSeed(seed, 0)
+	centers := make([]linalg.Vector, k)
+	for c := range centers {
+		centers[c] = make(linalg.Vector, dims)
+		for d := range centers[c] {
+			centers[c][d] = (rng.Float64()*2 - 1) * spread
+		}
+	}
+	return &MixtureStream{seed: seed, n: n, k: k, dims: dims, sigma: sigma, centers: centers}
+}
+
+// Len reports the number of points in the stream.
+func (s *MixtureStream) Len() int { return s.n }
+
+// Dims reports the point dimensionality.
+func (s *MixtureStream) Dims() int { return s.dims }
+
+// Centers returns the mixture component means (read-only).
+func (s *MixtureStream) Centers() []linalg.Vector { return s.centers }
+
+// Label reports the component point i is drawn from.
+func (s *MixtureStream) Label(i int) int { return i % s.k }
+
+// Point writes point i into dst (reusing its storage when it has the
+// right capacity) and returns it.
+func (s *MixtureStream) Point(i int, dst linalg.Vector) linalg.Vector {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("data: mixture point %d out of range [0,%d)", i, s.n))
+	}
+	dst = sized(dst, s.dims)
+	rng := recordSeed(s.seed, uint64(i)+1)
+	c := s.centers[i%s.k]
+	for d := range dst {
+		dst[d] = c[d] + rng.NormFloat64()*s.sigma
+	}
+	return dst
+}
+
+// Materialize builds the resident dataset the stream describes — the
+// in-memory path the equivalence tests compare record-level access to.
+func (s *MixtureStream) Materialize() *PointSet {
+	ps := &PointSet{
+		TrueCenters: s.centers,
+		Points:      make([]linalg.Vector, s.n),
+		Labels:      make([]int, s.n),
+	}
+	for i := range ps.Points {
+		ps.Points[i] = s.Point(i, nil)
+		ps.Labels[i] = s.Label(i)
+	}
+	return ps
+}
+
+// OCRStream is the out-of-core counterpart of OCRVectors: n noisy digit
+// bitmaps, one 35-dimensional vector per call.
+type OCRStream struct {
+	seed                 int64
+	n                    int
+	flipProb, pixelNoise float64
+}
+
+// NewOCRStream prepares a stream of n noisy digit vectors.
+func NewOCRStream(seed int64, n int, flipProb, pixelNoise float64) *OCRStream {
+	if n <= 0 {
+		panic("data: OCRStream needs n ≥ 1")
+	}
+	return &OCRStream{seed: seed, n: n, flipProb: flipProb, pixelNoise: pixelNoise}
+}
+
+// Len reports the number of vectors in the stream.
+func (s *OCRStream) Len() int { return s.n }
+
+// Label reports the digit class of vector i.
+func (s *OCRStream) Label(i int) int { return i % OCRClasses }
+
+// Vec writes vector i into dst (reusing storage when possible) and
+// returns it.
+func (s *OCRStream) Vec(i int, dst linalg.Vector) linalg.Vector {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("data: OCR vector %d out of range [0,%d)", i, s.n))
+	}
+	dst = sized(dst, OCRDims)
+	rng := recordSeed(s.seed, uint64(i)+1)
+	digit := i % OCRClasses
+	for r := 0; r < 7; r++ {
+		for c := 0; c < 5; c++ {
+			bit := 0.0
+			if digitGlyphs[digit][r][c] == '1' {
+				bit = 1.0
+			}
+			if rng.Float64() < s.flipProb {
+				bit = 1 - bit
+			}
+			dst[r*5+c] = bit + rng.NormFloat64()*s.pixelNoise
+		}
+	}
+	return dst
+}
+
+// Materialize builds the resident OCR dataset.
+func (s *OCRStream) Materialize() *OCRSet {
+	set := &OCRSet{Vectors: make([]linalg.Vector, s.n), Labels: make([]int, s.n)}
+	for i := range set.Vectors {
+		set.Vectors[i] = s.Vec(i, nil)
+		set.Labels[i] = s.Label(i)
+	}
+	return set
+}
+
+// ImageStream is the out-of-core counterpart of NoisyImage: the smooth
+// blob field corrupted with per-pixel noise, one row per call.
+type ImageStream struct {
+	seed          int64
+	width, height int
+	noise         float64
+	blobs         []imageBlob
+}
+
+type imageBlob struct{ cx, cy, amp, radius float64 }
+
+// NewImageStream prepares a streamed width×height noisy image; only the
+// four blob parameters are resident.
+func NewImageStream(seed int64, width, height int, noise float64) *ImageStream {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("data: bad image shape %dx%d", width, height))
+	}
+	rng := recordSeed(seed, 0)
+	blobs := make([]imageBlob, 4)
+	for i := range blobs {
+		blobs[i] = imageBlob{
+			cx:     rng.Float64() * float64(width),
+			cy:     rng.Float64() * float64(height),
+			amp:    rng.Float64()*100 + 50,
+			radius: rng.Float64()*float64(width)/4 + float64(width)/8,
+		}
+	}
+	return &ImageStream{seed: seed, width: width, height: height, noise: noise, blobs: blobs}
+}
+
+// Width and Height report the image shape.
+func (s *ImageStream) Width() int  { return s.width }
+func (s *ImageStream) Height() int { return s.height }
+
+// Row writes row y into dst (reusing storage when possible) and returns
+// it.
+func (s *ImageStream) Row(y int, dst linalg.Vector) linalg.Vector {
+	if y < 0 || y >= s.height {
+		panic(fmt.Sprintf("data: image row %d out of range [0,%d)", y, s.height))
+	}
+	dst = sized(dst, s.width)
+	rng := recordSeed(s.seed, uint64(y)+1)
+	for x := 0; x < s.width; x++ {
+		v := 40 + 80*float64(x)/float64(s.width) + 40*float64(y)/float64(s.height)
+		for _, b := range s.blobs {
+			dx, dy := float64(x)-b.cx, float64(y)-b.cy
+			v += b.amp / (1 + (dx*dx+dy*dy)/(b.radius*b.radius))
+		}
+		dst[x] = v + rng.NormFloat64()*s.noise
+	}
+	return dst
+}
+
+// Materialize builds the resident image.
+func (s *ImageStream) Materialize() *Image {
+	img := NewImage(s.width, s.height)
+	for y := range img.Rows {
+		img.Rows[y] = s.Row(y, img.Rows[y])
+	}
+	return img
+}
+
+// SystemStream is the out-of-core counterpart of WeaklyDominantSystem
+// and DiffusionSystem: one matrix row (with its right-hand-side entry)
+// per call.
+type SystemStream struct {
+	seed      int64
+	n         int
+	dominance float64
+	diffusion bool
+}
+
+// NewWeaklyDominantStream prepares a streamed n×n system with
+// random-sign band-decay off-diagonals (see WeaklyDominantSystem).
+func NewWeaklyDominantStream(seed int64, n int, dominance float64) *SystemStream {
+	if n <= 0 || dominance <= 1 {
+		panic(fmt.Sprintf("data: bad system n=%d dominance=%g", n, dominance))
+	}
+	return &SystemStream{seed: seed, n: n, dominance: dominance}
+}
+
+// NewDiffusionStream prepares a streamed n×n system with positive
+// band-decay off-diagonals (see DiffusionSystem).
+func NewDiffusionStream(seed int64, n int, dominance float64) *SystemStream {
+	if n <= 0 || dominance <= 1 {
+		panic(fmt.Sprintf("data: bad system n=%d dominance=%g", n, dominance))
+	}
+	return &SystemStream{seed: seed, n: n, dominance: dominance, diffusion: true}
+}
+
+// Len reports the system's dimension n.
+func (s *SystemStream) Len() int { return s.n }
+
+// Row writes row i of the matrix into dst (n entries, diagonal
+// included, reusing storage when possible) and returns it together with
+// the right-hand-side entry b[i].
+func (s *SystemStream) Row(i int, dst linalg.Vector) (linalg.Vector, float64) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("data: system row %d out of range [0,%d)", i, s.n))
+	}
+	dst = sized(dst, s.n)
+	rng := recordSeed(s.seed, uint64(i)+1)
+	var off float64
+	for j := 0; j < s.n; j++ {
+		if i == j {
+			continue
+		}
+		dist := i - j
+		if dist < 0 {
+			dist = -dist
+		}
+		var v float64
+		if s.diffusion {
+			v = (rng.Float64() + 0.2) / float64((1+dist)*(1+dist))
+			off += v
+		} else {
+			v = rng.NormFloat64() / (1 + float64(dist))
+			if v < 0 {
+				off -= v
+			} else {
+				off += v
+			}
+		}
+		dst[j] = v
+	}
+	if s.diffusion {
+		dst[i] = off * s.dominance
+	} else {
+		dst[i] = off*s.dominance + 1e-9
+	}
+	return dst, rng.NormFloat64() * 10
+}
+
+// Materialize builds the resident linear system.
+func (s *SystemStream) Materialize() *LinearSystem {
+	a := linalg.NewMatrix(s.n, s.n)
+	b := make(linalg.Vector, s.n)
+	row := make(linalg.Vector, s.n)
+	for i := 0; i < s.n; i++ {
+		var bi float64
+		row, bi = s.Row(i, row)
+		for j, v := range row {
+			a.Set(i, j, v)
+		}
+		b[i] = bi
+	}
+	return &LinearSystem{A: a, B: b}
+}
+
+// sized returns dst resliced to n entries, reusing its backing array
+// when the capacity suffices.
+func sized(dst linalg.Vector, n int) linalg.Vector {
+	if cap(dst) < n {
+		return make(linalg.Vector, n)
+	}
+	return dst[:n]
+}

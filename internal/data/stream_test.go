@@ -1,0 +1,189 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func vecEqual(a, b linalg.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Every stream must agree bit-for-bit with its own Materialize() output
+// under random access with a reused buffer — the property that makes
+// streamed split generation byte-identical to the resident path.
+func TestMixtureStreamMatchesMaterialize(t *testing.T) {
+	s := NewMixtureStream(42, 101, 5, 3, 100, 2.5)
+	ps := s.Materialize()
+	if len(ps.Points) != 101 || len(ps.TrueCenters) != 5 {
+		t.Fatalf("materialized shape: %d points, %d centers", len(ps.Points), len(ps.TrueCenters))
+	}
+	var buf linalg.Vector
+	// Deliberately out of order: reverse, then a few repeats.
+	for i := s.Len() - 1; i >= 0; i-- {
+		buf = s.Point(i, buf)
+		if !vecEqual(buf, ps.Points[i]) {
+			t.Fatalf("point %d: stream %v != materialized %v", i, buf, ps.Points[i])
+		}
+		if s.Label(i) != ps.Labels[i] {
+			t.Fatalf("label %d: stream %d != materialized %d", i, s.Label(i), ps.Labels[i])
+		}
+	}
+	for _, i := range []int{7, 7, 0, 100, 50} {
+		buf = s.Point(i, buf)
+		if !vecEqual(buf, ps.Points[i]) {
+			t.Fatalf("repeat access point %d diverged", i)
+		}
+	}
+}
+
+func TestOCRStreamMatchesMaterialize(t *testing.T) {
+	s := NewOCRStream(7, 53, 0.05, 0.1)
+	set := s.Materialize()
+	var buf linalg.Vector
+	for i := s.Len() - 1; i >= 0; i-- {
+		buf = s.Vec(i, buf)
+		if !vecEqual(buf, set.Vectors[i]) {
+			t.Fatalf("vector %d diverged", i)
+		}
+		if s.Label(i) != set.Labels[i] {
+			t.Fatalf("label %d: %d != %d", i, s.Label(i), set.Labels[i])
+		}
+	}
+}
+
+func TestImageStreamMatchesMaterialize(t *testing.T) {
+	s := NewImageStream(11, 40, 17, 4)
+	img := s.Materialize()
+	if img.Width != 40 || img.Height != 17 {
+		t.Fatalf("materialized shape %dx%d", img.Width, img.Height)
+	}
+	var buf linalg.Vector
+	for y := s.Height() - 1; y >= 0; y-- {
+		buf = s.Row(y, buf)
+		if !vecEqual(buf, img.Rows[y]) {
+			t.Fatalf("row %d diverged", y)
+		}
+	}
+}
+
+func TestSystemStreamsMatchMaterialize(t *testing.T) {
+	for name, s := range map[string]*SystemStream{
+		"weakly-dominant": NewWeaklyDominantStream(3, 37, 1.5),
+		"diffusion":       NewDiffusionStream(3, 37, 1.5),
+	} {
+		sys := s.Materialize()
+		var buf linalg.Vector
+		for i := s.Len() - 1; i >= 0; i-- {
+			var bi float64
+			buf, bi = s.Row(i, buf)
+			for j, v := range buf {
+				if v != sys.A.At(i, j) {
+					t.Fatalf("%s: A[%d][%d] stream %v != materialized %v", name, i, j, v, sys.A.At(i, j))
+				}
+			}
+			if bi != sys.B[i] {
+				t.Fatalf("%s: b[%d] stream %v != materialized %v", name, i, bi, sys.B[i])
+			}
+		}
+	}
+}
+
+// Streams must be diagonally dominant and well-conditioned like their
+// legacy counterparts: diffusion rows must dominate by the configured
+// margin.
+func TestSystemStreamDominance(t *testing.T) {
+	s := NewDiffusionStream(9, 25, 1.4)
+	row := make(linalg.Vector, 25)
+	for i := 0; i < s.Len(); i++ {
+		row, _ = s.Row(i, row)
+		var off float64
+		for j, v := range row {
+			if j != i {
+				off += math.Abs(v)
+			}
+		}
+		if row[i] < off*1.39 {
+			t.Fatalf("row %d diag %v not dominant over off-sum %v", i, row[i], off)
+		}
+	}
+}
+
+// Buffer reuse must never leak values between records: generating into a
+// dirty buffer must give the same bytes as a fresh one.
+func TestStreamBufferHygiene(t *testing.T) {
+	s := NewMixtureStream(1, 20, 3, 4, 10, 1)
+	fresh := s.Point(5, nil)
+	dirty := make(linalg.Vector, 4)
+	for i := range dirty {
+		dirty[i] = math.Inf(1)
+	}
+	if got := s.Point(5, dirty); !vecEqual(got, fresh) {
+		t.Fatalf("dirty buffer changed output: %v != %v", got, fresh)
+	}
+	// Undersized buffer: must allocate, not panic or truncate.
+	if got := s.Point(5, make(linalg.Vector, 1)); !vecEqual(got, fresh) {
+		t.Fatal("undersized buffer changed output")
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("mixture n=0", func() { NewMixtureStream(1, 0, 2, 2, 1, 1) })
+	expectPanic("ocr n=0", func() { NewOCRStream(1, 0, 0, 0) })
+	expectPanic("image w=0", func() { NewImageStream(1, 0, 5, 1) })
+	expectPanic("system dominance=1", func() { NewWeaklyDominantStream(1, 5, 1) })
+	expectPanic("diffusion n=0", func() { NewDiffusionStream(1, 0, 2) })
+	s := NewMixtureStream(1, 5, 2, 2, 1, 1)
+	expectPanic("point out of range", func() { s.Point(5, nil) })
+	expectPanic("negative index", func() { s.Point(-1, nil) })
+}
+
+// Per-record seeding means chunking cannot matter, but the draws must
+// still look like the distribution they claim: mean of mixture noise
+// near the centers, normals with roughly unit variance.
+func TestStreamStatisticalSanity(t *testing.T) {
+	const n, k, dims = 6000, 3, 2
+	s := NewMixtureStream(123, n, k, dims, 50, 1.0)
+	sums := make([]linalg.Vector, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = make(linalg.Vector, dims)
+	}
+	var buf linalg.Vector
+	for i := 0; i < n; i++ {
+		buf = s.Point(i, buf)
+		c := s.Label(i)
+		counts[c]++
+		for d := range buf {
+			sums[c][d] += buf[d]
+		}
+	}
+	for c := 0; c < k; c++ {
+		for d := 0; d < dims; d++ {
+			mean := sums[c][d] / float64(counts[c])
+			if math.Abs(mean-s.Centers()[c][d]) > 0.15 {
+				t.Fatalf("component %d dim %d: empirical mean %v far from center %v",
+					c, d, mean, s.Centers()[c][d])
+			}
+		}
+	}
+}

@@ -463,14 +463,10 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 				}
 			}
 			if warmBytes > 0 {
-				// A warm iteration ships only the model delta to its
-				// workers; the hit splits' bytes are what it did not
+				// A warm iteration ships only the sparse model delta to
+				// its workers; the hit splits' bytes are what it did not
 				// have to re-stage.
-				var deltaBytes int64
-				if m != nil {
-					deltaBytes = m.Size()
-				}
-				e.Family.noteIteration(deltaBytes, warmBytes)
+				e.Family.noteIteration(e.Family.shippedDelta(job.Name, m), warmBytes)
 			}
 		}
 	}
@@ -516,7 +512,7 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 		// Partition in two passes — count, then fill exactly-sized
 		// slices — so per-partition buffers never re-grow.
 		idx := getPartIdx(len(em.records))
-		counts := make([]int, numReducers)
+		counts := getCounts(numReducers)
 		for j, r := range em.records {
 			p := partition(r.Key, numReducers)
 			idx[j] = int32(p)
@@ -532,6 +528,7 @@ func (e *Engine) RunAt(job *Job, in *Input, m *model.Model, start simtime.Time) 
 			p := idx[j]
 			parts[p] = append(parts[p], r)
 		}
+		putCounts(counts)
 		putPartIdx(idx)
 		putEmitter(em)
 		if job.Combiner != nil {

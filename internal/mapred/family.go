@@ -172,6 +172,11 @@ type JobFamily struct {
 	stats   FamilyStats
 	drained FamilyStats
 	events  []CacheEvent
+	// shipped holds, per job name, the model version last shipped to the
+	// family's warm workers, so the next warm iteration charges only the
+	// sparse delta encoding against it (model.EncodeDelta) instead of the
+	// full model size.
+	shipped map[string]*model.Model
 }
 
 // NewJobFamily creates a family with the given per-node cache budget
@@ -180,7 +185,8 @@ func NewJobFamily(name string, perNodeCapBytes int64) *JobFamily {
 	if perNodeCapBytes <= 0 {
 		perNodeCapBytes = DefaultNodeCacheBytes
 	}
-	return &JobFamily{name: name, nodeCap: perNodeCapBytes, nodes: map[int]*familyNode{}}
+	return &JobFamily{name: name, nodeCap: perNodeCapBytes, nodes: map[int]*familyNode{},
+		shipped: map[string]*model.Model{}}
 }
 
 // Name reports the family's label.
@@ -309,6 +315,29 @@ func (f *JobFamily) noteIteration(deltaBytes, fullBytes int64) {
 	f.stats.FullBytes += fullBytes
 }
 
+// shippedDelta returns the model bytes a warm iteration of job actually
+// moves to the family's workers — the full model the first time (the
+// workers hold nothing to patch), the sparse delta encoding against the
+// previously shipped version after that — and records m as the version
+// now resident on the workers. Pure accounting: it never changes what
+// the simulation executes, only the cache.delta_bytes honesty.
+func (f *JobFamily) shippedDelta(job string, m *model.Model) int64 {
+	if m == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	prev := f.shipped[job]
+	var d int64
+	if prev == nil {
+		d = m.Size()
+	} else {
+		d = model.DeltaSize(prev, m)
+	}
+	f.shipped[job] = m.Clone()
+	return d
+}
+
 // EvictNode drops every entry cached on node — the fault layer calls
 // this when the node crashes, so splits re-homed to survivors re-stage
 // cold there. Returns what was dropped.
@@ -350,6 +379,9 @@ func (f *JobFamily) Release() (entries int, bytes int64) {
 		entries += n
 		bytes += b
 	}
+	// The workers are gone, and their resident model versions with them:
+	// the next warm iteration ships a full model again.
+	f.shipped = map[string]*model.Model{}
 	return entries, bytes
 }
 
@@ -362,6 +394,7 @@ func (f *JobFamily) Invalidate() {
 	for _, node := range f.sortedNodesLocked() {
 		f.evictNodeLocked(node)
 	}
+	f.shipped = map[string]*model.Model{}
 	f.epoch++
 }
 

@@ -54,6 +54,93 @@ func NewInput(records []Record, c *simcluster.Cluster, splitCount int) *Input {
 	return in
 }
 
+// SplitSource describes a dataset that can produce any split's records
+// on demand into a caller-owned buffer — the out-of-core counterpart of
+// a materialized record slice. Implementations must be deterministic:
+// Records(i, dst) yields the same records regardless of call order or
+// buffer reuse, so streamed and resident consumers see identical bytes.
+type SplitSource interface {
+	// Splits reports how many splits the source produces.
+	Splits() int
+	// Records appends split i's records to dst (typically dst[:0] of a
+	// reused buffer) and returns the extended slice. Returned records
+	// may alias generation scratch only if regenerating them later
+	// yields identical values; values must not change once returned.
+	Records(i int, dst []Record) []Record
+}
+
+// SourceRange computes the record index range [lo, hi) of split i when
+// n records are dealt contiguously into count splits — the same math
+// NewInput uses, so streamed splits line up with resident ones.
+func SourceRange(i, count int, n int64) (lo, hi int64) {
+	return int64(i) * n / int64(count), int64(i+1) * n / int64(count)
+}
+
+// StreamStats summarizes one streaming pass over a SplitSource.
+type StreamStats struct {
+	// Splits and Records count what the pass visited.
+	Splits  int
+	Records int64
+	// Bytes is the total encoded size of every record visited.
+	Bytes int64
+	// PeakResidentBytes is the largest encoded size of any single
+	// split — the pass's high-water memory mark, which must stay
+	// independent of the dataset size for a correctly tiered source.
+	PeakResidentBytes int64
+}
+
+// StreamSplits drives fn over every split of src with at most one
+// split's records resident at a time. The record buffer is reused
+// across splits, so fn must not retain the slice (copy anything it
+// keeps). Homes follow NewInput's round-robin so a streamed pass visits
+// the same placement a resident Input would have.
+func StreamSplits(src SplitSource, c *simcluster.Cluster, fn func(Split) error) (StreamStats, error) {
+	nodes := c.Nodes()
+	var stats StreamStats
+	var buf []Record
+	n := src.Splits()
+	for i := 0; i < n; i++ {
+		buf = src.Records(i, buf[:0])
+		sp := Split{
+			Records: buf,
+			Home:    nodes[i%len(nodes)],
+			Bytes:   RecordsSize(buf),
+		}
+		stats.Splits++
+		stats.Records += int64(len(buf))
+		stats.Bytes += sp.Bytes
+		if sp.Bytes > stats.PeakResidentBytes {
+			stats.PeakResidentBytes = sp.Bytes
+		}
+		if fn != nil {
+			if err := fn(sp); err != nil {
+				return stats, err
+			}
+		}
+	}
+	return stats, nil
+}
+
+// InputFromSource materializes a SplitSource into a resident Input —
+// byte-identical to what StreamSplits shows its callback split by
+// split, so the engine's in-memory job path and tests can consume a
+// streamed dataset directly. Unlike StreamSplits, the result holds
+// every record at once; use it below the memory-bound tiers.
+func InputFromSource(src SplitSource, c *simcluster.Cluster) *Input {
+	in := &Input{Splits: make([]Split, 0, src.Splits())}
+	_, err := StreamSplits(src, c, func(sp Split) error {
+		recs := make([]Record, len(sp.Records))
+		copy(recs, sp.Records)
+		sp.Records = recs
+		in.Splits = append(in.Splits, sp)
+		return nil
+	})
+	if err != nil {
+		panic("mapred: StreamSplits returned an error without a callback error: " + err.Error())
+	}
+	return in
+}
+
 // InputFromSplits wraps pre-assembled splits, computing their sizes.
 func InputFromSplits(splits []Split) *Input {
 	for i := range splits {

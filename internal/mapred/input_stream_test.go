@@ -1,0 +1,166 @@
+package mapred_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/mapred"
+	"repro/internal/simcluster"
+	"repro/internal/writable"
+)
+
+// vectorRowSource adapts any per-index vector generator to a
+// SplitSource producing kmeans-shaped records ("p<i>" → Vector),
+// dealing record indexes contiguously with SourceRange.
+type vectorRowSource struct {
+	n, splits int
+	row       func(i int, dst linalg.Vector) linalg.Vector
+	keyFmt    string // defaults to "p%d"
+}
+
+func (s *vectorRowSource) Splits() int { return s.splits }
+
+func (s *vectorRowSource) Records(i int, dst []mapred.Record) []mapred.Record {
+	keyFmt := s.keyFmt
+	if keyFmt == "" {
+		keyFmt = "p%d"
+	}
+	lo, hi := mapred.SourceRange(i, s.splits, int64(s.n))
+	var buf linalg.Vector
+	for r := lo; r < hi; r++ {
+		buf = s.row(int(r), buf)
+		v := make(writable.Vector, len(buf))
+		copy(v, buf)
+		dst = append(dst, mapred.Record{Key: fmt.Sprintf(keyFmt, r), Value: v})
+	}
+	return dst
+}
+
+// streamSources builds one source per generator family, each paired
+// with the resident record slice the legacy path would materialize from
+// the same stream.
+func streamSources(t *testing.T, n, splits int) map[string]*vectorRowSource {
+	t.Helper()
+	mix := data.NewMixtureStream(42, n, 4, 3, 100, 2)
+	ocr := data.NewOCRStream(42, n, 0.05, 0.1)
+	img := data.NewImageStream(42, 24, n, 3)
+	wd := data.NewWeaklyDominantStream(42, n, 1.5)
+	diff := data.NewDiffusionStream(42, n, 1.5)
+	return map[string]*vectorRowSource{
+		"gaussian-mixture": {n: n, splits: splits, row: mix.Point},
+		"ocr-vectors":      {n: n, splits: splits, row: ocr.Vec},
+		"noisy-image":      {n: n, splits: splits, row: img.Row},
+		"weakly-dominant": {n: n, splits: splits, row: func(i int, dst linalg.Vector) linalg.Vector {
+			row, b := wd.Row(i, dst)
+			return append(row, b)
+		}},
+		"diffusion": {n: n, splits: splits, row: func(i int, dst linalg.Vector) linalg.Vector {
+			row, b := diff.Row(i, dst)
+			return append(row, b)
+		}},
+	}
+}
+
+func encodeInput(t *testing.T, in *mapred.Input) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, sp := range in.Splits {
+		fmt.Fprintf(&out, "home=%d bytes=%d\n", sp.Home, sp.Bytes)
+		for _, rec := range sp.Records {
+			out.WriteString(rec.Key)
+			out.Write(writable.Encode(nil, rec.Value))
+		}
+	}
+	return out.Bytes()
+}
+
+// The streamed path must produce byte-identical splits to the resident
+// path for every generator family: same records, same homes, same
+// sizes.
+func TestStreamedSplitsMatchResident(t *testing.T) {
+	c := simcluster.New(simcluster.Small())
+	const n, splits = 60, 7
+	for name, src := range streamSources(t, n, splits) {
+		t.Run(name, func(t *testing.T) {
+			// Resident reference: materialize all records at once, then
+			// deal them with NewInput's math.
+			all := src.Records(0, nil)
+			for i := 1; i < splits; i++ {
+				all = src.Records(i, all)
+			}
+			resident := mapred.NewInput(all, c, splits)
+
+			streamed := mapred.InputFromSource(src, c)
+			if got, want := encodeInput(t, streamed), encodeInput(t, resident); !bytes.Equal(got, want) {
+				t.Fatal("streamed splits differ from resident splits")
+			}
+
+			// The streaming driver itself must visit the same bytes.
+			stats, err := mapred.StreamSplits(src, c, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Bytes != resident.TotalBytes() {
+				t.Fatalf("streamed %d bytes, resident %d", stats.Bytes, resident.TotalBytes())
+			}
+			if stats.Records != resident.NumRecords() {
+				t.Fatalf("streamed %d records, resident %d", stats.Records, resident.NumRecords())
+			}
+			if stats.Splits != splits {
+				t.Fatalf("streamed %d splits, want %d", stats.Splits, splits)
+			}
+		})
+	}
+}
+
+// The memory-bound guarantee: scaling the dataset with proportionally
+// more splits must leave the peak resident split size unchanged — no
+// O(dataset) buffer anywhere in the streaming path.
+func TestStreamSplitsMemoryBound(t *testing.T) {
+	c := simcluster.New(simcluster.Small())
+	mk := func(n, splits int) mapred.StreamStats {
+		s := data.NewMixtureStream(7, n, 4, 3, 100, 2)
+		// Fixed-width keys so per-record encoded size is independent of
+		// the index's digit count and the peaks compare exactly.
+		src := &vectorRowSource{n: n, splits: splits, row: s.Point, keyFmt: "p%08d"}
+		stats, err := mapred.StreamSplits(src, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	small := mk(4096, 16)
+	large := mk(8*4096, 8*16) // 8× data, 8× splits: same records per split
+	if small.PeakResidentBytes != large.PeakResidentBytes {
+		t.Fatalf("peak resident bytes grew with n: %d → %d",
+			small.PeakResidentBytes, large.PeakResidentBytes)
+	}
+	if large.Records != 8*small.Records || large.Bytes <= small.Bytes {
+		t.Fatalf("scaling mismatch: small=%+v large=%+v", small, large)
+	}
+}
+
+// Errors from the callback must abort the pass and propagate.
+func TestStreamSplitsPropagatesCallbackError(t *testing.T) {
+	c := simcluster.New(simcluster.Small())
+	s := data.NewMixtureStream(7, 64, 4, 3, 100, 2)
+	src := &vectorRowSource{n: 64, splits: 8, row: s.Point}
+	boom := fmt.Errorf("boom")
+	visited := 0
+	_, err := mapred.StreamSplits(src, c, func(mapred.Split) error {
+		visited++
+		if visited == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if visited != 3 {
+		t.Fatalf("visited %d splits after error, want 3", visited)
+	}
+}

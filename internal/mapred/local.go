@@ -159,11 +159,7 @@ func (e *Engine) runLocalFused(lf LocalFuser, job *Job, in *Input, m *model.Mode
 		return nil, Metrics{}, true, fmt.Errorf("job %q local fused: %w", job.Name, err)
 	}
 	if warmBytes > 0 {
-		var deltaBytes int64
-		if m != nil {
-			deltaBytes = m.Size()
-		}
-		e.Family.noteIteration(deltaBytes, warmBytes)
+		e.Family.noteIteration(e.Family.shippedDelta(job.Name, m), warmBytes)
 	}
 
 	tasks := make([]simcluster.Task, nSplits)

@@ -185,6 +185,24 @@ func getPartIdx(n int) []int32 {
 
 func putPartIdx(idx []int32) { partIdxPool.Put(idx[:0]) } //nolint:staticcheck // slice header boxing is fine here
 
+// countsPool recycles the per-task partition-count scratch that sizes
+// the exactly-fitted per-partition buffers in Engine.RunAt.
+var countsPool = sync.Pool{New: func() any { return []int(nil) }}
+
+func getCounts(n int) []int {
+	c := countsPool.Get().([]int)
+	if cap(c) < n {
+		c = make([]int, n)
+	}
+	c = c[:n]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
+}
+
+func putCounts(c []int) { countsPool.Put(c[:0]) } //nolint:staticcheck // slice header boxing is fine here
+
 // valsPool recycles the values scratch buffer reduceSorted hands to
 // reducers (which, per Reducer's contract, must not retain it).
 var valsPool = sync.Pool{New: func() any { return []writable.Writable(nil) }}

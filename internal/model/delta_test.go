@@ -1,0 +1,121 @@
+package model
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/writable"
+)
+
+func deltaFixture() (*Model, *Model) {
+	prev := New()
+	next := New()
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("c%03d", i)
+		v := writable.Vector{float64(i), float64(i) * 2, 3}
+		prev.Set(k, v)
+		if i%10 == 0 {
+			// changed
+			next.Set(k, writable.Vector{float64(i) + 0.5, float64(i) * 2, 3})
+		} else if i%10 == 1 {
+			// removed: not set on next
+		} else {
+			next.Set(k, v.Clone())
+		}
+	}
+	next.Set("extra", writable.Float64(7)) // added
+	return prev, next
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	prev, next := deltaFixture()
+	enc := EncodeDelta(prev, next, nil)
+	got, err := ApplyDeltaBytes(prev, enc)
+	if err != nil {
+		t.Fatalf("ApplyDeltaBytes: %v", err)
+	}
+	if !got.Equal(next) {
+		t.Fatal("delta round trip did not reproduce next")
+	}
+	// prev untouched by the application.
+	if _, ok := prev.Get("extra"); ok {
+		t.Fatal("ApplyDeltaBytes mutated prev")
+	}
+}
+
+func TestDeltaSizeMatchesEncoding(t *testing.T) {
+	prev, next := deltaFixture()
+	enc := EncodeDelta(prev, next, nil)
+	if got, want := DeltaSize(prev, next), int64(len(enc)); got != want {
+		t.Fatalf("DeltaSize = %d, len(EncodeDelta) = %d", got, want)
+	}
+	// Sparse: only 4 changed + 1 added + 4 tombstones out of 41 keys, so
+	// the delta must be well under the full encoding.
+	if full := next.Size(); DeltaSize(prev, next) >= full {
+		t.Fatalf("delta %d B not smaller than full model %d B", DeltaSize(prev, next), full)
+	}
+}
+
+func TestDeltaDeterministic(t *testing.T) {
+	prev, next := deltaFixture()
+	a := EncodeDelta(prev, next, nil)
+	b := EncodeDelta(prev.Clone(), next.Clone(), nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("EncodeDelta not deterministic across clones")
+	}
+}
+
+func TestDeltaIdenticalModelsEmpty(t *testing.T) {
+	prev, _ := deltaFixture()
+	if enc := EncodeDelta(prev, prev.Clone(), nil); len(enc) != 0 {
+		t.Fatalf("delta of identical models = %d bytes, want 0", len(enc))
+	}
+	if n := DeltaSize(prev, prev); n != 0 {
+		t.Fatalf("DeltaSize of identical models = %d, want 0", n)
+	}
+}
+
+func TestApplyDeltaBytesRejectsCorruption(t *testing.T) {
+	prev, next := deltaFixture()
+	enc := EncodeDelta(prev, next, nil)
+	cases := map[string][]byte{
+		"truncated":       enc[:len(enc)-3],
+		"unknown op":      append(append([]byte{1, 'z'}, 0x7f), enc...),
+		"missing op byte": {1, 'a'},
+	}
+	for name, data := range cases {
+		if _, err := ApplyDeltaBytes(prev, data); err == nil {
+			t.Errorf("%s: ApplyDeltaBytes accepted corrupt input", name)
+		}
+	}
+	// Out-of-order keys: two set ops with descending keys.
+	var bad []byte
+	m2 := New()
+	m2.Set("b", writable.Float64(1))
+	bad = EncodeDelta(New(), m2, bad)
+	m3 := New()
+	m3.Set("a", writable.Float64(2))
+	bad = EncodeDelta(New(), m3, bad)
+	if _, err := ApplyDeltaBytes(prev, bad); err == nil {
+		t.Error("ApplyDeltaBytes accepted out-of-order keys")
+	}
+}
+
+func TestDeltaTombstones(t *testing.T) {
+	prev := New()
+	prev.Set("keep", writable.Float64(1))
+	prev.Set("kill", writable.Float64(2))
+	next := New()
+	next.Set("keep", writable.Float64(1))
+	got, err := ApplyDeltaBytes(prev, EncodeDelta(prev, next, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Get("kill"); ok {
+		t.Fatal("tombstone did not remove key")
+	}
+	if got.Len() != 1 {
+		t.Fatalf("got %d entries, want 1", got.Len())
+	}
+}

@@ -37,6 +37,14 @@ func New() *Model {
 	return &Model{entries: make(map[string]writable.Writable)}
 }
 
+// NewWithCapacity returns an empty model whose entry map is pre-sized
+// for n keys, so bulk builders (decode, merge trees, per-partition
+// model refresh) avoid the incremental map growth of Set-by-Set
+// construction.
+func NewWithCapacity(n int) *Model {
+	return &Model{entries: make(map[string]writable.Writable, n)}
+}
+
 // Set stores v under key, replacing any previous value.
 func (m *Model) Set(key string, v writable.Writable) {
 	if m.keys.Load() != nil {
@@ -168,7 +176,7 @@ func (m *Model) Encode(dst []byte) []byte {
 
 // Decode parses a model encoded by Encode.
 func Decode(src []byte) (*Model, error) {
-	m := New()
+	m := NewWithCapacity(16)
 	for len(src) > 0 {
 		klen, n := binary.Uvarint(src)
 		if n <= 0 || uint64(len(src)-n) < klen {
