@@ -4,7 +4,8 @@
 //	picbench fig2 fig9 fig10 fig11 fig12a fig12b fig12c \
 //	         table1 table2 table3 \
 //	         abl-parts abl-coupling abl-localfactor abl-degenerate \
-//	         abl-faults abl-netfaults abl-tenancy abl-loopaware abl-scale
+//	         abl-faults abl-netfaults abl-tenancy abl-loopaware abl-scale \
+//	         abl-backend
 //
 // Two fault ablations exist: abl-faults crashes a node (machine and
 // disk die; DFS re-replicates, tasks reschedule, PIC groups repair),
@@ -93,6 +94,7 @@ var experiments = []experiment{
 	{"abl-tenancy", "multi-tenant contention ablation", wrap(bench.AblationMultiTenant)},
 	{"abl-loopaware", "loop-aware runtime ablation: cold vs warm invariant-input cache (wall time drops, simulated results byte-identical)", wrap(bench.AblationLoopAware)},
 	{"abl-scale", "scale-ladder ablation: streamed splits, delta checkpoints, flat vs hierarchical merge across tiers (core bytes drop, outputs byte-identical)", wrap(bench.AblationScale)},
+	{"abl-backend", "execution-backend ablation: IC/PIC × mapred/BSP grid with per-link traffic shapes and the pace-crossover size sweep", wrap(bench.AblationBackend)},
 }
 
 func main() {

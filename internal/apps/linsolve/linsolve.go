@@ -193,3 +193,30 @@ func (a *App) Merge(parts []*model.Model, _ *model.Model) (*model.Model, error) 
 func (a *App) Golden() (linalg.Vector, error) {
 	return a.a.Solve(a.b)
 }
+
+// MergeKey implements core.KeyMerger. Variable blocks are disjoint —
+// every variable belongs to exactly one block — so the key merge is
+// identity with a disjointness check, matching ConcatModels.
+func (a *App) MergeKey(key string, values []writable.Writable) (writable.Writable, error) {
+	if len(values) != 1 {
+		return nil, fmt.Errorf("linsolve: variable %q in %d blocks, want 1", key, len(values))
+	}
+	return values[0], nil
+}
+
+// MergeKeyWeighted implements core.WeightedKeyMerger: identity merges
+// stay identity under pre-combining, so hierarchical rack-level
+// pre-merges are exactly as unbiased as the flat merge.
+func (a *App) MergeKeyWeighted(key string, values []writable.Writable, weights []int) (writable.Writable, error) {
+	if len(values) != len(weights) {
+		return nil, fmt.Errorf("linsolve: bad weighted merge for %q: %d values, %d weights", key, len(values), len(weights))
+	}
+	for _, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("linsolve: weight %d for %q", w, key)
+		}
+	}
+	return a.MergeKey(key, values)
+}
+
+var _ core.WeightedKeyMerger = (*App)(nil)

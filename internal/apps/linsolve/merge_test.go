@@ -1,0 +1,54 @@
+package linsolve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/writable"
+)
+
+func TestMergeKeyIdentityAndValidation(t *testing.T) {
+	app := testSystem(8)
+	v := writable.Float64(1.5)
+	got, err := app.MergeKey(VarKey(2), []writable.Writable{v})
+	if err != nil || got != v {
+		t.Fatalf("MergeKey identity = %v, %v", got, err)
+	}
+	if _, err := app.MergeKey(VarKey(2), []writable.Writable{v, v}); err == nil {
+		t.Fatal("MergeKey accepted a variable owned by two blocks")
+	}
+	if _, err := app.MergeKeyWeighted(VarKey(2), []writable.Writable{v}, []int{1, 1}); err == nil {
+		t.Fatal("MergeKeyWeighted accepted mismatched weights")
+	}
+	if _, err := app.MergeKeyWeighted(VarKey(2), []writable.Writable{v}, []int{0}); err == nil {
+		t.Fatal("MergeKeyWeighted accepted weight 0")
+	}
+	if got, err := app.MergeKeyWeighted(VarKey(2), []writable.Writable{v}, []int{2}); err != nil || got != v {
+		t.Fatalf("MergeKeyWeighted identity = %v, %v", got, err)
+	}
+}
+
+// TestPICHierarchicalMatchesFlat: variable blocks are disjoint, so the
+// rack-tree weighted merge must reproduce the flat concatenation byte
+// for byte.
+func TestPICHierarchicalMatchesFlat(t *testing.T) {
+	run := func(hier bool) []byte {
+		app := testSystem(48)
+		rt := testRuntime()
+		res, err := core.RunPIC(rt, app, appInput(rt, app), InitialModel(48), core.PICOptions{
+			Partitions:          4,
+			MaxBEIterations:     3,
+			MaxLocalIterations:  10,
+			MaxTopOffIterations: 5,
+			HierarchicalMerge:   hier,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Model.Encode(nil)
+	}
+	if !bytes.Equal(run(false), run(true)) {
+		t.Fatal("hierarchical merge diverges from flat merge")
+	}
+}

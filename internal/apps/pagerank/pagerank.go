@@ -401,20 +401,30 @@ func (a *App) Merge(parts []*model.Model, prev *model.Model) (*model.Model, erro
 			return nil, err
 		}
 	}
+	if err := a.refreshCrossScores(merged); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// refreshCrossScores recomputes every cross-partition edge score from
+// the merged source ranks — the merge step's dependency propagation,
+// shared by Merge and FinalizeMerge.
+func (a *App) refreshCrossScores(merged *model.Model) error {
 	groups := webgraph.CrossEdgeGroups(a.graph, a.assign, a.parts)
 	for _, row := range groups {
 		for _, edges := range row {
 			for _, e := range edges {
 				srcRank, ok := merged.Float(RankKey(int(e.Src)))
 				if !ok {
-					return nil, fmt.Errorf("pagerank: merged model missing rank of %d", e.Src)
+					return fmt.Errorf("pagerank: merged model missing rank of %d", e.Src)
 				}
 				score := srcRank / float64(a.graph.OutDegree(int(e.Src)))
 				merged.Set(EdgeKey(int(e.Src), int(e.Dst)), writable.Float64(score))
 			}
 		}
 	}
-	return merged, nil
+	return nil
 }
 
 // Reference computes PageRank sequentially with the same two-phase

@@ -1,0 +1,200 @@
+package pagerank
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/writable"
+)
+
+// VertexProgram implements core.VertexApp: under the BSP backend one
+// PageRank iteration runs as a native two-superstep vertex program
+// instead of the aggregate+propagate job pair. Superstep 0 is the
+// propagation side: each vertex sends its tracked outgoing edge scores
+// to the destination vertices (a float-sum combiner collapses them per
+// sender node, like the mapred combiner). Superstep 1 is the
+// aggregation side: each vertex sums its incoming scores plus its
+// frozen cross-partition in-flow, applies PR = (1-c) + c·Σ, and votes
+// to halt. The per-key semantics match Iteration exactly; floating-sum
+// order may differ, so backends agree to rounding, not byte-for-byte.
+func (a *App) VertexProgram(in *mapred.Input, m *model.Model) (bsp.Program, error) {
+	p := &prProgram{damping: a.Damping, byID: make(map[string]*prVertex)}
+	for _, split := range in.Splits {
+		for _, rec := range split.Records {
+			val, ok := rec.Value.(writable.Vector)
+			if !ok || len(val) == 0 {
+				return nil, fmt.Errorf("pagerank: record %q is not a vertex adjacency", rec.Key)
+			}
+			src := int(val[0])
+			v := &prVertex{id: rec.Key, home: split.Home, src: src}
+			_, v.hasRank = m.Float(RankKey(src))
+			v.inflow, _ = m.Float(inflowKey(src))
+			v.out = make([]int, len(val)-1)
+			v.score = make([]float64, len(val)-1)
+			v.tracked = make([]bool, len(val)-1)
+			for i, wf := range val[1:] {
+				dst := int(wf)
+				v.out[i] = dst
+				// Untracked edges are cross edges during local
+				// iterations; they enter through the frozen in-flow.
+				v.score[i], v.tracked[i] = m.Float(EdgeKey(src, dst))
+			}
+			p.verts = append(p.verts, v)
+			p.byID[v.id] = v
+		}
+	}
+	return p, nil
+}
+
+// prVertex is the per-vertex state of one iteration's program.
+type prVertex struct {
+	id      string
+	home    int
+	src     int
+	out     []int     // full out-neighbor list (outdegree uses all of it)
+	score   []float64 // current score of out edge i, when tracked
+	tracked []bool    // out edge i present in the (sub-)model
+	inflow  float64   // frozen cross-partition in-flow constant
+
+	hasRank bool    // vertex rank tracked in the (sub-)model
+	newRank float64 // set in superstep 1
+}
+
+type prProgram struct {
+	damping float64
+	verts   []*prVertex
+	byID    map[string]*prVertex
+}
+
+// Vertices implements bsp.Program.
+func (p *prProgram) Vertices() []bsp.VertexInfo {
+	infos := make([]bsp.VertexInfo, len(p.verts))
+	for i, v := range p.verts {
+		infos[i] = bsp.VertexInfo{ID: v.id, Home: v.home}
+	}
+	return infos
+}
+
+// Compute implements bsp.Program.
+func (p *prProgram) Compute(step int, id string, msgs []bsp.Message, s bsp.Sender) (bool, error) {
+	v, ok := p.byID[id]
+	if !ok {
+		return false, fmt.Errorf("pagerank: unknown vertex %q", id)
+	}
+	if step == 0 {
+		for i, dst := range v.out {
+			if v.tracked[i] {
+				s.Send(pad8Key('v', dst), "", writable.Float64(v.score[i]))
+			}
+		}
+		return false, nil
+	}
+	sum := v.inflow
+	for _, msg := range msgs {
+		f, ok := msg.Value.(writable.Float64)
+		if !ok {
+			return false, fmt.Errorf("pagerank: vertex %q got non-float message", id)
+		}
+		sum += float64(f)
+	}
+	v.newRank = (1 - p.damping) + p.damping*sum
+	return true, nil
+}
+
+// Combiner implements bsp.CombinerProgram: incoming edge scores sum.
+func (p *prProgram) Combiner() bsp.Combiner { return floatSumCombiner{} }
+
+type floatSumCombiner struct{}
+
+func (floatSumCombiner) Combine(a, b writable.Writable) writable.Writable {
+	return a.(writable.Float64) + b.(writable.Float64)
+}
+
+// Model implements bsp.Modeler, mirroring Iteration's model assembly:
+// every tracked rank defaults to 1-c and is overwritten by the computed
+// value; tracked edge scores become new-rank/outdegree; frozen in-flow
+// constants carry over unchanged.
+func (p *prProgram) Model(prev *model.Model) (*model.Model, error) {
+	next := model.New()
+	prev.Range(func(key string, v writable.Writable) bool {
+		switch key[0] {
+		case 'r':
+			next.Set(key, writable.Float64(1-p.damping))
+		case 'f':
+			next.Set(key, v)
+		}
+		return true
+	})
+	for _, v := range p.verts {
+		if !v.hasRank {
+			continue // rank outside this partition's model
+		}
+		next.Set(RankKey(v.src), writable.Float64(v.newRank))
+		outdeg := float64(len(v.out))
+		for i, dst := range v.out {
+			if v.tracked[i] {
+				next.Set(EdgeKey(v.src, dst), writable.Float64(v.newRank/outdeg))
+			}
+		}
+	}
+	return next, nil
+}
+
+// MergeKey implements core.KeyMerger. Partial models are disjoint —
+// every rank and internal edge belongs to exactly one partition — so
+// the key merge is identity with a disjointness check, matching Merge's
+// duplicate detection.
+func (a *App) MergeKey(key string, values []writable.Writable) (writable.Writable, error) {
+	if len(values) != 1 {
+		return nil, fmt.Errorf("pagerank: key %q in %d partitions, want 1", key, len(values))
+	}
+	return values[0], nil
+}
+
+// MergeKeyWeighted implements core.WeightedKeyMerger: pre-combined
+// partials stay identity merges (weights only count how many partials
+// each value summarizes), so hierarchical rack-level pre-merges are
+// exactly as unbiased as the flat merge.
+func (a *App) MergeKeyWeighted(key string, values []writable.Writable, weights []int) (writable.Writable, error) {
+	if len(values) != len(weights) {
+		return nil, fmt.Errorf("pagerank: bad weighted merge for %q: %d values, %d weights", key, len(values), len(weights))
+	}
+	for _, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("pagerank: weight %d for %q", w, key)
+		}
+	}
+	return a.MergeKey(key, values)
+}
+
+// FinalizeMerge implements core.MergeFinalizer: the distributed and
+// hierarchical merges combine partials key by key, which carries the
+// frozen in-flow constants through and leaves cross-edge scores stale;
+// Merge's post-processing — drop the 'f' keys, recompute every cross
+// edge from the merged source ranks — runs here instead.
+func (a *App) FinalizeMerge(merged, _ *model.Model) (*model.Model, error) {
+	if a.assign == nil {
+		return nil, fmt.Errorf("pagerank: FinalizeMerge before Partition")
+	}
+	var frozen []string
+	merged.Range(func(key string, _ writable.Writable) bool {
+		if key[0] == 'f' {
+			frozen = append(frozen, key)
+		}
+		return true
+	})
+	for _, key := range frozen {
+		merged.Delete(key)
+	}
+	if err := a.refreshCrossScores(merged); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+var _ core.VertexApp = (*App)(nil)
+var _ core.WeightedKeyMerger = (*App)(nil)
+var _ core.MergeFinalizer = (*App)(nil)

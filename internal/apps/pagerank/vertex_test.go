@@ -1,0 +1,134 @@
+package pagerank
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/webgraph"
+	"repro/internal/writable"
+)
+
+func bspRuntime(workers int) *core.Runtime {
+	rt := testRuntime()
+	rt.Engine().Workers = workers
+	if err := rt.SetBackend(core.BackendBSP); err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+func TestBSPICMatchesSequentialReference(t *testing.T) {
+	g := webgraph.NearlyUncoupled(1, 200, 4, 0.1, 3)
+	rt := bspRuntime(1)
+	app := New(g, 0.85, 1e-12, 1)
+	res, err := core.RunIC(rt, app, graphInput(rt, g), InitialModel(g), &core.ICOptions{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Ranks(res.Model, g.N)
+	want := Reference(g, 0.85, 10)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("rank %d = %v, reference %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBSPMatchesMapredWithinRounding(t *testing.T) {
+	g := webgraph.NearlyUncoupled(3, 150, 3, 0.1, 3)
+	run := func(backend core.Backend) []float64 {
+		rt := testRuntime()
+		if err := rt.SetBackend(backend); err != nil {
+			t.Fatal(err)
+		}
+		app := New(g, 0.85, 1e-12, 1)
+		res, err := core.RunIC(rt, app, graphInput(rt, g), InitialModel(g), &core.ICOptions{MaxIterations: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Ranks(res.Model, g.N)
+	}
+	mr := run(core.BackendMapred)
+	bp := run(core.BackendBSP)
+	// The vertex program replays the aggregate/propagate arithmetic but
+	// may sum a vertex's inbound scores in a different order than the
+	// mapred reducer, so the backends agree to rounding, not bytes.
+	for v := range mr {
+		if math.Abs(mr[v]-bp[v]) > 1e-12 {
+			t.Fatalf("rank %d diverges across backends: mapred %v, bsp %v", v, mr[v], bp[v])
+		}
+	}
+}
+
+func TestBSPDeterministicAcrossWorkersAndRepeats(t *testing.T) {
+	g := webgraph.NearlyUncoupled(5, 200, 4, 0.1, 3)
+	run := func(workers int) ([]byte, *core.ICResult) {
+		rt := bspRuntime(workers)
+		app := New(g, 0.85, 1e-12, 1)
+		res, err := core.RunIC(rt, app, graphInput(rt, g), InitialModel(g), &core.ICOptions{MaxIterations: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Model.Encode(nil), res
+	}
+	base, baseRes := run(1)
+	for name, workers := range map[string]int{"workers=8": 8, "repeat": 1} {
+		got, gotRes := run(workers)
+		if !bytes.Equal(got, base) {
+			t.Errorf("%s: BSP model bytes diverge", name)
+		}
+		if !reflect.DeepEqual(gotRes.Metrics, baseRes.Metrics) {
+			t.Errorf("%s: metrics diverge:\n got %+v\nwant %+v", name, gotRes.Metrics, baseRes.Metrics)
+		}
+	}
+}
+
+// TestPICOnBSPHierarchicalMatchesFlat exercises the satellite mergers:
+// pagerank's key merge is identity over disjoint rank/edge keys and
+// FinalizeMerge recomputes cross scores deterministically, so the
+// rack-tree merge must reproduce the flat gather byte for byte.
+func TestPICOnBSPHierarchicalMatchesFlat(t *testing.T) {
+	g := webgraph.NearlyUncoupled(7, 200, 4, 0.1, 3)
+	run := func(hier bool) []byte {
+		rt := bspRuntime(4)
+		app := New(g, 0.85, 1e-9, 4)
+		res, err := core.RunPIC(rt, app, graphInput(rt, g), InitialModel(g), core.PICOptions{
+			Partitions:          4,
+			MaxBEIterations:     3,
+			MaxLocalIterations:  5,
+			MaxTopOffIterations: 3,
+			HierarchicalMerge:   hier,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Model.Encode(nil)
+	}
+	if !bytes.Equal(run(false), run(true)) {
+		t.Fatal("hierarchical merge diverges from flat merge on BSP backend")
+	}
+}
+
+func TestMergeKeyIdentityAndValidation(t *testing.T) {
+	app := New(smallGraph(), 0.85, 1e-6, 1)
+	v := writable.Float64(0.25)
+	got, err := app.MergeKey(RankKey(1), []writable.Writable{v})
+	if err != nil || got != v {
+		t.Fatalf("MergeKey identity = %v, %v", got, err)
+	}
+	if _, err := app.MergeKey(RankKey(1), []writable.Writable{v, v}); err == nil {
+		t.Fatal("MergeKey accepted a duplicated rank key")
+	}
+	if _, err := app.MergeKeyWeighted(RankKey(1), []writable.Writable{v}, []int{1, 2}); err == nil {
+		t.Fatal("MergeKeyWeighted accepted mismatched weights")
+	}
+	if _, err := app.MergeKeyWeighted(RankKey(1), []writable.Writable{v}, []int{0}); err == nil {
+		t.Fatal("MergeKeyWeighted accepted weight 0")
+	}
+	if got, err := app.MergeKeyWeighted(RankKey(1), []writable.Writable{v}, []int{3}); err != nil || got != v {
+		t.Fatalf("MergeKeyWeighted identity = %v, %v", got, err)
+	}
+}

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/apps/kmeans"
@@ -192,6 +194,20 @@ type ScaleResult struct {
 	// Stream holds the per-tier out-of-core split-generation stats:
 	// peak single-split residency versus total streamed bytes.
 	Stream map[float64]mapred.StreamStats
+}
+
+// MarshalJSON renders Stream's float tier keys as strings — JSON
+// objects cannot carry float keys, and picbench -json encodes results
+// verbatim.
+func (r *ScaleResult) MarshalJSON() ([]byte, error) {
+	stream := make(map[string]mapred.StreamStats, len(r.Stream))
+	for tier, stats := range r.Stream {
+		stream[strconv.FormatFloat(tier, 'g', -1, 64)] = stats
+	}
+	return json.Marshal(struct {
+		Cells  []ScaleCell
+		Stream map[string]mapred.StreamStats
+	}{r.Cells, stream})
 }
 
 // scaleCellRun executes one PIC run of the cell's workload, optionally

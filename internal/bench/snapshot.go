@@ -279,6 +279,29 @@ func kernels() []kernel {
 				}
 			}
 		}},
+		{"bsp-superstep", func(b *testing.B) {
+			// One native vertex-program iteration of PageRank on the BSP
+			// backend: program build, two supersteps (sends, sender-side
+			// combining, compute scheduling, message and barrier pricing)
+			// and model assembly — the per-iteration hot loop of the
+			// superstep engine.
+			w, _ := PageRankWorkload("snapshot-bsp", simcluster.Small(), scaled(2_000, 400), 5, 0.05, 4)
+			w.ICOpts.MaxIterations = 1
+			rt := w.NewRuntime()
+			if err := rt.SetBackend(core.BackendBSP); err != nil {
+				b.Fatal(err)
+			}
+			app := w.MakeApp()
+			in := w.MakeInput(rt.Cluster())
+			m := w.MakeModel()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunIC(rt, app, in, m, &w.ICOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 }
 

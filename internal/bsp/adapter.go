@@ -1,0 +1,274 @@
+package bsp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/mapred"
+	"repro/internal/model"
+	"repro/internal/writable"
+)
+
+// The partition-level adapter runs an unmodified mapred.Job as a BSP
+// program: each input split is a "split vertex" that runs the real
+// Mapper in superstep 0 and sends each post-combine intermediate record
+// as a message (tag = key) to a "reduce vertex", which runs the real
+// Reducer in superstep 1. Map-only jobs finish in one superstep with no
+// messages. This is how the three apps without native vertex programs
+// (kmeans, neuralnet, linsolve) — and framework jobs like the
+// distributed merge — execute on the BSP backend: the shuffle becomes a
+// message exchange priced on the same fabric, and the job-overhead
+// phase becomes barrier time, which is precisely the cost trade Pace's
+// BSP-vs-MapReduce comparison measures.
+
+// jobProgram adapts one mapred.Job. It implements VertexCoster to
+// reproduce mapred task cost accounting (per-record map cost, per-byte
+// input cost, per-value reduce cost, per-byte emit cost).
+type jobProgram struct {
+	job    *mapred.Job
+	in     *mapred.Input
+	m      *model.Model
+	cost   CostModel
+	nSplit int
+	nRed   int
+	verts  []VertexInfo
+	vidx   map[string]int
+	redIDs []string
+	part   mapred.Partitioner
+	outs   [][]mapred.Record
+	vcost  []float64
+}
+
+func splitVertexID(i int) string  { return "s" + strconv.Itoa(i) }
+func reduceVertexID(j int) string { return "r" + strconv.Itoa(j) }
+
+// newJobProgram builds the adapter. numReducers must already be
+// resolved (0 means map-only). Reduce vertices carry Home -1 so the
+// engine deals them over live nodes — which keeps reducer placement
+// crash-aware for free.
+func newJobProgram(job *mapred.Job, in *mapred.Input, m *model.Model, cost CostModel, numReducers int) *jobProgram {
+	p := &jobProgram{
+		job:    job,
+		in:     in,
+		m:      m,
+		cost:   cost,
+		nSplit: len(in.Splits),
+		nRed:   numReducers,
+		part:   job.Partition,
+	}
+	if p.part == nil {
+		p.part = mapred.HashPartition
+	}
+	p.verts = make([]VertexInfo, 0, p.nSplit+p.nRed)
+	p.vidx = make(map[string]int, p.nSplit+p.nRed)
+	for i := range in.Splits {
+		id := splitVertexID(i)
+		p.vidx[id] = len(p.verts)
+		p.verts = append(p.verts, VertexInfo{ID: id, Home: in.Splits[i].Home})
+	}
+	p.redIDs = make([]string, p.nRed)
+	for j := 0; j < p.nRed; j++ {
+		id := reduceVertexID(j)
+		p.redIDs[j] = id
+		p.vidx[id] = len(p.verts)
+		p.verts = append(p.verts, VertexInfo{ID: id, Home: -1})
+	}
+	p.outs = make([][]mapred.Record, len(p.verts))
+	p.vcost = make([]float64, len(p.verts))
+	return p
+}
+
+func (p *jobProgram) Vertices() []VertexInfo { return p.verts }
+
+func (p *jobProgram) VertexCost(step int, id string) float64 {
+	return p.vcost[p.vidx[id]]
+}
+
+func (p *jobProgram) Compute(step int, id string, msgs []Message, s Sender) (bool, error) {
+	v := p.vidx[id]
+	if v < p.nSplit {
+		if step != 0 {
+			return true, nil // split vertices only work in superstep 0
+		}
+		return true, p.computeSplit(v, s)
+	}
+	if step == 0 {
+		return true, nil // reduce vertices wait for messages
+	}
+	return true, p.computeReduce(v, msgs)
+}
+
+func (p *jobProgram) computeSplit(v int, s Sender) error {
+	split := &p.in.Splits[v]
+	em := &listEmitter{}
+	for _, rec := range split.Records {
+		if err := p.job.Mapper.Map(rec.Key, rec.Value, p.m, em); err != nil {
+			return err
+		}
+	}
+	// Map task cost mirrors mapred: input records + input bytes +
+	// pre-combine emitted bytes.
+	p.vcost[v] = float64(len(split.Records))*p.cost.ComputePerVertex +
+		float64(split.Bytes)*p.cost.ComputePerByte +
+		float64(recordBytes(em.recs))*p.cost.EmitPerByte
+	if p.nRed == 0 {
+		sortRecords(em.recs)
+		p.outs[v] = em.recs
+		return nil
+	}
+	buckets := make([][]mapred.Record, p.nRed)
+	for _, r := range em.recs {
+		j := p.part(r.Key, p.nRed)
+		buckets[j] = append(buckets[j], r)
+	}
+	for j, b := range buckets {
+		sortRecords(b)
+		if p.job.Combiner != nil {
+			cb, err := combineRecords(p.job.Combiner, b, p.m)
+			if err != nil {
+				return err
+			}
+			b = cb
+		}
+		for _, r := range b {
+			s.Send(p.redIDs[j], r.Key, r.Value)
+		}
+	}
+	return nil
+}
+
+func (p *jobProgram) computeReduce(v int, msgs []Message) error {
+	recs := make([]mapred.Record, len(msgs))
+	for i, mg := range msgs {
+		recs[i] = mapred.Record{Key: mg.Tag, Value: mg.Value}
+	}
+	sortRecords(recs)
+	em := &listEmitter{}
+	var values []writable.Writable
+	for lo := 0; lo < len(recs); {
+		hi := lo + 1
+		for hi < len(recs) && recs[hi].Key == recs[lo].Key {
+			hi++
+		}
+		values = values[:0]
+		for _, r := range recs[lo:hi] {
+			values = append(values, r.Value)
+		}
+		if err := p.job.Reducer.Reduce(recs[lo].Key, values, p.m, em); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	p.outs[v] = em.recs
+	p.vcost[v] = float64(len(msgs))*p.cost.ComputePerMessage +
+		float64(recordBytes(em.recs))*p.cost.EmitPerByte
+	return nil
+}
+
+// output assembles a mapred.Output from the completed program:
+// ByReducer in reducer index order, Records concatenated — the same
+// shape the mapred engine returns.
+func (p *jobProgram) output(homes []int) *mapred.Output {
+	out := &mapred.Output{}
+	if p.nRed == 0 {
+		for i := 0; i < p.nSplit; i++ {
+			out.Records = append(out.Records, p.outs[i]...)
+		}
+		return out
+	}
+	out.ByReducer = make([][]mapred.Record, p.nRed)
+	out.ReducerNodes = make([]int, p.nRed)
+	for j := 0; j < p.nRed; j++ {
+		out.ByReducer[j] = p.outs[p.nSplit+j]
+		out.ReducerNodes[j] = homes[p.nSplit+j]
+		out.Records = append(out.Records, out.ByReducer[j]...)
+	}
+	return out
+}
+
+// RunJob executes a mapred job through the partition-level adapter and
+// returns its output in mapred shape plus the BSP run result. The
+// job's cost override (Job.Cost) is honored by deriving a BSP cost
+// model from it.
+func RunJob(e *Engine, job *mapred.Job, in *mapred.Input, m *model.Model, opt *RunOptions) (*mapred.Output, *Result, error) {
+	if job.Mapper == nil {
+		return nil, nil, fmt.Errorf("bsp: job %q has no mapper", job.Name)
+	}
+	o := RunOptions{}
+	if opt != nil {
+		o = *opt
+	}
+	if o.Name == "" {
+		o.Name = job.Name
+	}
+	o.Model = m
+	o.PartitionedModel = job.PartitionedModel
+	cost := e.cost
+	if job.Cost != nil {
+		if err := job.Cost.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("bsp: job %q: %w", job.Name, err)
+		}
+		cost = DeriveCost(*job.Cost)
+	}
+	numReducers := 0
+	if job.Reducer != nil {
+		numReducers = job.NumReducers
+		if numReducers <= 0 {
+			numReducers = e.cluster.ReduceSlots()
+		}
+	}
+	build := func() (Program, error) {
+		return newJobProgram(job, in, m, cost, numReducers), nil
+	}
+	res, err := e.Run(build, &o)
+	if err != nil {
+		return nil, nil, err
+	}
+	jp := res.Program.(*jobProgram)
+	return jp.output(res.Homes), res, nil
+}
+
+// listEmitter collects emissions in order (mapred's is unexported).
+type listEmitter struct {
+	recs []mapred.Record
+}
+
+func (l *listEmitter) Emit(key string, value writable.Writable) {
+	l.recs = append(l.recs, mapred.Record{Key: key, Value: value})
+}
+
+func recordBytes(recs []mapred.Record) int64 {
+	var n int64
+	for _, r := range recs {
+		n += r.Size()
+	}
+	return n
+}
+
+func sortRecords(recs []mapred.Record) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+}
+
+// combineRecords groups a sorted bucket by key and runs the combiner,
+// returning its emissions (which replace the bucket on the wire, as in
+// the mapred map pipeline).
+func combineRecords(c mapred.Reducer, recs []mapred.Record, m *model.Model) ([]mapred.Record, error) {
+	em := &listEmitter{}
+	var values []writable.Writable
+	for lo := 0; lo < len(recs); {
+		hi := lo + 1
+		for hi < len(recs) && recs[hi].Key == recs[lo].Key {
+			hi++
+		}
+		values = values[:0]
+		for _, r := range recs[lo:hi] {
+			values = append(values, r.Value)
+		}
+		if err := c.Reduce(recs[lo].Key, values, m, em); err != nil {
+			return nil, err
+		}
+		lo = hi
+	}
+	return em.recs, nil
+}

@@ -1,0 +1,122 @@
+// Package bsp is a Bulk Synchronous Parallel (Pregel-style) execution
+// engine priced on the same simulated cluster fabric as the mapred
+// engine. A computation proceeds in supersteps: every active vertex
+// runs Compute, may send messages to other vertices, and votes to halt;
+// messages are delivered at the start of the next superstep after a
+// global barrier. The engine prices three things per superstep on
+// simcluster/simnet exactly as mapred prices its phases:
+//
+//   - compute: per-node cost totals scheduled on the node's slots
+//     (locality-pinned — BSP work cannot be stolen from a vertex's home),
+//   - messages: aggregated per (source node, destination node) flows
+//     priced through Fabric.TransferTimeAt, riding the link/rack/core
+//     cost model and any active NetworkPlan overlay,
+//   - barrier: token flows from every participating node to a
+//     coordinator and back, plus a fixed coordination overhead.
+//
+// The engine is deterministic: results, metrics and trace spans are
+// byte-identical across Workers settings and repeated runs. Compute is
+// invoked concurrently on distinct vertices, so a Program must not
+// share mutable state between vertices without its own synchronization;
+// per-vertex sends are merged in global vertex order regardless of
+// worker count.
+package bsp
+
+import (
+	"repro/internal/model"
+	"repro/internal/writable"
+)
+
+// VertexInfo names one vertex and the node that owns it. Home must be a
+// node id of the engine's cluster view, or -1 to let the engine assign
+// one (round-robin over live nodes). Dead homes are re-assigned
+// deterministically at run start.
+type VertexInfo struct {
+	ID   string
+	Home int
+}
+
+// Message is one delivered message. Tag carries program-defined routing
+// or grouping information (the mapred adapter uses it for record keys).
+type Message struct {
+	Tag   string
+	Value writable.Writable
+}
+
+// Sender accepts messages during Compute. Messages become visible to
+// their destination vertex in the next superstep. Send may only be
+// called from inside Compute, and only with destinations that are
+// vertices of the running program.
+type Sender interface {
+	Send(to, tag string, v writable.Writable)
+}
+
+// Program is a vertex computation. Vertices is called once per run
+// attempt and must return a stable, duplicate-free vertex set. Compute
+// runs for every active vertex each superstep: a vertex is active in
+// superstep 0, and thereafter when it has incoming messages or did not
+// vote to halt. Returning halt=true votes to halt; an incoming message
+// reactivates the vertex. The run terminates when every vertex has
+// halted and no messages are in flight.
+//
+// Compute must be safe to call concurrently on distinct vertices.
+type Program interface {
+	Vertices() []VertexInfo
+	Compute(step int, id string, msgs []Message, s Sender) (halt bool, err error)
+}
+
+// Combiner merges two message values bound for the same destination
+// vertex under the same tag. The engine applies it sender-side, per
+// source node, in deterministic send order — mirroring Pregel's
+// combiner, which cuts network bytes without changing semantics for
+// commutative/associative reductions.
+type Combiner interface {
+	Combine(a, b writable.Writable) writable.Writable
+}
+
+// CombinerProgram is a Program that supplies a Combiner. A nil result
+// disables combining.
+type CombinerProgram interface {
+	Program
+	Combiner() Combiner
+}
+
+// Modeler is implemented by vertex programs that can assemble the next
+// iteration's model after the run terminates. prev is the model the
+// program was built from; the result must be a fresh model (prev is not
+// mutated). The core runtime requires this for native vertex apps.
+type Modeler interface {
+	Model(prev *model.Model) (*model.Model, error)
+}
+
+// VertexCoster lets a program take full control of compute pricing: if
+// implemented, VertexCost is consulted after Compute returns for that
+// vertex and its result is the vertex's entire compute cost for the
+// superstep, replacing the engine's default
+//
+//	ComputePerVertex + ComputePerMessage·len(msgs) + EmitPerByte·sentBytes
+//
+// formula. The mapred adapter uses this to reproduce map/reduce task
+// cost accounting.
+type VertexCoster interface {
+	VertexCost(step int, id string) float64
+}
+
+// uvarintLen mirrors the wire framing used by writable and model for
+// message size accounting.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// messageSize is the on-wire size of one message: destination id and
+// tag (uvarint length-prefixed) plus the encoded value.
+func messageSize(to, tag string, v writable.Writable) int64 {
+	return int64(uvarintLen(uint64(len(to))) + len(to) +
+		uvarintLen(uint64(len(tag))) + len(tag) +
+		writable.Size(v))
+}

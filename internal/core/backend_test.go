@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/mapred"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+func TestSetBackendRejectsUnsupportedKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		set  func(e *mapred.Engine)
+	}{
+		{"FailEveryNthMapTask", func(e *mapred.Engine) { e.FailEveryNthMapTask = 3 }},
+		{"StraggleEveryNthMapTask", func(e *mapred.Engine) { e.StraggleEveryNthMapTask = 5 }},
+		{"SpeculativeExecution", func(e *mapred.Engine) { e.SpeculativeExecution = true }},
+		{"FairSharingNetwork", func(e *mapred.Engine) { e.FairSharingNetwork = true }},
+		{"TransferTimeout", func(e *mapred.Engine) { e.TransferTimeout = 10; e.TransferRetries = 2 }},
+	}
+	for _, tc := range cases {
+		rt := testRuntime()
+		tc.set(rt.Engine())
+		err := rt.SetBackend(BackendBSP)
+		var be *BackendError
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: SetBackend(bsp) = %v, want *BackendError", tc.name, err)
+		}
+		if be.Backend != BackendBSP {
+			t.Fatalf("%s: error names backend %q", tc.name, be.Backend)
+		}
+		// The failed switch must not leave the runtime half-configured.
+		if rt.Backend() != BackendMapred {
+			t.Fatalf("%s: backend changed to %q after rejected switch", tc.name, rt.Backend())
+		}
+	}
+}
+
+func TestSetBackendUnknownRejected(t *testing.T) {
+	rt := testRuntime()
+	var be *BackendError
+	if err := rt.SetBackend("ppml"); !errors.As(err, &be) {
+		t.Fatalf("SetBackend(ppml) = %v, want *BackendError", err)
+	}
+	if rt.Backend() != BackendMapred {
+		t.Fatalf("backend = %q after rejected switch", rt.Backend())
+	}
+}
+
+func TestSetBackendEmptyAndMapredReset(t *testing.T) {
+	rt := testRuntime()
+	if err := rt.SetBackend(BackendBSP); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Backend() != BackendBSP {
+		t.Fatalf("backend = %q, want bsp", rt.Backend())
+	}
+	if err := rt.SetBackend(""); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Backend() != BackendMapred {
+		t.Fatalf("backend = %q after reset, want mapred", rt.Backend())
+	}
+}
+
+// runMeanIC runs the meanSeeker IC loop on the given backend with a
+// fresh runtime and returns the result plus the final encoded model.
+func runMeanIC(t *testing.T, b Backend, workers int) (*ICResult, string) {
+	t.Helper()
+	rt := testRuntime()
+	rt.Engine().Workers = workers
+	if err := rt.SetBackend(b); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := pointsInput(rt, 40)
+	res, err := RunIC(rt, &meanSeeker{eps: 1e-9}, in, startModel(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(res.Model.Encode(nil))
+}
+
+func TestICOnBSPAdapterMatchesMapredModel(t *testing.T) {
+	_, mrModel := runMeanIC(t, BackendMapred, 1)
+	bspRes, bspModel := runMeanIC(t, BackendBSP, 1)
+	// The partition-level adapter re-executes the very same mapper,
+	// combiner and reducer in the same deterministic order, so the
+	// converged model is byte-identical across backends.
+	if bspModel != mrModel {
+		t.Fatal("IC model on BSP adapter diverges from mapred backend")
+	}
+	got, _ := bspRes.Model.Vector("mean")
+	want := 0.0
+	for i := 0; i < 40; i++ {
+		want += float64(i%7) - 3
+	}
+	want /= 40
+	if diff := got[0] - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("converged mean[0] = %g, want %g", got[0], want)
+	}
+}
+
+func TestICOnBSPDeterministicAcrossWorkersAndRepeats(t *testing.T) {
+	base, baseModel := runMeanIC(t, BackendBSP, 1)
+	for name, workers := range map[string]int{"workers=8": 8, "repeat": 1} {
+		got, gotModel := runMeanIC(t, BackendBSP, workers)
+		if gotModel != baseModel {
+			t.Errorf("%s: model bytes diverge", name)
+		}
+		if !reflect.DeepEqual(got.Metrics, base.Metrics) {
+			t.Errorf("%s: metrics diverge:\n got %+v\nwant %+v", name, got.Metrics, base.Metrics)
+		}
+		if got.Iterations != base.Iterations {
+			t.Errorf("%s: iterations %d != %d", name, got.Iterations, base.Iterations)
+		}
+	}
+}
+
+func TestPICOnBSPAdapterConverges(t *testing.T) {
+	run := func() (*PICResult, string) {
+		rt := testRuntime()
+		if err := rt.SetBackend(BackendBSP); err != nil {
+			t.Fatal(err)
+		}
+		in, _ := pointsInput(rt, 40)
+		res, err := RunPIC(rt, &meanSeeker{eps: 1e-6}, in, startModel(), PICOptions{Partitions: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, string(res.Model.Encode(nil))
+	}
+	a, am := run()
+	b, bm := run()
+	if am != bm {
+		t.Fatal("PIC on BSP backend not deterministic across repeats")
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Fatalf("PIC metrics diverge:\n got %+v\nwant %+v", a.Metrics, b.Metrics)
+	}
+	mean, ok := a.Model.Vector("mean")
+	if !ok {
+		t.Fatal("no mean in PIC model")
+	}
+	if mean[0] < -3 || mean[0] > 3 {
+		t.Fatalf("PIC mean[0] = %g, implausibly far from data", mean[0])
+	}
+}
+
+func TestBSPBackendInheritedByForks(t *testing.T) {
+	rt := testRuntime()
+	if err := rt.SetBackend(BackendBSP); err != nil {
+		t.Fatal(err)
+	}
+	sub := rt.Fork(rt.Cluster(), true)
+	if sub.Backend() != BackendBSP {
+		t.Fatalf("fork backend = %q, want bsp", sub.Backend())
+	}
+}
+
+// modelessApp is a VertexApp whose program does not implement
+// bsp.Modeler — the runtime must fail with a typed *BackendError, not
+// silently fall back to the mapred iteration.
+type modelessApp struct{ meanSeeker }
+
+type modelessProgram struct{}
+
+func (p *modelessProgram) Vertices() []bsp.VertexInfo {
+	return []bsp.VertexInfo{{ID: "v", Home: 0}}
+}
+
+func (p *modelessProgram) Compute(step int, id string, msgs []bsp.Message, s bsp.Sender) (bool, error) {
+	return true, nil
+}
+
+func (a *modelessApp) VertexProgram(in *mapred.Input, m *model.Model) (bsp.Program, error) {
+	return &modelessProgram{}, nil
+}
+
+func TestVertexProgramWithoutModelerFailsTyped(t *testing.T) {
+	rt := testRuntime()
+	if err := rt.SetBackend(BackendBSP); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := pointsInput(rt, 8)
+	_, err := RunIC(rt, &modelessApp{meanSeeker{eps: 1e-9}}, in, startModel(), nil)
+	var be *BackendError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BackendError for Modeler-less vertex program", err)
+	}
+}
+
+func TestBSPRunRecordsRegistryAndSpans(t *testing.T) {
+	rt := testRuntime()
+	if err := rt.SetBackend(BackendBSP); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	rt.SetObservability(reg)
+	in, _ := pointsInput(rt, 40)
+	if _, err := RunIC(rt, &meanSeeker{eps: 1e-6}, in, startModel(), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{"bsp.jobs", "bsp.supersteps", "bsp.messages", "bsp.message_bytes"} {
+		m, ok := snap.Get(name)
+		if !ok || m.Value <= 0 {
+			t.Errorf("registry missing %s after BSP run (got %+v, ok=%v)", name, m, ok)
+		}
+	}
+}

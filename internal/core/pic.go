@@ -686,6 +686,12 @@ func (s *PICStepper) beStep() (bool, error) {
 				return false, err
 			}
 			res.MergeTrafficBytes += mergeMetrics.ShuffleNetworkBytes + mergeMetrics.NonLocalInputBytes
+			if fin, ok := app.(MergeFinalizer); ok {
+				merged, err = fin.FinalizeMerge(merged, m)
+				if err != nil {
+					return false, fmt.Errorf("core: %s merge finalize: %w", app.Name(), err)
+				}
+			}
 		} else if opt.HierarchicalMerge {
 			var traffic int64
 			merged, traffic, err = hierarchicalMerge(rt, app.Name(), app.(WeightedKeyMerger),
@@ -696,6 +702,12 @@ func (s *PICStepper) beStep() (bool, error) {
 			}
 			if merged == nil {
 				return false, fmt.Errorf("core: %s hierarchical merge returned a nil model", app.Name())
+			}
+			if fin, ok := app.(MergeFinalizer); ok {
+				merged, err = fin.FinalizeMerge(merged, m)
+				if err != nil {
+					return false, fmt.Errorf("core: %s merge finalize: %w", app.Name(), err)
+				}
 			}
 			// Like the flat centralized merge, the tree merge still runs
 			// under the framework: one job overhead per iteration.

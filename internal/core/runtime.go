@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bsp"
 	"repro/internal/dfs"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
@@ -65,6 +66,12 @@ type Runtime struct {
 	// order after every clock advance.
 	fails *failureTracker
 	net   *netTracker
+
+	// backend selects the execution engine (mapred by default, BSP via
+	// SetBackend); bspEng is the lazily built BSP engine over this
+	// runtime's cluster view.
+	backend Backend
+	bspEng  *bsp.Engine
 
 	// family is the loop-aware job family: persistent per-node workers
 	// whose caches keep each split's loop-invariant bytes and derived
@@ -245,9 +252,24 @@ func (rt *Runtime) RunJob(job *mapred.Job, in *mapred.Input, m *model.Model) (*m
 	)
 	start := rt.now()
 	kind := trace.KindJob
+	var bspRes *bsp.Result
 	if rt.local {
 		kind = trace.KindLocalJob
 		out, metrics, err = rt.engine.RunLocal(job, in, m)
+	} else if rt.Backend() == BackendBSP {
+		// Divert framework jobs to the partition-level BSP adapter:
+		// splits map as vertices, the shuffle rides messages, reducers
+		// are vertices — priced on the same fabric.
+		out, bspRes, err = bsp.RunJob(rt.bspEngine(), job, in, m, &bsp.RunOptions{
+			Name:      job.Name,
+			At:        start,
+			Workers:   rt.engine.Workers,
+			ModelHome: rt.LiveModelHome(),
+			Family:    rt.family,
+		})
+		if err == nil {
+			metrics = bspRes.Metrics.Fold(false)
+		}
 	} else {
 		rt.LiveModelHome() // re-home model distribution off crashed nodes
 		out, metrics, err = rt.engine.RunAt(job, in, m, start)
@@ -264,7 +286,17 @@ func (rt *Runtime) RunJob(job *mapred.Job, in *mapred.Input, m *model.Model) (*m
 		Bytes: metrics.ShuffleNetworkBytes + metrics.ModelBytes, Lane: rt.lane,
 		ID: id, Parent: rt.span,
 	})
-	if kind == trace.KindJob {
+	if bspRes != nil {
+		if rt.tracer != nil {
+			for _, ev := range bspRes.Spans {
+				ev.Name = job.Name + "/" + ev.Name
+				ev.Lane = rt.lane
+				ev.Parent = id
+				rt.tracer.Record(ev)
+			}
+		}
+		rt.observeBSP(bspRes.Metrics, false)
+	} else if kind == trace.KindJob {
 		rt.recordJobSpans(id, job.Name, start, metrics)
 	}
 	rt.observeCache(start)
@@ -622,5 +654,6 @@ func (rt *Runtime) Fork(view *simcluster.Cluster, local bool) *Runtime {
 	// top-off all keep the same per-node caches warm.
 	e.Family = rt.engine.Family
 	return &Runtime{engine: e, fs: rt.fs, local: local, tracer: rt.tracer, base: rt.now(),
-		fails: rt.fails, net: rt.net, span: rt.span, obs: rt.obs, family: rt.family}
+		fails: rt.fails, net: rt.net, span: rt.span, obs: rt.obs, family: rt.family,
+		backend: rt.backend}
 }

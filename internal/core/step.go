@@ -74,7 +74,7 @@ func (s *ICStepper) Step() (bool, error) {
 	rt.span = s.phaseID
 	defer func() { rt.span = prevSpan }()
 
-	next, err := s.app.Iteration(rt, s.in, s.m)
+	next, err := rt.runIteration(s.app, s.in, s.m)
 	if err != nil {
 		// A transfer severed by an outage or partition is not fatal:
 		// stall until the network plan's next fault transition and

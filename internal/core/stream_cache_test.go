@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/mapred"
+	"repro/internal/writable"
+)
+
+// streamedPoints is the out-of-core twin of pointsInput: the same
+// deterministic records, dealt into splits with the same SourceRange
+// math NewInput uses, but generated on demand instead of held resident.
+type streamedPoints struct{ n, splits int }
+
+func (s *streamedPoints) Splits() int { return s.splits }
+
+func (s *streamedPoints) Records(i int, dst []mapred.Record) []mapred.Record {
+	lo, hi := mapred.SourceRange(i, s.splits, int64(s.n))
+	for j := lo; j < hi; j++ {
+		dst = append(dst, mapred.Record{
+			Key:   fmt.Sprintf("p%d", j),
+			Value: writable.Vector{float64(j%7) - 3, float64(j%5) * 2},
+		})
+	}
+	return dst
+}
+
+// TestStreamedInputWarmsLoopCacheLikeResident is the composition test
+// for out-of-core inputs over the loop-aware runtime: materializing a
+// SplitSource (which copies each split out of the stream's reused
+// buffer, giving it the stable backing array the cache keys on) and
+// running a fused IC loop over it must be indistinguishable from the
+// resident input — model bytes, runtime metrics, and every cache.*
+// counter.
+func TestStreamedInputWarmsLoopCacheLikeResident(t *testing.T) {
+	run := func(streamed bool) (*ICResult, mapred.FamilyStats, mapred.Metrics) {
+		rt := testRuntime()
+		var in *mapred.Input
+		if streamed {
+			in = mapred.InputFromSource(&streamedPoints{n: 40, splits: 8}, rt.Cluster())
+		} else {
+			in, _ = pointsInput(rt, 40)
+		}
+		res, err := RunIC(rt, &fusedSeeker{meanSeeker{eps: 1e-9}}, in, startModel(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rt.LoopCacheStats(), rt.Metrics()
+	}
+	resident, resStats, resMetrics := run(false)
+	stream, strStats, strMetrics := run(true)
+	if !bytes.Equal(stream.Model.Encode(nil), resident.Model.Encode(nil)) {
+		t.Fatal("streamed input converged to different model bytes than resident input")
+	}
+	if !reflect.DeepEqual(strMetrics, resMetrics) {
+		t.Fatalf("runtime metrics diverge:\n streamed %+v\n resident %+v", strMetrics, resMetrics)
+	}
+	if !reflect.DeepEqual(strStats, resStats) {
+		t.Fatalf("cache counters diverge:\n streamed %+v\n resident %+v", strStats, resStats)
+	}
+	if strStats.Hits == 0 {
+		t.Fatal("loop cache never warmed — the composition under test did not engage")
+	}
+	if strStats.Misses != 8 {
+		t.Fatalf("cache staged %d splits, want 8 (one per split, first iteration only)", strStats.Misses)
+	}
+}
+
+// TestStreamedInputSplitsMatchResident pins the lower-level contract
+// the test above relies on: InputFromSource over the twin source
+// produces byte-identical splits (records, homes, sizes) to NewInput.
+func TestStreamedInputSplitsMatchResident(t *testing.T) {
+	rt := testRuntime()
+	resident, _ := pointsInput(rt, 40)
+	streamed := mapred.InputFromSource(&streamedPoints{n: 40, splits: 8}, rt.Cluster())
+	if !reflect.DeepEqual(streamed, resident) {
+		t.Fatalf("streamed splits diverge from resident:\n streamed %+v\n resident %+v", streamed, resident)
+	}
+}

@@ -338,6 +338,32 @@ func (f *JobFamily) shippedDelta(job string, m *model.Model) int64 {
 	return d
 }
 
+// ShippedModelBytes is the exported face of shippedDelta for
+// alternative execution backends (the BSP engine): it returns the model
+// bytes a delta-shipping transport would move for this job's next warm
+// iteration and records m as the version now resident. Like the
+// internal path, it is pure accounting — callers still price whatever
+// distribution they actually execute.
+func (f *JobFamily) ShippedModelBytes(job string, m *model.Model) int64 {
+	return f.shippedDelta(job, m)
+}
+
+// NoteWarmIteration books one warm iteration's traffic saving into the
+// family stats (cache.delta_bytes / cache.full_bytes): deltaBytes of
+// model actually shipped versus fullBytes of input not re-staged.
+// Exported for alternative backends; the mapred engine books its own.
+func (f *JobFamily) NoteWarmIteration(deltaBytes, fullBytes int64) {
+	f.noteIteration(deltaBytes, fullBytes)
+}
+
+// AcquireDerived is the exported face of acquire for tests and
+// alternative backends: it returns the derived structure cached on node
+// for the split identified by recs (building and staging it on a miss)
+// and whether it was a cache hit.
+func (f *JobFamily) AcquireDerived(node int, recs []Record, splitBytes int64, build func([]Record) SplitDerived) (SplitDerived, bool) {
+	return f.acquire(node, recs, splitBytes, build)
+}
+
 // EvictNode drops every entry cached on node — the fault layer calls
 // this when the node crashes, so splits re-homed to survivors re-stage
 // cold there. Returns what was dropped.

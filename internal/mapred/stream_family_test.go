@@ -1,0 +1,76 @@
+package mapred_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mapred"
+	"repro/internal/simcluster"
+	"repro/internal/writable"
+)
+
+// uniformSource deals n Float64 records into equal-length splits, so
+// every split's record slice has the same length — the worst case for
+// the cache's address-based split identity.
+type uniformSource struct{ n, splits int }
+
+func (s *uniformSource) Splits() int { return s.splits }
+
+func (s *uniformSource) Records(i int, dst []mapred.Record) []mapred.Record {
+	lo, hi := mapred.SourceRange(i, s.splits, int64(s.n))
+	for j := lo; j < hi; j++ {
+		dst = append(dst, mapred.Record{
+			Key:   fmt.Sprintf("r%03d", j),
+			Value: writable.Float64(float64(j)),
+		})
+	}
+	return dst
+}
+
+type countingDerived struct{ builds *int }
+
+func (d *countingDerived) SizeBytes() int64 { return 8 }
+
+// TestStreamedBufferAliasesFamilyIdentity pins the sharp edge between
+// the two subsystems: JobFamily keys a split by its backing array
+// (&recs[0], len), and StreamSplits reuses one buffer across splits, so
+// staging streamed splits directly produces false cache hits — the
+// second split is mistaken for the first and served its stale derived
+// form. InputFromSource copies each split out of the stream buffer,
+// which is exactly what makes the materialized splits safe to cache.
+func TestStreamedBufferAliasesFamilyIdentity(t *testing.T) {
+	src := &uniformSource{n: 64, splits: 8}
+	c := simcluster.New(simcluster.Small())
+	builds := 0
+	build := func([]mapred.Record) mapred.SplitDerived { builds++; return &countingDerived{builds: &builds} }
+
+	// Staging the stream's reused buffer directly: every split after the
+	// first aliases the same backing array and length, so the cache
+	// wrongly serves split 0's entry for all of them.
+	direct := mapred.NewJobFamily("direct", 1<<30)
+	if _, err := mapred.StreamSplits(src, c, func(sp mapred.Split) error {
+		direct.AcquireDerived(0, sp.Records, sp.Bytes, build)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := direct.Stats(); st.Hits != 7 || st.Misses != 1 || builds != 1 {
+		t.Fatalf("direct staging: hits=%d misses=%d builds=%d — expected the reused "+
+			"stream buffer to alias every split onto one cache entry (7/1/1)",
+			st.Hits, st.Misses, builds)
+	}
+
+	// Materialized splits have distinct, stable backing arrays: a full
+	// first pass misses, a full second pass hits — real warm reuse.
+	builds = 0
+	materialized := mapred.NewJobFamily("materialized", 1<<30)
+	in := mapred.InputFromSource(src, c)
+	for pass := 0; pass < 2; pass++ {
+		for _, sp := range in.Splits {
+			materialized.AcquireDerived(sp.Home, sp.Records, sp.Bytes, build)
+		}
+	}
+	if st := materialized.Stats(); st.Hits != 8 || st.Misses != 8 || builds != 8 {
+		t.Fatalf("materialized staging: hits=%d misses=%d builds=%d, want 8/8/8", st.Hits, st.Misses, builds)
+	}
+}

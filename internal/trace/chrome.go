@@ -132,9 +132,9 @@ func categoryOf(k Kind) Category {
 		return CatModel
 	case KindTransfer:
 		return CatTransfer
-	case KindMap, KindReduce, KindJob, KindLocalJob:
+	case KindMap, KindReduce, KindJob, KindLocalJob, KindSuperstep:
 		return CatCompute
-	case KindOverhead:
+	case KindOverhead, KindBarrier:
 		return CatOverhead
 	default:
 		return ""

@@ -61,6 +61,11 @@ const (
 	// identical IDs to every other event.
 	KindCacheWarm  Kind = "cache-warm"
 	KindCacheEvict Kind = "cache-evict"
+	// BSP backend events: one superstep's compute+message exchange, and
+	// the global barrier that follows it. Both are recorded as children
+	// of the BSP job's span.
+	KindSuperstep Kind = "superstep"
+	KindBarrier   Kind = "barrier"
 )
 
 // Layer reports the runtime layer that produces events of the given
@@ -81,6 +86,8 @@ func Layer(k Kind) string {
 		return "core"
 	case KindSchedJob, KindSchedWait, KindSchedPreempt:
 		return "sched"
+	case KindSuperstep, KindBarrier:
+		return "bsp"
 	default:
 		return "other"
 	}
