@@ -5,14 +5,16 @@
 //	         table1 table2 table3 \
 //	         abl-parts abl-coupling abl-localfactor abl-degenerate \
 //	         abl-faults abl-netfaults abl-tenancy abl-loopaware abl-scale \
-//	         abl-backend
+//	         abl-backend abl-corruption
 //
-// Two fault ablations exist: abl-faults crashes a node (machine and
+// Three fault ablations exist: abl-faults crashes a node (machine and
 // disk die; DFS re-replicates, tasks reschedule, PIC groups repair),
-// while abl-netfaults leaves every node alive and severs the network
+// abl-netfaults leaves every node alive and severs the network
 // between them (periodic core outages; transfers retry, IC blocks,
-// PIC merges on a quorum). Run `picbench -list` for one-line
-// descriptions of every experiment.
+// PIC merges on a quorum), and abl-corruption flips bits silently
+// (checksummed transfers re-send, the DFS quarantines and scrubs, PIC
+// merges reject unverifiable partials). Run `picbench -list` for
+// one-line descriptions of every experiment.
 //
 // The report subcommand runs one fully-instrumented PIC execution and
 // emits its run-inspector artifacts (Chrome trace JSON and a
@@ -95,6 +97,7 @@ var experiments = []experiment{
 	{"abl-loopaware", "loop-aware runtime ablation: cold vs warm invariant-input cache (wall time drops, simulated results byte-identical)", wrap(bench.AblationLoopAware)},
 	{"abl-scale", "scale-ladder ablation: streamed splits, delta checkpoints, flat vs hierarchical merge across tiers (core bytes drop, outputs byte-identical)", wrap(bench.AblationScale)},
 	{"abl-backend", "execution-backend ablation: IC/PIC × mapred/BSP grid with per-link traffic shapes and the pace-crossover size sweep", wrap(bench.AblationBackend)},
+	{"abl-corruption", "silent-corruption ablation: IC/PIC × bit-error-rate sweep × detection on/off (checksums catch corrupt payloads, re-sends bridge, the scrubber repairs; silent runs degrade)", wrap(bench.AblationCorruption)},
 }
 
 func main() {

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corrupt"
+	"repro/internal/dfs"
 	"repro/internal/mapred"
 	"repro/internal/model"
 	"repro/internal/simcluster"
@@ -276,6 +278,31 @@ func kernels() []kernel {
 			for i := 0; i < b.N; i++ {
 				if _, err := w.RunPIC(nil); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		{"scrub-repair", func(b *testing.B) {
+			// One background-scrubber pass over a namespace with one
+			// freshly poisoned replica per file: the deterministic
+			// namespace walk, per-replica checksum verification, and the
+			// re-replication copy around each detection — the integrity
+			// layer's background hot loop.
+			cluster := simcluster.New(simcluster.Small())
+			fs := dfs.New(cluster, dfs.DefaultConfig())
+			const files = 16
+			names := make([]string, files)
+			for i := range names {
+				names[i] = fmt.Sprintf("scrub/f%02d", i)
+				fs.Create(names[i], 4<<20, 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, name := range names {
+					fs.CorruptReplica(name, 0, corrupt.PrimaryReplica, uint64(i*files+j)+1)
+				}
+				if rep, _ := fs.Scrub(1<<30, 0); rep.RepairedBlocks != files {
+					b.Fatalf("scrub repaired %d of %d poisoned blocks", rep.RepairedBlocks, files)
 				}
 			}
 		}},

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/corrupt"
 	"repro/internal/mapred"
 	"repro/internal/model"
 	"repro/internal/simcluster"
@@ -49,6 +50,12 @@ type Metrics struct {
 	MessageCrossRackBytes int64
 	// ModelBytes is model-distribution traffic to vertex home nodes.
 	ModelBytes int64
+	// CorruptResends counts payload transfers that arrived with a bad
+	// checksum under the registered corruption plan and were re-sent;
+	// CorruptResendBytes the traffic the corrupt arrivals carried (also
+	// folded into the paying phase's byte counter).
+	CorruptResends     int
+	CorruptResendBytes int64
 	// Phase breakdown of Duration.
 	ComputePhase simtime.Duration
 	MessagePhase simtime.Duration
@@ -80,6 +87,8 @@ func (m Metrics) Fold(local bool) mapred.Metrics {
 	out.ShuffleBytes = m.MessageBytes
 	out.ShuffleNetworkBytes = m.MessageNetworkBytes
 	out.ShuffleCrossRackBytes = m.MessageCrossRackBytes
+	out.CorruptRetries = m.CorruptResends
+	out.CorruptRetryBytes = m.CorruptResendBytes
 	return out
 }
 
@@ -142,6 +151,13 @@ type Result struct {
 type Engine struct {
 	cluster *simcluster.Cluster
 	cost    CostModel
+
+	// IntegrityChecks enables checksum verification of model and
+	// message payloads against the cluster's registered corruption
+	// plan: a corrupt arrival is re-sent (bounded) instead of silently
+	// consumed. Barrier tokens are tiny control traffic and are not
+	// checked. Off on a bare Engine; core.Runtime turns it on.
+	IntegrityChecks bool
 }
 
 // NewEngine returns an engine over the cluster view with the default
@@ -165,6 +181,66 @@ func (e *Engine) Cluster() *simcluster.Cluster { return e.cluster }
 
 // Cost returns the active cost model.
 func (e *Engine) Cost() CostModel { return e.cost }
+
+// corruptResendCap bounds how many corrupt arrivals of one payload
+// transfer are re-sent before the superstep fails with a typed
+// *simnet.TransferError (kind corrupt).
+const corruptResendCap = 8
+
+// chargeVerified prices and records flows at time at; when integrity
+// checks are on and the cluster scripts bit-error windows, an arrival
+// that fails checksum verification is re-sent immediately (re-priced
+// at the advanced clock, which re-rolls the window) up to
+// corruptResendCap times. It returns the total elapsed time and the
+// bytes the corrupt arrivals carried; netBytes is the network traffic
+// of one attempt. With no corruption in play this is exactly
+// TransferTimeAt + Record.
+func (e *Engine) chargeVerified(flows []simnet.Flow, at simtime.Time, netBytes int64, m *Metrics) (simtime.Duration, int64, error) {
+	fab := e.cluster.Fabric()
+	cplan := e.cluster.CorruptionPlan()
+	check := e.IntegrityChecks && cplan.HasTransferEvents()
+	var total simtime.Duration
+	var resent int64
+	for attempt := 0; ; attempt++ {
+		now := at + total
+		d, err := fab.TransferTimeAt(flows, now)
+		if err != nil {
+			return 0, 0, err
+		}
+		if check {
+			if src, dst, hit := corruptFlowAt(cplan, flows, now); hit {
+				if attempt >= corruptResendCap {
+					return 0, 0, &simnet.TransferError{Kind: simnet.TransferCorrupt, Src: src, Dst: dst, At: now}
+				}
+				// The damaged payload crossed the fabric whole and
+				// crosses again.
+				fab.Record(flows)
+				total += d
+				resent += netBytes
+				m.CorruptResends++
+				m.CorruptResendBytes += netBytes
+				continue
+			}
+		}
+		fab.Record(flows)
+		return total + d, resent, nil
+	}
+}
+
+// corruptFlowAt asks the corruption plan whether any network flow is
+// hit by an active bit-error window at time at, returning the first
+// offending flow.
+func corruptFlowAt(p *corrupt.Plan, flows []simnet.Flow, at simtime.Time) (src, dst int, hit bool) {
+	for _, fl := range flows {
+		if fl.Src == fl.Dst || fl.Bytes == 0 {
+			continue
+		}
+		if _, h := p.TransferHit(fl.Src, fl.Dst, at); h {
+			return fl.Src, fl.Dst, true
+		}
+	}
+	return 0, 0, false
+}
 
 // Run executes one BSP program to global halt. build constructs a
 // fresh program instance; it is re-invoked after a crash-triggered
@@ -319,13 +395,12 @@ func (e *Engine) runAttempt(prog Program, o *RunOptions, start simtime.Time, res
 			moved += per
 		}
 		if len(flows) > 0 {
-			d, err := fab.TransferTimeAt(flows, at)
+			d, resent, err := e.chargeVerified(flows, at, moved, m)
 			if err != nil {
 				return at, false, fmt.Errorf("bsp: %s: model distribution: %w", o.Name, err)
 			}
-			fab.Record(flows)
 			m.ModelPhase += d
-			m.ModelBytes += moved
+			m.ModelBytes += moved + resent
 			at += d
 		}
 		if o.Family != nil {
@@ -487,13 +562,12 @@ func (e *Engine) runAttempt(prog Program, o *RunOptions, start simtime.Time, res
 					stepNet += acc[l]
 				}
 				before := fab.Counters()
-				d, err := fab.TransferTimeAt(flows, at)
+				d, resent, err := e.chargeVerified(flows, at, stepNet, m)
 				if err != nil {
 					return at, false, fmt.Errorf("bsp: %s: superstep %d messages: %w", o.Name, step, err)
 				}
-				fab.Record(flows)
 				m.MessagePhase += d
-				m.MessageNetworkBytes += stepNet
+				m.MessageNetworkBytes += stepNet + resent
 				m.MessageCrossRackBytes += fab.Counters().CrossRack - before.CrossRack
 				at += d
 			}

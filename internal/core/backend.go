@@ -124,6 +124,7 @@ func (rt *Runtime) bspEngine() *bsp.Engine {
 		rt.bspEng = bsp.NewEngine(rt.Cluster())
 	}
 	rt.bspEng.SetCostModel(bsp.DeriveCost(rt.engine.CostModelValue()))
+	rt.bspEng.IntegrityChecks = rt.IntegrityChecks()
 	return rt.bspEng
 }
 

@@ -29,23 +29,40 @@ func newNetTracker(plan *simnet.NetworkPlan) *netTracker {
 	return &netTracker{faults: plan.Sorted()}
 }
 
-// syncFaults drains every failure and network event the clock has
-// passed, in global time order; a node event at the same instant as a
-// network-fault onset processes first, so a crash scripted against an
-// outage on the same node replays identically no matter which plan the
-// driver registered first. Runtimes call it after every clock advance.
+// syncFaults drains every failure, network and corruption event the
+// clock has passed, in global time order; at a tied instant a node
+// event processes before a network-fault onset, which processes before
+// a corruption event, so the same script replays identically no matter
+// which plan the driver registered first. Runtimes call it after every
+// clock advance. After the drain, any detection/repair activity the
+// DFS integrity layer accumulated (from verified reads anywhere) is
+// folded into the trace and counters.
 func (rt *Runtime) syncFaults() {
 	for {
-		ft, nt := rt.fails, rt.net
+		ft, nt, ct := rt.fails, rt.net, rt.corrupts
 		now := rt.now()
 		fPending := ft != nil && ft.next < len(ft.events) && ft.events[ft.next].Time <= now
 		nPending := nt != nil && nt.next < len(nt.faults) && nt.faults[nt.next].Start <= now
+		cPending := ct != nil && ct.next < len(ct.events) && ct.events[ct.next].Time() <= now
+		var fT, nT, cT simtime.Time
+		if fPending {
+			fT = ft.events[ft.next].Time
+		}
+		if nPending {
+			nT = nt.faults[nt.next].Start
+		}
+		if cPending {
+			cT = ct.events[ct.next].Time()
+		}
 		switch {
-		case fPending && (!nPending || ft.events[ft.next].Time <= nt.faults[nt.next].Start):
+		case fPending && (!nPending || fT <= nT) && (!cPending || fT <= cT):
 			rt.processNodeEvent()
-		case nPending:
+		case nPending && (!cPending || nT <= cT):
 			rt.processNetFault()
+		case cPending:
+			rt.processCorruptEvent()
 		default:
+			rt.drainIntegrity(now)
 			return
 		}
 	}

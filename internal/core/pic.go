@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/corrupt"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -122,6 +123,13 @@ type PICResult struct {
 	// conventional IC iteration must instead re-execute).
 	GroupRepairs int
 	LostPartials int
+	// RejectedPartials counts merge inputs (scatter or gather legs)
+	// whose verified delivery failed under a corruption plan — the
+	// checksum re-send budget ran out, or the path was severed
+	// mid-retry. The partition's starting model stands in, through the
+	// same stale machinery a cut group uses; with detection off this
+	// stays zero and the damage flows into the merge silently.
+	RejectedPartials int
 
 	// Duration = BEDuration + TopOffDuration, in simulated seconds.
 	Duration       simtime.Duration
@@ -502,6 +510,7 @@ func (s *PICStepper) beStep() (bool, error) {
 		// directly from the model home, or through the rack aggregators
 		// (deduplicated on the core links) under HierarchicalMerge.
 		var scatter []simnet.Flow
+		var scatterPart []int // flat scatter: flow index → partition
 		if opt.HierarchicalMerge {
 			scatter = hierarchicalScatterFlows(home, leaders, subs, planRacks(fabric, leaders, stale))
 		} else {
@@ -510,11 +519,14 @@ func (s *PICStepper) beStep() (bool, error) {
 					continue
 				}
 				scatter = append(scatter, simnet.Flow{Src: home, Dst: leaders[i], Bytes: sub.Model.Size()})
+				scatterPart = append(scatterPart, i)
 			}
 		}
 		crossBefore := fabric.Counters().CrossRack
-		res.MergeTrafficBytes += rt.ChargeFlows(scatter)
+		scatterMoved, scatterDmg := rt.chargeFlowsVerified(scatter)
+		res.MergeTrafficBytes += scatterMoved
 		res.MergeCrossRackBytes += fabric.Counters().CrossRack - crossBefore
+		s.applyScatterDamage(scatterDmg, scatterPart, stale, subs)
 
 		// Solve the sub-problems independently — no synchronization or
 		// communication between them. Groups run in parallel in
@@ -717,7 +729,9 @@ func (s *PICStepper) beStep() (bool, error) {
 			for i, part := range parts {
 				gather = append(gather, simnet.Flow{Src: leaders[i], Dst: rt.LiveModelHome(), Bytes: part.Size()})
 			}
-			res.MergeTrafficBytes += rt.ChargeFlows(gather)
+			gatherMoved, gatherDmg := rt.chargeFlowsVerified(gather)
+			res.MergeTrafficBytes += gatherMoved
+			s.applyGatherDamage(gatherDmg, stale, parts, subs)
 			merged, err = app.Merge(parts, m)
 			if err != nil {
 				return false, fmt.Errorf("core: %s merge: %w", app.Name(), err)
@@ -826,6 +840,72 @@ func (s *PICStepper) finish() {
 	res.Metrics = rt.Metrics().Sub(s.startMetrics)
 	res.ModelUpdateBytes = rt.ModelUpdateBytes() - s.startModelBytes
 	s.done = true
+}
+
+// applyScatterDamage folds scatter-leg corruption into the iteration:
+// with detection on, a partition whose starting model could not be
+// verified-delivered sits the iteration out and merges a stale partial
+// (the same machinery a cut group uses); with detection off it solves
+// from a silently perturbed model. Hierarchical scatters route through
+// rack aggregators and are not attributed per partition (scatterPart
+// is nil there) — verified re-sends still happened inside the charge.
+func (s *PICStepper) applyScatterDamage(dmg []flowDamage, scatterPart []int, stale []bool, subs []SubProblem) {
+	if len(dmg) == 0 || scatterPart == nil {
+		return
+	}
+	rt := s.rt
+	sortFlowDamage(dmg)
+	for _, d := range dmg {
+		i := scatterPart[d.idx]
+		if rt.IntegrityChecks() {
+			stale[i] = true
+			s.res.RejectedPartials++
+			rt.tracer.Record(trace.Event{
+				Kind:  trace.KindCorruptionDetect,
+				Name:  fmt.Sprintf("%s: partition %d model not verifiably deliverable, sitting this iteration out", s.app.Name(), i),
+				Start: rt.now(), End: rt.now(), Lane: rt.lane, Parent: rt.span,
+			})
+			if rt.obs != nil {
+				rt.obs.Counter("integrity.rejected_partials").Add(1)
+			}
+		} else {
+			subs[i].Model = corrupt.PerturbModel(subs[i].Model.Clone(), d.seed)
+		}
+	}
+}
+
+// applyGatherDamage folds gather-leg corruption into the merge inputs:
+// with detection on, a partial that failed verified delivery is
+// rejected and its partition's starting model merged instead; with
+// detection off the corrupt partial enters the merge silently
+// perturbed. Stale partials never left the driver, so they cannot be
+// damaged in flight.
+func (s *PICStepper) applyGatherDamage(dmg []flowDamage, stale []bool, parts []*model.Model, subs []SubProblem) {
+	if len(dmg) == 0 {
+		return
+	}
+	rt := s.rt
+	sortFlowDamage(dmg)
+	for _, d := range dmg {
+		i := d.idx
+		if stale[i] {
+			continue
+		}
+		if rt.IntegrityChecks() {
+			parts[i] = subs[i].Model
+			s.res.RejectedPartials++
+			rt.tracer.Record(trace.Event{
+				Kind:  trace.KindCorruptionDetect,
+				Name:  fmt.Sprintf("%s: partial %d failed verified gather, merging its starting model", s.app.Name(), i),
+				Start: rt.now(), End: rt.now(), Lane: rt.lane, Parent: rt.span,
+			})
+			if rt.obs != nil {
+				rt.obs.Counter("integrity.rejected_partials").Add(1)
+			}
+		} else {
+			parts[i] = corrupt.PerturbModel(parts[i].Clone(), d.seed)
+		}
+	}
 }
 
 // repartitionFlows approximates the one-time movement of sub-problem

@@ -6,7 +6,9 @@ import (
 	"strings"
 
 	"repro/internal/bsp"
+	"repro/internal/corrupt"
 	"repro/internal/dfs"
+	"repro/internal/integrity"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -60,12 +62,16 @@ type Runtime struct {
 	// the per-phase counters the engine records. Shared by forks.
 	obs *metrics.Registry
 
-	// fails replays the cluster's FailurePlan and net replays its
-	// NetworkPlan (nil when none is registered); both are shared by all
-	// forks of a runtime, and syncFaults drains them in global time
-	// order after every clock advance.
-	fails *failureTracker
-	net   *netTracker
+	// fails replays the cluster's FailurePlan, net replays its
+	// NetworkPlan and corrupts replays its corrupt.Plan (nil when none
+	// is registered); all are shared by all forks of a runtime, and
+	// syncFaults drains them in global time order after every clock
+	// advance. integ is the shared end-to-end integrity state (see
+	// corruption.go).
+	fails    *failureTracker
+	net      *netTracker
+	corrupts *corruptTracker
+	integ    *integrityState
 
 	// backend selects the execution engine (mapred by default, BSP via
 	// SetBackend); bspEng is the lazily built BSP engine over this
@@ -89,13 +95,16 @@ type Runtime struct {
 // advances.
 func NewRuntime(cluster *simcluster.Cluster, fsCfg dfs.Config) *Runtime {
 	rt := &Runtime{
-		engine: mapred.NewEngine(cluster),
-		fs:     dfs.New(cluster, fsCfg),
-		fails:  newFailureTracker(cluster.FailurePlan()),
-		net:    newNetTracker(cluster.NetworkPlan()),
-		family: mapred.NewJobFamily("runtime", mapred.DefaultNodeCacheBytes),
+		engine:   mapred.NewEngine(cluster),
+		fs:       dfs.New(cluster, fsCfg),
+		fails:    newFailureTracker(cluster.FailurePlan()),
+		net:      newNetTracker(cluster.NetworkPlan()),
+		corrupts: newCorruptTracker(cluster.CorruptionPlan()),
+		integ:    &integrityState{checks: true, ckptSums: map[string]uint32{}},
+		family:   mapred.NewJobFamily("runtime", mapred.DefaultNodeCacheBytes),
 	}
 	rt.engine.Family = rt.family
+	rt.engine.IntegrityChecks = true
 	rt.syncFaults() // apply any events scripted at time zero
 	return rt
 }
@@ -251,6 +260,16 @@ func (rt *Runtime) RunJob(job *mapred.Job, in *mapred.Input, m *model.Model) (*m
 		err     error
 	)
 	start := rt.now()
+	// Silent model-distribution damage: with detection off, a bit-error
+	// window over the distribution leg hands the workers a perturbed
+	// model — the caller's copy stays untouched, but the iteration
+	// computes from damaged state. With detection on the engines verify
+	// and re-send internally, so this path never engages.
+	if m != nil && !rt.local {
+		if seed, hit := rt.blindModelDamage(start); hit {
+			m = corrupt.PerturbModel(m.Clone(), seed)
+		}
+	}
 	kind := trace.KindJob
 	var bspRes *bsp.Result
 	if rt.local {
@@ -449,6 +468,10 @@ func (rt *Runtime) WriteModel(name string, m *model.Model) {
 			rt.ckptBase[name] = &ckptBase{seq: rt.modelWrites, m: m.Clone()}
 		}
 	}
+	// Seal the checkpoint's content checksum, verified again on restore:
+	// even damage that slips past the block layer (or lands while
+	// detection is off) is caught before a restored model is trusted.
+	rt.integ.ckptSums[file] = integrity.Checksum(rt.encBuf)
 	_, d := rt.fs.CreateWithData(file, rt.encBuf, home)
 	rt.fs.Delete(latestPointer(name))
 	rt.fs.CreateWithData(latestPointer(name), []byte(file), home)
@@ -471,31 +494,109 @@ func (rt *Runtime) WriteModel(name string, m *model.Model) {
 // RestoreModel recovers the most recent checkpoint WriteModel stored
 // under name — the driver-restart half of the fault-tolerance story
 // (§VII): task failures are retried by the runtime, and a lost driver
-// resumes from the last persisted model.
+// resumes from the last persisted model. With integrity checks on the
+// restore is verified end to end — block checksums with replica
+// failover on every read, plus the checkpoint's sealed content
+// checksum — and a checkpoint damaged beyond repair rolls back to the
+// newest earlier full checkpoint that still verifies.
 func (rt *Runtime) RestoreModel(name string) (*model.Model, error) {
 	ptr, ok := rt.fs.Open(latestPointer(name))
 	if !ok {
 		return nil, fmt.Errorf("core: no checkpoint for %q", name)
 	}
-	home := rt.LiveModelHome()
 	if rt.fs.Lost(ptr) {
 		return nil, fmt.Errorf("core: checkpoint pointer for %q lost to node failures", name)
 	}
-	target, _ := rt.fs.ReadData(ptr, home)
-	f, ok := rt.fs.Open(string(target))
+	target, err := rt.readCheckpointData(ptr)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint pointer for %q unreadable: %w", name, err)
+	}
+	m, err := rt.decodeCheckpoint(name, string(target))
+	if err == nil {
+		return m, nil
+	}
+	if !rt.IntegrityChecks() {
+		return nil, err
+	}
+	// Rollback: the pointed-at checkpoint is damaged beyond the block
+	// layer's repair (every replica bad, or its chain broken). Walk the
+	// sequence downward to the newest earlier full checkpoint that
+	// still verifies and restore that — stale but trustworthy. Delta
+	// files are skipped on the way down (they carry the .delta suffix,
+	// so the plain sequence name only resolves full checkpoints): their
+	// anchor may be the damaged file itself.
+	start := rt.now()
+	fromSeq := ckptSeq(string(target))
+	if fromSeq < 0 {
+		fromSeq = rt.modelWrites
+	}
+	for seq := fromSeq - 1; seq >= 0; seq-- {
+		file := checkpointName(name, seq)
+		if f, ok := rt.fs.Open(file); !ok || rt.fs.Lost(f) {
+			continue
+		}
+		m, rerr := rt.decodeCheckpoint(name, file)
+		if rerr != nil {
+			continue // damaged too; keep walking
+		}
+		rt.integ.rollbacks++
+		rt.tracer.Record(trace.Event{
+			Kind:  trace.KindCheckpointRollback,
+			Name:  fmt.Sprintf("%s: seq %d damaged, rolled back to verified seq %d", name, fromSeq, seq),
+			Start: start, End: rt.now(), Lane: rt.lane, Parent: rt.span,
+		})
+		if rt.obs != nil {
+			rt.obs.Counter("integrity.rollbacks").Add(1)
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("core: %s: no verified checkpoint to roll back to: %w", name, err)
+}
+
+// readCheckpointData reads a checkpoint file on the charged read path:
+// verified (with replica failover and repair) when detection is on,
+// raw otherwise — a raw read of damaged blocks serves the damaged
+// bytes, exactly what a checksum-less storage stack would do.
+func (rt *Runtime) readCheckpointData(f *dfs.File) ([]byte, error) {
+	home := rt.LiveModelHome()
+	if rt.IntegrityChecks() {
+		data, d, err := rt.fs.ReadDataChecked(f, home)
+		rt.elapsed += d
+		rt.syncFaults()
+		return data, err
+	}
+	data, d := rt.fs.ReadData(f, home)
+	rt.elapsed += d
+	rt.syncFaults()
+	return data, nil
+}
+
+// decodeCheckpoint reads and decodes the checkpoint stored in target —
+// a full encoding, or a delta plus its anchor — verifying content
+// checksums when detection is on. Errors name the position in the
+// chain (the delta, its anchor, or the full checkpoint) and the
+// sequence numbers involved, so a failed restore says exactly which
+// file is damaged and why.
+func (rt *Runtime) decodeCheckpoint(name, target string) (*model.Model, error) {
+	f, ok := rt.fs.Open(target)
 	if !ok {
 		return nil, fmt.Errorf("core: dangling checkpoint pointer %q", target)
 	}
 	if rt.fs.Lost(f) {
 		return nil, fmt.Errorf("core: checkpoint %q lost to node failures", target)
 	}
-	data, d := rt.fs.ReadData(f, home)
-	rt.elapsed += d
-	rt.syncFaults()
-	if !strings.HasSuffix(string(target), deltaSuffix) {
+	data, err := rt.readCheckpointData(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint %q unreadable: %w", target, err)
+	}
+	seq := ckptSeq(target)
+	if err := rt.verifyCkptSum(target, data); err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(target, deltaSuffix) {
 		m, err := model.Decode(data)
 		if err != nil {
-			return nil, fmt.Errorf("core: corrupt checkpoint %q: %w", target, err)
+			return nil, fmt.Errorf("core: corrupt checkpoint %q (full, seq %d): %w", target, seq, err)
 		}
 		return m, nil
 	}
@@ -504,28 +605,59 @@ func (rt *Runtime) RestoreModel(name string) (*model.Model, error) {
 	// more charged read) and patch it.
 	baseSeq, n := binary.Uvarint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("core: corrupt delta checkpoint %q: bad base sequence", target)
+		return nil, fmt.Errorf("core: corrupt delta checkpoint %q (seq %d): bad base-sequence varint", target, seq)
+	}
+	if seq >= 0 && int64(baseSeq) >= seq {
+		return nil, fmt.Errorf("core: corrupt delta checkpoint %q (seq %d): base sequence %d not before the delta's own",
+			target, seq, baseSeq)
 	}
 	baseFile := checkpointName(name, int64(baseSeq))
 	bf, ok := rt.fs.Open(baseFile)
 	if !ok {
-		return nil, fmt.Errorf("core: delta checkpoint %q references missing base %q", target, baseFile)
+		return nil, fmt.Errorf("core: delta checkpoint %q (seq %d) references missing base %q (seq %d)",
+			target, seq, baseFile, baseSeq)
 	}
 	if rt.fs.Lost(bf) {
-		return nil, fmt.Errorf("core: checkpoint base %q lost to node failures", baseFile)
+		return nil, fmt.Errorf("core: checkpoint base %q (seq %d, anchor of %q) lost to node failures",
+			baseFile, baseSeq, target)
 	}
-	baseData, d := rt.fs.ReadData(bf, home)
-	rt.elapsed += d
-	rt.syncFaults()
+	baseData, err := rt.readCheckpointData(bf)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint base %q (seq %d, anchor of %q) unreadable: %w",
+			baseFile, baseSeq, target, err)
+	}
+	if err := rt.verifyCkptSum(baseFile, baseData); err != nil {
+		return nil, err
+	}
 	baseModel, err := model.Decode(baseData)
 	if err != nil {
-		return nil, fmt.Errorf("core: corrupt checkpoint base %q: %w", baseFile, err)
+		return nil, fmt.Errorf("core: corrupt checkpoint base %q (seq %d, anchor of delta seq %d): %w",
+			baseFile, baseSeq, seq, err)
 	}
 	m, err := model.ApplyDeltaBytes(baseModel, data[n:])
 	if err != nil {
-		return nil, fmt.Errorf("core: corrupt delta checkpoint %q: %w", target, err)
+		return nil, fmt.Errorf("core: corrupt delta checkpoint %q (seq %d over base seq %d): %w",
+			target, seq, baseSeq, err)
 	}
 	return m, nil
+}
+
+// verifyCkptSum checks a checkpoint's bytes against the content
+// checksum sealed at write time (a no-op when this runtime never wrote
+// the file — a fresh driver has no seals — or when detection is off).
+func (rt *Runtime) verifyCkptSum(file string, data []byte) error {
+	if !rt.IntegrityChecks() {
+		return nil
+	}
+	want, ok := rt.integ.ckptSums[file]
+	if !ok {
+		return nil
+	}
+	if got := integrity.Checksum(data); got != want {
+		return fmt.Errorf("core: corrupt checkpoint %q (seq %d): content checksum mismatch: want %08x, got %08x",
+			file, ckptSeq(file), want, got)
+	}
+	return nil
 }
 
 // deltaSuffix marks a checkpoint file holding a sparse delta rather
@@ -547,61 +679,6 @@ func uvarintLen(v uint64) int {
 		n++
 	}
 	return n
-}
-
-// ChargeFlows records the given transfers on the cluster fabric and
-// advances the clock by their bottleneck transfer time, returning the
-// total bytes that crossed node boundaries. The PIC driver uses it for
-// partition-scatter and merge-gather traffic.
-//
-// Under a registered NetworkPlan the flows are priced by the overlay
-// active at the charge time, and flows whose path is severed by an
-// outage or partition are dropped rather than charged — bulk placement
-// is best-effort, and the PIC driver routes around cut groups anyway
-// (their sub-problems merge a stale partial). Dropped flows are
-// visible as the shortfall in the returned byte count and on the
-// net.dropped_flows counter.
-func (rt *Runtime) ChargeFlows(flows []simnet.Flow) int64 {
-	start := rt.now()
-	fabric := rt.Cluster().Fabric()
-	if fabric.NetworkPlan() != nil {
-		deliverable := make([]simnet.Flow, 0, len(flows))
-		dropped := 0
-		for _, fl := range flows {
-			if fabric.ReachableAt(fl.Src, fl.Dst, start) {
-				deliverable = append(deliverable, fl)
-			} else {
-				dropped++
-			}
-		}
-		if dropped > 0 && rt.obs != nil {
-			rt.obs.Counter("net.dropped_flows").Add(float64(dropped))
-		}
-		flows = deliverable
-	}
-	before := fabric.Counters().Total
-	tt, err := fabric.TransferTimeAt(flows, start)
-	if err != nil {
-		// Severed flows were filtered above and the overlay is constant
-		// at an instant, so a typed failure here cannot happen.
-		panic("core: ChargeFlows: " + err.Error())
-	}
-	fabric.Record(flows)
-	rt.elapsed += tt
-	rt.syncFaults()
-	moved := fabric.Counters().Total - before
-	if moved > 0 {
-		var attrs []trace.Attr
-		if rt.tracer != nil {
-			attrs = []trace.Attr{{Key: "class", Value: dominantClass(fabric, flows)}}
-		}
-		rt.tracer.Record(trace.Event{
-			Kind: trace.KindTransfer, Name: "flows", Start: start, End: rt.now(),
-			Bytes: moved, Lane: rt.lane, Parent: rt.span, Attrs: attrs,
-		})
-	}
-	rt.observeNow()
-	return moved
 }
 
 // dominantClass reports the link class that carried the most bytes in
@@ -646,6 +723,7 @@ func (rt *Runtime) Fork(view *simcluster.Cluster, local bool) *Runtime {
 	e.TransferTimeout = rt.engine.TransferTimeout
 	e.TransferRetries = rt.engine.TransferRetries
 	e.RetryBackoff = rt.engine.RetryBackoff
+	e.IntegrityChecks = rt.engine.IntegrityChecks
 	// Local forks run in-memory iterations whose registry traffic is
 	// counter-only (observeLocal); framework forks share the full
 	// registry wiring.
@@ -654,6 +732,6 @@ func (rt *Runtime) Fork(view *simcluster.Cluster, local bool) *Runtime {
 	// top-off all keep the same per-node caches warm.
 	e.Family = rt.engine.Family
 	return &Runtime{engine: e, fs: rt.fs, local: local, tracer: rt.tracer, base: rt.now(),
-		fails: rt.fails, net: rt.net, span: rt.span, obs: rt.obs, family: rt.family,
-		backend: rt.backend}
+		fails: rt.fails, net: rt.net, corrupts: rt.corrupts, integ: rt.integ,
+		span: rt.span, obs: rt.obs, family: rt.family, backend: rt.backend}
 }

@@ -80,10 +80,18 @@ func (s *ICStepper) Step() (bool, error) {
 		// stall until the network plan's next fault transition and
 		// re-run the iteration against the changed overlay. Only when
 		// no transition lies ahead (the cut is permanent) does the
-		// typed error surface.
+		// typed error surface. A transfer that exhausted its checksum
+		// re-send budget inside a bit-error window stalls the same way,
+		// to the window's next boundary.
 		var te *simnet.TransferError
 		if errors.As(err, &te) {
-			if wait, ok := rt.blockUntilNetTransition(); ok {
+			wait, ok := simtime.Duration(0), false
+			if te.Kind == simnet.TransferCorrupt {
+				wait, ok = rt.blockUntilCorruptWindowEnd()
+			} else {
+				wait, ok = rt.blockUntilNetTransition()
+			}
+			if ok {
 				s.res.Blocked += wait
 				s.res.BlockedIterations++
 				return false, nil

@@ -1,0 +1,154 @@
+package corrupt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/writable"
+)
+
+func TestValidateAcceptsNilAndEmpty(t *testing.T) {
+	var p *Plan
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("nil plan: %v", err)
+	}
+	if err := (&Plan{}).Validate(4); err != nil {
+		t.Fatalf("empty plan: %v", err)
+	}
+	if p.Sorted() != nil || p.HasTransferEvents() {
+		t.Fatal("nil plan is not inert")
+	}
+	if got := p.Describe(); got != "corruption plan: none" {
+		t.Fatalf("Describe: %q", got)
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"no file", Event{Kind: KindBlockReplica, Node: 0}, "file name"},
+		{"bad block", Event{Kind: KindBlockReplica, File: "f", Block: -1}, "block index"},
+		{"bad node", Event{Kind: KindBlockReplica, File: "f", Node: 9}, "out of range"},
+		{"negative at", Event{Kind: KindBlockReplica, File: "f", At: -1}, "negative time"},
+		{"no model", Event{Kind: KindCheckpoint}, "model name"},
+		{"bad window", Event{Kind: KindTransfer, Node: 1, Start: 5, End: 5, Rate: 0.5}, "bad window"},
+		{"bad rate", Event{Kind: KindTransfer, Node: 1, Start: 0, End: 1}, "rate"},
+		{"bad budget", Event{Kind: KindScrub}, "budget"},
+		{"unknown", Event{Kind: "gremlin"}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		err := (&Plan{Events: []Event{tc.ev}}).Validate(4)
+		var pe *PlanError
+		if !errors.As(err, &pe) || pe.Index != 0 || !strings.Contains(pe.Reason, tc.want) {
+			t.Errorf("%s: got %v, want PlanError mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateRejectsOverlappingWindows(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: KindTransfer, Node: 2, Start: 0, End: 10, Rate: 0.5, Seed: 1},
+		{Kind: KindTransfer, Node: 2, Start: 5, End: 15, Rate: 0.5, Seed: 2},
+	}}
+	var pe *PlanError
+	if err := p.Validate(4); !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("want overlap PlanError at index 1, got %v", err)
+	}
+	// Same windows on different nodes are fine.
+	p.Events[1].Node = 3
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("disjoint nodes: %v", err)
+	}
+	// Back-to-back windows on one node are fine.
+	p.Events[1] = Event{Kind: KindTransfer, Node: 2, Start: 10, End: 15, Rate: 0.5}
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("abutting windows: %v", err)
+	}
+}
+
+func TestSortedIsStableByTime(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: KindScrub, At: 7, Budget: 1},
+		{Kind: KindTransfer, Node: 0, Start: 2, End: 3, Rate: 1},
+		{Kind: KindCheckpoint, Model: "m", At: 2},
+		{Kind: KindBlockReplica, File: "f", At: 2},
+	}}
+	got := p.Sorted()
+	if got[0].Kind != KindTransfer || got[1].Kind != KindCheckpoint || got[2].Kind != KindBlockReplica || got[3].Kind != KindScrub {
+		t.Fatalf("bad order: %v %v %v %v", got[0].Kind, got[1].Kind, got[2].Kind, got[3].Kind)
+	}
+}
+
+func TestTransferHitDeterministicAndScoped(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: KindTransfer, Node: 1, Start: 10, End: 20, Rate: 1, Seed: 42},
+	}}
+	seed1, hit1 := p.TransferHit(1, 3, 15)
+	seed2, hit2 := p.TransferHit(1, 3, 15)
+	if !hit1 || !hit2 || seed1 != seed2 {
+		t.Fatalf("same transfer must re-roll identically: (%v %v) vs (%v %v)", seed1, hit1, seed2, hit2)
+	}
+	if _, hit := p.TransferHit(3, 1, 15); !hit {
+		t.Fatal("window must match dst endpoint too")
+	}
+	if _, hit := p.TransferHit(2, 3, 15); hit {
+		t.Fatal("transfer not touching node 1 was hit")
+	}
+	if _, hit := p.TransferHit(1, 3, 20); hit {
+		t.Fatal("window end is exclusive")
+	}
+	if _, hit := p.TransferHit(1, 3, 9.5); hit {
+		t.Fatal("hit before window start")
+	}
+	// Partial rates must hit sometimes and miss sometimes across times.
+	p.Events[0].Rate = 0.5
+	hits := 0
+	for i := 0; i < 64; i++ {
+		at := simtime.Duration(10 + float64(i)*0.15)
+		if _, hit := p.TransferHit(1, 3, at); hit {
+			hits++
+		}
+	}
+	if hits == 0 || hits == 64 {
+		t.Fatalf("rate 0.5 produced %d/64 hits", hits)
+	}
+}
+
+func TestPerturbModelDeterministicAndDecodable(t *testing.T) {
+	mk := func() *model.Model {
+		m := model.New()
+		m.Set("centroid/0", writable.Vector{1.5, -2.5, 3.25})
+		m.Set("centroid/1", writable.Vector{0, 10, -7})
+		m.Set("count", writable.Int64(12))
+		return m
+	}
+	a := PerturbModel(mk(), 99)
+	b := PerturbModel(mk(), 99)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different perturbations")
+	}
+	if a.Equal(mk()) {
+		t.Fatal("perturbation did not change the model")
+	}
+	// The damaged model must still encode/decode: this is *silent*
+	// corruption, not a parse failure.
+	enc := a.Encode(nil)
+	if _, err := model.Decode(enc); err != nil {
+		t.Fatalf("perturbed model does not round-trip: %v", err)
+	}
+	c := PerturbModel(mk(), 100)
+	if c.Equal(a) {
+		t.Fatal("different seeds should (here) perturb differently")
+	}
+	// Empty models pass through untouched.
+	empty := model.New()
+	if got := PerturbModel(empty, 5); got != empty || len(got.Keys()) != 0 {
+		t.Fatal("empty model was not a no-op")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/integrity"
 	"repro/internal/simcluster"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
@@ -58,6 +59,9 @@ type File struct {
 	// CreateWithData; size-only files (traffic accounting without
 	// payload) leave it nil.
 	data []byte
+	// sums holds the CRC32C of each block's slice of data, sealed at
+	// write time; verify-on-read checks replicas against it.
+	sums []uint32
 }
 
 // Data returns the stored contents, or nil for size-only files. The
@@ -101,6 +105,19 @@ type FS struct {
 	// dead marks crashed nodes: their replicas are destroyed and they
 	// receive no new placements until MarkAlive.
 	dead map[int]bool
+	// verify enables checksum verification on the read paths (on by
+	// default; see SetVerifyReads).
+	verify bool
+	// patches holds scripted corruption: byte flips applied to
+	// individual replicas' copies of their blocks. Empty patches keep
+	// every path byte-identical to a corruption-free file system.
+	patches map[replicaKey][]replicaPatch
+	// icounters and ievents accumulate integrity-layer activity.
+	icounters IntegrityCounters
+	ievents   []IntegrityEvent
+	// scrubFile/scrubBlock persist the background scrubber's cursor.
+	scrubFile  string
+	scrubBlock int
 }
 
 // New creates an empty file system on the given cluster view. The view
@@ -111,7 +128,7 @@ func New(cluster *simcluster.Cluster, cfg Config) *FS {
 		panic(err)
 	}
 	return &FS{cfg: cfg, cluster: cluster, files: make(map[string]*File),
-		reReplTo: make([]int64, cluster.Config().Nodes)}
+		reReplTo: make([]int64, cluster.Config().Nodes), verify: true}
 }
 
 // Config returns the file-system configuration.
@@ -152,7 +169,10 @@ func (fs *FS) Open(name string) (*File, bool) {
 }
 
 // Delete removes the named file. Deleting a missing file is a no-op.
-func (fs *FS) Delete(name string) { delete(fs.files, name) }
+func (fs *FS) Delete(name string) {
+	delete(fs.files, name)
+	fs.dropPatches(name, -1)
+}
 
 // Create writes a new file of the given size, replacing any existing
 // file with the same name. writer is the node performing the write, or
@@ -197,6 +217,7 @@ func (fs *FS) Create(name string, size int64, writer int) (*File, simtime.Durati
 		}
 	}
 	fs.files[name] = f
+	fs.dropPatches(name, -1) // a rewrite supersedes the old incarnation's damage
 	d := fs.cluster.Fabric().Transfer(flows)
 	return f, d
 }
@@ -266,33 +287,62 @@ func (fs *FS) placeReplicas(writer int) []int {
 func (fs *FS) CreateWithData(name string, data []byte, writer int) (*File, simtime.Duration) {
 	f, d := fs.Create(name, int64(len(data)), writer)
 	f.data = append([]byte(nil), data...)
+	// Seal a CRC32C per block at write time; verify-on-read checks
+	// replicas against these.
+	f.sums = make([]uint32, len(f.Blocks))
+	var off int64
+	for i, b := range f.Blocks {
+		f.sums[i] = integrity.Checksum(f.data[off : off+b.Size])
+		off += b.Size
+	}
 	return f, d
 }
 
 // ReadData charges a full read of the file by node reader (see Read)
 // and returns its contents. It returns nil contents for size-only
-// files.
+// files. When corruption patches touch the serving replicas and
+// verification is off, the returned bytes carry the damage — use
+// ReadDataChecked to get a typed error instead.
 func (fs *FS) ReadData(f *File, reader int) ([]byte, simtime.Duration) {
-	d := fs.Read(f, reader)
-	return f.data, d
+	if len(fs.patches) == 0 {
+		d := fs.Read(f, reader)
+		return f.data, d
+	}
+	plan, err := fs.planRead(f, reader, 0, false)
+	if err != nil {
+		panic(err) // every replica corrupt; checked callers use ReadDataChecked
+	}
+	flows, srcs := fs.commitRead(f, reader, plan, 0, false)
+	return fs.servedData(f, srcs), fs.cluster.Fabric().Transfer(flows)
 }
 
 // Read charges the traffic for node reader consuming the whole file,
 // block by block, from the closest replica (local beats intra-rack
 // beats cross-rack). It returns the transfer time; a fully local read
-// takes zero network time.
+// takes zero network time. With verification on, replicas that fail
+// their block checksum are charged, quarantined, repaired, and read
+// around; a block with no clean replica panics (checked callers use
+// ReadDataChecked).
 func (fs *FS) Read(f *File, reader int) simtime.Duration {
 	fabric := fs.cluster.Fabric()
-	var flows []simnet.Flow
-	for _, b := range f.Blocks {
-		src := fs.closestReplica(b, reader)
-		if src == reader {
-			fs.counters.LocalRead += b.Size
-			continue
+	if len(fs.patches) == 0 {
+		var flows []simnet.Flow
+		for _, b := range f.Blocks {
+			src := fs.closestReplica(b, reader)
+			if src == reader {
+				fs.counters.LocalRead += b.Size
+				continue
+			}
+			fs.counters.RemoteRead += b.Size
+			flows = append(flows, simnet.Flow{Src: src, Dst: reader, Bytes: b.Size})
 		}
-		fs.counters.RemoteRead += b.Size
-		flows = append(flows, simnet.Flow{Src: src, Dst: reader, Bytes: b.Size})
+		return fabric.Transfer(flows)
 	}
+	plan, err := fs.planRead(f, reader, 0, false)
+	if err != nil {
+		panic(err)
+	}
+	flows, _ := fs.commitRead(f, reader, plan, 0, false)
 	return fabric.Transfer(flows)
 }
 
@@ -306,45 +356,70 @@ func (fs *FS) Read(f *File, reader int) simtime.Duration {
 func (fs *FS) ReadAt(f *File, reader int, at simtime.Time) (simtime.Duration, error) {
 	fabric := fs.cluster.Fabric()
 	if fabric.NetworkPlan() == nil {
-		return fs.Read(f, reader), nil
-	}
-	var flows []simnet.Flow
-	var local, remote int64
-	for _, b := range f.Blocks {
-		src, ok := fs.closestReachableReplica(b, reader, at)
-		if !ok {
-			return 0, &simnet.TransferError{Kind: simnet.TransferUnreachable,
-				Src: b.Replicas[0], Dst: reader, At: at}
+		if len(fs.patches) == 0 {
+			return fs.Read(f, reader), nil
 		}
-		if src == reader {
-			local += b.Size
-			continue
+		plan, err := fs.planRead(f, reader, at, false)
+		if err != nil {
+			return 0, err
 		}
-		remote += b.Size
-		flows = append(flows, simnet.Flow{Src: src, Dst: reader, Bytes: b.Size})
+		flows, _ := fs.commitRead(f, reader, plan, at, false)
+		return fabric.Transfer(flows), nil
 	}
-	// Counters commit only once every block has a reachable source, so
-	// a failed read charges nothing.
-	fs.counters.LocalRead += local
-	fs.counters.RemoteRead += remote
+	if len(fs.patches) == 0 {
+		var flows []simnet.Flow
+		var local, remote int64
+		for _, b := range f.Blocks {
+			src, ok := fs.closestReachableReplica(b, reader, at)
+			if !ok {
+				return 0, &simnet.TransferError{Kind: simnet.TransferUnreachable,
+					Src: b.Replicas[0], Dst: reader, At: at}
+			}
+			if src == reader {
+				local += b.Size
+				continue
+			}
+			remote += b.Size
+			flows = append(flows, simnet.Flow{Src: src, Dst: reader, Bytes: b.Size})
+		}
+		// Counters commit only once every block has a reachable source,
+		// so a failed read charges nothing.
+		fs.counters.LocalRead += local
+		fs.counters.RemoteRead += remote
+		fabric.Record(flows)
+		tt, err := fabric.TransferTimeAt(flows, at)
+		if err != nil {
+			// Unreachable flows were filtered above; the fabric cannot
+			// disagree.
+			panic(err)
+		}
+		return tt, nil
+	}
+	plan, err := fs.planRead(f, reader, at, true)
+	if err != nil {
+		return 0, err
+	}
+	flows, _ := fs.commitRead(f, reader, plan, at, true)
 	fabric.Record(flows)
 	tt, err := fabric.TransferTimeAt(flows, at)
 	if err != nil {
-		// Unreachable flows were filtered above; the fabric cannot
-		// disagree.
 		panic(err)
 	}
 	return tt, nil
 }
 
 // ReadDataAt charges a full read like ReadAt and returns the stored
-// contents (nil for size-only files).
+// contents (nil for size-only files). Like ReadData, it serves corrupt
+// bytes silently when verification is off.
 func (fs *FS) ReadDataAt(f *File, reader int, at simtime.Time) ([]byte, simtime.Duration, error) {
-	d, err := fs.ReadAt(f, reader, at)
-	if err != nil {
-		return nil, 0, err
+	if len(fs.patches) == 0 {
+		d, err := fs.ReadAt(f, reader, at)
+		if err != nil {
+			return nil, 0, err
+		}
+		return f.data, d, nil
 	}
-	return f.data, d, nil
+	return fs.ReadDataCheckedAt(f, reader, at)
 }
 
 // closestReachableReplica picks the cheapest replica of b the reader
@@ -429,6 +504,7 @@ func (fs *FS) MarkDead(n int) {
 		return
 	}
 	fs.dead[n] = true
+	fs.dropPatches("", n) // the poisoned disk is gone with the node
 	for _, f := range fs.files {
 		for bi := range f.Blocks {
 			reps := f.Blocks[bi].Replicas

@@ -1,0 +1,46 @@
+package integrity
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpen exercises the frame parser with arbitrary byte streams: it
+// must never panic, Open must accept exactly what Seal produced, and
+// any frame Open accepts must round-trip through Seal to the same
+// bytes (the framing is canonical).
+func FuzzOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Seal(nil))
+	f.Add(Seal([]byte("hello, frame")))
+	f.Add(Seal(bytes.Repeat([]byte{0x5A}, 300)))
+	corrupt := Seal([]byte("flip me"))
+	corrupt[len(corrupt)-5] ^= 0x01
+	f.Add(corrupt)
+	f.Add([]byte{magic0, magic1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Open(data)
+		if err != nil {
+			// Structural errors must agree between checked and
+			// unchecked opens; only checksum mismatches may differ.
+			if fe, ok := err.(*FrameError); ok && fe.Kind != "checksum" {
+				if _, uerr := OpenUnchecked(data); uerr == nil {
+					t.Fatalf("OpenUnchecked accepted frame Open rejected structurally: %v", err)
+				}
+			}
+			return
+		}
+		if _, uerr := OpenUnchecked(data); uerr != nil {
+			t.Fatalf("OpenUnchecked rejected frame Open accepted: %v", uerr)
+		}
+		again := Seal(payload)
+		if !bytes.Equal(again, data[:len(again)]) {
+			t.Fatalf("Seal(Open(%x)) = %x", data, again)
+		}
+		start, end := PayloadRange(len(payload))
+		if end > len(data) || !bytes.Equal(data[start:end], payload) {
+			t.Fatalf("PayloadRange(%d) = [%d,%d) does not bracket payload", len(payload), start, end)
+		}
+	})
+}

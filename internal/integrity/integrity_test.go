@@ -1,0 +1,83 @@
+package integrity
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x00},
+		[]byte("hello, frame"),
+		bytes.Repeat([]byte{0xAB}, 1<<16),
+	}
+	for _, p := range payloads {
+		frame := Seal(p)
+		got, err := Open(frame)
+		if err != nil {
+			t.Fatalf("Open(Seal(%d bytes)): %v", len(p), err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("payload round-trip mismatch for %d bytes", len(p))
+		}
+		unchecked, err := OpenUnchecked(frame)
+		if err != nil || !bytes.Equal(unchecked, p) {
+			t.Fatalf("OpenUnchecked mismatch for %d bytes: %v", len(p), err)
+		}
+	}
+}
+
+func TestOpenDetectsPayloadFlip(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	frame := Seal(payload)
+	start, end := PayloadRange(len(payload))
+	if got := frame[start:end]; !bytes.Equal(got, payload) {
+		t.Fatalf("PayloadRange does not bracket payload: got %q", got)
+	}
+	for off := start; off < end; off++ {
+		mut := append([]byte(nil), frame...)
+		mut[off] ^= 0x40
+		_, err := Open(mut)
+		var fe *FrameError
+		if !errors.As(err, &fe) || fe.Kind != "checksum" {
+			t.Fatalf("flip at %d: want checksum FrameError, got %v", off, err)
+		}
+		// Detection off must serve the damaged payload structurally intact.
+		p, err := OpenUnchecked(mut)
+		if err != nil {
+			t.Fatalf("flip at %d: OpenUnchecked: %v", off, err)
+		}
+		if bytes.Equal(p, payload) {
+			t.Fatalf("flip at %d: unchecked payload unexpectedly clean", off)
+		}
+	}
+}
+
+func TestOpenRejectsMalformedFrames(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       {magic0},
+		"bad magic":   {0x00, 0x00, 0x01, 0x02},
+		"no varint":   {magic0, magic1},
+		"truncated":   Seal([]byte("abcdef"))[:5],
+		"long length": {magic0, magic1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+	}
+	for name, frame := range cases {
+		if _, err := Open(frame); err == nil {
+			t.Errorf("%s: Open accepted malformed frame", name)
+		}
+		if _, err := OpenUnchecked(frame); err == nil {
+			t.Errorf("%s: OpenUnchecked accepted malformed frame", name)
+		}
+	}
+}
+
+func TestChecksumMatchesKnownVector(t *testing.T) {
+	// CRC32C("123456789") is the standard check value.
+	if got := Checksum([]byte("123456789")); got != 0xE3069283 {
+		t.Fatalf("Checksum check vector: got %08x", got)
+	}
+}

@@ -77,6 +77,14 @@ type Engine struct {
 	// retryBackoffCap times the base. Zero selects 1s.
 	RetryBackoff simtime.Duration
 
+	// IntegrityChecks enables checksum verification of transfer
+	// payloads against the cluster's registered corruption plan: a
+	// corrupt arrival is detected and re-sent (with backoff) instead of
+	// silently consumed. Independent of TransferTimeout/TransferRetries
+	// — corrupt re-sends have their own bounded budget. Off by default
+	// on a bare Engine; core.NewRuntime turns it on.
+	IntegrityChecks bool
+
 	// Workers bounds real (not simulated) execution parallelism of
 	// user code. Zero means GOMAXPROCS.
 	Workers int
@@ -157,6 +165,13 @@ type Metrics struct {
 	TransferRetries int
 	RetryBytes      int64
 
+	// CorruptRetries counts transfer attempts that arrived with a bad
+	// checksum under the registered corruption plan and were re-sent;
+	// CorruptRetryBytes is the traffic the corrupt arrivals carried.
+	// Like RetryBytes, it also lands in the paying phase's counter.
+	CorruptRetries    int
+	CorruptRetryBytes int64
+
 	// LocalJobs and LocalRecords count in-memory executions
 	// (Engine.RunLocal) — PIC's best-effort local iterations.
 	LocalJobs    int
@@ -207,6 +222,8 @@ func (m *Metrics) Add(o Metrics) {
 	m.ReReplicationBytes += o.ReReplicationBytes
 	m.TransferRetries += o.TransferRetries
 	m.RetryBytes += o.RetryBytes
+	m.CorruptRetries += o.CorruptRetries
+	m.CorruptRetryBytes += o.CorruptRetryBytes
 	m.LocalJobs += o.LocalJobs
 	m.LocalRecords += o.LocalRecords
 	m.InputRecords += o.InputRecords
@@ -244,6 +261,8 @@ func (m Metrics) Sub(o Metrics) Metrics {
 	m.ReReplicationBytes -= o.ReReplicationBytes
 	m.TransferRetries -= o.TransferRetries
 	m.RetryBytes -= o.RetryBytes
+	m.CorruptRetries -= o.CorruptRetries
+	m.CorruptRetryBytes -= o.CorruptRetryBytes
 	m.LocalJobs -= o.LocalJobs
 	m.LocalRecords -= o.LocalRecords
 	m.InputRecords -= o.InputRecords

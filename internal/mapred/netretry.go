@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"repro/internal/corrupt"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 )
@@ -22,6 +23,13 @@ const defaultRetryBackoff = simtime.Duration(1.0)
 // retryBackoffCap bounds the exponential backoff at this multiple of
 // the base, so a long fault window is polled rather than escaped.
 const retryBackoffCap = 8
+
+// corruptRetryCap bounds how many corrupt arrivals of one transfer are
+// re-sent before the engine gives up with a typed
+// *simnet.TransferError (kind corrupt). Independent of
+// Engine.TransferRetries: checksum re-sends must work even on engines
+// with no transfer deadline configured.
+const corruptRetryCap = 8
 
 // backoffDelay is the capped exponential wait before retry attempt
 // k (0-based).
@@ -45,6 +53,10 @@ type transferResult struct {
 	retries        int
 	retryBytes     int64
 	retryCrossRack int64
+	// corruptRetries / corruptRetryBytes count attempts that arrived
+	// whole but failed checksum verification and were re-sent.
+	corruptRetries    int
+	corruptRetryBytes int64
 }
 
 // transferAt records flows on the fabric and charges their time, like
@@ -59,7 +71,12 @@ type transferResult struct {
 // attempt.
 func (e *Engine) transferAt(flows []simnet.Flow, at simtime.Time) (transferResult, error) {
 	fabric := e.cluster.Fabric()
-	if fabric.NetworkPlan() == nil {
+	cplan := e.cluster.CorruptionPlan()
+	// Checksum verification only engages when both the plan scripts
+	// bit-error windows and the engine checks payloads; otherwise
+	// corrupt arrivals are consumed silently (callers model the damage).
+	checkPayloads := e.IntegrityChecks && cplan.HasTransferEvents()
+	if fabric.NetworkPlan() == nil && !checkPayloads {
 		return transferResult{elapsed: e.transfer(flows)}, nil
 	}
 	var netBytes, crossRack int64
@@ -81,10 +98,31 @@ func (e *Engine) transferAt(flows []simnet.Flow, at simtime.Time) (transferResul
 		backoff = defaultRetryBackoff
 	}
 	var res transferResult
+	corruptAttempts := 0
 	for attempt := 0; ; attempt++ {
 		now := at + res.elapsed
 		tt, err := fabric.TransferTimeAt(flows, now)
 		if err == nil && (timeout == 0 || tt <= timeout) {
+			if checkPayloads {
+				if src, dst, hit := corruptFlowAt(cplan, flows, now); hit {
+					if corruptAttempts >= corruptRetryCap {
+						// Give up like an exhausted retry budget: the
+						// final attempt records nothing.
+						return res, &simnet.TransferError{Kind: simnet.TransferCorrupt, Src: src, Dst: dst, At: now}
+					}
+					// The damaged payload crossed the fabric whole; the
+					// checksum failed on arrival, so it crosses again
+					// after a backoff. Re-pricing at the advanced clock
+					// re-rolls the bit-error window.
+					fabric.Record(flows)
+					res.corruptRetries++
+					res.corruptRetryBytes += netBytes
+					res.retryCrossRack += crossRack
+					res.elapsed += tt + backoffDelay(backoff, corruptAttempts)
+					corruptAttempts++
+					continue
+				}
+			}
 			fabric.Record(flows)
 			res.elapsed += tt
 			return res, nil
@@ -117,7 +155,24 @@ func (e *Engine) transferAt(flows []simnet.Flow, at simtime.Time) (transferResul
 func chargeRetries(m *Metrics, res transferResult, phaseBytes *int64) {
 	m.TransferRetries += res.retries
 	m.RetryBytes += res.retryBytes
+	m.CorruptRetries += res.corruptRetries
+	m.CorruptRetryBytes += res.corruptRetryBytes
 	if phaseBytes != nil {
-		*phaseBytes += res.retryBytes
+		*phaseBytes += res.retryBytes + res.corruptRetryBytes
 	}
+}
+
+// corruptFlowAt asks the corruption plan whether any network flow of
+// this attempt is hit by an active bit-error window at time at,
+// returning the first offending flow.
+func corruptFlowAt(p *corrupt.Plan, flows []simnet.Flow, at simtime.Time) (src, dst int, hit bool) {
+	for _, fl := range flows {
+		if fl.Src == fl.Dst || fl.Bytes == 0 {
+			continue
+		}
+		if _, h := p.TransferHit(fl.Src, fl.Dst, at); h {
+			return fl.Src, fl.Dst, true
+		}
+	}
+	return 0, 0, false
 }

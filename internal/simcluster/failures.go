@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/corrupt"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 )
@@ -103,6 +104,24 @@ func (c *Cluster) SetNetworkPlan(p *simnet.NetworkPlan) {
 // NetworkPlan returns the network fault script registered on the
 // shared fabric (nil when none).
 func (c *Cluster) NetworkPlan() *simnet.NetworkPlan { return c.fabric.NetworkPlan() }
+
+// SetCorruptionPlan registers a silent-corruption script on this view
+// and every view later derived from it with Subset or Groups. Like
+// SetFailurePlan, call it before deriving sub-views or constructing
+// runtimes. It panics on an invalid plan; use corrupt.Plan.Validate for
+// the typed error.
+func (c *Cluster) SetCorruptionPlan(p *corrupt.Plan) {
+	if p != nil {
+		if err := p.Validate(c.cfg.Nodes); err != nil {
+			panic(err)
+		}
+	}
+	c.corruptplan = p
+}
+
+// CorruptionPlan returns the registered corruption script (nil when
+// none).
+func (c *Cluster) CorruptionPlan() *corrupt.Plan { return c.corruptplan }
 
 // LiveNodesAt returns the view's nodes alive at time t under the
 // registered plan (all nodes when no plan is registered).

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/corrupt"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 )
@@ -146,6 +147,9 @@ type Cluster struct {
 	// failplan, when set, scripts node crashes and recoveries against
 	// the simulated clock (see SetFailurePlan). Shared by derived views.
 	failplan *FailurePlan
+	// corruptplan, when set, scripts silent data corruption (see
+	// SetCorruptionPlan). Shared by derived views.
+	corruptplan *corrupt.Plan
 }
 
 // New builds a full-cluster view and its fabric. It panics on an invalid
@@ -205,7 +209,7 @@ func (c *Cluster) Subset(nodes []int) *Cluster {
 			panic(fmt.Sprintf("simcluster: duplicate node %d in subset", n))
 		}
 	}
-	return &Cluster{cfg: c.cfg, fabric: c.fabric, nodes: sorted, usage: c.usage, comp: c.comp, failplan: c.failplan}
+	return &Cluster{cfg: c.cfg, fabric: c.fabric, nodes: sorted, usage: c.usage, comp: c.comp, failplan: c.failplan, corruptplan: c.corruptplan}
 }
 
 // Usage returns a snapshot of the slot-occupancy accumulator shared by

@@ -243,6 +243,10 @@ const (
 	// TransferUnreachable: an active outage or partition severs the
 	// path, so no deadline would help. Produced by the fabric.
 	TransferUnreachable TransferErrorKind = "unreachable"
+	// TransferCorrupt: every attempt inside the corruption retry budget
+	// arrived with a bad checksum. Produced by the engine, which owns
+	// checksum verification (see the corrupt package).
+	TransferCorrupt TransferErrorKind = "corrupt"
 )
 
 // TransferError is the typed failure a degraded transfer returns. Src

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestChromeTraceIntegrityKinds round-trips the data-integrity event
+// kinds through the exporter: corruption-detect points must export as
+// instants in the dfs category next to the re-replication repairs,
+// scrub and checkpoint-rollback spans must be durable in their layers'
+// categories, and identical timelines must serialize byte-identically.
+func TestChromeTraceIntegrityKinds(t *testing.T) {
+	build := func() *Tracer {
+		tr := New()
+		// Recorded deliberately out of start order: the exporter must
+		// emit the start-sorted view.
+		tr.Record(Event{Kind: KindCheckpointRollback, Name: "m: seq 5 damaged, rolled back to verified seq 4",
+			Start: 3, End: 3.5})
+		tr.Record(Event{Kind: KindScrub, Name: "scrub: 12 replicas scanned, 2 repaired", Start: 1, End: 4,
+			Bytes: 1 << 20})
+		tr.Record(Event{Kind: KindCorruptionDetect, Name: "bad block", Start: 2, End: 2, Bytes: 512,
+			Attrs: []Attr{{Key: "node", Value: "3"}}})
+		tr.Record(Event{Kind: KindReReplication, Name: "repair", Start: 2.5, End: 2.5, Bytes: 512})
+		return tr
+	}
+
+	var a, b bytes.Buffer
+	if err := build().ChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().ChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("export not byte-identical across identical timelines")
+	}
+
+	out := decodeChrome(t, a.Bytes())
+	wantCat := map[string]string{
+		"bad block": "dfs",
+		"repair":    "dfs",
+		"scrub: 12 replicas scanned, 2 repaired":       "dfs",
+		"m: seq 5 damaged, rolled back to verified seq 4": "core",
+	}
+	instants, durable := 0, 0
+	lastTs := -1.0
+	for _, e := range out.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if cat, ok := wantCat[e.Name]; ok && e.Cat != cat {
+			t.Fatalf("%s category = %q, want %q", e.Name, e.Cat, cat)
+		}
+		switch e.Ph {
+		case "i":
+			instants++
+			if e.Scope != "t" {
+				t.Fatalf("instant event scope = %q", e.Scope)
+			}
+		case "X":
+			durable++
+		}
+		if e.Ts < lastTs {
+			t.Fatalf("events not start-sorted: ts %g after %g", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+	}
+	// The detect and repair annotations are zero-width instants; the
+	// scrub pass and the rollback are durable spans.
+	if instants != 2 || durable != 2 {
+		t.Fatalf("instants = %d, durable = %d, want 2 and 2", instants, durable)
+	}
+	// Attributes and byte counts survive the round trip.
+	for _, e := range out.TraceEvents {
+		if e.Name == "bad block" {
+			if e.Args == nil || e.Args.Bytes != 512 || len(e.Args.Attrs) != 1 || e.Args.Attrs[0] != "node=3" {
+				t.Fatalf("corruption-detect args = %+v", e.Args)
+			}
+		}
+		if e.Name == "scrub: 12 replicas scanned, 2 repaired" && e.Args.Bytes != 1<<20 {
+			t.Fatalf("scrub span lost bytes: %+v", e.Args)
+		}
+	}
+}

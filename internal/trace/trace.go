@@ -66,6 +66,15 @@ const (
 	// of the BSP job's span.
 	KindSuperstep Kind = "superstep"
 	KindBarrier   Kind = "barrier"
+	// Data-integrity events: a checksum mismatch caught on a read,
+	// transfer, or checkpoint (corruption-detect, a point annotation
+	// with Bytes carrying the poisoned bytes re-fetched or re-sent), a
+	// background scrubber pass over DFS replicas (scrub, a span whose
+	// Bytes is the replica bytes scanned), and a checkpoint chain
+	// rolled back to its last verified link (checkpoint-rollback).
+	KindCorruptionDetect   Kind = "corruption-detect"
+	KindScrub              Kind = "scrub"
+	KindCheckpointRollback Kind = "checkpoint-rollback"
 )
 
 // Layer reports the runtime layer that produces events of the given
@@ -78,11 +87,11 @@ func Layer(k Kind) string {
 		return "mapred"
 	case KindTransfer, KindNetFault:
 		return "simnet"
-	case KindModelWrite, KindReReplication:
+	case KindModelWrite, KindReReplication, KindCorruptionDetect, KindScrub:
 		return "dfs"
 	case KindNodeCrash, KindNodeRecover:
 		return "simcluster"
-	case KindPhase, KindGroupRepair, KindDegradedMerge, KindCheckpoint:
+	case KindPhase, KindGroupRepair, KindDegradedMerge, KindCheckpoint, KindCheckpointRollback:
 		return "core"
 	case KindSchedJob, KindSchedWait, KindSchedPreempt:
 		return "sched"
